@@ -1,0 +1,124 @@
+// Command lfoc-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lfoc-bench -all                  # every artifact (slow at scale 1)
+//	lfoc-bench -fig 6 -scale 50      # one figure at 1/50 time scale
+//	lfoc-bench -table 2
+//	lfoc-bench -fig 6 -workloads S1,S2,S3
+//
+// The -scale flag divides all instruction quantities and the partitioner
+// period by the given factor (cadence ratios preserved); EXPERIMENTS.md
+// records the scale used for the published numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/faircache/lfoc/internal/harness"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure to regenerate (1..7); 0 = none")
+		table     = flag.Int("table", 0, "table to regenerate (2); 0 = none")
+		all       = flag.Bool("all", false, "regenerate every artifact")
+		scale     = flag.Uint64("scale", 50, "time-scale divisor (1 = paper scale)")
+		mixes     = flag.Int("mixes", 20, "random mixes for Fig. 2")
+		mixesPerN = flag.Int("mixes-per-n", 5, "random mixes per size for Fig. 3")
+		wl        = flag.String("workloads", "", "comma-separated workload subset for Figs. 6/7")
+		budget    = flag.Uint64("budget", 0, "optimal-solver node budget override")
+		ablation  = flag.Bool("ablation", false, "run the Algorithm 1 parameter sweep")
+		ucp       = flag.Bool("ucp", false, "run the UCP-vs-LFOC supplement (8-app workloads)")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = *scale
+	if *budget > 0 {
+		cfg.SolverBudgetSmall = *budget
+		cfg.SolverBudgetLarge = *budget
+	}
+	var names []string
+	if *wl != "" {
+		names = strings.Split(*wl, ",")
+	}
+
+	run := func(n int) {
+		switch n {
+		case 1:
+			fmt.Println(harness.Fig1(cfg).Render())
+		case 2:
+			d, err := harness.Fig2(cfg, *mixes)
+			exitOn(err)
+			fmt.Println(d.Render())
+		case 3:
+			d, err := harness.Fig3(cfg, *mixesPerN)
+			exitOn(err)
+			fmt.Println(d.Render())
+		case 4:
+			fmt.Println(harness.Fig4(cfg, 160).Render())
+		case 5:
+			fmt.Println(harness.Fig5(cfg).Render())
+		case 6:
+			d, err := harness.Fig6(cfg, names)
+			exitOn(err)
+			fmt.Println(d.Render())
+		case 7:
+			d, err := harness.Fig7(cfg, names)
+			exitOn(err)
+			fmt.Println(d.Render())
+		default:
+			exitOn(fmt.Errorf("unknown figure %d", n))
+		}
+	}
+
+	did := false
+	if *all {
+		for n := 1; n <= 7; n++ {
+			run(n)
+		}
+		d, err := harness.Table2(cfg, 200)
+		exitOn(err)
+		fmt.Println(d.Render())
+		did = true
+	}
+	if *fig > 0 {
+		run(*fig)
+		did = true
+	}
+	if *table == 2 {
+		d, err := harness.Table2(cfg, 200)
+		exitOn(err)
+		fmt.Println(d.Render())
+		did = true
+	} else if *table != 0 {
+		exitOn(fmt.Errorf("unknown table %d (only Table 2 is an experiment; Table 1 is the classifier's thresholds)", *table))
+	}
+	if *ablation {
+		d, err := harness.AblationParams(cfg, names)
+		exitOn(err)
+		fmt.Println(d.Render())
+		did = true
+	}
+	if *ucp {
+		d, err := harness.SupplementUCP(cfg, names)
+		exitOn(err)
+		fmt.Println(d.Render())
+		did = true
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfoc-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Command lfoc-profiler dumps the offline per-way profile of a benchmark
+// — the tables the paper gathers with performance counters on the real
+// machine (slowdown, IPC, LLCMPKC, MPKI, stall fraction and bandwidth at
+// every way count) — plus its Table 1 classification.
+//
+// Usage:
+//
+//	lfoc-profiler -app xalancbmk06
+//	lfoc-profiler -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/profiles"
+)
+
+func main() {
+	var (
+		app  = flag.String("app", "", "benchmark name")
+		list = flag.Bool("list", false, "list the catalog")
+	)
+	flag.Parse()
+
+	plat := machine.Skylake()
+	crit := appmodel.DefaultCriteria()
+
+	if *list {
+		fmt.Printf("%-16s %-10s %s\n", "benchmark", "class", "phases")
+		for _, n := range profiles.Names() {
+			spec := profiles.MustGet(n)
+			fmt.Printf("%-16s %-10s %d\n", n, spec.Class, len(spec.Phases))
+		}
+		return
+	}
+	if *app == "" {
+		fmt.Fprintln(os.Stderr, "lfoc-profiler: need -app or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spec, err := profiles.Get(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfoc-profiler:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark: %s   ground-truth class: %s   phases: %d\n\n", spec.Name, spec.Class, len(spec.Phases))
+	for pi := range spec.Phases {
+		ph := &spec.Phases[pi]
+		tbl := appmodel.BuildTable(ph, plat)
+		fmt.Printf("phase %d (%s), %s:\n", pi, ph.Name, durationOf(ph))
+		fmt.Printf("  %4s %9s %7s %9s %8s %8s %10s\n",
+			"ways", "slowdown", "IPC", "LLCMPKC", "MPKI", "stall%", "BW(GB/s)")
+		for w := 1; w <= plat.Ways; w++ {
+			fmt.Printf("  %4d %9.3f %7.3f %9.2f %8.2f %8.1f %10.2f\n",
+				w, tbl.Slowdown(w), tbl.IPC[w], tbl.MPKC[w], tbl.MPKI[w],
+				tbl.StallFrac[w]*100, tbl.Bandwidth[w]/1e9)
+		}
+		fmt.Printf("  Table 1 classification: %s   critical size: %d ways\n\n",
+			crit.Classify(tbl), tbl.CriticalWays(0.05))
+	}
+}
+
+func durationOf(ph *appmodel.PhaseSpec) string {
+	if ph.DurationInsns == 0 {
+		return "endless"
+	}
+	return fmt.Sprintf("%.1fG instructions", float64(ph.DurationInsns)/1e9)
+}

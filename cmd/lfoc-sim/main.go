@@ -1,0 +1,87 @@
+// Command lfoc-sim co-runs one workload under one policy and reports the
+// paper's metrics (per-app slowdowns, unfairness, STP).
+//
+// Usage:
+//
+//	lfoc-sim -workload S3 -policy lfoc
+//	lfoc-sim -workload P7 -policy dunn -scale 20
+//	lfoc-sim -apps lbm06,xalancbmk06,povray06 -policy stock
+//
+// Policies: stock (no partitioning), dunn, lfoc (all dynamic).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/harness"
+	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload name (S1..S21, P1..P15)")
+		apps     = flag.String("apps", "", "comma-separated benchmark list (alternative to -workload)")
+		polName  = flag.String("policy", "lfoc", "policy: stock | dunn | lfoc")
+		scale    = flag.Uint64("scale", 50, "time-scale divisor (1 = paper scale)")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = *scale
+
+	var specs []*appmodel.Spec
+	var label string
+	switch {
+	case *workload != "":
+		w, err := workloads.Get(*workload)
+		exitOn(err)
+		specs = w.ScaledSpecs(cfg.Scale)
+		label = w.Name
+	case *apps != "":
+		for _, name := range strings.Split(*apps, ",") {
+			s, err := profiles.Get(strings.TrimSpace(name))
+			exitOn(err)
+			specs = append(specs, s)
+		}
+		label = *apps
+	default:
+		fmt.Fprintln(os.Stderr, "lfoc-sim: need -workload or -apps")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pol, ctrl, err := cfg.NewDynamicPolicy(*polName)
+	exitOn(err)
+
+	res, err := sim.RunDynamic(cfg.SimConfig(), specs, pol)
+	exitOn(err)
+
+	fmt.Printf("workload: %s   policy: %s   scale: 1/%d\n\n", label, *polName, cfg.Scale)
+	fmt.Printf("%-16s %10s %10s %9s %6s\n", "benchmark", "CT(s)", "alone(s)", "slowdown", "runs")
+	for i, s := range specs {
+		fmt.Printf("%-16s %10.3f %10.3f %9.3f %6d\n",
+			s.Name, res.CT[i], res.AloneCT[i], res.Slowdowns[i], len(res.RunTimes[i]))
+	}
+	fmt.Printf("\nunfairness: %.3f    STP: %.3f    repartitions: %d    simulated: %.1fs\n",
+		res.Summary.Unfairness, res.Summary.STP, res.Repartitions, res.SimSeconds)
+	if ctrl != nil {
+		fmt.Println("\nLFOC final classification:")
+		for i, s := range specs {
+			fmt.Printf("  %-16s %s (resamples: %d)\n", s.Name, ctrl.ClassOf(i), ctrl.Resamples(i))
+		}
+		fmt.Println("final plan:", ctrl.Plan().Canonical())
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfoc-sim:", err)
+		os.Exit(1)
+	}
+}

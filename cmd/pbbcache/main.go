@@ -1,0 +1,110 @@
+// Command pbbcache exposes the PBBCache-style optimal solver: given a
+// list of benchmarks, it reports the optimal cache-clustering (and
+// optionally the optimal strict-partitioning) solution for fairness or
+// throughput, mirroring the authors' simulator tool [8].
+//
+// Usage:
+//
+//	pbbcache -apps xalancbmk06,soplex06,lbm06,povray06
+//	pbbcache -apps ... -objective throughput -partitioning
+//	pbbcache -random 10 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/pbb"
+	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+func main() {
+	var (
+		apps         = flag.String("apps", "", "comma-separated benchmark names")
+		random       = flag.Int("random", 0, "use a random mix of this size instead of -apps")
+		seed         = flag.Int64("seed", 1, "seed for -random")
+		objectiveStr = flag.String("objective", "fairness", "fairness | throughput")
+		partitioning = flag.Bool("partitioning", false, "also solve optimal strict partitioning")
+		budget       = flag.Uint64("budget", 0, "node budget (0 = solver default)")
+	)
+	flag.Parse()
+
+	var names []string
+	switch {
+	case *apps != "":
+		names = strings.Split(*apps, ",")
+	case *random > 0:
+		names = workloads.RandomMix(*seed, *random).Benchmarks
+	default:
+		fmt.Fprintln(os.Stderr, "pbbcache: need -apps or -random")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	obj := pbb.Fairness
+	switch *objectiveStr {
+	case "fairness":
+	case "throughput":
+		obj = pbb.Throughput
+	default:
+		exitOn(fmt.Errorf("unknown objective %q", *objectiveStr))
+	}
+
+	plat := machine.Skylake()
+	var phases []*appmodel.PhaseSpec
+	for i, n := range names {
+		names[i] = strings.TrimSpace(n)
+		spec, err := profiles.Get(names[i])
+		exitOn(err)
+		phases = append(phases, &spec.Phases[0])
+	}
+
+	solver := pbb.New(plat)
+	solver.NodeBudget = *budget
+
+	fmt.Printf("workload (%d apps): %s\n", len(names), strings.Join(names, ", "))
+	fmt.Printf("platform: %s (%d ways, %.1f MB LLC)\n\n", plat.Name, plat.Ways, float64(plat.LLCBytes())/1e6)
+
+	sol, err := solver.OptimalClustering(phases, obj)
+	exitOn(err)
+	report("optimal clustering", names, sol)
+
+	if *partitioning {
+		psol, err := solver.OptimalPartitioning(phases, obj)
+		exitOn(err)
+		report("optimal partitioning", names, psol)
+	}
+}
+
+func report(title string, names []string, sol pbb.Solution) {
+	fmt.Printf("== %s ==\n", title)
+	exact := "exact"
+	if !sol.Exact {
+		exact = "anytime (budget exhausted)"
+	}
+	fmt.Printf("search: %d nodes, %d pruned, %s\n", sol.Nodes, sol.Pruned, exact)
+	for ci, c := range sol.Plan.Clusters {
+		fmt.Printf("cluster %d (%d ways):", ci, c.Ways)
+		for _, a := range c.Apps {
+			fmt.Printf(" %s", names[a])
+		}
+		fmt.Println()
+	}
+	fmt.Print("slowdowns:")
+	for i, s := range sol.Slowdowns {
+		fmt.Printf(" %s=%.3f", names[i], s)
+	}
+	fmt.Printf("\nunfairness: %.3f   STP: %.3f\n\n", sol.Unfairness, sol.STP)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbbcache:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,89 @@
+// Fairness audit: the scenario from the paper's introduction — a
+// cloud-style operator runs a consolidated multiprogram workload and
+// wants to know how much unfairness the shared LLC introduces (wrong
+// billings, unpredictable completion times) and which clustering policy
+// fixes it.
+//
+// The program decides a plan with every static policy, estimates per-app
+// slowdowns with the contention model, and then verifies the two leading
+// plans with full co-run simulations.
+//
+//	go run ./examples/fairness_audit [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	lfoc "github.com/faircache/lfoc"
+)
+
+func main() {
+	name := "S8"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, err := lfoc.GetWorkload(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat := lfoc.Skylake()
+
+	// Offline profiles for every application (what the paper gathers
+	// with performance counters before the static-mode experiments).
+	sw := &lfoc.StaticWorkload{Plat: plat}
+	for _, b := range w.Benchmarks {
+		spec, err := lfoc.Benchmark(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ph := &spec.Phases[0]
+		sw.Phases = append(sw.Phases, ph)
+		sw.Tables = append(sw.Tables, lfoc.BuildProfile(ph, plat))
+	}
+
+	model := lfoc.NewContentionModel(plat)
+	policies := []lfoc.StaticPolicy{
+		lfoc.StockPolicy{},
+		lfoc.DunnPolicy{},
+		lfoc.KPartPolicy{},
+		lfoc.LFOCStaticPolicy{},
+	}
+
+	fmt.Printf("fairness audit of workload %s (%d apps): %v\n\n", w.Name, w.Size, w.Benchmarks)
+	fmt.Printf("%-12s %10s %8s   plan\n", "policy", "unfairness", "STP")
+	type outcome struct {
+		name string
+		plan lfoc.Plan
+		unf  float64
+	}
+	var outcomes []outcome
+	for _, pol := range policies {
+		p, err := pol.Decide(sw)
+		if err != nil {
+			log.Fatal(pol.Name(), ": ", err)
+		}
+		slow, err := lfoc.EstimateSlowdowns(model, sw.Phases, p)
+		if err != nil {
+			log.Fatal(pol.Name(), ": ", err)
+		}
+		unf, _ := lfoc.Unfairness(slow)
+		stp, _ := lfoc.STP(slow)
+		fmt.Printf("%-12s %10.3f %8.3f   %s\n", pol.Name(), unf, stp, p.Canonical())
+		outcomes = append(outcomes, outcome{pol.Name(), p, unf})
+	}
+
+	// Verify the baseline and the LFOC plan with full simulations
+	// (restart methodology, completion-time-based slowdowns).
+	fmt.Println("\nverification runs (full simulation):")
+	cfg := lfoc.DefaultExperimentConfig()
+	for _, oc := range []outcome{outcomes[0], outcomes[len(outcomes)-1]} {
+		res, err := lfoc.RunStatic(cfg.SimConfig(), w.ScaledSpecs(cfg.Scale), oc.plan)
+		if err != nil {
+			log.Fatal(oc.name, ": ", err)
+		}
+		fmt.Printf("  %-12s unfairness=%.3f STP=%.3f (model estimate was %.3f)\n",
+			oc.name, res.Summary.Unfairness, res.Summary.STP, oc.unf)
+	}
+}

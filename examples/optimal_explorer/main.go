@@ -1,0 +1,87 @@
+// Optimal explorer: use the PBBCache-style solver to study how the
+// optimal-fairness solution changes shape as workloads grow — the §3
+// analysis that motivated LFOC's design. For each workload size the
+// program solves both the clustering and the strict-partitioning
+// problems and shows (a) partitioning's growing unfairness penalty
+// (Fig. 3) and (b) where the optimum puts streaming programs (Fig. 2's
+// key observation).
+//
+//	go run ./examples/optimal_explorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lfoc "github.com/faircache/lfoc"
+)
+
+func main() {
+	plat := lfoc.Skylake()
+	solver := lfoc.NewSolver(plat)
+	solver.NodeBudget = 200_000
+
+	fmt.Println("apps  clustering-unf  partitioning-unf  penalty  streaming-ways")
+	for n := 4; n <= plat.Ways; n++ {
+		mix := lfoc.RandomMix(int64(40+n), n)
+		var phases []*lfoc.PhaseSpec
+		streaming := map[int]bool{}
+		for i, b := range mix.Benchmarks {
+			spec, err := lfoc.Benchmark(b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			phases = append(phases, &spec.Phases[0])
+			if spec.Class == lfoc.AppStreaming {
+				streaming[i] = true
+			}
+		}
+
+		clu, err := solver.OptimalClustering(phases, lfoc.OptimizeFairness)
+		if err != nil {
+			log.Fatal(err)
+		}
+		part, err := solver.OptimalPartitioning(phases, lfoc.OptimizeFairness)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// How many ways do clusters containing streaming apps hold in
+		// the optimal clustering? (§3: "no greater than 2 in any
+		// workload".)
+		streamWays := 0
+		for _, c := range clu.Plan.Clusters {
+			for _, a := range c.Apps {
+				if streaming[a] {
+					streamWays += c.Ways
+					break
+				}
+			}
+		}
+
+		fmt.Printf("%4d %15.3f %17.3f %8.3f %15d\n",
+			n, clu.Unfairness, part.Unfairness, part.Unfairness/clu.Unfairness, streamWays)
+	}
+
+	// Show one full optimal solution in detail.
+	fmt.Println("\ndetailed optimum for a 10-app mix:")
+	mix := lfoc.RandomMix(7, 10)
+	var phases []*lfoc.PhaseSpec
+	for _, b := range mix.Benchmarks {
+		spec, _ := lfoc.Benchmark(b)
+		phases = append(phases, &spec.Phases[0])
+	}
+	sol, err := solver.OptimalClustering(phases, lfoc.OptimizeFairness)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for ci, c := range sol.Plan.Clusters {
+		fmt.Printf("  cluster %d (%d ways):", ci, c.Ways)
+		for _, a := range c.Apps {
+			fmt.Printf(" %s(sd=%.2f)", mix.Benchmarks[a], sol.Slowdowns[a])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  unfairness=%.3f STP=%.3f nodes=%d exact=%v\n",
+		sol.Unfairness, sol.STP, sol.Nodes, sol.Exact)
+}

@@ -1,0 +1,80 @@
+// resctrl daemon: how a production deployment of LFOC would look as a
+// userland daemon sitting on Linux's /sys/fs/resctrl instead of a kernel
+// module. The program runs a workload in the simulator while enforcing
+// every partitioning decision through the emulated resctrl filesystem —
+// resource groups, "L3:..." schemata writes and tasks files — and prints
+// the resulting filesystem state after each partitioner activation epoch.
+//
+//	go run ./examples/resctrl_daemon
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lfoc "github.com/faircache/lfoc"
+)
+
+func main() {
+	plat := lfoc.Skylake()
+
+	// Mount the emulated resctrl over a CAT controller.
+	catc, err := lfoc.NewCATController(plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := lfoc.MountResctrl(catc, []int{0}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Decide a plan with LFOC's algorithm from offline profiles (the
+	// daemon's bootstrapping mode; online it would sample counters).
+	names := []string{"xalancbmk06", "omnetpp06", "lbm06", "milc06", "povray06", "namd06"}
+	sw := &lfoc.StaticWorkload{Plat: plat}
+	var specs []*lfoc.Spec
+	for _, n := range names {
+		spec, err := lfoc.Benchmark(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = append(specs, spec)
+		ph := &spec.Phases[0]
+		sw.Phases = append(sw.Phases, ph)
+		sw.Tables = append(sw.Tables, lfoc.BuildProfile(ph, plat))
+	}
+	p, err := (lfoc.LFOCStaticPolicy{}).Decide(sw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("LFOC plan:", p.Canonical())
+
+	// Enforce it through resctrl, exactly as a daemon would.
+	if err := lfoc.ApplyPlan(fs, p, plat); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nemulated /sys/fs/resctrl state:")
+	for _, g := range fs.Groups() {
+		schemata, err := fs.ReadSchemata(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s/schemata: %s\n", g, schemata)
+		fmt.Printf("  %s/tasks:   ", g)
+		for idx, n := range names {
+			if fs.GroupOf(lfoc.TaskID(idx)) == g {
+				fmt.Printf(" %s", n)
+			}
+		}
+		fmt.Println()
+	}
+
+	// Verify the enforced configuration performs as the plan promised.
+	cfg := lfoc.DefaultExperimentConfig()
+	res, err := lfoc.RunStatic(cfg.SimConfig(), specs, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nenforced run: unfairness=%.3f STP=%.3f\n", res.Summary.Unfairness, res.Summary.STP)
+}

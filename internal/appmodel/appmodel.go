@@ -1,0 +1,254 @@
+// Package appmodel models application performance as a function of the
+// LLC space an application receives.
+//
+// It substitutes for the SPEC CPU2006/2017 binaries the paper runs: each
+// synthetic application is a sequence of phases, and each phase is
+// described by (a) a base CPI covering everything that is not an L2 miss,
+// (b) an LLC access intensity (APKI — accesses per kilo-instruction,
+// i.e. L2 misses reaching the L3), (c) a memory-level-parallelism factor
+// controlling how much DRAM latency the out-of-order core hides, and (d) a
+// stack-distance locality profile giving the LLC hit ratio at any
+// allocated size. From those, the model produces every signal the paper's
+// policies consume: IPC, LLC misses per kilo-cycle (LLCMPKC), misses per
+// kilo-instruction (MPKI), STALLS_L2_MISS-style stall fractions, and DRAM
+// bandwidth demand — all as functions of cache space, and optionally
+// under a bandwidth-contention latency inflation.
+//
+// The model is the standard linear CPI decomposition used by
+// cache-partitioning studies (and by the authors' own PBBCache tool):
+//
+//	CPI(s) = BaseCPI + (APKI/1000)·[hit(s)·L3Hit + miss(s)·(Mem/MLP)·λ]
+//
+// where s is the allocated space, λ ≥ 1 is the bandwidth-contention
+// inflation supplied by internal/sharing, and L3Hit/Mem are platform
+// latencies.
+package appmodel
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/stackdist"
+)
+
+// Class is the paper's ground-truth application taxonomy (§3, Table 1).
+type Class int
+
+const (
+	// ClassUnknown marks an application whose behaviour has not been
+	// established yet (the runtime state right after spawn).
+	ClassUnknown Class = iota
+	// ClassLight is "light sharing": neither cache sensitive nor
+	// aggressive; the working set fits the private levels.
+	ClassLight
+	// ClassStreaming is a contentious cache-insensitive aggressor.
+	ClassStreaming
+	// ClassSensitive experiences high performance drops when its LLC
+	// share shrinks.
+	ClassSensitive
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassLight:
+		return "light"
+	case ClassStreaming:
+		return "streaming"
+	case ClassSensitive:
+		return "sensitive"
+	default:
+		return "unknown"
+	}
+}
+
+// PhaseSpec describes one steady-state execution phase.
+type PhaseSpec struct {
+	Name string
+	// DurationInsns is the phase length in retired instructions; 0 means
+	// the phase lasts until the program ends.
+	DurationInsns uint64
+	// BaseCPI is the cycles-per-instruction with an infinite LLC
+	// (includes L1/L2 behaviour).
+	BaseCPI float64
+	// APKI is LLC accesses (L2 misses) per kilo-instruction.
+	APKI float64
+	// MLP divides the exposed DRAM latency (≥1); 0 means use the
+	// platform default.
+	MLP float64
+	// Locality is the LLC hit-ratio curve.
+	Locality stackdist.Profile
+}
+
+// Validate reports an error for physically meaningless parameters.
+func (p *PhaseSpec) Validate() error {
+	if p.BaseCPI <= 0 {
+		return fmt.Errorf("appmodel: phase %q: BaseCPI must be positive", p.Name)
+	}
+	if p.APKI < 0 {
+		return fmt.Errorf("appmodel: phase %q: APKI must be non-negative", p.Name)
+	}
+	if p.MLP < 0 {
+		return fmt.Errorf("appmodel: phase %q: MLP must be non-negative", p.Name)
+	}
+	return nil
+}
+
+// Spec is a complete synthetic application.
+type Spec struct {
+	Name string
+	// Class is the ground-truth dominant class, used by workload
+	// construction and validation tests (the policies must discover it
+	// themselves).
+	Class Class
+	// Phases execute in order; if LoopPhases is set they repeat
+	// cyclically, otherwise the last phase runs forever.
+	Phases     []PhaseSpec
+	LoopPhases bool
+}
+
+// Validate checks the spec for consistency.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("appmodel: spec with empty name")
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("appmodel: spec %q has no phases", s.Name)
+	}
+	for i := range s.Phases {
+		if err := s.Phases[i].Validate(); err != nil {
+			return fmt.Errorf("spec %q: %w", s.Name, err)
+		}
+	}
+	if s.LoopPhases {
+		for i := range s.Phases {
+			if s.Phases[i].DurationInsns == 0 {
+				return fmt.Errorf("appmodel: spec %q loops but phase %d has no duration", s.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Phased reports whether the application has more than one phase.
+func (s *Spec) Phased() bool { return len(s.Phases) > 1 }
+
+// Perf is the model output at one operating point.
+type Perf struct {
+	CPI       float64
+	IPC       float64
+	MissRatio float64 // LLC miss ratio
+	MPKC      float64 // LLC misses per kilo-cycle
+	MPKI      float64 // LLC misses per kilo-instruction
+	StallFrac float64 // STALLS_L2_MISS / cycles
+	Bandwidth float64 // DRAM demand, bytes/second
+}
+
+// PhasePerf evaluates a phase at an allocated LLC space of cacheBytes
+// under a bandwidth latency inflation memScale (1 = unloaded memory).
+func PhasePerf(ph *PhaseSpec, plat *machine.Platform, cacheBytes uint64, memScale float64) Perf {
+	if memScale < 1 {
+		memScale = 1
+	}
+	mlp := ph.MLP
+	if mlp <= 0 {
+		mlp = plat.MLP
+	}
+	miss := ph.Locality.MissRatio(cacheBytes)
+	hit := 1 - miss
+	apki := ph.APKI
+	memStall := float64(plat.MemCycles) / mlp * memScale
+	stallPerAccess := hit*float64(plat.LLCHitCycles) + miss*memStall
+	stallCPI := apki / 1000 * stallPerAccess
+	cpi := ph.BaseCPI + stallCPI
+	ipc := 1 / cpi
+	mpki := apki * miss
+	return Perf{
+		CPI:       cpi,
+		IPC:       ipc,
+		MissRatio: miss,
+		MPKC:      mpki * ipc, // misses/1k-insn × insn/cycle = misses/1k-cycle
+		MPKI:      mpki,
+		StallFrac: stallCPI / cpi,
+		Bandwidth: mpki / 1000 * ipc * float64(plat.FreqHz) * float64(plat.LineBytes),
+	}
+}
+
+// Instance tracks an application's progress through its phases at run
+// time.
+type Instance struct {
+	Spec       *Spec
+	phase      int
+	intoPhase  uint64 // instructions retired inside the current phase
+	totalInsns uint64
+}
+
+// NewInstance creates a fresh runtime instance of a spec.
+func NewInstance(spec *Spec) *Instance { return &Instance{Spec: spec} }
+
+// Phase returns the currently executing phase.
+func (in *Instance) Phase() *PhaseSpec { return &in.Spec.Phases[in.phase] }
+
+// PhaseIndex returns the index of the current phase.
+func (in *Instance) PhaseIndex() int { return in.phase }
+
+// TotalInstructions returns the instructions retired since creation (or
+// the last Restart).
+func (in *Instance) TotalInstructions() uint64 { return in.totalInsns }
+
+// Advance retires insns instructions and moves through phase boundaries.
+// It returns true if the current phase changed.
+func (in *Instance) Advance(insns uint64) bool {
+	in.totalInsns += insns
+	changed := false
+	for insns > 0 {
+		ph := &in.Spec.Phases[in.phase]
+		if ph.DurationInsns == 0 {
+			// Terminal endless phase absorbs the rest.
+			in.intoPhase += insns
+			return changed
+		}
+		remain := ph.DurationInsns - in.intoPhase
+		if insns < remain {
+			in.intoPhase += insns
+			return changed
+		}
+		insns -= remain
+		in.intoPhase = 0
+		if in.phase+1 < len(in.Spec.Phases) {
+			in.phase++
+			changed = true
+		} else if in.Spec.LoopPhases {
+			in.phase = 0
+			changed = len(in.Spec.Phases) > 1 || changed
+		} else {
+			// Last non-looping phase continues past its nominal end.
+			in.intoPhase = ph.DurationInsns
+			return changed
+		}
+	}
+	return changed
+}
+
+// InstructionsToPhaseEnd returns how many instructions remain in the
+// current phase (0 for an endless terminal phase).
+func (in *Instance) InstructionsToPhaseEnd() uint64 {
+	ph := in.Phase()
+	if ph.DurationInsns == 0 {
+		return 0
+	}
+	if in.intoPhase >= ph.DurationInsns {
+		return 0
+	}
+	return ph.DurationInsns - in.intoPhase
+}
+
+// Restart resets per-run progress but keeps phase position — matching the
+// paper's methodology where a program that finishes its instruction quota
+// is immediately restarted ("the program is restarted repeatedly until
+// the longest application completes three times", §5). Restarting the
+// binary restarts its phases from the beginning.
+func (in *Instance) Restart() {
+	in.phase = 0
+	in.intoPhase = 0
+	in.totalInsns = 0
+}

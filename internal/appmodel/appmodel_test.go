@@ -1,0 +1,350 @@
+package appmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/stackdist"
+)
+
+const mb = 1 << 20
+
+func sensitivePhase() PhaseSpec {
+	return PhaseSpec{
+		Name: "sens", BaseCPI: 0.55, APKI: 25, MLP: 3,
+		Locality: stackdist.WorkingSet(20*mb, 0.92),
+	}
+}
+
+func streamingPhase() PhaseSpec {
+	return PhaseSpec{
+		Name: "stream", BaseCPI: 0.6, APKI: 55, MLP: 9,
+		Locality: stackdist.Streaming(0.04),
+	}
+}
+
+func lightPhase() PhaseSpec {
+	return PhaseSpec{
+		Name: "light", BaseCPI: 0.5, APKI: 0.5, MLP: 4,
+		Locality: stackdist.WorkingSet(mb/2, 0.95),
+	}
+}
+
+func TestPhaseValidate(t *testing.T) {
+	bad := PhaseSpec{Name: "x", BaseCPI: 0}
+	if bad.Validate() == nil {
+		t.Error("zero BaseCPI accepted")
+	}
+	bad = PhaseSpec{Name: "x", BaseCPI: 1, APKI: -1}
+	if bad.Validate() == nil {
+		t.Error("negative APKI accepted")
+	}
+	bad = PhaseSpec{Name: "x", BaseCPI: 1, MLP: -2}
+	if bad.Validate() == nil {
+		t.Error("negative MLP accepted")
+	}
+	good := lightPhase()
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if (&Spec{Name: "", Phases: []PhaseSpec{lightPhase()}}).Validate() == nil {
+		t.Error("empty name accepted")
+	}
+	if (&Spec{Name: "x"}).Validate() == nil {
+		t.Error("no phases accepted")
+	}
+	loop := &Spec{Name: "x", Phases: []PhaseSpec{lightPhase()}, LoopPhases: true}
+	if loop.Validate() == nil {
+		t.Error("looping spec with endless phase accepted")
+	}
+	ph := lightPhase()
+	ph.DurationInsns = 100
+	ok := &Spec{Name: "x", Phases: []PhaseSpec{ph}, LoopPhases: true}
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhasePerfSensitiveShape(t *testing.T) {
+	plat := machine.Skylake()
+	ph := sensitivePhase()
+	small := PhasePerf(&ph, plat, plat.WaysToBytes(1), 1)
+	full := PhasePerf(&ph, plat, plat.WaysToBytes(plat.Ways), 1)
+	if small.IPC >= full.IPC {
+		t.Errorf("sensitive app should speed up with more cache: %v vs %v", small.IPC, full.IPC)
+	}
+	sd := full.IPC / small.IPC
+	if sd < 1.5 || sd > 2.6 {
+		t.Errorf("1-way slowdown = %v, want roughly Fig. 1's ~1.8-2.1", sd)
+	}
+	if small.MPKC < 5 || small.MPKC > 15 {
+		t.Errorf("1-way MPKC = %v, want ~10", small.MPKC)
+	}
+	if full.MPKC > 4 {
+		t.Errorf("full-LLC MPKC = %v, should be small", full.MPKC)
+	}
+	if small.StallFrac <= full.StallFrac {
+		t.Error("stall fraction should drop with more cache")
+	}
+	if small.Bandwidth <= full.Bandwidth {
+		t.Error("bandwidth demand should drop with more cache")
+	}
+}
+
+func TestPhasePerfStreamingShape(t *testing.T) {
+	plat := machine.Skylake()
+	ph := streamingPhase()
+	small := PhasePerf(&ph, plat, plat.WaysToBytes(1), 1)
+	full := PhasePerf(&ph, plat, plat.WaysToBytes(plat.Ways), 1)
+	if sd := full.IPC / small.IPC; sd > 1.01 {
+		t.Errorf("streaming slowdown at 1 way = %v, want ~1.0", sd)
+	}
+	if small.MPKC < 10 {
+		t.Errorf("streaming MPKC = %v, want >= 10 (Table 1)", small.MPKC)
+	}
+}
+
+func TestPhasePerfBandwidthInflation(t *testing.T) {
+	plat := machine.Skylake()
+	ph := sensitivePhase()
+	base := PhasePerf(&ph, plat, plat.WaysToBytes(2), 1)
+	loaded := PhasePerf(&ph, plat, plat.WaysToBytes(2), 2)
+	if loaded.IPC >= base.IPC {
+		t.Error("memory contention should reduce IPC")
+	}
+	if loaded.Bandwidth >= base.Bandwidth {
+		t.Error("memory contention should reduce achieved bandwidth demand")
+	}
+	// Scale < 1 is clamped to 1.
+	clamped := PhasePerf(&ph, plat, plat.WaysToBytes(2), 0.5)
+	if math.Abs(clamped.IPC-base.IPC) > 1e-12 {
+		t.Error("memScale < 1 not clamped")
+	}
+}
+
+func TestPhasePerfMLPDefault(t *testing.T) {
+	plat := machine.Skylake()
+	ph := sensitivePhase()
+	ph.MLP = 0
+	withDefault := PhasePerf(&ph, plat, plat.WaysToBytes(2), 1)
+	ph.MLP = plat.MLP
+	explicit := PhasePerf(&ph, plat, plat.WaysToBytes(2), 1)
+	if math.Abs(withDefault.IPC-explicit.IPC) > 1e-12 {
+		t.Error("MLP=0 should use the platform default")
+	}
+}
+
+func TestBuildTableAndSlowdown(t *testing.T) {
+	plat := machine.Skylake()
+	ph := sensitivePhase()
+	tbl := BuildTable(&ph, plat)
+	if tbl.Ways != plat.Ways {
+		t.Fatal("table way count wrong")
+	}
+	if got := tbl.Slowdown(plat.Ways); math.Abs(got-1) > 1e-12 {
+		t.Errorf("slowdown at full LLC = %v, want 1", got)
+	}
+	// Monotone nonincreasing slowdown with more ways.
+	curve := tbl.SlowdownCurve()
+	for w := 2; w <= plat.Ways; w++ {
+		if curve[w] > curve[w-1]+1e-9 {
+			t.Errorf("slowdown increases from %d to %d ways", w-1, w)
+		}
+	}
+}
+
+func TestSlowdownPanicsOutOfRange(t *testing.T) {
+	plat := machine.Skylake()
+	ph := lightPhase()
+	tbl := BuildTable(&ph, plat)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tbl.Slowdown(0)
+}
+
+func TestClassifyOracle(t *testing.T) {
+	plat := machine.Skylake()
+	crit := DefaultCriteria()
+	cases := []struct {
+		ph   PhaseSpec
+		want Class
+	}{
+		{sensitivePhase(), ClassSensitive},
+		{streamingPhase(), ClassStreaming},
+		{lightPhase(), ClassLight},
+	}
+	for _, c := range cases {
+		tbl := BuildTable(&c.ph, plat)
+		if got := crit.Classify(tbl); got != c.want {
+			t.Errorf("classify(%s) = %v, want %v", c.ph.Name, got, c.want)
+		}
+	}
+}
+
+func TestCriticalWays(t *testing.T) {
+	plat := machine.Skylake()
+	ph := sensitivePhase()
+	tbl := BuildTable(&ph, plat)
+	cw := tbl.CriticalWays(0.05)
+	if cw < 2 || cw > plat.Ways {
+		t.Errorf("critical ways = %d", cw)
+	}
+	if tbl.Slowdown(cw) >= 1.05 {
+		t.Error("slowdown at critical size should be < 1.05")
+	}
+	if cw > 1 && tbl.Slowdown(cw-1) < 1.05 {
+		t.Error("critical size not minimal")
+	}
+	// A light app's critical size is 1 way.
+	lp := lightPhase()
+	ltbl := BuildTable(&lp, plat)
+	if got := ltbl.CriticalWays(0.05); got != 1 {
+		t.Errorf("light critical ways = %d, want 1", got)
+	}
+}
+
+func TestInstancePhaseAdvance(t *testing.T) {
+	p1 := lightPhase()
+	p1.DurationInsns = 100
+	p2 := sensitivePhase()
+	p2.DurationInsns = 200
+	spec := &Spec{Name: "p", Phases: []PhaseSpec{p1, p2}, LoopPhases: true}
+	in := NewInstance(spec)
+	if in.Phase().Name != "light" || in.PhaseIndex() != 0 {
+		t.Fatal("initial phase wrong")
+	}
+	if in.InstructionsToPhaseEnd() != 100 {
+		t.Fatal("phase-end distance wrong")
+	}
+	if changed := in.Advance(50); changed {
+		t.Error("mid-phase advance reported change")
+	}
+	if changed := in.Advance(50); !changed || in.Phase().Name != "sens" {
+		t.Error("phase boundary not crossed")
+	}
+	// Cross the loop boundary: 200 more instructions back to phase 0.
+	if changed := in.Advance(200); !changed || in.Phase().Name != "light" {
+		t.Error("loop boundary not crossed")
+	}
+	if in.TotalInstructions() != 300 {
+		t.Errorf("total instructions = %d", in.TotalInstructions())
+	}
+	// Advance across several phases in one call.
+	in.Restart()
+	in.Advance(100 + 200 + 100 + 50)
+	if in.Phase().Name != "sens" || in.TotalInstructions() != 450 {
+		t.Errorf("multi-phase advance landed on %s", in.Phase().Name)
+	}
+}
+
+func TestInstanceEndlessTerminalPhase(t *testing.T) {
+	p1 := lightPhase()
+	p1.DurationInsns = 100
+	p2 := streamingPhase() // endless
+	spec := &Spec{Name: "f", Phases: []PhaseSpec{p1, p2}}
+	in := NewInstance(spec)
+	in.Advance(150)
+	if in.Phase().Name != "stream" {
+		t.Fatal("did not reach terminal phase")
+	}
+	if in.InstructionsToPhaseEnd() != 0 {
+		t.Error("endless phase should report 0 to end")
+	}
+	if in.Advance(1 << 40) {
+		t.Error("endless phase reported change")
+	}
+}
+
+func TestInstanceNonLoopingLastPhaseSticks(t *testing.T) {
+	p1 := lightPhase()
+	p1.DurationInsns = 100
+	spec := &Spec{Name: "one", Phases: []PhaseSpec{p1}}
+	in := NewInstance(spec)
+	in.Advance(500)
+	if in.PhaseIndex() != 0 {
+		t.Error("single finite phase should stick")
+	}
+	if in.TotalInstructions() != 500 {
+		t.Errorf("total = %d", in.TotalInstructions())
+	}
+}
+
+func TestDominantTable(t *testing.T) {
+	plat := machine.Skylake()
+	p1 := lightPhase()
+	p1.DurationInsns = 100
+	p2 := streamingPhase() // endless -> dominates
+	spec := &Spec{Name: "f", Phases: []PhaseSpec{p1, p2}}
+	tbl := DominantTable(spec, plat)
+	if DefaultCriteria().Classify(tbl) != ClassStreaming {
+		t.Error("endless phase should dominate")
+	}
+	// Without endless phases the longest finite phase dominates.
+	p3 := sensitivePhase()
+	p3.DurationInsns = 1000
+	spec2 := &Spec{Name: "g", Phases: []PhaseSpec{p1, p3}, LoopPhases: true}
+	tbl2 := DominantTable(spec2, plat)
+	if DefaultCriteria().Classify(tbl2) != ClassSensitive {
+		t.Error("longest phase should dominate")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassLight.String() != "light" || ClassStreaming.String() != "streaming" ||
+		ClassSensitive.String() != "sensitive" || ClassUnknown.String() != "unknown" {
+		t.Error("class strings wrong")
+	}
+}
+
+// Property: IPC is monotone nondecreasing in cache size for any
+// well-formed phase (more cache never hurts in the unloaded model).
+func TestQuickIPCMonotone(t *testing.T) {
+	plat := machine.Skylake()
+	f := func(apki8 uint8, ws8 uint8, s1, s2 uint32) bool {
+		ph := PhaseSpec{
+			Name: "q", BaseCPI: 0.5,
+			APKI: float64(apki8%60) + 0.1, MLP: 3,
+			Locality: stackdist.WorkingSet(uint64(ws8%30+1)*mb, 0.9),
+		}
+		a, b := uint64(s1), uint64(s2)
+		if a > b {
+			a, b = b, a
+		}
+		pa := PhasePerf(&ph, plat, a, 1)
+		pb := PhasePerf(&ph, plat, b, 1)
+		return pa.IPC <= pb.IPC+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Advance conserves instructions (sum of advances equals the
+// total) for looping specs.
+func TestQuickAdvanceConservation(t *testing.T) {
+	f := func(steps []uint16) bool {
+		p1 := lightPhase()
+		p1.DurationInsns = 137
+		p2 := sensitivePhase()
+		p2.DurationInsns = 263
+		spec := &Spec{Name: "p", Phases: []PhaseSpec{p1, p2}, LoopPhases: true}
+		in := NewInstance(spec)
+		var sum uint64
+		for _, s := range steps {
+			in.Advance(uint64(s))
+			sum += uint64(s)
+		}
+		return in.TotalInstructions() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

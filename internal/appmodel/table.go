@@ -1,0 +1,146 @@
+package appmodel
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/machine"
+)
+
+// Table holds per-way-count performance curves for one phase of one
+// application running alone — exactly the offline profile the paper feeds
+// to its PBBCache simulator and that LFOC's sampling mode reconstructs
+// online. Index 0 is unused; indices 1..Ways are valid.
+type Table struct {
+	Ways      int
+	IPC       []float64
+	MPKC      []float64
+	MPKI      []float64
+	StallFrac []float64
+	Bandwidth []float64 // bytes/s
+}
+
+// BuildTable evaluates a phase alone (no bandwidth contention) at every
+// way count on the platform.
+func BuildTable(ph *PhaseSpec, plat *machine.Platform) *Table {
+	t := &Table{
+		Ways:      plat.Ways,
+		IPC:       make([]float64, plat.Ways+1),
+		MPKC:      make([]float64, plat.Ways+1),
+		MPKI:      make([]float64, plat.Ways+1),
+		StallFrac: make([]float64, plat.Ways+1),
+		Bandwidth: make([]float64, plat.Ways+1),
+	}
+	for w := 1; w <= plat.Ways; w++ {
+		p := PhasePerf(ph, plat, plat.WaysToBytes(w), 1)
+		t.IPC[w] = p.IPC
+		t.MPKC[w] = p.MPKC
+		t.MPKI[w] = p.MPKI
+		t.StallFrac[w] = p.StallFrac
+		t.Bandwidth[w] = p.Bandwidth
+	}
+	return t
+}
+
+// Slowdown returns the slowdown at w ways relative to the full LLC —
+// Eq. (2) with the alone-IPC measured at all ways.
+func (t *Table) Slowdown(w int) float64 {
+	if w < 1 || w > t.Ways {
+		panic(fmt.Sprintf("appmodel: way count %d out of [1,%d]", w, t.Ways))
+	}
+	return t.IPC[t.Ways] / t.IPC[w]
+}
+
+// SlowdownCurve returns the whole slowdown table (index 0 unused).
+func (t *Table) SlowdownCurve() []float64 {
+	s := make([]float64, t.Ways+1)
+	for w := 1; w <= t.Ways; w++ {
+		s[w] = t.Slowdown(w)
+	}
+	return s
+}
+
+// Criteria holds the Table 1 classification thresholds.
+type Criteria struct {
+	// StreamingMaxSlowdown: a streaming app has slowdown ≤ this in at
+	// least one way assignment (paired with the MPKC floor)…
+	StreamingMaxSlowdown float64
+	// StreamingMinMPKC: …while exhibiting at least this many LLC misses
+	// per kilo-cycle there…
+	StreamingMinMPKC float64
+	// StreamingAllMaxSlowdown: …and slowdown below this in *all* way
+	// assignments.
+	StreamingAllMaxSlowdown float64
+	// SensitiveMinSlowdown: a sensitive app has slowdown ≥ this for some
+	// allocation of at least two ways.
+	SensitiveMinSlowdown float64
+}
+
+// DefaultCriteria returns the thresholds of Table 1: slowdown ≤ 1.03 with
+// LLCMPKC ≥ 10 somewhere and slowdown < 1.06 everywhere for streaming;
+// slowdown ≥ 1.05 at ≥ 2 ways for sensitive.
+func DefaultCriteria() Criteria {
+	return Criteria{
+		StreamingMaxSlowdown:    1.03,
+		StreamingMinMPKC:        10,
+		StreamingAllMaxSlowdown: 1.06,
+		SensitiveMinSlowdown:    1.05,
+	}
+}
+
+// Classify applies the Table 1 criteria to an offline profile table. It
+// is the float-domain "oracle" used for workload construction and for
+// validating the fixed-point online classifier in internal/core.
+func (c Criteria) Classify(t *Table) Class {
+	streamingWitness := false
+	allBelow := true
+	for w := 1; w <= t.Ways; w++ {
+		s := t.Slowdown(w)
+		if s <= c.StreamingMaxSlowdown && t.MPKC[w] >= c.StreamingMinMPKC {
+			streamingWitness = true
+		}
+		if s >= c.StreamingAllMaxSlowdown {
+			allBelow = false
+		}
+	}
+	if streamingWitness && allBelow {
+		return ClassStreaming
+	}
+	for w := 2; w <= t.Ways; w++ {
+		if t.Slowdown(w) >= c.SensitiveMinSlowdown {
+			return ClassSensitive
+		}
+	}
+	return ClassLight
+}
+
+// DominantTable returns the profile table of the spec's longest phase
+// (by instruction duration; an endless phase dominates), which stands in
+// for the paper's whole-program offline profile.
+func DominantTable(spec *Spec, plat *machine.Platform) *Table {
+	best := 0
+	var bestDur uint64
+	for i := range spec.Phases {
+		d := spec.Phases[i].DurationInsns
+		if d == 0 { // endless phase dominates
+			best = i
+			break
+		}
+		if d > bestDur {
+			bestDur = d
+			best = i
+		}
+	}
+	return BuildTable(&spec.Phases[best], plat)
+}
+
+// CriticalWays returns the smallest way count at which the slowdown
+// (vs. full LLC) drops below 1+threshold — the paper's "critical size"
+// notion for sensitive applications (§4.2), expressed in ways.
+func (t *Table) CriticalWays(threshold float64) int {
+	for w := 1; w <= t.Ways; w++ {
+		if t.Slowdown(w) < 1+threshold {
+			return w
+		}
+	}
+	return t.Ways
+}

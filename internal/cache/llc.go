@@ -1,0 +1,207 @@
+// Package cache implements a trace-driven, way-partitioned set-associative
+// last-level cache model — the data plane of Intel CAT.
+//
+// The model enforces the CAT allocation semantics: on a miss, a task may
+// only victimize lines in the ways its capacity bitmask (CBM) covers, but
+// it may hit on its own lines anywhere (hits outside the current mask can
+// occur right after a mask change, exactly as on real hardware). Per-task
+// line ownership is tracked to provide CMT-style occupancy readings.
+//
+// This component plays two roles in the reproduction: it validates the
+// analytic stack-distance model used by the fast contention simulator
+// (internal/sharing), and it provides the "effective cache allocation"
+// signal (§4.2, footnote 1) that LFOC's sensitive-class phase heuristic
+// consumes.
+package cache
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/cat"
+)
+
+type line struct {
+	tag     uint64
+	valid   bool
+	owner   cat.TaskID
+	lastUse uint64
+}
+
+// Stats aggregates per-task access statistics.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Accesses returns the total number of accesses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRatio returns Misses/Accesses (1 when no accesses occurred).
+func (s Stats) MissRatio() float64 {
+	if s.Accesses() == 0 {
+		return 1
+	}
+	return float64(s.Misses) / float64(s.Accesses())
+}
+
+// LLC is a way-partitioned set-associative cache with per-set LRU
+// replacement restricted to each task's way mask.
+type LLC struct {
+	sets      int
+	ways      int
+	lineBytes uint64
+	lines     []line // sets*ways, row-major by set
+	clock     uint64
+	masks     map[cat.TaskID]cat.WayMask
+	stats     map[cat.TaskID]*Stats
+	occLines  map[cat.TaskID]uint64
+	fullMask  cat.WayMask
+}
+
+// New creates an LLC with the given geometry. sets must be a power of two.
+func New(sets, ways int, lineBytes uint64) (*LLC, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: sets must be a positive power of two, got %d", sets)
+	}
+	if ways <= 0 || ways > 32 {
+		return nil, fmt.Errorf("cache: ways must be in [1,32], got %d", ways)
+	}
+	if lineBytes == 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: lineBytes must be a positive power of two, got %d", lineBytes)
+	}
+	return &LLC{
+		sets:      sets,
+		ways:      ways,
+		lineBytes: lineBytes,
+		lines:     make([]line, sets*ways),
+		masks:     map[cat.TaskID]cat.WayMask{},
+		stats:     map[cat.TaskID]*Stats{},
+		occLines:  map[cat.TaskID]uint64{},
+		fullMask:  cat.FullMask(ways),
+	}, nil
+}
+
+// Sets returns the number of sets.
+func (c *LLC) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *LLC) Ways() int { return c.ways }
+
+// CapacityBytes returns the total capacity.
+func (c *LLC) CapacityBytes() uint64 { return uint64(c.sets*c.ways) * c.lineBytes }
+
+// SetMask installs the allocation mask for a task. An empty mask restores
+// the default (all ways).
+func (c *LLC) SetMask(task cat.TaskID, mask cat.WayMask) error {
+	if mask == 0 {
+		delete(c.masks, task)
+		return nil
+	}
+	if mask&^c.fullMask != 0 {
+		return fmt.Errorf("cache: mask %s exceeds %d ways", mask, c.ways)
+	}
+	c.masks[task] = mask
+	return nil
+}
+
+// MaskOf returns the task's effective allocation mask.
+func (c *LLC) MaskOf(task cat.TaskID) cat.WayMask {
+	if m, ok := c.masks[task]; ok {
+		return m
+	}
+	return c.fullMask
+}
+
+// Access performs one byte-address access on behalf of task and reports
+// whether it hit.
+func (c *LLC) Access(task cat.TaskID, addr uint64) bool {
+	lineAddr := addr / c.lineBytes
+	set := int(lineAddr) & (c.sets - 1)
+	tag := lineAddr
+	base := set * c.ways
+	c.clock++
+
+	st := c.stats[task]
+	if st == nil {
+		st = &Stats{}
+		c.stats[task] = st
+	}
+
+	// Hit path: search every way (hits are allowed outside the mask).
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.clock
+			st.Hits++
+			return true
+		}
+	}
+
+	// Miss path: victimize within the task's mask only.
+	st.Misses++
+	mask := c.MaskOf(task)
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if !mask.Contains(w) {
+			continue
+		}
+		l := &c.lines[base+w]
+		if !l.valid {
+			victim = w
+			break
+		}
+		if l.lastUse < oldest {
+			oldest = l.lastUse
+			victim = w
+		}
+	}
+	if victim < 0 {
+		// Degenerate: empty effective mask; the access bypasses the cache.
+		return false
+	}
+	l := &c.lines[base+victim]
+	if l.valid {
+		c.occLines[l.owner]--
+	}
+	l.tag = tag
+	l.valid = true
+	l.owner = task
+	l.lastUse = c.clock
+	c.occLines[task]++
+	return false
+}
+
+// Stats returns a copy of the task's statistics.
+func (c *LLC) Stats(task cat.TaskID) Stats {
+	if s, ok := c.stats[task]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// ResetStats clears hit/miss statistics (cache contents are preserved),
+// as when performance counters are reprogrammed.
+func (c *LLC) ResetStats() {
+	for _, s := range c.stats {
+		*s = Stats{}
+	}
+}
+
+// OccupancyBytes returns the CMT-style occupancy reading for a task: the
+// number of bytes of LLC space its lines currently occupy.
+func (c *LLC) OccupancyBytes(task cat.TaskID) uint64 {
+	return c.occLines[task] * c.lineBytes
+}
+
+// Flush invalidates every line owned by the task (used when an
+// application terminates).
+func (c *LLC) Flush(task cat.TaskID) {
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.valid && l.owner == task {
+			l.valid = false
+		}
+	}
+	c.occLines[task] = 0
+}

@@ -1,0 +1,303 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/faircache/lfoc/internal/cat"
+)
+
+func mustLLC(t *testing.T, sets, ways int, lineBytes uint64) *LLC {
+	t.Helper()
+	c, err := New(sets, ways, lineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 64); err == nil {
+		t.Error("0 sets accepted")
+	}
+	if _, err := New(3, 4, 64); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if _, err := New(4, 0, 64); err == nil {
+		t.Error("0 ways accepted")
+	}
+	if _, err := New(4, 33, 64); err == nil {
+		t.Error("33 ways accepted")
+	}
+	if _, err := New(4, 4, 0); err == nil {
+		t.Error("0 line bytes accepted")
+	}
+	if _, err := New(4, 4, 48); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := mustLLC(t, 64, 11, 64)
+	if c.Sets() != 64 || c.Ways() != 11 {
+		t.Error("geometry accessors wrong")
+	}
+	if c.CapacityBytes() != 64*11*64 {
+		t.Errorf("capacity = %d", c.CapacityBytes())
+	}
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := mustLLC(t, 4, 2, 64)
+	if c.Access(1, 0) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(1, 0) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(1, 63) {
+		t.Error("same-line access should hit")
+	}
+	if c.Access(1, 64) {
+		t.Error("next line should miss")
+	}
+	st := c.Stats(1)
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MissRatio() != 0.5 {
+		t.Errorf("miss ratio = %v", st.MissRatio())
+	}
+	if c.Stats(99).Accesses() != 0 {
+		t.Error("unknown task should have empty stats")
+	}
+	if (Stats{}).MissRatio() != 1 {
+		t.Error("empty stats miss ratio should be 1")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 1 set, 2 ways: touching A,B,C must evict A (LRU), then A misses.
+	c := mustLLC(t, 1, 2, 64)
+	addr := func(i int) uint64 { return uint64(i) * 64 }
+	c.Access(1, addr(0)) // A
+	c.Access(1, addr(1)) // B
+	c.Access(1, addr(0)) // A hit; B is now LRU
+	c.Access(1, addr(2)) // C evicts B
+	if !c.Access(1, addr(0)) {
+		t.Error("A should still be resident")
+	}
+	if c.Access(1, addr(1)) {
+		t.Error("B should have been evicted")
+	}
+}
+
+func TestPartitionIsolation(t *testing.T) {
+	// Task 1 owns ways 0-1, task 2 owns ways 2-3. Task 2 thrashing its
+	// partition must never evict task 1's lines.
+	c := mustLLC(t, 16, 4, 64)
+	if err := c.SetMask(1, cat.MaskRange(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMask(2, cat.MaskRange(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Task 1 loads a small working set that fits its 2 ways.
+	for i := 0; i < 32; i++ {
+		c.Access(1, uint64(i)*64)
+	}
+	// Task 2 streams a huge footprint.
+	for i := 0; i < 100000; i++ {
+		c.Access(2, uint64(1<<30)+uint64(i)*64)
+	}
+	// Task 1's lines must all still hit.
+	c.ResetStats()
+	for i := 0; i < 32; i++ {
+		c.Access(1, uint64(i)*64)
+	}
+	if st := c.Stats(1); st.Misses != 0 {
+		t.Errorf("partition isolation violated: %d misses", st.Misses)
+	}
+}
+
+func TestOccupancyTracking(t *testing.T) {
+	c := mustLLC(t, 16, 4, 64)
+	_ = c.SetMask(1, cat.MaskRange(0, 2))
+	for i := 0; i < 16*2; i++ { // exactly fills 2 ways of 16 sets
+		c.Access(1, uint64(i)*64)
+	}
+	if occ := c.OccupancyBytes(1); occ != 16*2*64 {
+		t.Errorf("occupancy = %d, want %d", occ, 16*2*64)
+	}
+	// Thrashing beyond the partition cannot raise occupancy.
+	for i := 0; i < 1000; i++ {
+		c.Access(1, uint64(i)*64)
+	}
+	if occ := c.OccupancyBytes(1); occ != 16*2*64 {
+		t.Errorf("occupancy after thrash = %d, want %d", occ, 16*2*64)
+	}
+	c.Flush(1)
+	if c.OccupancyBytes(1) != 0 {
+		t.Error("flush did not clear occupancy")
+	}
+	// Flushed lines must miss again.
+	c.ResetStats()
+	c.Access(1, 0)
+	if st := c.Stats(1); st.Misses != 1 {
+		t.Error("flushed line still resident")
+	}
+}
+
+func TestMaskChangeKeepsHits(t *testing.T) {
+	// After shrinking a task's mask, lines previously placed outside the
+	// new mask still produce hits (CAT constrains allocation, not lookup).
+	c := mustLLC(t, 1, 4, 64)
+	for i := 0; i < 4; i++ {
+		c.Access(1, uint64(i)*64)
+	}
+	_ = c.SetMask(1, cat.MaskRange(0, 1))
+	c.ResetStats()
+	for i := 0; i < 4; i++ {
+		c.Access(1, uint64(i)*64)
+	}
+	if st := c.Stats(1); st.Hits != 4 {
+		t.Errorf("hits after mask shrink = %d, want 4", st.Hits)
+	}
+}
+
+func TestSetMaskValidation(t *testing.T) {
+	c := mustLLC(t, 4, 4, 64)
+	if err := c.SetMask(1, cat.MaskRange(3, 3)); err == nil {
+		t.Error("mask beyond associativity accepted")
+	}
+	_ = c.SetMask(1, cat.MaskRange(0, 2))
+	if c.MaskOf(1) != cat.MaskRange(0, 2) {
+		t.Error("mask not installed")
+	}
+	_ = c.SetMask(1, 0)
+	if c.MaskOf(1) != cat.FullMask(4) {
+		t.Error("empty mask should restore default")
+	}
+}
+
+func TestStreamTraceNeverReuses(t *testing.T) {
+	c := mustLLC(t, 64, 8, 64)
+	tr := NewStreamTrace(64)
+	for i := 0; i < 10000; i++ {
+		c.Access(1, tr.Next())
+	}
+	if st := c.Stats(1); st.Hits != 0 {
+		t.Errorf("stream trace produced %d hits", st.Hits)
+	}
+}
+
+func TestLoopTraceFitsVsThrashes(t *testing.T) {
+	const lineBytes = 64
+	c := mustLLC(t, 4, 8, lineBytes) // 4*8*64 = 2048 B
+	// Working set of 1 KiB fits; after warm-up it always hits.
+	tr := NewLoopTrace(0, 1024, lineBytes)
+	for i := 0; i < 1024/lineBytes; i++ {
+		c.Access(1, tr.Next())
+	}
+	c.ResetStats()
+	for i := 0; i < 1000; i++ {
+		c.Access(1, tr.Next())
+	}
+	if st := c.Stats(1); st.Misses != 0 {
+		t.Errorf("resident loop missed %d times", st.Misses)
+	}
+	// Working set of 4 KiB in a 2 KiB cache thrashes under LRU.
+	c2 := mustLLC(t, 4, 8, lineBytes)
+	tr2 := NewLoopTrace(0, 4096, lineBytes)
+	for i := 0; i < 10000; i++ {
+		c2.Access(1, tr2.Next())
+	}
+	if st := c2.Stats(1); st.MissRatio() < 0.99 {
+		t.Errorf("oversized LRU loop should thrash, miss ratio %v", st.MissRatio())
+	}
+}
+
+func TestZipfTraceSkew(t *testing.T) {
+	tr := NewZipfTrace(42, 0, 1<<20, 64, 1.2)
+	counts := map[uint64]int{}
+	for i := 0; i < 20000; i++ {
+		counts[tr.Next()]++
+	}
+	if counts[0] < 1000 {
+		t.Errorf("hottest line only %d accesses; zipf skew missing", counts[0])
+	}
+	if len(counts) < 100 {
+		t.Errorf("only %d distinct lines; tail missing", len(counts))
+	}
+}
+
+func TestMixTraceRatio(t *testing.T) {
+	a := NewLoopTrace(0, 64, 64)     // always address 0
+	b := NewLoopTrace(1<<30, 64, 64) // always address 2^30
+	m := NewMixTrace(a, b, 1, 4)     // 25% from a
+	na := 0
+	for i := 0; i < 4000; i++ {
+		if m.Next() < 1<<29 {
+			na++
+		}
+	}
+	if na != 1000 {
+		t.Errorf("mix ratio: %d/4000 from a, want 1000", na)
+	}
+	// Degenerate parameters are clamped.
+	d := NewMixTrace(a, b, 9, 0)
+	_ = d.Next()
+}
+
+// Property: allocation never occurs outside a task's mask — after any
+// access sequence, every valid line owned by a task that has a mask sits
+// in a way the mask covers... observed indirectly: occupancy of a task
+// never exceeds mask_ways * sets * lineBytes.
+func TestQuickOccupancyBounded(t *testing.T) {
+	f := func(seed int64, maskWays8 uint8) bool {
+		maskWays := int(maskWays8%4) + 1
+		c, err := New(8, 4, 64)
+		if err != nil {
+			return false
+		}
+		_ = c.SetMask(1, cat.MaskRange(0, maskWays))
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 3000; i++ {
+			c.Access(1, uint64(rng.Intn(1<<16))*64)
+		}
+		return c.OccupancyBytes(1) <= uint64(maskWays)*8*64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two tasks with disjoint masks never evict each other (hit
+// counts for a resident working set stay perfect regardless of the other
+// task's behaviour).
+func TestQuickIsolation(t *testing.T) {
+	f := func(seed int64) bool {
+		c, err := New(16, 4, 64)
+		if err != nil {
+			return false
+		}
+		_ = c.SetMask(1, cat.MaskRange(0, 2))
+		_ = c.SetMask(2, cat.MaskRange(2, 2))
+		for i := 0; i < 32; i++ {
+			c.Access(1, uint64(i)*64)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			c.Access(2, uint64(rng.Intn(1<<20))*64)
+		}
+		c.ResetStats()
+		for i := 0; i < 32; i++ {
+			c.Access(1, uint64(i)*64)
+		}
+		return c.Stats(1).Misses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

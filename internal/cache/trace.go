@@ -1,0 +1,125 @@
+package cache
+
+import "math/rand"
+
+// Trace generators produce synthetic LLC access streams with known
+// locality classes. They feed the LLC model in tests and examples and
+// cross-validate the analytic stack-distance profiles: a StreamTrace
+// behaves like a paper "streaming" program (no reuse at LLC sizes), a
+// LoopTrace like a "sensitive" one (all-or-nothing reuse at its working
+// set size), and a ZipfTrace like the mixed behaviours in between.
+
+// TraceGen produces a stream of byte addresses.
+type TraceGen interface {
+	// Next returns the next access address.
+	Next() uint64
+}
+
+// StreamTrace walks a huge footprint sequentially, never reusing a line.
+type StreamTrace struct {
+	next      uint64
+	lineBytes uint64
+}
+
+// NewStreamTrace creates a streaming generator.
+func NewStreamTrace(lineBytes uint64) *StreamTrace {
+	return &StreamTrace{lineBytes: lineBytes}
+}
+
+// Next implements TraceGen.
+func (s *StreamTrace) Next() uint64 {
+	a := s.next
+	s.next += s.lineBytes
+	return a
+}
+
+// LoopTrace cycles through a fixed working set of bytes.
+type LoopTrace struct {
+	wsBytes   uint64
+	lineBytes uint64
+	pos       uint64
+	base      uint64
+}
+
+// NewLoopTrace creates a generator looping over wsBytes starting at base.
+func NewLoopTrace(base, wsBytes, lineBytes uint64) *LoopTrace {
+	if wsBytes < lineBytes {
+		wsBytes = lineBytes
+	}
+	return &LoopTrace{wsBytes: wsBytes, lineBytes: lineBytes, base: base}
+}
+
+// Next implements TraceGen.
+func (l *LoopTrace) Next() uint64 {
+	a := l.base + l.pos
+	l.pos += l.lineBytes
+	if l.pos >= l.wsBytes {
+		l.pos = 0
+	}
+	return a
+}
+
+// ZipfTrace draws lines from a working set with a Zipf popularity skew:
+// a few hot lines dominate, with a long cold tail — the typical shape of
+// pointer-chasing SPEC codes.
+type ZipfTrace struct {
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	lineBytes uint64
+	base      uint64
+}
+
+// NewZipfTrace creates a Zipf-distributed generator over wsBytes with the
+// given skew s (>1; larger = more skew).
+func NewZipfTrace(seed int64, base, wsBytes, lineBytes uint64, s float64) *ZipfTrace {
+	if wsBytes < lineBytes {
+		wsBytes = lineBytes
+	}
+	if s <= 1 {
+		s = 1.0001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfTrace{
+		rng:       rng,
+		zipf:      rand.NewZipf(rng, s, 1, wsBytes/lineBytes-1),
+		lineBytes: lineBytes,
+		base:      base,
+	}
+}
+
+// Next implements TraceGen.
+func (z *ZipfTrace) Next() uint64 {
+	return z.base + z.zipf.Uint64()*z.lineBytes
+}
+
+// MixTrace interleaves two generators with a fixed ratio: out of every
+// `den` accesses, `num` come from a and the rest from b.
+type MixTrace struct {
+	a, b     TraceGen
+	num, den int
+	i        int
+}
+
+// NewMixTrace builds an interleaving generator.
+func NewMixTrace(a, b TraceGen, num, den int) *MixTrace {
+	if den <= 0 {
+		den = 1
+	}
+	if num < 0 {
+		num = 0
+	}
+	if num > den {
+		num = den
+	}
+	return &MixTrace{a: a, b: b, num: num, den: den}
+}
+
+// Next implements TraceGen.
+func (m *MixTrace) Next() uint64 {
+	cur := m.i
+	m.i = (m.i + 1) % m.den
+	if cur < m.num {
+		return m.a.Next()
+	}
+	return m.b.Next()
+}

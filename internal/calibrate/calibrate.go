@@ -1,0 +1,152 @@
+// Package calibrate bridges the repository's two cache-model levels: the
+// trace-driven way-partitioned LLC (internal/cache, the CAT data plane)
+// and the analytic stack-distance profiles (internal/stackdist) that the
+// contention model and the policies consume.
+//
+// It plays the role of the paper's offline profiling runs: instead of
+// executing SPEC binaries under performance counters, it executes
+// synthetic address traces against the cache model and distills them into
+// appmodel.PhaseSpec entries. It also provides the cross-validation used
+// by tests: the analytic miss-ratio curve of a profiled trace must agree
+// with what the set-associative simulator actually measures at each way
+// count, which pins the analytic model to the "hardware".
+package calibrate
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/cache"
+	"github.com/faircache/lfoc/internal/cat"
+	"github.com/faircache/lfoc/internal/stackdist"
+)
+
+// Geometry describes the (possibly scaled-down) LLC used for trace
+// profiling.
+type Geometry struct {
+	Sets      int
+	Ways      int
+	LineBytes uint64
+}
+
+// CapacityBytes returns the total modeled capacity.
+func (g Geometry) CapacityBytes() uint64 {
+	return uint64(g.Sets) * uint64(g.Ways) * g.LineBytes
+}
+
+// Validate checks the geometry.
+func (g Geometry) Validate() error {
+	if g.Sets <= 0 || g.Sets&(g.Sets-1) != 0 {
+		return fmt.Errorf("calibrate: sets must be a positive power of two")
+	}
+	if g.Ways < 1 || g.Ways > 32 {
+		return fmt.Errorf("calibrate: ways out of range")
+	}
+	if g.LineBytes == 0 {
+		return fmt.Errorf("calibrate: zero line size")
+	}
+	return nil
+}
+
+// ProfileTrace runs a Mattson reuse-distance pass over `accesses`
+// addresses from gen and returns the locality profile with knots at every
+// way-multiple of the geometry's capacity.
+func ProfileTrace(gen cache.TraceGen, accesses int, g Geometry) (stackdist.Profile, error) {
+	if err := g.Validate(); err != nil {
+		return stackdist.Profile{}, err
+	}
+	if accesses <= 0 {
+		return stackdist.Profile{}, fmt.Errorf("calibrate: need a positive access count")
+	}
+	prof := stackdist.NewProfiler(g.LineBytes)
+	for i := 0; i < accesses; i++ {
+		prof.Access(gen.Next())
+	}
+	sizes := make([]uint64, 0, g.Ways)
+	wayBytes := uint64(g.Sets) * g.LineBytes
+	for w := 1; w <= g.Ways; w++ {
+		sizes = append(sizes, uint64(w)*wayBytes)
+	}
+	return prof.Profile(sizes), nil
+}
+
+// BuildPhase profiles a trace and wraps the result in a PhaseSpec with
+// the given CPU-side parameters, producing an application model whose
+// locality was *measured* rather than hand-specified.
+func BuildPhase(name string, gen cache.TraceGen, accesses int, g Geometry, baseCPI, apki, mlp float64) (appmodel.PhaseSpec, error) {
+	loc, err := ProfileTrace(gen, accesses, g)
+	if err != nil {
+		return appmodel.PhaseSpec{}, err
+	}
+	ph := appmodel.PhaseSpec{
+		Name:     name,
+		BaseCPI:  baseCPI,
+		APKI:     apki,
+		MLP:      mlp,
+		Locality: loc,
+	}
+	if err := ph.Validate(); err != nil {
+		return appmodel.PhaseSpec{}, err
+	}
+	return ph, nil
+}
+
+// ValidationPoint compares the analytic and simulated miss ratios at one
+// allocation.
+type ValidationPoint struct {
+	Ways      int
+	Analytic  float64
+	Simulated float64
+}
+
+// CrossValidate replays a trace twice per way count — once to warm the
+// way-partitioned LLC, once to measure — and compares the measured miss
+// ratio against the analytic profile's prediction. Generators produced by
+// fresh() must be deterministic replicas of the profiled trace.
+func CrossValidate(fresh func() cache.TraceGen, accesses int, g Geometry, profile stackdist.Profile) ([]ValidationPoint, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	const task = cat.TaskID(1)
+	out := make([]ValidationPoint, 0, g.Ways)
+	for w := 1; w <= g.Ways; w++ {
+		llc, err := cache.New(g.Sets, g.Ways, g.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		if err := llc.SetMask(task, cat.MaskRange(0, w)); err != nil {
+			return nil, err
+		}
+		warm := fresh()
+		for i := 0; i < accesses; i++ {
+			llc.Access(task, warm.Next())
+		}
+		llc.ResetStats()
+		measure := fresh()
+		for i := 0; i < accesses; i++ {
+			llc.Access(task, measure.Next())
+		}
+		st := llc.Stats(task)
+		out = append(out, ValidationPoint{
+			Ways:      w,
+			Analytic:  profile.MissRatio(uint64(w) * uint64(g.Sets) * g.LineBytes),
+			Simulated: st.MissRatio(),
+		})
+	}
+	return out, nil
+}
+
+// MaxAbsError returns the largest |analytic − simulated| disagreement.
+func MaxAbsError(points []ValidationPoint) float64 {
+	worst := 0.0
+	for _, p := range points {
+		d := p.Analytic - p.Simulated
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,163 @@
+package calibrate
+
+import (
+	"testing"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/cache"
+	"github.com/faircache/lfoc/internal/machine"
+)
+
+// small geometry keeps Mattson passes fast: 256 sets × 8 ways × 64 B =
+// 128 KiB, one "way" = 16 KiB.
+func smallGeom() Geometry { return Geometry{Sets: 256, Ways: 8, LineBytes: 64} }
+
+func TestGeometryValidate(t *testing.T) {
+	if (Geometry{Sets: 3, Ways: 4, LineBytes: 64}).Validate() == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if (Geometry{Sets: 4, Ways: 0, LineBytes: 64}).Validate() == nil {
+		t.Error("zero ways accepted")
+	}
+	if (Geometry{Sets: 4, Ways: 4, LineBytes: 0}).Validate() == nil {
+		t.Error("zero line accepted")
+	}
+	g := smallGeom()
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	if g.CapacityBytes() != 256*8*64 {
+		t.Error("capacity wrong")
+	}
+}
+
+func TestProfileTraceErrors(t *testing.T) {
+	if _, err := ProfileTrace(cache.NewStreamTrace(64), 0, smallGeom()); err == nil {
+		t.Error("zero accesses accepted")
+	}
+	if _, err := ProfileTrace(cache.NewStreamTrace(64), 10, Geometry{}); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestStreamTraceProfilesAsStreaming(t *testing.T) {
+	g := smallGeom()
+	p, err := ProfileTrace(cache.NewStreamTrace(64), 20000, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := p.HitRatio(g.CapacityBytes()); hr > 0.01 {
+		t.Errorf("stream trace hit ratio = %v, want ~0", hr)
+	}
+}
+
+func TestLoopTraceProfilesAsResident(t *testing.T) {
+	g := smallGeom()
+	ws := uint64(3 * 16 * 1024) // fits in 3 ways
+	mk := func() cache.TraceGen { return cache.NewLoopTrace(0, ws, 64) }
+	p, err := ProfileTrace(mk(), 40000, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr := p.MissRatio(4 * 16 * 1024); mr > 0.05 {
+		t.Errorf("resident loop analytic miss ratio = %v", mr)
+	}
+	if mr := p.MissRatio(1 * 16 * 1024); mr < 0.9 {
+		t.Errorf("thrashing loop analytic miss ratio = %v (LRU loop must thrash)", mr)
+	}
+}
+
+func TestBuildPhaseClassification(t *testing.T) {
+	// Scale the platform down to the profiling geometry so way counts
+	// align, then check the Table 1 oracle sees the expected classes.
+	g := smallGeom()
+	plat := machine.Skylake()
+	plat.Ways = g.Ways
+	plat.WayBytes = uint64(g.Sets) * g.LineBytes
+
+	crit := appmodel.DefaultCriteria()
+
+	stream, err := BuildPhase("stream", cache.NewStreamTrace(64), 20000, g, 0.6, 55, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := crit.Classify(appmodel.BuildTable(&stream, plat)); got != appmodel.ClassStreaming {
+		t.Errorf("stream trace classified %v", got)
+	}
+
+	// A working set of ~6 ways with strong reuse behaves sensitively.
+	ws := uint64(6 * 16 * 1024)
+	sens, err := BuildPhase("loop", cache.NewLoopTrace(0, ws, 64), 60000, g, 0.55, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := crit.Classify(appmodel.BuildTable(&sens, plat)); got != appmodel.ClassSensitive {
+		t.Errorf("loop trace classified %v", got)
+	}
+
+	light, err := BuildPhase("tiny", cache.NewLoopTrace(0, 4096, 64), 20000, g, 0.5, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := crit.Classify(appmodel.BuildTable(&light, plat)); got != appmodel.ClassLight {
+		t.Errorf("tiny loop classified %v", got)
+	}
+
+	// Invalid CPU parameters are rejected.
+	if _, err := BuildPhase("bad", cache.NewStreamTrace(64), 100, g, 0, 1, 1); err == nil {
+		t.Error("invalid phase accepted")
+	}
+}
+
+func TestCrossValidateZipf(t *testing.T) {
+	// A Zipf trace exercises the whole curve; the analytic (fully
+	// associative) profile must track the set-associative simulator
+	// within a loose tolerance at every way count.
+	g := smallGeom()
+	const accesses = 60000
+	mk := func() cache.TraceGen { return cache.NewZipfTrace(99, 0, 1<<20, 64, 1.1) }
+	profile, err := ProfileTrace(mk(), accesses, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := CrossValidate(mk, accesses, g, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != g.Ways {
+		t.Fatalf("points = %d", len(points))
+	}
+	if worst := MaxAbsError(points); worst > 0.12 {
+		t.Errorf("analytic vs simulated miss ratios diverge by %.3f: %+v", worst, points)
+	}
+	// Both curves must be monotone nonincreasing.
+	for i := 1; i < len(points); i++ {
+		if points[i].Analytic > points[i-1].Analytic+1e-9 {
+			t.Error("analytic curve not monotone")
+		}
+		if points[i].Simulated > points[i-1].Simulated+0.02 {
+			t.Error("simulated curve not monotone")
+		}
+	}
+}
+
+func TestCrossValidateStream(t *testing.T) {
+	g := smallGeom()
+	mk := func() cache.TraceGen { return cache.NewStreamTrace(64) }
+	profile, err := ProfileTrace(mk(), 20000, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := CrossValidate(mk, 20000, g, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Simulated < 0.99 || p.Analytic < 0.99 {
+			t.Errorf("stream should miss always: %+v", p)
+		}
+	}
+	if MaxAbsError(nil) != 0 {
+		t.Error("empty MaxAbsError should be 0")
+	}
+}

@@ -1,0 +1,215 @@
+// Package cat emulates Intel Cache Allocation Technology (CAT) and the
+// companion Cache Monitoring Technology (CMT) occupancy interface.
+//
+// CAT exposes a small table of classes of service (COS); each COS holds a
+// capacity bitmask (CBM) with one bit per LLC way, and hardware requires
+// the set bits to be contiguous. A running task is associated with one COS
+// and may only *allocate* (insert lines) into the ways its CBM covers; it
+// may still hit on lines anywhere. This package models the control plane:
+// the COS table, CBM validation, and task-to-COS association. The data
+// plane (what a mask means for cache contents) is modeled by
+// internal/cache and internal/sharing.
+package cat
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// WayMask is a capacity bitmask with one bit per LLC way (bit 0 = way 0).
+type WayMask uint32
+
+// MaskRange returns a mask covering count ways starting at way lo.
+func MaskRange(lo, count int) WayMask {
+	if count <= 0 || lo < 0 {
+		return 0
+	}
+	return ((WayMask(1) << count) - 1) << lo
+}
+
+// FullMask returns a mask covering ways [0, ways).
+func FullMask(ways int) WayMask { return MaskRange(0, ways) }
+
+// Count returns the number of ways the mask covers.
+func (m WayMask) Count() int { return bits.OnesCount32(uint32(m)) }
+
+// Contiguous reports whether the set bits of m form one contiguous run.
+// The empty mask is not contiguous.
+func (m WayMask) Contiguous() bool {
+	if m == 0 {
+		return false
+	}
+	v := uint32(m) >> bits.TrailingZeros32(uint32(m))
+	return v&(v+1) == 0
+}
+
+// Lowest returns the index of the lowest set way, or -1 for an empty mask.
+func (m WayMask) Lowest() int {
+	if m == 0 {
+		return -1
+	}
+	return bits.TrailingZeros32(uint32(m))
+}
+
+// Overlaps reports whether two masks share any way.
+func (m WayMask) Overlaps(o WayMask) bool { return m&o != 0 }
+
+// Contains reports whether way w is covered by the mask.
+func (m WayMask) Contains(w int) bool { return m&(1<<w) != 0 }
+
+// Ways returns the indices of the set ways in increasing order.
+func (m WayMask) Ways() []int {
+	ws := make([]int, 0, m.Count())
+	for w := 0; w < 32; w++ {
+		if m.Contains(w) {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// String renders the mask as a way-bit string, highest way first, e.g.
+// "00000011111" for an 11-way platform mask of the low 5 ways (the width
+// is the position of the highest set bit + 1; use StringWidth for fixed
+// width).
+func (m WayMask) String() string { return m.StringWidth(32 - bits.LeadingZeros32(uint32(m))) }
+
+// StringWidth renders the mask with exactly width way positions.
+func (m WayMask) StringWidth(width int) string {
+	if width <= 0 {
+		width = 1
+	}
+	var b strings.Builder
+	for w := width - 1; w >= 0; w-- {
+		if m.Contains(w) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// COSID identifies a class of service.
+type COSID int
+
+// TaskID identifies a task (application) associated with a COS.
+type TaskID int
+
+// Controller models the CAT control interface of one LLC: a bounded COS
+// table plus per-task COS association. COS 0 is the default class and
+// initially covers all ways, as on real hardware.
+type Controller struct {
+	ways    int
+	minBits int
+	cos     []WayMask
+	defined []bool
+	assoc   map[TaskID]COSID
+}
+
+// NewController creates a controller for an LLC with the given way count,
+// COS table size, and minimum contiguous CBM width.
+func NewController(ways, numCOS, minBits int) (*Controller, error) {
+	if ways <= 0 || ways > 32 {
+		return nil, fmt.Errorf("cat: way count %d out of range [1,32]", ways)
+	}
+	if numCOS < 1 {
+		return nil, fmt.Errorf("cat: need at least one COS, got %d", numCOS)
+	}
+	if minBits < 1 || minBits > ways {
+		return nil, fmt.Errorf("cat: MinCBMBits %d out of range [1,%d]", minBits, ways)
+	}
+	c := &Controller{
+		ways:    ways,
+		minBits: minBits,
+		cos:     make([]WayMask, numCOS),
+		defined: make([]bool, numCOS),
+		assoc:   make(map[TaskID]COSID),
+	}
+	c.cos[0] = FullMask(ways)
+	c.defined[0] = true
+	return c, nil
+}
+
+// Ways returns the number of partitionable ways.
+func (c *Controller) Ways() int { return c.ways }
+
+// NumCOS returns the size of the COS table.
+func (c *Controller) NumCOS() int { return len(c.cos) }
+
+// ValidateMask reports an error if mask is not programmable as a CBM:
+// empty, non-contiguous, too narrow, or covering nonexistent ways.
+func (c *Controller) ValidateMask(mask WayMask) error {
+	if mask == 0 {
+		return fmt.Errorf("cat: empty CBM")
+	}
+	if mask&^FullMask(c.ways) != 0 {
+		return fmt.Errorf("cat: CBM %s covers ways beyond the %d-way LLC", mask, c.ways)
+	}
+	if !mask.Contiguous() {
+		return fmt.Errorf("cat: CBM %s is not contiguous", mask)
+	}
+	if mask.Count() < c.minBits {
+		return fmt.Errorf("cat: CBM %s has %d bits, minimum is %d", mask, mask.Count(), c.minBits)
+	}
+	return nil
+}
+
+// SetCOS programs the CBM of the given class of service. COS 0 may be
+// reprogrammed but never undefined.
+func (c *Controller) SetCOS(id COSID, mask WayMask) error {
+	if int(id) < 0 || int(id) >= len(c.cos) {
+		return fmt.Errorf("cat: COS %d out of range [0,%d)", id, len(c.cos))
+	}
+	if err := c.ValidateMask(mask); err != nil {
+		return err
+	}
+	c.cos[id] = mask
+	c.defined[id] = true
+	return nil
+}
+
+// COSMask returns the CBM programmed for the class of service.
+func (c *Controller) COSMask(id COSID) (WayMask, error) {
+	if int(id) < 0 || int(id) >= len(c.cos) || !c.defined[id] {
+		return 0, fmt.Errorf("cat: COS %d not defined", id)
+	}
+	return c.cos[id], nil
+}
+
+// Assign associates a task with a class of service.
+func (c *Controller) Assign(task TaskID, id COSID) error {
+	if int(id) < 0 || int(id) >= len(c.cos) || !c.defined[id] {
+		return fmt.Errorf("cat: cannot assign task %d to undefined COS %d", task, id)
+	}
+	c.assoc[task] = id
+	return nil
+}
+
+// COSOf returns the class of service a task is associated with (COS 0 if
+// it was never assigned, matching hardware reset behaviour).
+func (c *Controller) COSOf(task TaskID) COSID {
+	if id, ok := c.assoc[task]; ok {
+		return id
+	}
+	return 0
+}
+
+// MaskOf returns the effective CBM of a task.
+func (c *Controller) MaskOf(task TaskID) WayMask { return c.cos[c.COSOf(task)] }
+
+// Remove drops the association of a task (e.g. on exit).
+func (c *Controller) Remove(task TaskID) { delete(c.assoc, task) }
+
+// Reset restores the controller to its power-on state: COS 0 covers all
+// ways, all other classes are undefined, and no tasks are associated.
+func (c *Controller) Reset() {
+	for i := range c.cos {
+		c.cos[i] = 0
+		c.defined[i] = false
+	}
+	c.cos[0] = FullMask(c.ways)
+	c.defined[0] = true
+	c.assoc = map[TaskID]COSID{}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	fp "github.com/faircache/lfoc/internal/fixedpoint"
+	"github.com/faircache/lfoc/internal/lookahead"
+	"github.com/faircache/lfoc/internal/plan"
+)
+
+// AppInfo is the partitioner's view of one application.
+type AppInfo struct {
+	// ID is the workload-relative application index.
+	ID int
+	// Class is the current runtime classification.
+	Class Class
+	// Profile is required for sensitive applications (their slowdown
+	// curves drive lookahead); ignored for other classes.
+	Profile *Profile
+}
+
+// Partition runs Algorithm 1: LFOC's cache-clustering algorithm.
+//
+// Following the paper: streaming applications are confined to at most two
+// 1-way clusters (ways_for_streaming = min(2, ⌈|ST|/max_streaming_way⌉);
+// the paper's integer division would reserve zero ways for small
+// streaming sets, so we round up — a nonempty ST always gets a cluster).
+// The remaining ways are distributed among cache-sensitive applications
+// with UCP's lookahead on their slowdown curves, one cluster each. Light
+// (and still-unknown) applications first fill spare capacity in the
+// streaming clusters — gaps_available = r − |C|·gaps_per_streaming,
+// clamped at zero, implemented literally from Algorithm 1 — and the rest
+// are spread round-robin over the sensitive clusters.
+func Partition(apps []AppInfo, params *Params) (plan.Plan, error) {
+	if params.NrWays < 1 {
+		return plan.Plan{}, fmt.Errorf("core: NrWays must be positive")
+	}
+	if len(apps) == 0 {
+		return plan.Plan{}, fmt.Errorf("core: no applications")
+	}
+
+	var st, cs, ls []AppInfo
+	for _, a := range apps {
+		switch a.Class {
+		case ClassStreaming:
+			st = append(st, a)
+		case ClassSensitive:
+			if a.Profile == nil {
+				return plan.Plan{}, fmt.Errorf("core: sensitive app %d has no profile", a.ID)
+			}
+			cs = append(cs, a)
+		default: // light and unknown share the light path
+			ls = append(ls, a)
+		}
+	}
+
+	// No sensitive applications: a single cluster spanning the LLC.
+	if len(cs) == 0 {
+		all := make([]int, 0, len(apps))
+		for _, a := range apps {
+			all = append(all, a.ID)
+		}
+		sort.Ints(all)
+		return plan.Plan{Clusters: []plan.Cluster{{Apps: all, Ways: params.NrWays}}}, nil
+	}
+
+	maxStreamingWay := params.MaxStreamingWay
+	if maxStreamingWay < 1 {
+		maxStreamingWay = 1
+	}
+	waysForStreaming := 0
+	r := 0
+	if len(st) > 0 {
+		waysForStreaming = ceilDiv(len(st), maxStreamingWay)
+		if waysForStreaming > 2 {
+			waysForStreaming = 2
+		}
+		r = ceilDiv(len(st), waysForStreaming)
+	}
+	if waysForStreaming >= params.NrWays {
+		// Degenerate LLC: everything shares one cluster.
+		all := make([]int, 0, len(apps))
+		for _, a := range apps {
+			all = append(all, a.ID)
+		}
+		sort.Ints(all)
+		return plan.Plan{Clusters: []plan.Cluster{{Apps: all, Ways: params.NrWays}}}, nil
+	}
+
+	var clusters []plan.Cluster
+
+	// Streaming clusters: waysForStreaming 1-way clusters, up to r apps
+	// each.
+	next := 0
+	for i := 0; i < waysForStreaming; i++ {
+		var members []int
+		for len(members) < r && next < len(st) {
+			members = append(members, st[next].ID)
+			next++
+		}
+		clusters = append(clusters, plan.Cluster{Apps: members, Ways: 1})
+	}
+
+	// Sensitive clusters: lookahead over slowdown-reduction utilities.
+	csForLookahead := fitSensitive(cs, params.NrWays-waysForStreaming)
+	util := make([][]int64, len(csForLookahead))
+	for i, grp := range csForLookahead {
+		util[i] = lookahead.SlowdownUtility(groupSlowdown(grp, params.NrWays))
+	}
+	alloc, err := lookahead.Allocate(util, params.NrWays-waysForStreaming)
+	if err != nil {
+		return plan.Plan{}, fmt.Errorf("core: lookahead: %w", err)
+	}
+	firstSensitive := len(clusters)
+	for i, grp := range csForLookahead {
+		ids := make([]int, 0, len(grp))
+		for _, a := range grp {
+			ids = append(ids, a.ID)
+		}
+		sort.Ints(ids)
+		clusters = append(clusters, plan.Cluster{Apps: ids, Ways: alloc[i]})
+	}
+
+	// Light-sharing placement: streaming clusters first (Algorithm 1's
+	// gaps), then round-robin over sensitive clusters.
+	lsQueue := append([]AppInfo(nil), ls...)
+	for idx := 0; len(lsQueue) > 0 && idx < waysForStreaming; idx++ {
+		target := &clusters[idx]
+		gaps := r - len(target.Apps)*params.GapsPerStreaming
+		for gaps > 0 && len(lsQueue) > 0 {
+			target.Apps = append(target.Apps, lsQueue[0].ID)
+			lsQueue = lsQueue[1:]
+			gaps--
+		}
+	}
+	for i := 0; len(lsQueue) > 0; i++ {
+		c := firstSensitive + i%(len(clusters)-firstSensitive)
+		clusters[c].Apps = append(clusters[c].Apps, lsQueue[0].ID)
+		lsQueue = lsQueue[1:]
+	}
+
+	// Drop empty streaming clusters (possible when r·waysForStreaming
+	// overshoots |ST| and no light app landed there), returning their
+	// ways to the first sensitive cluster.
+	extraWays := 0
+	out := make([]plan.Cluster, 0, len(clusters))
+	keptStreaming := 0
+	for i, c := range clusters {
+		if len(c.Apps) == 0 {
+			extraWays += c.Ways
+			continue
+		}
+		if i < firstSensitive {
+			keptStreaming++
+		}
+		out = append(out, c)
+	}
+	if extraWays > 0 {
+		out[keptStreaming].Ways += extraWays
+	}
+
+	return plan.Plan{Clusters: out}, nil
+}
+
+// fitSensitive groups sensitive apps so their cluster count does not
+// exceed the available ways: normally one app per group; if there are
+// more sensitive apps than ways, the least sensitive apps (smallest
+// slowdown range) are merged pairwise into shared clusters.
+func fitSensitive(cs []AppInfo, availWays int) [][]AppInfo {
+	groups := make([][]AppInfo, len(cs))
+	for i := range cs {
+		groups[i] = []AppInfo{cs[i]}
+	}
+	if len(groups) <= availWays {
+		return groups
+	}
+	// Sort ascending by slowdown range (least sensitive first) and merge
+	// the two least sensitive groups until the count fits.
+	sort.Slice(groups, func(i, j int) bool {
+		return groupRange(groups[i]) < groupRange(groups[j])
+	})
+	for len(groups) > availWays {
+		merged := append(groups[0], groups[1]...)
+		groups = append([][]AppInfo{merged}, groups[2:]...)
+		sort.Slice(groups, func(i, j int) bool {
+			return groupRange(groups[i]) < groupRange(groups[j])
+		})
+	}
+	return groups
+}
+
+// groupRange returns the largest 1-way slowdown within the group.
+func groupRange(grp []AppInfo) fp.Value {
+	var m fp.Value
+	for _, a := range grp {
+		if sd := a.Profile.Slowdown(1); sd > m {
+			m = sd
+		}
+	}
+	return m
+}
+
+// groupSlowdown returns the element-wise maximum slowdown curve of a
+// group (a shared cluster must satisfy its hungriest member).
+func groupSlowdown(grp []AppInfo, nrWays int) []int64 {
+	out := make([]int64, nrWays+1)
+	for _, a := range grp {
+		for w := 1; w <= nrWays; w++ {
+			if v := int64(a.Profile.Slowdown(w)); v > out[w] {
+				out[w] = v
+			}
+		}
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/faircache/lfoc/internal/cat"
+	fp "github.com/faircache/lfoc/internal/fixedpoint"
+	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/pmc"
+)
+
+// Controller is the OS-resident LFOC runtime: it owns per-application
+// monitoring state, serializes sampling episodes, applies the §4.2
+// phase-change heuristics, and periodically re-runs Algorithm 1.
+//
+// The embedding runtime (internal/sim, or a real kernel shim) drives it
+// with three calls:
+//
+//   - WindowInsns(id) tells the runtime how many instructions to let the
+//     application retire before the next counter read (100M in normal
+//     mode, 10M while the app is being sampled);
+//   - OnWindow(id, sample) delivers a completed counter window; the
+//     return value says whether the CAT configuration changed;
+//   - Reconfigure() is the periodic partitioner activation (every 500ms
+//     in the paper's setup).
+//
+// Assignment() exposes the CAT masks the controller currently wants.
+// All internal arithmetic is integer/fixed-point.
+type Controller struct {
+	params Params
+	// wayBytes is needed to compare CMT occupancy readings against a
+	// sensitive app's critical size.
+	wayBytes uint64
+
+	apps  map[int]*appState
+	order []int // sorted ids for deterministic iteration
+
+	sampleQueue    []int
+	activeSampling int // app id, or -1
+
+	current plan.Plan
+	have    bool
+}
+
+type appState struct {
+	id           int
+	class        Class
+	profile      *Profile
+	criticalWays int
+	warmupLeft   int
+	mpkcHist     *pmc.History
+	stallHist    *pmc.History
+	sampling     *SamplingState
+	queued       bool
+	resamples    int
+}
+
+// NewController creates a controller. wayBytes is the platform's per-way
+// LLC capacity (for CMT-based critical-size checks).
+func NewController(params Params, wayBytes uint64) (*Controller, error) {
+	if params.NrWays < 2 {
+		return nil, fmt.Errorf("core: controller needs at least 2 ways, got %d", params.NrWays)
+	}
+	if wayBytes == 0 {
+		return nil, fmt.Errorf("core: wayBytes must be positive")
+	}
+	return &Controller{
+		params:         params,
+		wayBytes:       wayBytes,
+		apps:           map[int]*appState{},
+		activeSampling: -1,
+	}, nil
+}
+
+// AddApp registers a newly spawned application (class unknown, warm-up
+// pending).
+func (c *Controller) AddApp(id int) error {
+	if _, dup := c.apps[id]; dup {
+		return fmt.Errorf("core: app %d already registered", id)
+	}
+	c.apps[id] = &appState{
+		id:         id,
+		class:      ClassUnknown,
+		warmupLeft: c.params.WarmupIntervals,
+		mpkcHist:   pmc.NewHistory(c.params.HistoryLen),
+		stallHist:  pmc.NewHistory(c.params.HistoryLen),
+	}
+	c.order = append(c.order, id)
+	sort.Ints(c.order)
+	return nil
+}
+
+// RemoveApp deregisters an application.
+func (c *Controller) RemoveApp(id int) {
+	if c.activeSampling == id {
+		c.activeSampling = -1
+	}
+	delete(c.apps, id)
+	for i, v := range c.order {
+		if v == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	q := c.sampleQueue[:0]
+	for _, v := range c.sampleQueue {
+		if v != id {
+			q = append(q, v)
+		}
+	}
+	c.sampleQueue = q
+	c.have = false
+}
+
+// ClassOf returns the current classification of an application.
+func (c *Controller) ClassOf(id int) Class {
+	if st, ok := c.apps[id]; ok {
+		return st.class
+	}
+	return ClassUnknown
+}
+
+// Resamples returns how many sampling episodes the application has
+// triggered after its initial one (phase-change detections).
+func (c *Controller) Resamples(id int) int {
+	if st, ok := c.apps[id]; ok {
+		return st.resamples
+	}
+	return 0
+}
+
+// SamplingActive returns the id of the application currently being
+// sampled, or -1.
+func (c *Controller) SamplingActive() int { return c.activeSampling }
+
+// WindowInsns returns the instruction window the runtime should use
+// before the next counter delivery for this application.
+func (c *Controller) WindowInsns(id int) uint64 {
+	if c.activeSampling == id {
+		return c.params.SamplingWindowInsns
+	}
+	return c.params.NormalWindowInsns
+}
+
+// OnWindow delivers one completed counter window. The return value
+// reports whether the desired CAT configuration changed.
+func (c *Controller) OnWindow(id int, w pmc.Sample) bool {
+	st, ok := c.apps[id]
+	if !ok {
+		return false
+	}
+
+	// Warm-up: discard the first intervals entirely (§4.1).
+	if st.warmupLeft > 0 {
+		st.warmupLeft--
+		if st.warmupLeft == 0 && st.class == ClassUnknown {
+			c.enqueueSampling(st)
+			return c.maybeStartSampling()
+		}
+		return false
+	}
+
+	if c.activeSampling == id {
+		return c.onSamplingWindow(st, w)
+	}
+	return c.onNormalWindow(st, w)
+}
+
+// onSamplingWindow advances the active sweep.
+func (c *Controller) onSamplingWindow(st *appState, w pmc.Sample) bool {
+	done := st.sampling.Record(w.IPC(), w.LLCMPKC())
+	if !done {
+		return true // sampling partition grew
+	}
+	st.profile = st.sampling.Finish()
+	st.class = Classify(st.profile, &c.params)
+	st.criticalWays = st.profile.CriticalWays(c.params.CriticalSlowdown)
+	st.sampling = nil
+	st.mpkcHist.Reset()
+	st.stallHist.Reset()
+	c.activeSampling = -1
+	c.rebuildPlan()
+	c.maybeStartSampling()
+	return true
+}
+
+// onNormalWindow updates monitoring state and runs the phase-change
+// heuristics of §4.2.
+func (c *Controller) onNormalWindow(st *appState, w pmc.Sample) bool {
+	st.mpkcHist.Push(w.LLCMPKC())
+	st.stallHist.Push(w.StallFraction())
+	if st.queued || !st.mpkcHist.Full() {
+		return false
+	}
+	mpkc := st.mpkcHist.Mean()
+	stall := st.stallHist.Mean()
+	trigger := false
+	switch st.class {
+	case ClassLight, ClassUnknown:
+		// A light app entering a memory-intensive phase.
+		trigger = mpkc > c.params.HighThresholdMPKC || stall > c.params.StallFracThreshold
+	case ClassStreaming:
+		// A streaming app going quiet.
+		trigger = mpkc < c.params.LowThresholdMPKC
+	case ClassSensitive:
+		criticalBytes := uint64(st.criticalWays) * c.wayBytes
+		occ := w.OccupancyBytes
+		quiet := mpkc < c.params.LowThresholdMPKC && stall < c.params.StallFracThreshold
+		if quiet && occ < criticalBytes {
+			// Stable non-memory-intensive phase below the critical size.
+			trigger = true
+		} else if mpkc > c.params.HighThresholdMPKC && occ >= criticalBytes {
+			// Memory intensive despite having its critical size.
+			trigger = true
+		}
+	}
+	if trigger {
+		st.resamples++
+		c.enqueueSampling(st)
+		return c.maybeStartSampling()
+	}
+	return false
+}
+
+func (c *Controller) enqueueSampling(st *appState) {
+	if st.queued || c.activeSampling == st.id {
+		return
+	}
+	st.queued = true
+	c.sampleQueue = append(c.sampleQueue, st.id)
+}
+
+// maybeStartSampling starts the next queued episode if none is active.
+// It returns true when the CAT configuration changed.
+func (c *Controller) maybeStartSampling() bool {
+	if c.activeSampling >= 0 || len(c.sampleQueue) == 0 {
+		return false
+	}
+	id := c.sampleQueue[0]
+	c.sampleQueue = c.sampleQueue[1:]
+	st, ok := c.apps[id]
+	if !ok {
+		return c.maybeStartSampling()
+	}
+	st.queued = false
+	st.sampling = NewSampling(&c.params)
+	st.mpkcHist.Reset()
+	st.stallHist.Reset()
+	c.activeSampling = id
+	return true
+}
+
+// Reconfigure is the periodic partitioner activation. It returns the
+// (possibly updated) plan.
+func (c *Controller) Reconfigure() plan.Plan {
+	c.rebuildPlan()
+	c.maybeStartSampling()
+	return c.current
+}
+
+// rebuildPlan reruns Algorithm 1 over the current classifications.
+func (c *Controller) rebuildPlan() {
+	if len(c.order) == 0 {
+		c.current = plan.Plan{}
+		c.have = true
+		return
+	}
+	infos := make([]AppInfo, 0, len(c.order))
+	for _, id := range c.order {
+		st := c.apps[id]
+		infos = append(infos, AppInfo{ID: id, Class: st.class, Profile: st.profile})
+	}
+	p, err := Partition(infos, &c.params)
+	if err != nil {
+		// Degenerate fallback: one cluster with everything. Partition
+		// only fails on structurally impossible inputs; never leave the
+		// machine without a configuration.
+		p = plan.SingleCluster(len(c.order), c.params.NrWays)
+		for ci := range p.Clusters {
+			p.Clusters[ci].Apps = append([]int(nil), c.order...)
+		}
+	}
+	c.current = p
+	c.have = true
+}
+
+// Plan returns the last plan produced by Reconfigure/rebuildPlan.
+func (c *Controller) Plan() plan.Plan {
+	if !c.have {
+		c.rebuildPlan()
+	}
+	return c.current
+}
+
+// Assignment returns the CAT mask every application should run under
+// right now: the sampling layout while an episode is active, otherwise
+// the masks of the current plan.
+func (c *Controller) Assignment() (map[int]cat.WayMask, error) {
+	out := make(map[int]cat.WayMask, len(c.apps))
+	if c.activeSampling >= 0 {
+		st := c.apps[c.activeSampling]
+		sampleMask, restMask, err := cat.SamplingLayout(st.sampling.CurrentWays(), c.params.NrWays)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range c.order {
+			if id == c.activeSampling {
+				out[id] = sampleMask
+			} else {
+				out[id] = restMask
+			}
+		}
+		return out, nil
+	}
+	p := c.Plan()
+	if len(p.Clusters) == 0 {
+		return out, nil
+	}
+	masks, err := p.Masks(c.params.NrWays)
+	if err != nil {
+		return nil, err
+	}
+	for ci, cl := range p.Clusters {
+		for _, id := range cl.Apps {
+			out[id] = masks[ci]
+		}
+	}
+	return out, nil
+}
+
+// SlowdownOf returns the app's fixed-point slowdown estimate at the given
+// way count (1.0 when the app has no profile yet); exposed for
+// diagnostics and tests.
+func (c *Controller) SlowdownOf(id int, ways int) fp.Value {
+	st, ok := c.apps[id]
+	if !ok || st.profile == nil {
+		return fp.One
+	}
+	return st.profile.Slowdown(ways)
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The paper stresses that LFOC's kernel implementation "is free of any FP
+// operation" (§2.3.2). This test enforces the same property on this
+// package: no float32/float64 types, no floating-point literals, and no
+// math package import in any non-test source file.
+func TestNoFloatingPointInKernelCode(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math" || strings.HasPrefix(path, "math/") {
+				t.Errorf("%s imports %s", name, path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.Ident:
+				if v.Name == "float64" || v.Name == "float32" || v.Name == "complex128" || v.Name == "complex64" {
+					t.Errorf("%s:%v uses %s", name, fset.Position(v.Pos()), v.Name)
+				}
+			case *ast.BasicLit:
+				if v.Kind == token.FLOAT {
+					t.Errorf("%s:%v has floating-point literal %s", name, fset.Position(v.Pos()), v.Value)
+				}
+			}
+			return true
+		})
+	}
+}

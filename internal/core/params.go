@@ -1,0 +1,126 @@
+// Package core implements LFOC — the Lightweight Fairness-Oriented Cache
+// clustering policy that is the paper's primary contribution (§4).
+//
+// The package mirrors the paper's Linux-kernel implementation split:
+//
+//   - classify.go — the Table 1 application classifier;
+//   - algorithm.go — Algorithm 1, the cache-clustering algorithm;
+//   - sampling.go — the §4.2 sampling-mode state machine (upward way
+//     sweep with early stopping);
+//   - controller.go — the OS-module glue: warm-up handling, phase-change
+//     heuristics, sampling serialization and the periodic partitioner.
+//
+// Because the original runs in the kernel where floating point is
+// unavailable (§2.3.2), everything in this package uses Q16.16
+// fixed-point arithmetic (internal/fixedpoint) and integer counters only.
+// The package tests enforce this with a source scan.
+package core
+
+import fp "github.com/faircache/lfoc/internal/fixedpoint"
+
+// Params collects LFOC's tunables with the paper's default values.
+type Params struct {
+	// NrWays is the LLC associativity (k).
+	NrWays int
+
+	// MaxStreamingWay is the maximum number of streaming applications
+	// per 1-way streaming cluster before a second way is reserved
+	// (Algorithm 1, default 5).
+	MaxStreamingWay int
+
+	// GapsPerStreaming controls how many light-sharing applications fit
+	// in a streaming cluster's spare capacity (Algorithm 1, default 3).
+	GapsPerStreaming int
+
+	// StreamingMaxSlowdown (1.03): a streaming app shows slowdown ≤ this
+	// in at least one way assignment (with MPKC ≥ HighThresholdMPKC).
+	StreamingMaxSlowdown fp.Value
+	// StreamingAllMaxSlowdown (1.06): and slowdown below this everywhere.
+	StreamingAllMaxSlowdown fp.Value
+	// SensitiveMinSlowdown (1.05): a sensitive app shows slowdown ≥ this
+	// for some allocation of at least 2 ways.
+	SensitiveMinSlowdown fp.Value
+
+	// HighThresholdMPKC is Table 1's LLCMPKC ≥ 10 "memory intensive"
+	// threshold, reused by the phase heuristics (§4.2).
+	HighThresholdMPKC fp.Value
+	// LowThresholdMPKC is 30% of the high threshold (§4.2).
+	LowThresholdMPKC fp.Value
+	// StallFracThreshold is the 25% long-latency-stall trigger (§4.2).
+	StallFracThreshold fp.Value
+
+	// CriticalSlowdown (5%) defines a sensitive app's critical size: the
+	// smallest allocation where slowdown falls below 1+this (§4.2).
+	CriticalSlowdown fp.Value
+
+	// WarmupIntervals is the number of initial sampling intervals whose
+	// counters are discarded (§4.1, 3 in the paper's setting).
+	WarmupIntervals int
+
+	// HistoryLen is the smoothing window of the phase heuristics ("the
+	// average ... measured over the last five monitoring periods").
+	HistoryLen int
+
+	// NormalWindowInsns is the instruction window between counter reads
+	// in normal operation (100M in the paper).
+	NormalWindowInsns uint64
+	// SamplingWindowInsns is the window during sampling mode (10M).
+	SamplingWindowInsns uint64
+
+	// IPCFlatTolerance: during sampling, a step whose IPC improves by
+	// less than this fraction counts as "flat" for early stopping.
+	IPCFlatTolerance fp.Value
+	// FlatStepsToStop is the number of consecutive flat steps (with high
+	// MPKC) after which a sweep stops early as streaming-like.
+	FlatStepsToStop int
+}
+
+// DefaultParams returns the paper's configuration for a k-way LLC.
+func DefaultParams(nrWays int) Params {
+	high := fp.FromInt(10)
+	return Params{
+		NrWays:                  nrWays,
+		MaxStreamingWay:         5,
+		GapsPerStreaming:        3,
+		StreamingMaxSlowdown:    fp.FromMilli(1030),
+		StreamingAllMaxSlowdown: fp.FromMilli(1060),
+		SensitiveMinSlowdown:    fp.FromMilli(1050),
+		HighThresholdMPKC:       high,
+		LowThresholdMPKC:        fp.Mul(high, fp.FromMilli(300)),
+		StallFracThreshold:      fp.FromMilli(250),
+		CriticalSlowdown:        fp.FromMilli(50),
+		WarmupIntervals:         3,
+		HistoryLen:              5,
+		NormalWindowInsns:       100_000_000,
+		SamplingWindowInsns:     10_000_000,
+		IPCFlatTolerance:        fp.FromMilli(30),
+		FlatStepsToStop:         2,
+	}
+}
+
+// Class is LFOC's runtime application classification.
+type Class int
+
+const (
+	// ClassUnknown is assigned right after spawn, before sampling.
+	ClassUnknown Class = iota
+	// ClassLight marks light-sharing applications.
+	ClassLight
+	// ClassStreaming marks contentious cache-insensitive aggressors.
+	ClassStreaming
+	// ClassSensitive marks cache-sensitive applications.
+	ClassSensitive
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassLight:
+		return "light"
+	case ClassStreaming:
+		return "streaming"
+	case ClassSensitive:
+		return "sensitive"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	fp "github.com/faircache/lfoc/internal/fixedpoint"
+)
+
+func TestSamplingStopsOnLowMPKC(t *testing.T) {
+	prm := params11()
+	s := NewSampling(&prm)
+	if s.CurrentWays() != 1 {
+		t.Fatal("sweep should start at 1 way")
+	}
+	// First window: moderate MPKC, keeps going.
+	if done := s.Record(fp.FromMilli(600), fp.FromInt(8)); done {
+		t.Fatal("stopped too early")
+	}
+	if s.CurrentWays() != 2 {
+		t.Fatal("sweep should grow upward")
+	}
+	// Second window: MPKC collapses below the low threshold (3): stop.
+	if done := s.Record(fp.FromMilli(950), fp.FromInt(1)); !done {
+		t.Fatal("should stop once cache needs are met")
+	}
+	if !s.Done() || s.Steps() != 2 {
+		t.Errorf("done=%v steps=%d", s.Done(), s.Steps())
+	}
+	p := s.Finish()
+	// Extrapolation: IPC at 11 ways equals the last sample.
+	if p.IPCAt(11) != fp.FromMilli(950) {
+		t.Errorf("extrapolated IPC = %v", p.IPCAt(11))
+	}
+}
+
+func TestSamplingStopsOnFlatStreaming(t *testing.T) {
+	prm := params11()
+	s := NewSampling(&prm)
+	// Streaming: flat IPC, high MPKC. Default FlatStepsToStop = 2.
+	steps := 0
+	for !s.Done() {
+		s.Record(fp.FromMilli(520), fp.FromInt(25))
+		steps++
+		if steps > 11 {
+			t.Fatal("sweep never stopped")
+		}
+	}
+	if steps > 3 {
+		t.Errorf("streaming sweep took %d steps, early stop failed", steps)
+	}
+	p := s.Finish()
+	prm2 := params11()
+	if got := Classify(p, &prm2); got != ClassStreaming {
+		t.Errorf("class = %v, want streaming", got)
+	}
+}
+
+func TestSamplingFullSweepForSensitive(t *testing.T) {
+	prm := params11()
+	s := NewSampling(&prm)
+	// Sensitive app: IPC keeps growing, MPKC stays above low threshold
+	// until late.
+	ipc := []int64{400, 500, 600, 700, 780, 850, 900, 940, 970, 990}
+	mpkc := []int64{12, 10, 9, 7, 6, 5, 4, 4, 4, 4}
+	steps := 0
+	for !s.Done() && steps < len(ipc) {
+		s.Record(fp.FromMilli(ipc[steps]), fp.FromInt(int(mpkc[steps])))
+		steps++
+	}
+	// MPKC never fell below 3 and IPC never flattened: the sweep must
+	// reach NrWays-1 = 10.
+	if steps != 10 {
+		t.Errorf("sweep stopped after %d steps, want 10", steps)
+	}
+	p := s.Finish()
+	prm2 := params11()
+	if got := Classify(p, &prm2); got != ClassSensitive {
+		t.Errorf("class = %v, want sensitive", got)
+	}
+}
+
+func TestSamplingRecordAfterDone(t *testing.T) {
+	prm := params11()
+	s := NewSampling(&prm)
+	s.Record(fp.FromMilli(900), fp.FromMilli(100)) // low MPKC → done
+	if !s.Done() {
+		t.Fatal("not done")
+	}
+	if done := s.Record(fp.FromMilli(100), fp.FromInt(50)); !done {
+		t.Error("Record after done should stay done")
+	}
+	if s.Steps() != 1 {
+		t.Error("post-done Record should not add samples")
+	}
+}
+
+func TestSamplingFlatButLowMPKCKeepsGoing(t *testing.T) {
+	// Flat IPC alone is not enough to stop if MPKC is between low and
+	// high thresholds (not streaming, needs more evidence).
+	prm := params11()
+	s := NewSampling(&prm)
+	steps := 0
+	for !s.Done() {
+		s.Record(fp.FromMilli(800), fp.FromInt(5)) // flat, mid MPKC
+		steps++
+	}
+	if steps != 10 {
+		t.Errorf("mid-MPKC flat sweep stopped after %d steps, want full sweep", steps)
+	}
+}

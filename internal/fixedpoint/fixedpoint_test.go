@@ -1,0 +1,234 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromIntRoundTrip(t *testing.T) {
+	for _, i := range []int{0, 1, -1, 42, -42, 32767, -32767} {
+		if got := FromInt(i).Int(); got != i {
+			t.Errorf("FromInt(%d).Int() = %d", i, got)
+		}
+	}
+}
+
+func TestFromRatio(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		want     float64
+	}{
+		{1, 2, 0.5},
+		{3, 4, 0.75},
+		{1030, 1000, 1.03},
+		{-1, 4, -0.25},
+		{10, 1, 10},
+	}
+	for _, c := range cases {
+		got := FromRatio(c.num, c.den).Float()
+		if math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("FromRatio(%d,%d) = %v, want %v", c.num, c.den, got, c.want)
+		}
+	}
+}
+
+func TestFromMilli(t *testing.T) {
+	if got := FromMilli(1030).Float(); math.Abs(got-1.03) > 1e-4 {
+		t.Errorf("FromMilli(1030) = %v", got)
+	}
+	if got := FromMilli(-500).Float(); math.Abs(got+0.5) > 1e-4 {
+		t.Errorf("FromMilli(-500) = %v", got)
+	}
+}
+
+func TestMilliRoundTrip(t *testing.T) {
+	for _, m := range []int64{0, 1, 999, 1000, 1030, 1050, 123456, -1030} {
+		if got := FromMilli(m).Milli(); got != m {
+			t.Errorf("FromMilli(%d).Milli() = %d", m, got)
+		}
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	a := FromFloat(1.5)
+	b := FromFloat(2.5)
+	if got := Mul(a, b).Float(); math.Abs(got-3.75) > 1e-4 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Div(b, a).Float(); math.Abs(got-5.0/3.0) > 1e-4 {
+		t.Errorf("Div = %v", got)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Div(One, 0)
+}
+
+func TestDivIntByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DivInt(One, 0)
+}
+
+func TestFromRatioByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRatio(1, 0)
+}
+
+func TestIntTruncation(t *testing.T) {
+	if got := FromFloat(2.9).Int(); got != 2 {
+		t.Errorf("Int(2.9) = %d", got)
+	}
+	if got := FromFloat(-2.9).Int(); got != -2 {
+		t.Errorf("Int(-2.9) = %d", got)
+	}
+}
+
+func TestRound(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int
+	}{{2.4, 2}, {2.5, 3}, {2.6, 3}, {-2.4, -2}, {-2.6, -3}, {0, 0}}
+	for _, c := range cases {
+		if got := FromFloat(c.in).Round(); got != c.want {
+			t.Errorf("Round(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, f := range []float64{0, 1, 2, 4, 9, 100, 0.25, 1234.5} {
+		got := Sqrt(FromFloat(f)).Float()
+		want := math.Sqrt(f)
+		if math.Abs(got-want) > 1e-3 {
+			t.Errorf("Sqrt(%v) = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestSqrtNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Sqrt(-One)
+}
+
+func TestMinMaxAbsClamp(t *testing.T) {
+	a, b := FromInt(3), FromInt(7)
+	if Min(a, b) != a || Min(b, a) != a {
+		t.Error("Min wrong")
+	}
+	if Max2(a, b) != b || Max2(b, a) != b {
+		t.Error("Max2 wrong")
+	}
+	if Abs(-a) != a || Abs(a) != a {
+		t.Error("Abs wrong")
+	}
+	if Clamp(FromInt(10), a, b) != b {
+		t.Error("Clamp high wrong")
+	}
+	if Clamp(FromInt(1), a, b) != a {
+		t.Error("Clamp low wrong")
+	}
+	if Clamp(FromInt(5), a, b) != FromInt(5) {
+		t.Error("Clamp mid wrong")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	vs := []Value{FromInt(1), FromInt(2), FromInt(3)}
+	if got := Mean(vs).Float(); math.Abs(got-2) > 1e-4 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{FromMilli(1030), "1.030"},
+		{FromMilli(-1030), "-1.030"},
+		{0, "0.000"},
+		{FromInt(12), "12.000"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+// Property: Mul/Div are inverse operations within fixed-point tolerance.
+func TestQuickMulDivInverse(t *testing.T) {
+	f := func(a16, b16 int16) bool {
+		a, b := Value(a16)<<Shift, Value(b16)<<Shift
+		if b == 0 {
+			return true
+		}
+		got := Div(Mul(a, b), b)
+		return Abs(got-a) <= One // integer division error bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromRatio(a,b) ~ a/b.
+func TestQuickFromRatio(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		got := FromRatio(int64(a), int64(b)).Float()
+		want := float64(a) / float64(b)
+		return math.Abs(got-want) < 1e-3*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sqrt(v)^2 ~ v for non-negative v.
+func TestQuickSqrt(t *testing.T) {
+	f := func(v32 uint32) bool {
+		v := Value(v32)
+		s := Sqrt(v)
+		back := Mul(s, s)
+		return Abs(back-v) <= 4*One || Abs(back-v).Float() < 0.01*v.Float()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ordering is preserved by FromMilli.
+func TestQuickFromMilliMonotone(t *testing.T) {
+	f := func(a, b int32) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return FromMilli(int64(a)) <= FromMilli(int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/core"
+	"github.com/faircache/lfoc/internal/metrics"
+	"github.com/faircache/lfoc/internal/policy"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// AblationRow reports the fairness outcome of one LFOC parameter
+// configuration across a workload set.
+type AblationRow struct {
+	MaxStreamingWay  int
+	GapsPerStreaming int
+	// GeoNormUnf is the geometric-mean unfairness normalized to stock.
+	GeoNormUnf float64
+	// GeoNormSTP is the geometric-mean STP normalized to stock.
+	GeoNormSTP float64
+}
+
+// AblationData sweeps Algorithm 1's two tunables — max_streaming_way
+// (streaming apps per 1-way cluster before a second way is reserved,
+// default 5) and gaps_per_streaming (how aggressively light apps fill
+// streaming clusters, default 3) — quantifying the paper's default
+// choice.
+type AblationData struct {
+	Rows      []AblationRow
+	Workloads []string
+}
+
+// AblationParams runs the sweep over the given S workloads (nil = a
+// representative trio).
+func AblationParams(cfg Config, names []string) (AblationData, error) {
+	cfg = cfg.normalized()
+	if names == nil {
+		names = []string{"S1", "S4", "S8"}
+	}
+	var list []workloads.Workload
+	for _, n := range names {
+		w, err := workloads.Get(n)
+		if err != nil {
+			return AblationData{}, err
+		}
+		list = append(list, w)
+	}
+
+	// Stock baselines per workload.
+	simCfg := cfg.SimConfig()
+	baseUnf := make([]float64, len(list))
+	baseSTP := make([]float64, len(list))
+	for i, w := range list {
+		sw := cfg.staticWorkload(w)
+		stockPlan, err := (policy.Stock{}).Decide(sw)
+		if err != nil {
+			return AblationData{}, err
+		}
+		res, err := sim.RunStatic(simCfg, w.ScaledSpecs(cfg.Scale), stockPlan)
+		if err != nil {
+			return AblationData{}, err
+		}
+		baseUnf[i] = res.Summary.Unfairness
+		baseSTP[i] = res.Summary.STP
+	}
+
+	var data AblationData
+	data.Workloads = names
+	for _, msw := range []int{1, 3, 5, 8} {
+		for _, gaps := range []int{0, 1, 3, 6} {
+			params := core.DefaultParams(cfg.Plat.Ways)
+			params.MaxStreamingWay = msw
+			params.GapsPerStreaming = gaps
+			var normU, normS []float64
+			for i, w := range list {
+				sw := cfg.staticWorkload(w)
+				p, err := (policy.LFOCStatic{Params: &params}).Decide(sw)
+				if err != nil {
+					return AblationData{}, fmt.Errorf("ablation msw=%d gaps=%d %s: %w", msw, gaps, w.Name, err)
+				}
+				res, err := sim.RunStatic(simCfg, w.ScaledSpecs(cfg.Scale), p)
+				if err != nil {
+					return AblationData{}, err
+				}
+				normU = append(normU, res.Summary.Unfairness/baseUnf[i])
+				normS = append(normS, res.Summary.STP/baseSTP[i])
+			}
+			gu, err := metrics.GeoMean(normU)
+			if err != nil {
+				return AblationData{}, err
+			}
+			gs, err := metrics.GeoMean(normS)
+			if err != nil {
+				return AblationData{}, err
+			}
+			data.Rows = append(data.Rows, AblationRow{
+				MaxStreamingWay:  msw,
+				GapsPerStreaming: gaps,
+				GeoNormUnf:       gu,
+				GeoNormSTP:       gs,
+			})
+		}
+	}
+	return data, nil
+}
+
+// Render formats the sweep.
+func (d AblationData) Render() string {
+	rows := [][]string{{"max_streaming_way", "gaps_per_streaming", "norm-unfairness", "norm-STP"}}
+	for _, r := range d.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(r.MaxStreamingWay), fmt.Sprint(r.GapsPerStreaming),
+			f3(r.GeoNormUnf), f3(r.GeoNormSTP),
+		})
+	}
+	return fmt.Sprintf("Ablation: Algorithm 1 parameters over %v (Stock-Linux = 1.0; paper defaults 5/3)\n",
+		d.Workloads) + renderTable(rows)
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/profiles"
+)
+
+// Fig1Point is one x-position of Fig. 1: slowdown and LLCMPKC at a way
+// count.
+type Fig1Point struct {
+	Ways     int
+	Slowdown float64
+	MPKC     float64
+}
+
+// Fig1Data reproduces Fig. 1: the per-way-count curves of a streaming
+// application (lbm) and a cache-sensitive one (xalancbmk).
+type Fig1Data struct {
+	Lbm   []Fig1Point
+	Xalan []Fig1Point
+}
+
+// Fig1 regenerates the figure's data from the application models.
+func Fig1(cfg Config) Fig1Data {
+	cfg = cfg.normalized()
+	curve := func(name string) []Fig1Point {
+		tbl := appmodel.DominantTable(profiles.MustGet(name), cfg.Plat)
+		pts := make([]Fig1Point, 0, cfg.Plat.Ways)
+		for w := 1; w <= cfg.Plat.Ways; w++ {
+			pts = append(pts, Fig1Point{Ways: w, Slowdown: tbl.Slowdown(w), MPKC: tbl.MPKC[w]})
+		}
+		return pts
+	}
+	return Fig1Data{Lbm: curve("lbm06"), Xalan: curve("xalancbmk06")}
+}
+
+// Render formats the figure as the table of its two curves.
+func (d Fig1Data) Render() string {
+	rows := [][]string{{"ways", "lbm-Slowdown", "lbm-LLCMPKC", "xalancbmk-Slowdown", "xalancbmk-LLCMPKC"}}
+	for i := range d.Lbm {
+		rows = append(rows, []string{
+			f1(float64(d.Lbm[i].Ways)),
+			f3(d.Lbm[i].Slowdown), f1(d.Lbm[i].MPKC),
+			f3(d.Xalan[i].Slowdown), f1(d.Xalan[i].MPKC),
+		})
+	}
+	return "Fig. 1: Slowdown and LLCMPKC for different way counts\n" + renderTable(rows)
+}

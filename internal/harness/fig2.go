@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/pbb"
+	"github.com/faircache/lfoc/internal/policy"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// Fig2Row aggregates the optimal clustering's structure at one cluster
+// size: how many clusters of that size the optimal solutions build and
+// the average number of applications of each class inside them.
+type Fig2Row struct {
+	Size         int
+	ClusterCount int
+	AvgLight     float64
+	AvgStreaming float64
+	AvgSensitive float64
+}
+
+// Fig2Data reproduces Fig. 2 plus the §3 headline shares: the fraction
+// of streaming instances confined to 1-way clusters (paper: >87%) and of
+// sensitive instances in clusters of ≥4 ways (paper: >77%).
+type Fig2Data struct {
+	Rows             []Fig2Row
+	StreamingIn1Way  float64
+	SensitiveIn4Plus float64
+	Mixes            int
+	Exact            int // how many solves completed exactly
+}
+
+// Fig2 determines the optimal-fairness clustering for `mixes` random
+// 10-application workloads (the paper uses 20) and aggregates cluster
+// structure by size.
+func Fig2(cfg Config, mixes int) (Fig2Data, error) {
+	cfg = cfg.normalized()
+	if mixes <= 0 {
+		mixes = 20
+	}
+	counts := make([]int, cfg.Plat.Ways+1)
+	classSum := make([][3]int, cfg.Plat.Ways+1) // [size] -> (light, streaming, sensitive)
+	var streamTotal, streamIn1, sensTotal, sensIn4 int
+	exact := 0
+
+	for mi := 0; mi < mixes; mi++ {
+		w := workloads.RandomMix(int64(100+mi), 10)
+		sw := cfg.staticWorkload(w)
+		solver := pbb.New(cfg.Plat)
+		solver.NodeBudget = cfg.SolverBudgetSmall
+		solver.Workers = cfg.Workers
+		if seed, err := (policy.LFOCStatic{}).Decide(sw); err == nil {
+			solver.Seeds = append(solver.Seeds, seed)
+		}
+		sol, err := solver.OptimalClustering(sw.Phases, pbb.Fairness)
+		if err != nil {
+			return Fig2Data{}, fmt.Errorf("fig2: mix %d: %w", mi, err)
+		}
+		if sol.Exact {
+			exact++
+		}
+		classes := make([]appmodel.Class, len(w.Benchmarks))
+		for i := range w.Benchmarks {
+			classes[i] = appmodel.DefaultCriteria().Classify(sw.Tables[i])
+		}
+		for _, c := range sol.Plan.Clusters {
+			counts[c.Ways]++
+			for _, a := range c.Apps {
+				switch classes[a] {
+				case appmodel.ClassStreaming:
+					classSum[c.Ways][1]++
+					streamTotal++
+					if c.Ways == 1 {
+						streamIn1++
+					}
+				case appmodel.ClassSensitive:
+					classSum[c.Ways][2]++
+					sensTotal++
+					if c.Ways >= 4 {
+						sensIn4++
+					}
+				default:
+					classSum[c.Ways][0]++
+				}
+			}
+		}
+	}
+
+	var out Fig2Data
+	out.Mixes = mixes
+	out.Exact = exact
+	for size := 1; size <= cfg.Plat.Ways; size++ {
+		if counts[size] == 0 {
+			continue
+		}
+		n := float64(counts[size])
+		out.Rows = append(out.Rows, Fig2Row{
+			Size:         size,
+			ClusterCount: counts[size],
+			AvgLight:     float64(classSum[size][0]) / n,
+			AvgStreaming: float64(classSum[size][1]) / n,
+			AvgSensitive: float64(classSum[size][2]) / n,
+		})
+	}
+	if streamTotal > 0 {
+		out.StreamingIn1Way = float64(streamIn1) / float64(streamTotal)
+	}
+	if sensTotal > 0 {
+		out.SensitiveIn4Plus = float64(sensIn4) / float64(sensTotal)
+	}
+	return out, nil
+}
+
+// Render formats the figure.
+func (d Fig2Data) Render() string {
+	rows := [][]string{{"cluster-size(ways)", "cluster-count", "avg-light", "avg-streaming", "avg-sensitive"}}
+	for _, r := range d.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(r.Size), fmt.Sprint(r.ClusterCount),
+			f2(r.AvgLight), f2(r.AvgStreaming), f2(r.AvgSensitive),
+		})
+	}
+	s := fmt.Sprintf("Fig. 2: Optimal-clustering structure over %d random 10-app mixes (%d exact solves)\n",
+		d.Mixes, d.Exact)
+	s += renderTable(rows)
+	s += fmt.Sprintf("streaming instances in 1-way clusters: %.1f%% (paper: >87%%)\n", d.StreamingIn1Way*100)
+	s += fmt.Sprintf("sensitive instances in >=4-way clusters: %.1f%% (paper: >77%%)\n", d.SensitiveIn4Plus*100)
+	return s
+}

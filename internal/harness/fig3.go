@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/pbb"
+	"github.com/faircache/lfoc/internal/policy"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// Fig3Row compares the optimal strict-partitioning solution against the
+// optimal clustering solution at one workload size, with unfairness
+// normalized to the clustering optimum (the paper's Fig. 3).
+type Fig3Row struct {
+	Apps             int
+	NormClustering   float64 // always 1.0 (the baseline)
+	NormPartitioning float64
+}
+
+// Fig3Data is the figure's series.
+type Fig3Data struct {
+	Rows      []Fig3Row
+	MixesPerN int
+}
+
+// Fig3 computes the average normalized unfairness of optimal
+// partitioning vs. optimal clustering for workload sizes 4..11 (the
+// paper's range; partitioning is infeasible beyond the way count).
+func Fig3(cfg Config, mixesPerN int) (Fig3Data, error) {
+	cfg = cfg.normalized()
+	if mixesPerN <= 0 {
+		mixesPerN = 5
+	}
+	var out Fig3Data
+	out.MixesPerN = mixesPerN
+	for n := 4; n <= cfg.Plat.Ways; n++ {
+		ratioSum := 0.0
+		for mi := 0; mi < mixesPerN; mi++ {
+			w := workloads.RandomMix(int64(1000*n+mi), n)
+			sw := cfg.staticWorkload(w)
+			solver := pbb.New(cfg.Plat)
+			solver.Workers = cfg.Workers
+			solver.NodeBudget = cfg.SolverBudgetSmall
+			if seed, err := (policy.LFOCStatic{}).Decide(sw); err == nil {
+				solver.Seeds = append(solver.Seeds, seed)
+			}
+			clu, err := solver.OptimalClustering(sw.Phases, pbb.Fairness)
+			if err != nil {
+				return Fig3Data{}, fmt.Errorf("fig3: n=%d mix=%d clustering: %w", n, mi, err)
+			}
+			part, err := solver.OptimalPartitioning(sw.Phases, pbb.Fairness)
+			if err != nil {
+				return Fig3Data{}, fmt.Errorf("fig3: n=%d mix=%d partitioning: %w", n, mi, err)
+			}
+			ratioSum += part.Unfairness / clu.Unfairness
+		}
+		out.Rows = append(out.Rows, Fig3Row{
+			Apps:             n,
+			NormClustering:   1.0,
+			NormPartitioning: ratioSum / float64(mixesPerN),
+		})
+	}
+	return out, nil
+}
+
+// Render formats the figure.
+func (d Fig3Data) Render() string {
+	rows := [][]string{{"apps", "optimal-clustering", "optimal-partitioning"}}
+	for _, r := range d.Rows {
+		rows = append(rows, []string{fmt.Sprint(r.Apps), f3(r.NormClustering), f3(r.NormPartitioning)})
+	}
+	return fmt.Sprintf("Fig. 3: Optimal clustering vs optimal partitioning (normalized unfairness, %d mixes per size)\n",
+		d.MixesPerN) + renderTable(rows)
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/profiles"
+)
+
+// Fig4Point is one monitoring window of fotonik3d's solo execution.
+type Fig4Point struct {
+	TimeSec float64
+	MPKC    float64
+}
+
+// Fig4Data reproduces Fig. 4: the LLCMPKC trace captured at the
+// beginning of fotonik3d's execution, showing the short light-sharing
+// phase that precedes its long streaming behaviour.
+type Fig4Data struct {
+	Points      []Fig4Point
+	PhaseChange float64 // time of the light→streaming transition
+}
+
+// Fig4 integrates fotonik3d running alone (full LLC) and reports the
+// LLCMPKC of each 100M-instruction monitoring window. The trace always
+// uses paper-scale windows regardless of Config.Scale — the figure is an
+// analytic solo trace, so there is nothing to speed up.
+func Fig4(cfg Config, windows int) Fig4Data {
+	cfg = cfg.normalized()
+	if windows <= 0 {
+		windows = 160
+	}
+	spec := profiles.MustGet("fotonik3d17")
+	inst := appmodel.NewInstance(spec)
+	freq := float64(cfg.Plat.FreqHz)
+	llc := cfg.Plat.LLCBytes()
+
+	var out Fig4Data
+	t := 0.0
+	prevPhase := inst.PhaseIndex()
+	for wi := 0; wi < windows; wi++ {
+		perf := appmodel.PhasePerf(inst.Phase(), cfg.Plat, llc, 1)
+		t += float64(paperNormalWindow) / (perf.IPC * freq)
+		out.Points = append(out.Points, Fig4Point{TimeSec: t, MPKC: perf.MPKC})
+		inst.Advance(paperNormalWindow)
+		if inst.PhaseIndex() != prevPhase {
+			out.PhaseChange = t
+			prevPhase = inst.PhaseIndex()
+		}
+	}
+	return out
+}
+
+// Render formats the trace, decimated for readability.
+func (d Fig4Data) Render() string {
+	rows := [][]string{{"time(s)", "LLCMPKC"}}
+	step := len(d.Points) / 40
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(d.Points); i += step {
+		rows = append(rows, []string{f2(d.Points[i].TimeSec), f1(d.Points[i].MPKC)})
+	}
+	return fmt.Sprintf("Fig. 4: LLCMPKC at the beginning of fotonik3d's execution (phase change at %.2fs)\n",
+		d.PhaseChange) + renderTable(rows)
+}

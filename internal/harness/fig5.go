@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// Fig5Data is the workload-composition matrix of Fig. 5: one row per
+// workload, one column per benchmark, cells counting instances.
+type Fig5Data struct {
+	Benchmarks []string
+	Workloads  []string
+	Counts     [][]int // [workload][benchmark]
+}
+
+// Fig5 builds the matrix from the generated workloads.
+func Fig5(cfg Config) Fig5Data {
+	_ = cfg.normalized()
+	names := profiles.Names()
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+	all := workloads.All()
+	d := Fig5Data{Benchmarks: names}
+	for _, w := range all {
+		row := make([]int, len(names))
+		for _, b := range w.Benchmarks {
+			row[idx[b]]++
+		}
+		d.Workloads = append(d.Workloads, w.Name)
+		d.Counts = append(d.Counts, row)
+	}
+	return d
+}
+
+// Render draws the matrix with workloads as rows.
+func (d Fig5Data) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 5: Multiprogram workloads (cell = instance count)\n")
+	// Column header: abbreviated benchmark names, vertical budget-wise
+	// just index them.
+	b.WriteString("columns:\n")
+	for i, n := range d.Benchmarks {
+		fmt.Fprintf(&b, "  c%02d=%s", i, n)
+		if (i+1)%4 == 0 {
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-5s", "")
+	for i := range d.Benchmarks {
+		fmt.Fprintf(&b, "%3d", i)
+	}
+	b.WriteByte('\n')
+	for wi, wname := range d.Workloads {
+		fmt.Fprintf(&b, "%-5s", wname)
+		for _, c := range d.Counts[wi] {
+			if c == 0 {
+				b.WriteString("  .")
+			} else {
+				fmt.Fprintf(&b, "%3d", c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/metrics"
+	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/policy"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// Fig6Policies is the policy order of Fig. 6's legend (Stock-Linux is
+// the normalization baseline and is reported implicitly as 1.0).
+var Fig6Policies = []string{"Dunn", "KPart", "LFOC", "Best-Static"}
+
+// Fig6Row holds one workload's normalized metrics, indexed like
+// Fig6Policies.
+type Fig6Row struct {
+	Workload string
+	NormUnf  []float64
+	NormSTP  []float64
+}
+
+// Fig6Data reproduces Fig. 6: unfairness and STP of the static
+// clustering algorithms on the S workloads, normalized to Stock-Linux.
+type Fig6Data struct {
+	Rows []Fig6Row
+	// Aggregates over all workloads (geometric means of the normalized
+	// metrics).
+	AvgNormUnf []float64
+	AvgNormSTP []float64
+}
+
+// Fig6 runs the static-mode comparison (§5.1) over the given S
+// workloads (nil = all 21).
+func Fig6(cfg Config, names []string) (Fig6Data, error) {
+	cfg = cfg.normalized()
+	list := workloads.SWorkloads()
+	if names != nil {
+		list = nil
+		for _, n := range names {
+			w, err := workloads.Get(n)
+			if err != nil {
+				return Fig6Data{}, err
+			}
+			list = append(list, w)
+		}
+	}
+
+	var data Fig6Data
+	unfAgg := make([][]float64, len(Fig6Policies))
+	stpAgg := make([][]float64, len(Fig6Policies))
+
+	for _, w := range list {
+		row, err := fig6Workload(cfg, w)
+		if err != nil {
+			return Fig6Data{}, fmt.Errorf("fig6: %s: %w", w.Name, err)
+		}
+		data.Rows = append(data.Rows, row)
+		for pi := range Fig6Policies {
+			unfAgg[pi] = append(unfAgg[pi], row.NormUnf[pi])
+			stpAgg[pi] = append(stpAgg[pi], row.NormSTP[pi])
+		}
+	}
+	for pi := range Fig6Policies {
+		gu, err := metrics.GeoMean(unfAgg[pi])
+		if err != nil {
+			return Fig6Data{}, err
+		}
+		gs, err := metrics.GeoMean(stpAgg[pi])
+		if err != nil {
+			return Fig6Data{}, err
+		}
+		data.AvgNormUnf = append(data.AvgNormUnf, gu)
+		data.AvgNormSTP = append(data.AvgNormSTP, gs)
+	}
+	return data, nil
+}
+
+// fig6Workload evaluates all policies on one workload.
+func fig6Workload(cfg Config, w workloads.Workload) (Fig6Row, error) {
+	sw := cfg.staticWorkload(w)
+	specs := w.ScaledSpecs(cfg.Scale)
+	simCfg := cfg.SimConfig()
+
+	// Baseline: stock Linux.
+	stockPlan, err := (policy.Stock{}).Decide(sw)
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	stockRes, err := sim.RunStatic(simCfg, specs, stockPlan)
+	if err != nil {
+		return Fig6Row{}, err
+	}
+
+	// LFOC's plan doubles as the Best-Static warm start.
+	lfocPlan, err := (policy.LFOCStatic{}).Decide(sw)
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	budget := cfg.SolverBudgetSmall
+	if w.Size > 10 {
+		budget = cfg.SolverBudgetLarge
+	}
+	pols := []policy.Static{
+		policy.Dunn{},
+		policy.KPart{},
+		fixedStatic{name: "LFOC", plan: lfocPlan},
+		policy.BestStatic{NodeBudget: budget, Seeds: []plan.Plan{lfocPlan}},
+	}
+
+	row := Fig6Row{Workload: w.Name}
+	for _, pol := range pols {
+		p, err := pol.Decide(sw)
+		if err != nil {
+			return Fig6Row{}, fmt.Errorf("%s: %w", pol.Name(), err)
+		}
+		res, err := sim.RunStatic(simCfg, specs, p)
+		if err != nil {
+			return Fig6Row{}, fmt.Errorf("%s: %w", pol.Name(), err)
+		}
+		row.NormUnf = append(row.NormUnf, res.Summary.Unfairness/stockRes.Summary.Unfairness)
+		row.NormSTP = append(row.NormSTP, res.Summary.STP/stockRes.Summary.STP)
+	}
+	return row, nil
+}
+
+// fixedStatic serves an already-computed plan under a policy name.
+type fixedStatic struct {
+	name string
+	plan plan.Plan
+}
+
+func (f fixedStatic) Name() string { return f.name }
+func (f fixedStatic) Decide(*policy.Workload) (plan.Plan, error) {
+	return f.plan, nil
+}
+
+// Render formats both panels of the figure.
+func (d Fig6Data) Render() string {
+	header := append([]string{"workload"}, Fig6Policies...)
+	unfRows := [][]string{header}
+	stpRows := [][]string{header}
+	for _, r := range d.Rows {
+		ur := []string{r.Workload}
+		sr := []string{r.Workload}
+		for pi := range Fig6Policies {
+			ur = append(ur, f3(r.NormUnf[pi]))
+			sr = append(sr, f3(r.NormSTP[pi]))
+		}
+		unfRows = append(unfRows, ur)
+		stpRows = append(stpRows, sr)
+	}
+	avgU := []string{"geomean"}
+	avgS := []string{"geomean"}
+	for pi := range Fig6Policies {
+		avgU = append(avgU, f3(d.AvgNormUnf[pi]))
+		avgS = append(avgS, f3(d.AvgNormSTP[pi]))
+	}
+	unfRows = append(unfRows, avgU)
+	stpRows = append(stpRows, avgS)
+	return "Fig. 6 (top): Normalized unfairness, static clustering algorithms (Stock-Linux = 1.0)\n" +
+		renderTable(unfRows) +
+		"\nFig. 6 (bottom): Normalized STP (Stock-Linux = 1.0)\n" +
+		renderTable(stpRows)
+}

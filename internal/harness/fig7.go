@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/metrics"
+	"github.com/faircache/lfoc/internal/policy"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// Fig7Policies is the legend order of Fig. 7 (Stock-Linux is the
+// baseline).
+var Fig7Policies = []string{"Dunn", "LFOC"}
+
+// Fig7Row holds one workload's normalized dynamic-mode metrics.
+type Fig7Row struct {
+	Workload string
+	NormUnf  []float64
+	NormSTP  []float64
+	// LFOCResamples counts phase-change-triggered sampling episodes.
+	LFOCResamples int
+}
+
+// Fig7Data reproduces Fig. 7: unfairness and STP of the dynamic
+// policies on the mixed P/S workload list, normalized to Stock-Linux.
+type Fig7Data struct {
+	Rows       []Fig7Row
+	AvgNormUnf []float64
+	AvgNormSTP []float64
+}
+
+// Fig7 runs the dynamic-policy study (§5.2) on the given workloads
+// (nil = the paper's 24-workload list).
+func Fig7(cfg Config, names []string) (Fig7Data, error) {
+	cfg = cfg.normalized()
+	list := workloads.Dynamic()
+	if names != nil {
+		list = nil
+		for _, n := range names {
+			w, err := workloads.Get(n)
+			if err != nil {
+				return Fig7Data{}, err
+			}
+			list = append(list, w)
+		}
+	}
+
+	var data Fig7Data
+	unfAgg := make([][]float64, len(Fig7Policies))
+	stpAgg := make([][]float64, len(Fig7Policies))
+	for _, w := range list {
+		row, err := fig7Workload(cfg, w)
+		if err != nil {
+			return Fig7Data{}, fmt.Errorf("fig7: %s: %w", w.Name, err)
+		}
+		data.Rows = append(data.Rows, row)
+		for pi := range Fig7Policies {
+			unfAgg[pi] = append(unfAgg[pi], row.NormUnf[pi])
+			stpAgg[pi] = append(stpAgg[pi], row.NormSTP[pi])
+		}
+	}
+	for pi := range Fig7Policies {
+		gu, err := metrics.GeoMean(unfAgg[pi])
+		if err != nil {
+			return Fig7Data{}, err
+		}
+		gs, err := metrics.GeoMean(stpAgg[pi])
+		if err != nil {
+			return Fig7Data{}, err
+		}
+		data.AvgNormUnf = append(data.AvgNormUnf, gu)
+		data.AvgNormSTP = append(data.AvgNormSTP, gs)
+	}
+	return data, nil
+}
+
+func fig7Workload(cfg Config, w workloads.Workload) (Fig7Row, error) {
+	specs := w.ScaledSpecs(cfg.Scale)
+	simCfg := cfg.SimConfig()
+
+	stockRes, err := sim.RunDynamic(simCfg, specs, policy.NewStockDynamic(cfg.Plat.Ways))
+	if err != nil {
+		return Fig7Row{}, fmt.Errorf("stock: %w", err)
+	}
+
+	dunnRes, err := sim.RunDynamic(simCfg, specs, cfg.newDunn())
+	if err != nil {
+		return Fig7Row{}, fmt.Errorf("dunn: %w", err)
+	}
+
+	ctrl, err := cfg.newLFOC()
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	lfocRes, err := sim.RunDynamic(simCfg, specs, ctrl)
+	if err != nil {
+		return Fig7Row{}, fmt.Errorf("lfoc: %w", err)
+	}
+	resamples := 0
+	for i := range specs {
+		resamples += ctrl.Resamples(i)
+	}
+
+	return Fig7Row{
+		Workload: w.Name,
+		NormUnf: []float64{
+			dunnRes.Summary.Unfairness / stockRes.Summary.Unfairness,
+			lfocRes.Summary.Unfairness / stockRes.Summary.Unfairness,
+		},
+		NormSTP: []float64{
+			dunnRes.Summary.STP / stockRes.Summary.STP,
+			lfocRes.Summary.STP / stockRes.Summary.STP,
+		},
+		LFOCResamples: resamples,
+	}, nil
+}
+
+// Render formats both panels.
+func (d Fig7Data) Render() string {
+	header := append([]string{"workload"}, Fig7Policies...)
+	unfRows := [][]string{header}
+	stpRows := [][]string{header}
+	for _, r := range d.Rows {
+		ur := []string{r.Workload}
+		sr := []string{r.Workload}
+		for pi := range Fig7Policies {
+			ur = append(ur, f3(r.NormUnf[pi]))
+			sr = append(sr, f3(r.NormSTP[pi]))
+		}
+		unfRows = append(unfRows, ur)
+		stpRows = append(stpRows, sr)
+	}
+	avgU := []string{"geomean"}
+	avgS := []string{"geomean"}
+	for pi := range Fig7Policies {
+		avgU = append(avgU, f3(d.AvgNormUnf[pi]))
+		avgS = append(avgS, f3(d.AvgNormSTP[pi]))
+	}
+	unfRows = append(unfRows, avgU)
+	stpRows = append(stpRows, avgS)
+	return "Fig. 7 (top): Normalized unfairness, dynamic policies (Stock-Linux = 1.0)\n" +
+		renderTable(unfRows) +
+		"\nFig. 7 (bottom): Normalized STP (Stock-Linux = 1.0)\n" +
+		renderTable(stpRows)
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/metrics"
+	"github.com/faircache/lfoc/internal/policy"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// UCPRow compares strict utility-based partitioning against LFOC's
+// clustering on one workload (normalized to stock).
+type UCPRow struct {
+	Workload string
+	UCPUnf   float64
+	LFOCUnf  float64
+	UCPSTP   float64
+	LFOCSTP  float64
+}
+
+// UCPData is the supplementary experiment behind §2.2's motivation:
+// strict cache partitioning (one partition per app — UCP) is feasible
+// only while apps ≤ ways and loses to clustering as the ratio tightens.
+// Only the 8-app S workloads qualify on the 11-way platform.
+type UCPData struct {
+	Rows       []UCPRow
+	GeoUCPUnf  float64
+	GeoLFOCUnf float64
+}
+
+// SupplementUCP runs the comparison over the feasible S workloads
+// (nil = all S workloads with ≤ 11 applications).
+func SupplementUCP(cfg Config, names []string) (UCPData, error) {
+	cfg = cfg.normalized()
+	var list []workloads.Workload
+	if names == nil {
+		for _, w := range workloads.SWorkloads() {
+			if w.Size <= cfg.Plat.Ways {
+				list = append(list, w)
+			}
+		}
+	} else {
+		for _, n := range names {
+			w, err := workloads.Get(n)
+			if err != nil {
+				return UCPData{}, err
+			}
+			list = append(list, w)
+		}
+	}
+	if len(list) == 0 {
+		return UCPData{}, fmt.Errorf("ucp: no feasible workloads")
+	}
+
+	simCfg := cfg.SimConfig()
+	var data UCPData
+	var ucpAgg, lfocAgg []float64
+	for _, w := range list {
+		sw := cfg.staticWorkload(w)
+		specs := w.ScaledSpecs(cfg.Scale)
+
+		stockPlan, err := (policy.Stock{}).Decide(sw)
+		if err != nil {
+			return UCPData{}, err
+		}
+		stockRes, err := sim.RunStatic(simCfg, specs, stockPlan)
+		if err != nil {
+			return UCPData{}, err
+		}
+		ucpPlan, err := (policy.UCP{}).Decide(sw)
+		if err != nil {
+			return UCPData{}, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		ucpRes, err := sim.RunStatic(simCfg, specs, ucpPlan)
+		if err != nil {
+			return UCPData{}, err
+		}
+		lfocPlan, err := (policy.LFOCStatic{}).Decide(sw)
+		if err != nil {
+			return UCPData{}, err
+		}
+		lfocRes, err := sim.RunStatic(simCfg, specs, lfocPlan)
+		if err != nil {
+			return UCPData{}, err
+		}
+		row := UCPRow{
+			Workload: w.Name,
+			UCPUnf:   ucpRes.Summary.Unfairness / stockRes.Summary.Unfairness,
+			LFOCUnf:  lfocRes.Summary.Unfairness / stockRes.Summary.Unfairness,
+			UCPSTP:   ucpRes.Summary.STP / stockRes.Summary.STP,
+			LFOCSTP:  lfocRes.Summary.STP / stockRes.Summary.STP,
+		}
+		data.Rows = append(data.Rows, row)
+		ucpAgg = append(ucpAgg, row.UCPUnf)
+		lfocAgg = append(lfocAgg, row.LFOCUnf)
+	}
+	var err error
+	if data.GeoUCPUnf, err = metrics.GeoMean(ucpAgg); err != nil {
+		return UCPData{}, err
+	}
+	if data.GeoLFOCUnf, err = metrics.GeoMean(lfocAgg); err != nil {
+		return UCPData{}, err
+	}
+	return data, nil
+}
+
+// Render formats the comparison.
+func (d UCPData) Render() string {
+	rows := [][]string{{"workload", "UCP-unf", "LFOC-unf", "UCP-STP", "LFOC-STP"}}
+	for _, r := range d.Rows {
+		rows = append(rows, []string{r.Workload, f3(r.UCPUnf), f3(r.LFOCUnf), f3(r.UCPSTP), f3(r.LFOCSTP)})
+	}
+	rows = append(rows, []string{"geomean", f3(d.GeoUCPUnf), f3(d.GeoLFOCUnf), "", ""})
+	return "Supplement: strict UCP partitioning vs LFOC clustering (normalized to Stock-Linux)\n" +
+		renderTable(rows)
+}

@@ -1,0 +1,199 @@
+// Package kmeans provides 1-D k-means clustering with deterministic
+// initialization and silhouette-based selection of k.
+//
+// It is the clustering engine of the Dunn baseline [24], which groups
+// applications by their STALLS_L2_MISS stall fraction. Dunn is a
+// user-level policy, so floating point is fine here (unlike in the LFOC
+// core).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Result is one clustering outcome.
+type Result struct {
+	K           int
+	Assignments []int     // cluster index per input value, clusters sorted by centroid ascending
+	Centroids   []float64 // ascending
+}
+
+// Cluster runs 1-D k-means with quantile initialization until
+// convergence. Values need not be sorted. k must be in [1, len(values)].
+func Cluster(values []float64, k int) (Result, error) {
+	n := len(values)
+	if n == 0 {
+		return Result{}, fmt.Errorf("kmeans: no values")
+	}
+	if k < 1 || k > n {
+		return Result{}, fmt.Errorf("kmeans: k=%d out of [1,%d]", k, n)
+	}
+
+	// Deterministic init: centroids at evenly spaced quantiles of the
+	// sorted values.
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	centroids := make([]float64, k)
+	for i := 0; i < k; i++ {
+		pos := float64(i*2+1) / float64(2*k) * float64(n-1)
+		lo := int(pos)
+		hi := lo + 1
+		if hi >= n {
+			hi = n - 1
+		}
+		frac := pos - float64(lo)
+		centroids[i] = sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, v := range values {
+			best, bestD := 0, math.Abs(v-centroids[0])
+			for c := 1; c < k; c++ {
+				if d := math.Abs(v - centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids; empty clusters keep their position.
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, v := range values {
+			sums[assign[i]] += v
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				centroids[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	// Canonicalize: sort clusters by centroid, drop empties, remap.
+	type cc struct {
+		centroid float64
+		oldIdx   int
+	}
+	counts := make([]int, k)
+	for _, a := range assign {
+		counts[a]++
+	}
+	var kept []cc
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			kept = append(kept, cc{centroids[c], c})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].centroid < kept[j].centroid })
+	remap := make(map[int]int, len(kept))
+	outCent := make([]float64, len(kept))
+	for newIdx, c := range kept {
+		remap[c.oldIdx] = newIdx
+		outCent[newIdx] = c.centroid
+	}
+	outAssign := make([]int, n)
+	for i, a := range assign {
+		outAssign[i] = remap[a]
+	}
+	return Result{K: len(kept), Assignments: outAssign, Centroids: outCent}, nil
+}
+
+// Silhouette computes the mean silhouette coefficient of a clustering
+// (−1..1, higher is better). Singleton clusters contribute 0. Returns 0
+// when fewer than two clusters exist.
+func Silhouette(values []float64, assign []int, k int) float64 {
+	n := len(values)
+	if k < 2 || n < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		// a = mean distance within own cluster; b = min mean distance to
+		// another cluster.
+		var aSum float64
+		aCount := 0
+		bSums := make([]float64, k)
+		bCounts := make([]int, k)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			d := math.Abs(values[i] - values[j])
+			if assign[j] == assign[i] {
+				aSum += d
+				aCount++
+			} else {
+				bSums[assign[j]] += d
+				bCounts[assign[j]]++
+			}
+		}
+		if aCount == 0 {
+			continue // singleton contributes 0
+		}
+		a := aSum / float64(aCount)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if bCounts[c] > 0 {
+				if m := bSums[c] / float64(bCounts[c]); m < b {
+					b = m
+				}
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n)
+}
+
+// ChooseK clusters values for every k in [kMin, kMax] (clamped to the
+// value count) and returns the result with the highest silhouette; ties
+// favor smaller k. With fewer than 2 values it returns the k=1 result.
+func ChooseK(values []float64, kMin, kMax int) (Result, error) {
+	n := len(values)
+	if n == 0 {
+		return Result{}, fmt.Errorf("kmeans: no values")
+	}
+	if kMin < 1 {
+		kMin = 1
+	}
+	if kMax > n {
+		kMax = n
+	}
+	if kMax < kMin {
+		kMax = kMin
+	}
+	if n == 1 || kMax == 1 {
+		return Cluster(values, 1)
+	}
+	var best Result
+	bestScore := math.Inf(-1)
+	for k := kMin; k <= kMax; k++ {
+		r, err := Cluster(values, k)
+		if err != nil {
+			return Result{}, err
+		}
+		s := Silhouette(values, r.Assignments, r.K)
+		if s > bestScore+1e-12 {
+			best, bestScore = r, s
+		}
+	}
+	if best.K == 0 {
+		return Cluster(values, kMin)
+	}
+	return best, nil
+}

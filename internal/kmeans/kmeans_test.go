@@ -1,0 +1,206 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster(nil, 1); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := Cluster([]float64{1, 2}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Cluster([]float64{1, 2}, 3); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestClusterK1(t *testing.T) {
+	r, err := Cluster([]float64{1, 5, 9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 1 || r.Centroids[0] != 5 {
+		t.Errorf("result = %+v", r)
+	}
+	for _, a := range r.Assignments {
+		if a != 0 {
+			t.Error("all values should be in cluster 0")
+		}
+	}
+}
+
+func TestWellSeparatedGroups(t *testing.T) {
+	// Two obvious groups: ~0.1 and ~0.9.
+	values := []float64{0.1, 0.12, 0.08, 0.9, 0.88, 0.93}
+	r, err := Cluster(values, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 2 {
+		t.Fatalf("K = %d", r.K)
+	}
+	// First three in the low cluster (index 0 after canonicalization).
+	for i := 0; i < 3; i++ {
+		if r.Assignments[i] != 0 {
+			t.Errorf("value %d assigned to %d", i, r.Assignments[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if r.Assignments[i] != 1 {
+			t.Errorf("value %d assigned to %d", i, r.Assignments[i])
+		}
+	}
+	if r.Centroids[0] > r.Centroids[1] {
+		t.Error("centroids not sorted")
+	}
+}
+
+func TestIdenticalValues(t *testing.T) {
+	r, err := Cluster([]float64{0.5, 0.5, 0.5, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate data collapses to one effective cluster.
+	if r.K < 1 {
+		t.Errorf("K = %d", r.K)
+	}
+	for _, a := range r.Assignments {
+		if a < 0 || a >= r.K {
+			t.Error("assignment out of range")
+		}
+	}
+}
+
+func TestSilhouetteSeparatedBeatsMixed(t *testing.T) {
+	values := []float64{0.1, 0.11, 0.12, 0.9, 0.91, 0.92}
+	good, _ := Cluster(values, 2)
+	sGood := Silhouette(values, good.Assignments, good.K)
+	// A deliberately bad assignment mixing the groups.
+	bad := []int{0, 1, 0, 1, 0, 1}
+	sBad := Silhouette(values, bad, 2)
+	if sGood <= sBad {
+		t.Errorf("silhouette: good=%v <= bad=%v", sGood, sBad)
+	}
+	if sGood < 0.8 {
+		t.Errorf("well-separated silhouette = %v, want high", sGood)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if Silhouette([]float64{1}, []int{0}, 1) != 0 {
+		t.Error("k=1 silhouette should be 0")
+	}
+	if Silhouette([]float64{1, 2}, []int{0, 0}, 1) != 0 {
+		t.Error("single-cluster silhouette should be 0")
+	}
+}
+
+func TestChooseKFindsTwoGroups(t *testing.T) {
+	values := []float64{0.05, 0.06, 0.07, 0.85, 0.87, 0.9}
+	r, err := ChooseK(values, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 2 {
+		t.Errorf("ChooseK selected K=%d, want 2", r.K)
+	}
+}
+
+func TestChooseKThreeGroups(t *testing.T) {
+	values := []float64{0.0, 0.01, 0.5, 0.51, 1.0, 1.01}
+	r, err := ChooseK(values, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 3 {
+		t.Errorf("ChooseK selected K=%d, want 3", r.K)
+	}
+}
+
+func TestChooseKDegenerate(t *testing.T) {
+	if _, err := ChooseK(nil, 2, 4); err == nil {
+		t.Error("empty accepted")
+	}
+	r, err := ChooseK([]float64{0.4}, 2, 4)
+	if err != nil || r.K != 1 {
+		t.Errorf("singleton: %+v, %v", r, err)
+	}
+	// kMin clamping.
+	r, err = ChooseK([]float64{0.4, 0.6}, -3, 17)
+	if err != nil || r.K < 1 {
+		t.Errorf("clamped: %+v, %v", r, err)
+	}
+}
+
+// Property: every assignment is a valid cluster index and every cluster
+// is non-empty after canonicalization.
+func TestQuickAssignmentsValid(t *testing.T) {
+	f := func(seed int64, k8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		k := int(k8)%n + 1
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64()
+		}
+		r, err := Cluster(values, k)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, r.K)
+		for _, a := range r.Assignments {
+			if a < 0 || a >= r.K {
+				return false
+			}
+			seen[a] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		// Centroids ascending.
+		for i := 1; i < r.K; i++ {
+			if r.Centroids[i] < r.Centroids[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clustering is deterministic.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 2
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64()
+		}
+		a, err1 := Cluster(values, 3%n+1)
+		b, err2 := Cluster(values, 3%n+1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.K != b.K {
+			return false
+		}
+		for i := range a.Assignments {
+			if a.Assignments[i] != b.Assignments[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package machine describes the modeled multicore platform.
+//
+// The paper's testbed is an Intel Xeon Gold 6138 "Skylake" server: 2 GHz
+// cores, an 11-way 27.5 MB shared L3 that supports way-partitioning via
+// Intel CAT (one way = 2.5 MB), 1 MB private L2 and 64 KB private L1 per
+// core. Platform captures the parameters of that machine that are visible
+// to the cache-clustering policies and to the performance model.
+package machine
+
+import "fmt"
+
+// Platform describes a CAT-capable multicore.
+type Platform struct {
+	Name string
+
+	// Cores is the number of physical cores (one application per core in
+	// the paper's methodology).
+	Cores int
+
+	// FreqHz is the core clock frequency.
+	FreqHz uint64
+
+	// Ways is the LLC associativity (number of CAT-partitionable ways).
+	Ways int
+
+	// WayBytes is the capacity of a single LLC way.
+	WayBytes uint64
+
+	// LineBytes is the cache line size.
+	LineBytes uint64
+
+	// NumCOS is the number of CAT classes of service the hardware exposes.
+	NumCOS int
+
+	// MinCBMBits is the minimum number of contiguous bits a capacity
+	// bitmask must contain (1 on Skylake server parts).
+	MinCBMBits int
+
+	// LLCHitCycles is the additional latency (cycles) of an access served
+	// by the LLC (i.e. an L2 miss that hits in L3).
+	LLCHitCycles uint64
+
+	// MemCycles is the additional latency (cycles) of an access served by
+	// DRAM (an LLC miss), unloaded.
+	MemCycles uint64
+
+	// MaxBandwidth is the saturating DRAM bandwidth in bytes/second.
+	MaxBandwidth uint64
+
+	// MLP is the average memory-level parallelism the out-of-order core
+	// extracts; effective stall per miss is MemCycles/MLP.
+	MLP float64
+}
+
+// LLCBytes returns the total LLC capacity.
+func (p *Platform) LLCBytes() uint64 { return uint64(p.Ways) * p.WayBytes }
+
+// WaysToBytes converts a way count to bytes of LLC capacity.
+func (p *Platform) WaysToBytes(ways int) uint64 { return uint64(ways) * p.WayBytes }
+
+// Validate reports an error if the platform description is inconsistent.
+func (p *Platform) Validate() error {
+	switch {
+	case p.Cores <= 0:
+		return fmt.Errorf("machine: %s: Cores must be positive, got %d", p.Name, p.Cores)
+	case p.Ways <= 0:
+		return fmt.Errorf("machine: %s: Ways must be positive, got %d", p.Name, p.Ways)
+	case p.WayBytes == 0:
+		return fmt.Errorf("machine: %s: WayBytes must be positive", p.Name)
+	case p.LineBytes == 0 || p.WayBytes%p.LineBytes != 0:
+		return fmt.Errorf("machine: %s: LineBytes must divide WayBytes", p.Name)
+	case p.FreqHz == 0:
+		return fmt.Errorf("machine: %s: FreqHz must be positive", p.Name)
+	case p.NumCOS < 1:
+		return fmt.Errorf("machine: %s: NumCOS must be at least 1", p.Name)
+	case p.MinCBMBits < 1 || p.MinCBMBits > p.Ways:
+		return fmt.Errorf("machine: %s: MinCBMBits out of range", p.Name)
+	case p.MLP <= 0:
+		return fmt.Errorf("machine: %s: MLP must be positive", p.Name)
+	}
+	return nil
+}
+
+// Skylake returns the paper's experimental platform: a 20-core (the paper
+// uses up to 16 applications) Xeon Gold 6138 with an 11-way 27.5 MB LLC.
+func Skylake() *Platform {
+	return &Platform{
+		Name:       "xeon-gold-6138",
+		Cores:      20,
+		FreqHz:     2_000_000_000,
+		Ways:       11,
+		WayBytes:   2_621_440, // 2.5 MiB (27.5 MiB / 11 ways)
+		LineBytes:  64,
+		NumCOS:     16,
+		MinCBMBits: 1,
+		// Exposed (non-overlapped) stall cycles per L3 hit; raw L3 latency
+		// is ~40 cycles but the OoO window hides most of it.
+		LLCHitCycles: 12,
+		MemCycles:    220,
+		// Sustainable random-access read bandwidth under load; well below
+		// the theoretical channel peak, as on the real machine.
+		MaxBandwidth: 20_000_000_000,
+		MLP:          4.0,
+	}
+}
+
+// Small returns a reduced platform (fewer ways, smaller cache) that keeps
+// tests fast while preserving the ways/apps ratio regimes the paper studies.
+func Small(ways, cores int) *Platform {
+	p := Skylake()
+	p.Name = fmt.Sprintf("small-%dw-%dc", ways, cores)
+	p.Ways = ways
+	p.Cores = cores
+	return p
+}

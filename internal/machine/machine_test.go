@@ -1,0 +1,60 @@
+package machine
+
+import "testing"
+
+func TestSkylakeMatchesPaper(t *testing.T) {
+	p := Skylake()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ways != 11 {
+		t.Errorf("ways = %d, paper: 11", p.Ways)
+	}
+	if p.LLCBytes() != 28_835_840 { // 27.5 MiB
+		t.Errorf("LLC = %d, paper: 27.5 MiB", p.LLCBytes())
+	}
+	if p.FreqHz != 2_000_000_000 {
+		t.Errorf("freq = %d, paper: 2 GHz", p.FreqHz)
+	}
+	if p.WaysToBytes(2) != 2*2_621_440 {
+		t.Error("WaysToBytes wrong")
+	}
+}
+
+func TestSmall(t *testing.T) {
+	p := Small(4, 6)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ways != 4 || p.Cores != 6 {
+		t.Errorf("small = %d ways %d cores", p.Ways, p.Cores)
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	mk := func(mut func(*Platform)) *Platform {
+		p := Skylake()
+		mut(p)
+		return p
+	}
+	cases := []struct {
+		name string
+		p    *Platform
+	}{
+		{"cores", mk(func(p *Platform) { p.Cores = 0 })},
+		{"ways", mk(func(p *Platform) { p.Ways = 0 })},
+		{"waybytes", mk(func(p *Platform) { p.WayBytes = 0 })},
+		{"linebytes", mk(func(p *Platform) { p.LineBytes = 0 })},
+		{"linedivides", mk(func(p *Platform) { p.LineBytes = 7 })},
+		{"freq", mk(func(p *Platform) { p.FreqHz = 0 })},
+		{"numcos", mk(func(p *Platform) { p.NumCOS = 0 })},
+		{"mincbm-low", mk(func(p *Platform) { p.MinCBMBits = 0 })},
+		{"mincbm-high", mk(func(p *Platform) { p.MinCBMBits = 99 })},
+		{"mlp", mk(func(p *Platform) { p.MLP = 0 })},
+	}
+	for _, c := range cases {
+		if c.p.Validate() == nil {
+			t.Errorf("%s: invalid platform accepted", c.name)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package pbb reimplements the PBBCache simulator's core capability [8]:
+// determining the (approximately) optimal cache-clustering and
+// cache-partitioning solutions for a workload from offline per-size
+// profiles, for fairness or throughput objectives, using a parallel
+// branch-and-bound search.
+//
+// Search space. A solution is a set partition of the applications into
+// clusters plus a distribution of the k LLC ways among the clusters
+// (§2.2). Set partitions are enumerated as restricted growth strings with
+// two reductions: (a) partitions with more clusters than ways are
+// infeasible, and (b) applications with identical profiles are
+// interchangeable, so only representatives with nondecreasing cluster
+// indices among identical apps are visited. For every complete partition,
+// all ways-compositions are scored.
+//
+// Scoring. Cluster behaviour depends only on (member set, way count), so
+// scores are memoized per subset bitmask: min/max member slowdown and the
+// Σ1/slowdown STP contribution at every way count. Co-run slowdowns come
+// from the internal/sharing equilibrium under a frozen workload-level
+// bandwidth inflation factor (the factor the stock configuration
+// converges to), which keeps candidate scoring decomposable; the final
+// winner is re-scored with the full bandwidth fixed point.
+//
+// Bounding. A partial partition is pruned when a lower bound on its best
+// achievable unfairness — the largest member slowdown any of its clusters
+// would suffer even with the maximum feasible way count, divided by an
+// optimistic bound on the workload's minimum slowdown — already exceeds
+// the incumbent. For the throughput objective the bound is the optimistic
+// STP sum. The search is an *anytime* branch-and-bound: a node budget
+// caps exploration and the best solution found so far is returned with
+// Exact=false, mirroring the paper's own use of an approximated optimum
+// ("which we could approximate by means of a simulator", §3).
+package pbb
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/cat"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/sharing"
+)
+
+// Objective selects what the solver optimizes.
+type Objective int
+
+const (
+	// Fairness minimizes unfairness, breaking ties by maximum STP — the
+	// paper's "optimal (minimal) unfairness value for the maximum
+	// throughput attainable".
+	Fairness Objective = iota
+	// Throughput maximizes STP, breaking ties by minimum unfairness.
+	Throughput
+)
+
+func (o Objective) String() string {
+	if o == Throughput {
+		return "throughput"
+	}
+	return "fairness"
+}
+
+// Solution is the solver's result.
+type Solution struct {
+	Plan       plan.Plan
+	Slowdowns  []float64
+	Unfairness float64
+	STP        float64
+	// Exact is false when the node budget was exhausted before the
+	// search completed (anytime mode).
+	Exact bool
+	// Nodes is the number of partition nodes visited; Pruned counts
+	// subtrees cut by the bound.
+	Nodes  uint64
+	Pruned uint64
+}
+
+// Solver computes optimal clusterings.
+type Solver struct {
+	Plat *machine.Platform
+	// Workers bounds parallelism (default: GOMAXPROCS).
+	Workers int
+	// NodeBudget caps visited partition nodes (default 2e6; 0 = default).
+	NodeBudget uint64
+	// MaxApps guards against accidental exponential blowups (default 16).
+	MaxApps int
+	// Seeds are heuristic plans offered as the initial incumbent before
+	// the search starts: they tighten the bound immediately, which makes
+	// the anytime mode useful on large workloads (a warm-started B&B, as
+	// in the authors' parallel solver).
+	Seeds []plan.Plan
+}
+
+// New returns a solver for the platform with default limits.
+func New(plat *machine.Platform) *Solver {
+	return &Solver{Plat: plat}
+}
+
+// maxSubsetApps bounds the memo table (subset bitmask indexing).
+const maxSubsetApps = 20
+
+type clusterScore struct {
+	minSd float64
+	maxSd float64
+	stp   float64
+}
+
+// memo lazily computes per-(subset, ways) cluster scores.
+type memo struct {
+	n      int
+	ways   int
+	phases []*appmodel.PhaseSpec
+	alone  []float64 // alone IPC per app
+	model  *sharing.Model
+	scale  float64
+	mu     sync.Mutex
+	table  [][]clusterScore // [subset] -> [ways+1]
+	done   []bool
+}
+
+func newMemo(phases []*appmodel.PhaseSpec, plat *machine.Platform, scale float64) *memo {
+	n := len(phases)
+	m := &memo{
+		n:      n,
+		ways:   plat.Ways,
+		phases: phases,
+		alone:  make([]float64, n),
+		model:  &sharing.Model{Plat: plat, CacheIters: 12, Damping: 0.6},
+		scale:  scale,
+		table:  make([][]clusterScore, 1<<n),
+		done:   make([]bool, 1<<n),
+	}
+	for i, ph := range phases {
+		m.alone[i] = appmodel.PhasePerf(ph, plat, plat.LLCBytes(), 1).IPC
+	}
+	return m
+}
+
+// get returns the score table (indexed by way count) for a subset.
+func (m *memo) get(subset uint32) []clusterScore {
+	m.mu.Lock()
+	if m.done[subset] {
+		t := m.table[subset]
+		m.mu.Unlock()
+		return t
+	}
+	m.mu.Unlock()
+
+	// Compute outside the lock (duplicate computation is harmless and
+	// deterministic).
+	var members []int
+	for i := 0; i < m.n; i++ {
+		if subset&(1<<i) != 0 {
+			members = append(members, i)
+		}
+	}
+	t := make([]clusterScore, m.ways+1)
+	apps := make([]sharing.App, len(members))
+	for w := 1; w <= m.ways; w++ {
+		mask := cat.MaskRange(0, w)
+		for j, i := range members {
+			apps[j] = sharing.App{ID: i, Phase: m.phases[i], Mask: mask}
+		}
+		res := m.model.EvaluateAtScale(apps, m.scale)
+		sc := clusterScore{minSd: math.Inf(1), maxSd: 0, stp: 0}
+		for _, i := range members {
+			sd := m.alone[i] / res[i].Perf.IPC
+			if sd < 1 {
+				sd = 1
+			}
+			sc.minSd = math.Min(sc.minSd, sd)
+			sc.maxSd = math.Max(sc.maxSd, sd)
+			sc.stp += 1 / sd
+		}
+		t[w] = sc
+	}
+
+	m.mu.Lock()
+	m.table[subset] = t
+	m.done[subset] = true
+	m.mu.Unlock()
+	return t
+}
+
+// stockScale estimates the workload-level bandwidth inflation under the
+// stock (single shared cluster) configuration.
+func stockScale(phases []*appmodel.PhaseSpec, plat *machine.Platform) float64 {
+	model := sharing.NewModel(plat)
+	apps := make([]sharing.App, len(phases))
+	for i, ph := range phases {
+		apps[i] = sharing.App{ID: i, Phase: ph, Mask: cat.FullMask(plat.Ways)}
+	}
+	return model.MemScale(apps)
+}
+
+// OptimalClustering searches the full cache-clustering space.
+func (s *Solver) OptimalClustering(phases []*appmodel.PhaseSpec, obj Objective) (Solution, error) {
+	return s.solve(phases, obj, false)
+}
+
+// OptimalPartitioning restricts the search to strict cache partitioning:
+// every application in its own cluster (feasible only when the
+// application count does not exceed the way count).
+func (s *Solver) OptimalPartitioning(phases []*appmodel.PhaseSpec, obj Objective) (Solution, error) {
+	if len(phases) > s.Plat.Ways {
+		return Solution{}, fmt.Errorf("pbb: partitioning infeasible: %d apps > %d ways", len(phases), s.Plat.Ways)
+	}
+	return s.solve(phases, obj, true)
+}
+
+func (s *Solver) solve(phases []*appmodel.PhaseSpec, obj Objective, partitioningOnly bool) (Solution, error) {
+	n := len(phases)
+	maxApps := s.MaxApps
+	if maxApps <= 0 {
+		maxApps = 16
+	}
+	if maxApps > maxSubsetApps {
+		maxApps = maxSubsetApps
+	}
+	if n == 0 {
+		return Solution{}, fmt.Errorf("pbb: empty workload")
+	}
+	if n > maxApps {
+		return Solution{}, fmt.Errorf("pbb: %d applications exceed the solver limit of %d", n, maxApps)
+	}
+	budget := s.NodeBudget
+	if budget == 0 {
+		budget = 2_000_000
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	scale := stockScale(phases, s.Plat)
+	mm := newMemo(phases, s.Plat, scale)
+
+	// Identical-profile groups for symmetry breaking: identical[i] is the
+	// index of the previous app with the same spec pointer, or -1.
+	identical := make([]int, n)
+	for i := range identical {
+		identical[i] = -1
+		for j := i - 1; j >= 0; j-- {
+			if phases[j] == phases[i] {
+				identical[i] = j
+				break
+			}
+		}
+	}
+
+	search := &searcher{
+		solver:   s,
+		memo:     mm,
+		obj:      obj,
+		n:        n,
+		ways:     s.Plat.Ways,
+		ident:    identical,
+		budget:   budget,
+		bestUnf:  math.Inf(1),
+		bestSTP:  math.Inf(-1),
+		partOnly: partitioningOnly,
+	}
+
+	for _, seed := range s.Seeds {
+		search.offerSeed(seed)
+	}
+
+	if partitioningOnly {
+		subsets := make([]uint32, n)
+		for i := range subsets {
+			subsets[i] = 1 << i
+		}
+		search.nodes++
+		search.scorePartition(subsets)
+	} else {
+		search.run(workers)
+	}
+
+	if search.bestPlan == nil {
+		return Solution{}, fmt.Errorf("pbb: search found no feasible solution")
+	}
+
+	// Re-score the winner with the full bandwidth fixed point.
+	model := sharing.NewModel(s.Plat)
+	slow, err := sharing.EvaluatePlan(model, phases, *search.bestPlan)
+	if err != nil {
+		return Solution{}, fmt.Errorf("pbb: rescoring winner: %w", err)
+	}
+	unf, stp := summarize(slow)
+	return Solution{
+		Plan:       *search.bestPlan,
+		Slowdowns:  slow,
+		Unfairness: unf,
+		STP:        stp,
+		Exact:      search.nodes <= budget,
+		Nodes:      search.nodes,
+		Pruned:     search.pruned,
+	}, nil
+}
+
+func summarize(slow []float64) (unfairness, stp float64) {
+	lo, hi := math.Inf(1), 0.0
+	for _, s := range slow {
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+		stp += 1 / s
+	}
+	return hi / lo, stp
+}

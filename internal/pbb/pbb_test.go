@@ -1,0 +1,247 @@
+package pbb
+
+import (
+	"testing"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/sharing"
+)
+
+func phaseOf(name string) *appmodel.PhaseSpec {
+	return &profiles.MustGet(name).Phases[0]
+}
+
+func mix(names ...string) []*appmodel.PhaseSpec {
+	out := make([]*appmodel.PhaseSpec, len(names))
+	for i, n := range names {
+		out[i] = phaseOf(n)
+	}
+	return out
+}
+
+func TestSolveErrors(t *testing.T) {
+	s := New(machine.Skylake())
+	if _, err := s.OptimalClustering(nil, Fairness); err == nil {
+		t.Error("empty workload accepted")
+	}
+	big := make([]*appmodel.PhaseSpec, 17)
+	for i := range big {
+		big[i] = phaseOf("povray06")
+	}
+	if _, err := s.OptimalClustering(big, Fairness); err == nil {
+		t.Error("oversized workload accepted")
+	}
+	twelve := make([]*appmodel.PhaseSpec, 12)
+	for i := range twelve {
+		twelve[i] = phaseOf("povray06")
+	}
+	if _, err := s.OptimalPartitioning(twelve, Fairness); err == nil {
+		t.Error("partitioning with n > ways accepted")
+	}
+}
+
+func TestOptimalIsolatesStreaming(t *testing.T) {
+	plat := machine.Skylake()
+	s := New(plat)
+	phases := mix("xalancbmk06", "soplex06", "lbm06", "libquantum06")
+	sol, err := s.OptimalClustering(phases, Fairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Plan.Validate(4, plat.Ways); err != nil {
+		t.Fatalf("invalid plan: %v (%s)", err, sol.Plan.Canonical())
+	}
+	// The optimum must beat stock Linux on unfairness.
+	model := sharing.NewModel(plat)
+	stockSd, err := sharing.EvaluatePlan(model, phases, plan.SingleCluster(4, plat.Ways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stockUnf, _ := summarize(stockSd)
+	if sol.Unfairness >= stockUnf {
+		t.Errorf("optimal unfairness %.3f >= stock %.3f", sol.Unfairness, stockUnf)
+	}
+	// Streaming apps (indices 2,3) must be confined to few ways (§3: "no
+	// greater than 2 in any workload").
+	streamWays := 0
+	for _, c := range sol.Plan.Clusters {
+		hasStream := false
+		for _, a := range c.Apps {
+			if a == 2 || a == 3 {
+				hasStream = true
+			}
+		}
+		if hasStream {
+			streamWays += c.Ways
+		}
+	}
+	if streamWays > 3 {
+		t.Errorf("optimal gives streaming apps %d ways (%s), expected confinement", streamWays, sol.Plan.Canonical())
+	}
+	if !sol.Exact {
+		t.Error("4-app search should complete exactly")
+	}
+}
+
+func TestClusteringBeatsPartitioningWhenTight(t *testing.T) {
+	// With n close to k, clustering must be at least as fair as strict
+	// partitioning (Fig. 3's message).
+	plat := machine.Small(6, 8)
+	s := New(plat)
+	phases := mix("xalancbmk06", "soplex06", "omnetpp06", "lbm06", "milc06", "povray06")
+	clu, err := s.OptimalClustering(phases, Fairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := s.OptimalPartitioning(phases, Fairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clu.Unfairness > part.Unfairness*1.001 {
+		t.Errorf("optimal clustering (%.3f) worse than optimal partitioning (%.3f)",
+			clu.Unfairness, part.Unfairness)
+	}
+}
+
+func TestThroughputObjective(t *testing.T) {
+	plat := machine.Skylake()
+	s := New(plat)
+	phases := mix("xalancbmk06", "lbm06", "povray06", "soplex06")
+	fair, err := s.OptimalClustering(phases, Fairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := s.OptimalClustering(phases, Throughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr.STP < fair.STP-0.05 {
+		t.Errorf("throughput objective STP %.3f < fairness objective STP %.3f", thr.STP, fair.STP)
+	}
+	if fair.Unfairness > thr.Unfairness+0.05 {
+		t.Errorf("fairness objective unfairness %.3f > throughput objective %.3f", fair.Unfairness, thr.Unfairness)
+	}
+}
+
+func TestAnytimeBudget(t *testing.T) {
+	plat := machine.Skylake()
+	s := New(plat)
+	s.NodeBudget = 3
+	phases := mix("xalancbmk06", "soplex06", "omnetpp06", "lbm06", "milc06",
+		"povray06", "namd06", "sphinx306")
+	sol, err := s.OptimalClustering(phases, Fairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Exact {
+		t.Error("tiny budget should not complete exactly")
+	}
+	if err := sol.Plan.Validate(8, plat.Ways); err != nil {
+		t.Errorf("anytime plan invalid: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	plat := machine.Skylake()
+	phases := mix("xalancbmk06", "lbm06", "povray06", "soplex06", "milc06")
+	a, err := New(plat).OptimalClustering(phases, Fairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(plat).OptimalClustering(phases, Fairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan.Canonical() != b.Plan.Canonical() {
+		t.Errorf("nondeterministic winner: %s vs %s", a.Plan.Canonical(), b.Plan.Canonical())
+	}
+}
+
+func TestSymmetryReduction(t *testing.T) {
+	// Four identical apps: the symmetric search must still produce a
+	// valid plan and visit far fewer nodes than the full Bell number
+	// would suggest.
+	plat := machine.Skylake()
+	s := New(plat)
+	phases := mix("povray06", "povray06", "povray06", "povray06")
+	sol, err := s.OptimalClustering(phases, Fairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Plan.Validate(4, plat.Ways); err != nil {
+		t.Fatal(err)
+	}
+	// B(4)=15 partitions; the nondecreasing-assignment rule for identical
+	// apps leaves at most the 8 nondecreasing RGS strings.
+	if sol.Nodes > 8 {
+		t.Errorf("symmetry reduction ineffective: %d nodes", sol.Nodes)
+	}
+}
+
+func TestBruteForceAgreementTinyCase(t *testing.T) {
+	// On a tiny platform the B&B winner must match an exhaustive search
+	// scored with the same frozen-scale memo.
+	plat := machine.Small(4, 4)
+	s := New(plat)
+	phases := mix("xalancbmk06", "lbm06", "povray06")
+	sol, err := s.OptimalClustering(phases, Fairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scale := stockScale(phases, plat)
+	mm := newMemo(phases, plat, scale)
+	bestUnf := 2.0e18
+	bestSTP := -1.0
+	var bestPlan plan.Plan
+	partitions := [][][]int{
+		{{0, 1, 2}},
+		{{0}, {1, 2}}, {{1}, {0, 2}}, {{2}, {0, 1}},
+		{{0}, {1}, {2}},
+	}
+	for _, part := range partitions {
+		m := len(part)
+		var rec func(i, remaining int, ways []int)
+		rec = func(i, remaining int, ways []int) {
+			if i == m-1 {
+				ways[i] = remaining
+				maxSd, minSd, stp := 1.0, 2.0e18, 0.0
+				for ci, cl := range part {
+					var sub uint32
+					for _, a := range cl {
+						sub |= 1 << a
+					}
+					sc := mm.get(sub)[ways[ci]]
+					if sc.maxSd > maxSd {
+						maxSd = sc.maxSd
+					}
+					if sc.minSd < minSd {
+						minSd = sc.minSd
+					}
+					stp += sc.stp
+				}
+				unf := maxSd / minSd
+				if unf < bestUnf-1e-12 || (unf < bestUnf+1e-12 && stp > bestSTP+1e-12) {
+					bestUnf, bestSTP = unf, stp
+					cls := make([]plan.Cluster, m)
+					for ci, cl := range part {
+						cls[ci] = plan.Cluster{Apps: append([]int(nil), cl...), Ways: ways[ci]}
+					}
+					bestPlan = plan.Plan{Clusters: cls}
+				}
+				return
+			}
+			for w := 1; w <= remaining-(m-1-i); w++ {
+				ways[i] = w
+				rec(i+1, remaining-w, ways)
+			}
+		}
+		rec(0, plat.Ways, make([]int, m))
+	}
+	if sol.Plan.Canonical() != bestPlan.Canonical() {
+		t.Errorf("B&B winner %s differs from brute force %s", sol.Plan.Canonical(), bestPlan.Canonical())
+	}
+}

@@ -1,0 +1,323 @@
+package pbb
+
+import (
+	"math"
+	"sync"
+
+	"github.com/faircache/lfoc/internal/plan"
+)
+
+// searcher holds the shared state of one branch-and-bound run. The
+// incumbent (bestUnf/bestSTP/bestPlan) and the node counters are guarded
+// by mu; workers read the incumbent under the lock only when a candidate
+// survives the cheap local bound, so contention stays low.
+type searcher struct {
+	solver   *Solver
+	memo     *memo
+	obj      Objective
+	n        int
+	ways     int
+	ident    []int
+	budget   uint64
+	partOnly bool
+
+	mu       sync.Mutex
+	nodes    uint64
+	pruned   uint64
+	bestUnf  float64
+	bestSTP  float64
+	bestPlan *plan.Plan
+	bestKey  string
+}
+
+// offerSeed scores a heuristic plan with the memo and installs it as the
+// initial incumbent if valid. Invalid seeds are ignored.
+func (s *searcher) offerSeed(p plan.Plan) {
+	if err := p.Validate(s.n, s.ways); err != nil || p.Overlapping {
+		return
+	}
+	subsets := make([]uint32, len(p.Clusters))
+	ways := make([]int, len(p.Clusters))
+	maxSd, minSd, stp := 1.0, math.Inf(1), 0.0
+	for ci, c := range p.Clusters {
+		for _, a := range c.Apps {
+			subsets[ci] |= 1 << a
+		}
+		ways[ci] = c.Ways
+		sc := s.memo.get(subsets[ci])[c.Ways]
+		maxSd = math.Max(maxSd, sc.maxSd)
+		minSd = math.Min(minSd, sc.minSd)
+		stp += sc.stp
+	}
+	s.offer(subsets, ways, maxSd/minSd, stp)
+}
+
+// run enumerates set partitions as restricted growth strings, fanning the
+// first splitLevel levels out to a worker pool.
+func (s *searcher) run(workers int) {
+	// Sequentially expand prefixes up to a depth that yields enough
+	// parallel tasks.
+	splitDepth := 4
+	if splitDepth > s.n {
+		splitDepth = s.n
+	}
+	type prefix struct {
+		assign []int
+		m      int
+	}
+	var prefixes []prefix
+	var gen func(assign []int, depth, m int)
+	gen = func(assign []int, depth, m int) {
+		if depth == splitDepth {
+			cp := append([]int(nil), assign...)
+			prefixes = append(prefixes, prefix{cp, m})
+			return
+		}
+		maxC := m // may open cluster m (0-based new cluster index)
+		for c := 0; c <= maxC; c++ {
+			if !s.identOK(assign, depth, c) {
+				continue
+			}
+			assign[depth] = c
+			nm := m
+			if c == m {
+				nm++
+			}
+			if nm <= s.ways {
+				gen(assign, depth+1, nm)
+			}
+		}
+	}
+	assign := make([]int, s.n)
+	gen(assign, 0, 0)
+
+	ch := make(chan prefix, len(prefixes))
+	for _, p := range prefixes {
+		ch <- p
+	}
+	close(ch)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int, s.n)
+			for p := range ch {
+				copy(local, p.assign)
+				s.extend(local, splitDepth, p.m)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// identOK enforces the symmetry-breaking rule: an app identical to an
+// earlier app may not be placed in a lower-indexed cluster.
+func (s *searcher) identOK(assign []int, app, cluster int) bool {
+	prev := s.ident[app]
+	if prev < 0 {
+		return true
+	}
+	return cluster >= assign[prev]
+}
+
+// extend continues the restricted-growth enumeration from depth, scoring
+// complete partitions and applying the partial bound.
+func (s *searcher) extend(assign []int, depth, m int) {
+	if s.overBudget() {
+		return
+	}
+	if depth == s.n {
+		if m < 1 {
+			return
+		}
+		subsets := make([]uint32, m)
+		for i, c := range assign {
+			subsets[c] |= 1 << i
+		}
+		s.countNode()
+		if !s.boundedOut(subsets, s.n) {
+			s.scorePartition(subsets)
+		} else {
+			s.countPruned()
+		}
+		return
+	}
+	// Partial bound: clusters formed so far can only get worse.
+	if depth >= 2 && m >= 1 {
+		subsets := make([]uint32, m)
+		for i := 0; i < depth; i++ {
+			subsets[assign[i]] |= 1 << i
+		}
+		if s.boundedOut(subsets, depth) {
+			s.countPruned()
+			return
+		}
+	}
+	for c := 0; c <= m; c++ {
+		if c == m && m+1 > s.ways {
+			continue // cannot open more clusters than ways
+		}
+		if !s.identOK(assign, depth, c) {
+			continue
+		}
+		assign[depth] = c
+		nm := m
+		if c == m {
+			nm++
+		}
+		s.extend(assign, depth+1, nm)
+	}
+}
+
+// boundedOut computes an admissible lower bound for the (partial)
+// partition and compares it with the incumbent. assignedApps is the
+// number of apps already placed (== n for complete partitions).
+func (s *searcher) boundedOut(subsets []uint32, assignedApps int) bool {
+	m := len(subsets)
+	wmax := s.ways - m + 1
+	if wmax < 1 {
+		return true // infeasible
+	}
+	switch s.obj {
+	case Fairness:
+		// Optimistic max slowdown: every cluster at its best (wmax ways,
+		// current members only — adding members or removing ways only
+		// increases slowdowns).
+		lbMax := 1.0
+		ubMin := math.Inf(1)
+		for _, sub := range subsets {
+			sc := s.memo.get(sub)[wmax]
+			lbMax = math.Max(lbMax, sc.maxSd)
+			ubMin = math.Min(ubMin, sc.minSd)
+		}
+		if assignedApps < s.n {
+			// Unassigned apps may end up with slowdown ~1, lowering the
+			// workload minimum.
+			ubMin = 1
+		}
+		lb := lbMax / ubMin
+		s.mu.Lock()
+		out := lb > s.bestUnf*(1+1e-12)
+		s.mu.Unlock()
+		return out
+	default: // Throughput
+		ub := 0.0
+		for _, sub := range subsets {
+			ub += s.memo.get(sub)[wmax].stp
+		}
+		ub += float64(s.n - assignedApps) // unassigned apps contribute ≤ 1 each
+		s.mu.Lock()
+		out := ub < s.bestSTP-1e-12
+		s.mu.Unlock()
+		return out
+	}
+}
+
+// scorePartition enumerates way compositions for a complete partition and
+// updates the incumbent.
+func (s *searcher) scorePartition(subsets []uint32) {
+	m := len(subsets)
+	if m > s.ways {
+		return
+	}
+	scores := make([][]clusterScore, m)
+	for i, sub := range subsets {
+		scores[i] = s.memo.get(sub)
+	}
+	ways := make([]int, m)
+	var rec func(i, remaining int, maxSd, minSd, stp float64)
+	rec = func(i, remaining int, maxSd, minSd, stp float64) {
+		if i == m-1 {
+			sc := scores[i][remaining]
+			ways[i] = remaining
+			tMax := math.Max(maxSd, sc.maxSd)
+			tMin := math.Min(minSd, sc.minSd)
+			s.offer(subsets, ways, tMax/tMin, stp+sc.stp)
+			return
+		}
+		// Leave at least one way per remaining cluster.
+		maxW := remaining - (m - 1 - i)
+		for w := 1; w <= maxW; w++ {
+			sc := scores[i][w]
+			ways[i] = w
+			rec(i+1, remaining-w, math.Max(maxSd, sc.maxSd), math.Min(minSd, sc.minSd), stp+sc.stp)
+		}
+	}
+	rec(0, s.ways, 1, math.Inf(1), 0)
+}
+
+// offer proposes a complete solution to the incumbent.
+func (s *searcher) offer(subsets []uint32, ways []int, unf, stp float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	better := false
+	switch s.obj {
+	case Fairness:
+		if unf < s.bestUnf-1e-12 {
+			better = true
+		} else if unf < s.bestUnf+1e-12 && stp > s.bestSTP+1e-12 {
+			better = true
+		}
+	default:
+		if stp > s.bestSTP+1e-12 {
+			better = true
+		} else if stp > s.bestSTP-1e-12 && unf < s.bestUnf-1e-12 {
+			better = true
+		}
+	}
+	if !better && s.bestPlan != nil {
+		// Deterministic tie-break across parallel workers.
+		if unfEq(unf, s.bestUnf) && stpEq(stp, s.bestSTP) {
+			cand := buildPlan(subsets, ways)
+			if key := cand.Canonical(); key < s.bestKey {
+				s.bestPlan = &cand
+				s.bestKey = key
+			}
+		}
+		return
+	}
+	if better {
+		cand := buildPlan(subsets, ways)
+		s.bestUnf, s.bestSTP = unf, stp
+		s.bestPlan = &cand
+		s.bestKey = cand.Canonical()
+	}
+}
+
+func unfEq(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(b)) }
+func stpEq(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(b)) }
+
+func buildPlan(subsets []uint32, ways []int) plan.Plan {
+	p := plan.Plan{Clusters: make([]plan.Cluster, len(subsets))}
+	for i, sub := range subsets {
+		var apps []int
+		for b := 0; b < 32; b++ {
+			if sub&(1<<b) != 0 {
+				apps = append(apps, b)
+			}
+		}
+		p.Clusters[i] = plan.Cluster{Apps: apps, Ways: ways[i]}
+	}
+	return p
+}
+
+func (s *searcher) countNode() {
+	s.mu.Lock()
+	s.nodes++
+	s.mu.Unlock()
+}
+
+func (s *searcher) countPruned() {
+	s.mu.Lock()
+	s.pruned++
+	s.mu.Unlock()
+}
+
+func (s *searcher) overBudget() bool {
+	s.mu.Lock()
+	over := s.nodes > s.budget
+	s.mu.Unlock()
+	return over
+}

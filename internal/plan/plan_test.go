@@ -1,0 +1,134 @@
+package plan
+
+import (
+	"testing"
+
+	"github.com/faircache/lfoc/internal/cat"
+)
+
+func TestSingleCluster(t *testing.T) {
+	p := SingleCluster(4, 11)
+	if err := p.Validate(4, 11); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Clusters) != 1 || p.Clusters[0].Ways != 11 || len(p.Clusters[0].Apps) != 4 {
+		t.Errorf("plan = %+v", p)
+	}
+	if p.NumApps() != 4 {
+		t.Errorf("NumApps = %d", p.NumApps())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Plan
+	}{
+		{"empty cluster", Plan{Clusters: []Cluster{{Apps: nil, Ways: 1}, {Apps: []int{0, 1}, Ways: 1}}}},
+		{"zero ways", Plan{Clusters: []Cluster{{Apps: []int{0, 1}, Ways: 0}}}},
+		{"too many ways", Plan{Clusters: []Cluster{{Apps: []int{0, 1}, Ways: 12}}}},
+		{"app out of range", Plan{Clusters: []Cluster{{Apps: []int{0, 5}, Ways: 2}}}},
+		{"duplicate app", Plan{Clusters: []Cluster{{Apps: []int{0, 0}, Ways: 2}, {Apps: []int{1}, Ways: 1}}}},
+		{"missing app", Plan{Clusters: []Cluster{{Apps: []int{0}, Ways: 2}}}},
+		{"way overflow", Plan{Clusters: []Cluster{{Apps: []int{0}, Ways: 6}, {Apps: []int{1}, Ways: 6}}}},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(2, 11); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestOverlappingWaySumAllowed(t *testing.T) {
+	p := Plan{
+		Overlapping: true,
+		Clusters: []Cluster{
+			{Apps: []int{0}, Ways: 8},
+			{Apps: []int{1}, Ways: 8},
+		},
+	}
+	if err := p.Validate(2, 11); err != nil {
+		t.Errorf("overlapping plan rejected: %v", err)
+	}
+}
+
+func TestMasksSequential(t *testing.T) {
+	p := Plan{Clusters: []Cluster{
+		{Apps: []int{0, 1}, Ways: 1},
+		{Apps: []int{2}, Ways: 6},
+		{Apps: []int{3}, Ways: 4},
+	}}
+	masks, err := p.Masks(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masks[0] != cat.MaskRange(0, 1) || masks[1] != cat.MaskRange(1, 6) || masks[2] != cat.MaskRange(7, 4) {
+		t.Errorf("masks = %v", masks)
+	}
+}
+
+func TestMasksOverlapping(t *testing.T) {
+	p := Plan{
+		Overlapping: true,
+		Clusters: []Cluster{
+			{Apps: []int{0}, Ways: 3},
+			{Apps: []int{1}, Ways: 7},
+		},
+	}
+	masks, err := p.Masks(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masks[0] != cat.MaskRange(0, 3) || masks[1] != cat.MaskRange(0, 7) {
+		t.Errorf("masks = %v", masks)
+	}
+}
+
+func TestAppMasks(t *testing.T) {
+	p := Plan{Clusters: []Cluster{
+		{Apps: []int{1, 2}, Ways: 2},
+		{Apps: []int{0}, Ways: 9},
+	}}
+	am, err := p.AppMasks(3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am[1] != cat.MaskRange(0, 2) || am[2] != cat.MaskRange(0, 2) {
+		t.Errorf("cluster-0 app masks wrong: %v", am)
+	}
+	if am[0] != cat.MaskRange(2, 9) {
+		t.Errorf("cluster-1 app mask wrong: %v", am)
+	}
+	// Missing app detection.
+	bad := Plan{Clusters: []Cluster{{Apps: []int{0}, Ways: 2}}}
+	if _, err := bad.AppMasks(2, 11); err == nil {
+		t.Error("missing app not detected")
+	}
+}
+
+func TestClusterOf(t *testing.T) {
+	p := Plan{Clusters: []Cluster{
+		{Apps: []int{1, 2}, Ways: 2},
+		{Apps: []int{0}, Ways: 9},
+	}}
+	if p.ClusterOf(2) != 0 || p.ClusterOf(0) != 1 || p.ClusterOf(7) != -1 {
+		t.Error("ClusterOf wrong")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	a := Plan{Clusters: []Cluster{
+		{Apps: []int{3, 0}, Ways: 2},
+		{Apps: []int{2, 1}, Ways: 9},
+	}}
+	b := Plan{Clusters: []Cluster{
+		{Apps: []int{1, 2}, Ways: 9},
+		{Apps: []int{0, 3}, Ways: 2},
+	}}
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("canonical forms differ: %q vs %q", a.Canonical(), b.Canonical())
+	}
+	if a.Canonical() != "{0,3}:2 {1,2}:9" {
+		t.Errorf("canonical = %q", a.Canonical())
+	}
+}

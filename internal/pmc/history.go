@@ -1,0 +1,62 @@
+package pmc
+
+import fp "github.com/faircache/lfoc/internal/fixedpoint"
+
+// History is a fixed-capacity ring of recent fixed-point metric readings.
+// LFOC's phase-change heuristics average a metric "over the last five
+// monitoring periods" (§4.2) to filter out spikes; History provides that
+// smoothing window.
+type History struct {
+	buf  []fp.Value
+	next int
+	n    int
+}
+
+// NewHistory creates a history holding up to capacity readings.
+func NewHistory(capacity int) *History {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &History{buf: make([]fp.Value, capacity)}
+}
+
+// Push records a reading, evicting the oldest when full.
+func (h *History) Push(v fp.Value) {
+	h.buf[h.next] = v
+	h.next = (h.next + 1) % len(h.buf)
+	if h.n < len(h.buf) {
+		h.n++
+	}
+}
+
+// Len returns the number of recorded readings (≤ capacity).
+func (h *History) Len() int { return h.n }
+
+// Full reports whether the window has reached capacity.
+func (h *History) Full() bool { return h.n == len(h.buf) }
+
+// Mean returns the arithmetic mean of the recorded readings (0 if empty).
+func (h *History) Mean() fp.Value {
+	if h.n == 0 {
+		return 0
+	}
+	var sum int64
+	for i := 0; i < h.n; i++ {
+		sum += int64(h.buf[i])
+	}
+	return fp.Value(sum / int64(h.n))
+}
+
+// Last returns the most recent reading (0 if empty).
+func (h *History) Last() fp.Value {
+	if h.n == 0 {
+		return 0
+	}
+	return h.buf[(h.next-1+len(h.buf))%len(h.buf)]
+}
+
+// Reset empties the window.
+func (h *History) Reset() {
+	h.n = 0
+	h.next = 0
+}

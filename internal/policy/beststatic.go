@@ -1,0 +1,38 @@
+package policy
+
+import (
+	"github.com/faircache/lfoc/internal/pbb"
+	"github.com/faircache/lfoc/internal/plan"
+)
+
+// BestStatic is the paper's ideal reference policy: the clustering that
+// the PBBCache-style solver determines to be optimal for fairness
+// ("Best-Static ... establishes the cache-partitions and
+// application-to-cluster mappings based on the optimal fairness solution
+// determined by the simulator", §5.1).
+type BestStatic struct {
+	// Objective defaults to fairness.
+	Objective pbb.Objective
+	// NodeBudget caps the anytime search (0 = solver default).
+	NodeBudget uint64
+	// Seeds warm-start the branch-and-bound (e.g. with LFOC's plan).
+	Seeds []plan.Plan
+}
+
+// Name implements Static.
+func (BestStatic) Name() string { return "Best-Static" }
+
+// Decide implements Static.
+func (b BestStatic) Decide(w *Workload) (plan.Plan, error) {
+	if err := w.Validate(); err != nil {
+		return plan.Plan{}, err
+	}
+	solver := pbb.New(w.Plat)
+	solver.NodeBudget = b.NodeBudget
+	solver.Seeds = b.Seeds
+	sol, err := solver.OptimalClustering(w.Phases, b.Objective)
+	if err != nil {
+		return plan.Plan{}, err
+	}
+	return sol.Plan, nil
+}

@@ -1,0 +1,275 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/faircache/lfoc/internal/cat"
+	fp "github.com/faircache/lfoc/internal/fixedpoint"
+	"github.com/faircache/lfoc/internal/pmc"
+)
+
+// stallSample fabricates a window with the given stall fraction (milli).
+func stallSample(stallMilli uint64) pmc.Sample {
+	const cycles = 1_000_000
+	return pmc.Sample{
+		Instructions: cycles,
+		Cycles:       cycles,
+		StallsL2Miss: cycles * stallMilli / 1000,
+	}
+}
+
+func TestDunnDynamicLifecycle(t *testing.T) {
+	d := NewDunnDynamic(11)
+	for id := 0; id < 4; id++ {
+		if err := d.AddApp(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.AddApp(0); err == nil {
+		t.Error("duplicate app accepted")
+	}
+	if d.WindowInsns(0) != 100_000_000 {
+		t.Error("default window wrong")
+	}
+	d.SetWindow(2_000_000)
+	if d.WindowInsns(0) != 2_000_000 {
+		t.Error("SetWindow ignored")
+	}
+	d.SetWindow(0) // ignored
+	if d.WindowInsns(0) != 2_000_000 {
+		t.Error("zero window accepted")
+	}
+
+	// Two high-stall apps, two low-stall apps.
+	for i := 0; i < 6; i++ {
+		d.OnWindow(0, stallSample(700))
+		d.OnWindow(1, stallSample(680))
+		d.OnWindow(2, stallSample(50))
+		d.OnWindow(3, stallSample(60))
+	}
+	p := d.Reconfigure()
+	if err := p.Validate(4, 11); err != nil {
+		t.Fatalf("%v (%s)", err, p.Canonical())
+	}
+	if !p.Overlapping {
+		t.Error("Dunn plan should be overlapping")
+	}
+	// High-stall apps grouped together and given more ways than the
+	// low-stall group.
+	if p.ClusterOf(0) != p.ClusterOf(1) || p.ClusterOf(2) != p.ClusterOf(3) {
+		t.Errorf("grouping wrong: %s", p.Canonical())
+	}
+	wHigh := p.Clusters[p.ClusterOf(0)].Ways
+	wLow := p.Clusters[p.ClusterOf(2)].Ways
+	if wHigh <= wLow {
+		t.Errorf("high-stall cluster got %d ways vs %d", wHigh, wLow)
+	}
+
+	masks, err := d.Assignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(masks) != 4 {
+		t.Fatalf("masks = %v", masks)
+	}
+	for id, m := range masks {
+		if m == 0 {
+			t.Errorf("app %d has empty mask", id)
+		}
+	}
+
+	d.RemoveApp(0)
+	p = d.Reconfigure()
+	if p.ClusterOf(0) != -1 {
+		t.Error("removed app still planned")
+	}
+	if p.NumApps() != 3 {
+		t.Errorf("plan covers %d apps", p.NumApps())
+	}
+}
+
+func TestDunnDynamicEmpty(t *testing.T) {
+	d := NewDunnDynamic(11)
+	p := d.Reconfigure()
+	if len(p.Clusters) != 0 {
+		t.Error("empty Dunn should produce empty plan")
+	}
+	masks, err := d.Assignment()
+	if err != nil || len(masks) != 0 {
+		t.Error("empty assignment wrong")
+	}
+	// OnWindow for unknown app is a no-op.
+	if d.OnWindow(99, stallSample(100)) {
+		t.Error("unknown app changed config")
+	}
+}
+
+func TestDunnDynamicAssignmentBeforeReconfigure(t *testing.T) {
+	d := NewDunnDynamic(11)
+	_ = d.AddApp(0)
+	// Assignment before any Reconfigure must self-initialize.
+	masks, err := d.Assignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masks[0] == 0 {
+		t.Error("no mask for app 0")
+	}
+}
+
+func TestStockDynamic(t *testing.T) {
+	s := NewStockDynamic(11)
+	_ = s.AddApp(2)
+	_ = s.AddApp(0)
+	if s.WindowInsns(0) == 0 {
+		t.Error("window should be positive")
+	}
+	if s.OnWindow(0, stallSample(500)) {
+		t.Error("stock should never change config")
+	}
+	p := s.Reconfigure()
+	if len(p.Clusters) != 1 || p.Clusters[0].Ways != 11 || len(p.Clusters[0].Apps) != 2 {
+		t.Errorf("plan = %s", p.Canonical())
+	}
+	masks, err := s.Assignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masks[0] != cat.FullMask(11) || masks[2] != cat.FullMask(11) {
+		t.Error("stock masks wrong")
+	}
+	s.RemoveApp(0)
+	if masks, _ = s.Assignment(); len(masks) != 1 {
+		t.Error("RemoveApp ignored")
+	}
+	s.RemoveApp(42) // no-op
+}
+
+func TestStallWindowSmoothing(t *testing.T) {
+	w := newStallWindow(3)
+	if w.mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+	w.push(0.3)
+	w.push(0.6)
+	if m := w.mean(); m < 0.44 || m > 0.46 {
+		t.Errorf("mean = %v", m)
+	}
+	w.push(0.9)
+	w.push(1.2) // evicts 0.3
+	if m := w.mean(); m < 0.89 || m > 0.91 {
+		t.Errorf("mean after wrap = %v", m)
+	}
+}
+
+func TestDunnPlanDegenerateStalls(t *testing.T) {
+	// All-zero stalls: proportional allocation degenerates; every
+	// cluster must still get at least one way.
+	p, err := dunnPlan([]float64{0, 0, 0}, 11, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Clusters {
+		if c.Ways < 1 {
+			t.Errorf("cluster with %d ways", c.Ways)
+		}
+	}
+	if err := p.Validate(3, 11); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileFromTableBoundary(t *testing.T) {
+	w := workloadOf(t, "xalancbmk06")
+	prof := ProfileFromTable(w.Tables[0])
+	// Fixed-point slowdown at 1 way must match the float table within
+	// rounding.
+	want := w.Tables[0].Slowdown(1)
+	got := fp.Value(prof.SlowdownTable()[1]).Float()
+	if got < want*0.99 || got > want*1.01 {
+		t.Errorf("fixed-point slowdown %v vs float %v", got, want)
+	}
+}
+
+func TestKPartDynawayLifecycle(t *testing.T) {
+	k := NewKPartDynaway(11)
+	if err := k.AddApp(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddApp(0); err == nil {
+		t.Error("duplicate accepted")
+	}
+	_ = k.AddApp(1)
+	if k.WindowInsns(0) != 10_000_000 {
+		t.Error("default window wrong")
+	}
+	k.SetWindow(1_000_000)
+	if k.WindowInsns(0) != 1_000_000 {
+		t.Error("SetWindow ignored")
+	}
+	// Bootstrap: stock plan until profiling completes.
+	p := k.Reconfigure()
+	if len(p.Clusters) != 1 {
+		t.Errorf("bootstrap plan = %s", p.Canonical())
+	}
+	// Drive the sweeps manually: app 0 flat/streaming, app 1 sensitive.
+	mkSample := func(ipcMilli, mpkiMilli uint64) pmc.Sample {
+		const insns = 1_000_000
+		return pmc.Sample{
+			Instructions: insns,
+			Cycles:       insns * 1000 / ipcMilli,
+			LLCMisses:    insns * mpkiMilli / 1000 / 1000,
+		}
+	}
+	for rounds := 0; rounds < 100 && k.Profiled() < 2; rounds++ {
+		masks, err := k.Assignment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < 2; id++ {
+			ways := masks[id].Count()
+			if id == 0 {
+				k.OnWindow(id, mkSample(520, 50_000))
+			} else {
+				k.OnWindow(id, mkSample(uint64(300+70*ways), uint64(30_000/uint64(ways))))
+			}
+		}
+	}
+	if k.Profiled() != 2 {
+		t.Fatalf("profiled = %d", k.Profiled())
+	}
+	p = k.Reconfigure()
+	if err := p.Validate(2, 11); err != nil {
+		t.Fatalf("%v (%s)", err, p.Canonical())
+	}
+	// The sensitive app must receive more ways than the flat one when
+	// they end up in separate clusters.
+	if p.ClusterOf(0) != p.ClusterOf(1) {
+		if p.Clusters[p.ClusterOf(1)].Ways <= p.Clusters[p.ClusterOf(0)].Ways {
+			t.Errorf("miss-driven allocation wrong: %s", p.Canonical())
+		}
+	}
+	// Periodic resampling resets profiles.
+	k.ResampleEvery = 1
+	k.Reconfigure()
+	if k.Profiled() != 0 {
+		t.Error("periodic resample did not reset profiles")
+	}
+	k.RemoveApp(0)
+	k.RemoveApp(99) // no-op
+	p = k.Reconfigure()
+	if p.ClusterOf(0) != -1 {
+		t.Error("removed app still planned")
+	}
+}
+
+func TestKPartDynawayEmpty(t *testing.T) {
+	k := NewKPartDynaway(11)
+	if len(k.Reconfigure().Clusters) != 0 {
+		t.Error("empty plan expected")
+	}
+	masks, err := k.Assignment()
+	if err != nil || len(masks) != 0 {
+		t.Error("empty assignment expected")
+	}
+}

@@ -1,0 +1,198 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/faircache/lfoc/internal/cat"
+	"github.com/faircache/lfoc/internal/lookahead"
+	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/sharing"
+)
+
+// KPart reimplements El-Sayed et al.'s hybrid partitioning-sharing
+// technique [3], the throughput-oriented baseline of §5. The algorithm:
+//
+//  1. starts with every application in its own cluster;
+//  2. iteratively merges the two most similar clusters (hierarchical
+//     clustering), where similarity follows the Whirlpool-style distance
+//     on normalized miss curves [16] — clusters whose miss curves have
+//     the same shape share cache space with the least loss;
+//  3. builds each merged cluster's *combined* curves (misses and
+//     per-member IPC as functions of the cluster's way count) — the
+//     original estimates these from online profiling plus an analytic
+//     sharing model, and we use the same contention model that governs
+//     the rest of this reproduction (internal/sharing), so merging costs
+//     exactly what sharing actually costs;
+//  4. evaluates every level of the resulting dendrogram: ways are
+//     distributed across clusters with UCP's lookahead on misses-saved
+//     utility, the level's throughput (weighted speedup) is estimated
+//     from the per-member IPC curves, and the best level wins.
+//
+// Like the original, the algorithm needs far more profiling information
+// than LFOC (full per-way curves for every application) and far more
+// computation (Table 2 compares their execution times).
+type KPart struct{}
+
+// Name implements Static.
+func (KPart) Name() string { return "KPart" }
+
+// kcluster is one dendrogram node.
+type kcluster struct {
+	members []int
+	mpki    []float64   // combined misses curve, index 1..ways
+	ipc     [][]float64 // ipc[w][j] = member j's IPC with the cluster at w ways
+}
+
+// Decide implements Static.
+func (KPart) Decide(w *Workload) (plan.Plan, error) {
+	if err := w.Validate(); err != nil {
+		return plan.Plan{}, err
+	}
+	levels := kpartDendrogram(w)
+	return kpartBestLevel(w, levels)
+}
+
+// singleton builds the dendrogram leaf for one application.
+func singleton(w *Workload, i int) *kcluster {
+	ways := w.Plat.Ways
+	c := &kcluster{
+		members: []int{i},
+		mpki:    make([]float64, ways+1),
+		ipc:     make([][]float64, ways+1),
+	}
+	for ww := 1; ww <= ways; ww++ {
+		c.mpki[ww] = w.Tables[i].MPKI[ww]
+		c.ipc[ww] = []float64{w.Tables[i].IPC[ww]}
+	}
+	return c
+}
+
+// combine merges two clusters, deriving the combined curves from the
+// sharing equilibrium of all members inside a single partition of each
+// possible size.
+func combine(w *Workload, a, b *kcluster) *kcluster {
+	ways := w.Plat.Ways
+	members := append(append([]int(nil), a.members...), b.members...)
+	out := &kcluster{
+		members: members,
+		mpki:    make([]float64, ways+1),
+		ipc:     make([][]float64, ways+1),
+	}
+	model := &sharing.Model{Plat: w.Plat, CacheIters: 10, Damping: 0.6}
+	apps := make([]sharing.App, len(members))
+	for ww := 1; ww <= ways; ww++ {
+		mask := cat.MaskRange(0, ww)
+		for j, m := range members {
+			apps[j] = sharing.App{ID: m, Phase: w.Phases[m], Mask: mask}
+		}
+		res := model.EvaluateAtScale(apps, 1)
+		out.ipc[ww] = make([]float64, len(members))
+		total := 0.0
+		for j, m := range members {
+			p := res[m].Perf
+			out.ipc[ww][j] = p.IPC
+			total += p.MPKI
+		}
+		out.mpki[ww] = total
+	}
+	return out
+}
+
+// kpartDendrogram builds all levels of the hierarchical clustering, from
+// n singleton clusters down to one.
+func kpartDendrogram(w *Workload) [][]*kcluster {
+	cur := make([]*kcluster, w.NumApps())
+	for i := range cur {
+		cur[i] = singleton(w, i)
+	}
+	levels := [][]*kcluster{append([]*kcluster(nil), cur...)}
+	for len(cur) > 1 {
+		bi, bj := 0, 1
+		best := math.Inf(1)
+		for i := 0; i < len(cur); i++ {
+			for j := i + 1; j < len(cur); j++ {
+				if d := curveDistance(cur[i].mpki, cur[j].mpki); d < best {
+					best, bi, bj = d, i, j
+				}
+			}
+		}
+		merged := combine(w, cur[bi], cur[bj])
+		next := make([]*kcluster, 0, len(cur)-1)
+		for idx, c := range cur {
+			if idx != bi && idx != bj {
+				next = append(next, c)
+			}
+		}
+		next = append(next, merged)
+		cur = next
+		levels = append(levels, append([]*kcluster(nil), cur...))
+	}
+	return levels
+}
+
+// curveDistance is the Whirlpool-style shape distance between normalized
+// miss curves: similar-shaped curves cluster cheaply.
+func curveDistance(a, b []float64) float64 {
+	na, nb := a[1], b[1]
+	if na <= 0 {
+		na = 1
+	}
+	if nb <= 0 {
+		nb = 1
+	}
+	d := 0.0
+	for w := 1; w < len(a) && w < len(b); w++ {
+		d += math.Abs(a[w]/na - b[w]/nb)
+	}
+	return d
+}
+
+// kpartBestLevel scores every feasible dendrogram level and returns the
+// plan of the one with the highest estimated weighted speedup.
+func kpartBestLevel(w *Workload, levels [][]*kcluster) (plan.Plan, error) {
+	ways := w.Plat.Ways
+	aloneIPC := make([]float64, w.NumApps())
+	for i, t := range w.Tables {
+		aloneIPC[i] = t.IPC[ways]
+	}
+	bestWS := math.Inf(-1)
+	var bestPlan plan.Plan
+	found := false
+	for _, level := range levels {
+		m := len(level)
+		if m > ways {
+			continue // cannot give every cluster a way
+		}
+		util := make([][]int64, m)
+		for ci, c := range level {
+			util[ci] = lookahead.MissesUtility(scaleCurve(c.mpki, 1000))
+		}
+		alloc, err := lookahead.Allocate(util, ways)
+		if err != nil {
+			continue
+		}
+		ws := 0.0
+		for ci, c := range level {
+			for j, member := range c.members {
+				ws += c.ipc[alloc[ci]][j] / aloneIPC[member]
+			}
+		}
+		if ws > bestWS {
+			bestWS = ws
+			p := plan.Plan{Clusters: make([]plan.Cluster, m)}
+			for ci, c := range level {
+				p.Clusters[ci] = plan.Cluster{
+					Apps: append([]int(nil), c.members...),
+					Ways: alloc[ci],
+				}
+			}
+			bestPlan = p
+			found = true
+		}
+	}
+	if !found {
+		return plan.Plan{}, fmt.Errorf("kpart: no feasible dendrogram level (apps=%d ways=%d)", w.NumApps(), ways)
+	}
+	return bestPlan, nil
+}

@@ -1,0 +1,403 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/faircache/lfoc/internal/cat"
+	"github.com/faircache/lfoc/internal/lookahead"
+	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/pmc"
+)
+
+// KPartDynaway is the dynamic variant of KPart ("KPart-Dynaway" [3]).
+// The authors' own user-level implementation crashed on the paper's
+// platform, so §5.2 could not evaluate it; the paper leaves "the
+// adaptation of this somewhat complex implementation ... for future
+// work". This is that adaptation, built on the same runtime contract as
+// the other dynamic policies.
+//
+// Faithful to the original's design — and to the overheads LFOC's §4.2
+// criticizes — Dynaway profiles every application with a *full* downward
+// way sweep (ways−1 → 1), gathering IPC and MPKI at every size, and
+// repeats the whole profiling round periodically rather than on detected
+// phase changes. Between rounds it runs KPart's hierarchical clustering
+// on the measured curves: min-plus curve combination (the profiled-curve
+// analogue of the original's curve combining), lookahead on misses-saved
+// utility, and level selection by estimated weighted speedup.
+type KPartDynaway struct {
+	ways        int
+	windowInsns uint64 // sampling window (10M in the paper's setting)
+	// ResampleEvery re-profiles everything after this many partitioner
+	// activations (Dynaway's periodic behaviour).
+	ResampleEvery int
+
+	order   []int
+	apps    map[int]*kdApp
+	active  int // app being sampled, or -1
+	reconfs int
+	current plan.Plan
+	have    bool
+}
+
+type kdApp struct {
+	ipc      []float64 // measured IPC per way count (index 1..ways)
+	mpki     []float64
+	nextWays int // next sampling-partition size to measure (downward)
+	done     bool
+}
+
+// NewKPartDynaway creates the runtime for a given LLC way count.
+func NewKPartDynaway(ways int) *KPartDynaway {
+	return &KPartDynaway{
+		ways:          ways,
+		windowInsns:   10_000_000,
+		ResampleEvery: 40, // ~20s at the paper's 500ms period
+		apps:          map[int]*kdApp{},
+		active:        -1,
+	}
+}
+
+// SetWindow overrides the sampling window (scaled experiments).
+func (k *KPartDynaway) SetWindow(insns uint64) {
+	if insns > 0 {
+		k.windowInsns = insns
+	}
+}
+
+// AddApp registers an application and schedules its profiling sweep.
+func (k *KPartDynaway) AddApp(id int) error {
+	if _, dup := k.apps[id]; dup {
+		return fmt.Errorf("kpart-dynaway: app %d already registered", id)
+	}
+	k.apps[id] = k.freshApp()
+	k.order = append(k.order, id)
+	sort.Ints(k.order)
+	k.have = false
+	return nil
+}
+
+func (k *KPartDynaway) freshApp() *kdApp {
+	return &kdApp{
+		ipc:      make([]float64, k.ways+1),
+		mpki:     make([]float64, k.ways+1),
+		nextWays: k.ways - 1,
+	}
+}
+
+// RemoveApp deregisters an application.
+func (k *KPartDynaway) RemoveApp(id int) {
+	delete(k.apps, id)
+	for i, v := range k.order {
+		if v == id {
+			k.order = append(k.order[:i], k.order[i+1:]...)
+			break
+		}
+	}
+	if k.active == id {
+		k.active = -1
+	}
+	k.have = false
+}
+
+// WindowInsns implements sim.Dynamic: Dynaway always runs short windows
+// (its profiling is continuous, unlike LFOC's event-driven episodes).
+func (k *KPartDynaway) WindowInsns(int) uint64 { return k.windowInsns }
+
+// OnWindow implements sim.Dynamic.
+func (k *KPartDynaway) OnWindow(id int, w pmc.Sample) bool {
+	if k.active != id {
+		return k.maybeStartSampling()
+	}
+	st := k.apps[id]
+	if st == nil || st.done {
+		k.active = -1
+		return k.maybeStartSampling()
+	}
+	st.ipc[st.nextWays] = w.IPC().Float()
+	st.mpki[st.nextWays] = w.LLCMPKI().Float()
+	st.nextWays--
+	if st.nextWays < 1 {
+		// Extrapolate the full-LLC point from the largest measured size.
+		st.ipc[k.ways] = st.ipc[k.ways-1]
+		st.mpki[k.ways] = st.mpki[k.ways-1]
+		st.done = true
+		k.active = -1
+		k.maybeStartSampling()
+	}
+	return true
+}
+
+// maybeStartSampling picks the next unprofiled app; returns true when
+// the CAT configuration changes.
+func (k *KPartDynaway) maybeStartSampling() bool {
+	if k.active >= 0 {
+		return false
+	}
+	for _, id := range k.order {
+		if !k.apps[id].done {
+			k.active = id
+			return true
+		}
+	}
+	return false
+}
+
+// Reconfigure implements sim.Dynamic: rebuild the clustering from the
+// measured curves, and periodically restart the profiling round.
+func (k *KPartDynaway) Reconfigure() plan.Plan {
+	k.reconfs++
+	if k.ResampleEvery > 0 && k.reconfs%k.ResampleEvery == 0 {
+		for _, st := range k.apps {
+			*st = *k.freshApp()
+		}
+		k.active = -1
+		k.maybeStartSampling()
+	}
+	k.rebuild()
+	return k.current
+}
+
+// rebuild runs the measured-curve KPart algorithm; apps without complete
+// profiles keep everything in one cluster (bootstrap).
+func (k *KPartDynaway) rebuild() {
+	k.have = true
+	n := len(k.order)
+	if n == 0 {
+		k.current = plan.Plan{}
+		return
+	}
+	for _, id := range k.order {
+		if !k.apps[id].done {
+			k.current = stockPlanFor(k.order, k.ways)
+			return
+		}
+	}
+	p, err := kpartFromCurves(k.order, k.apps, k.ways)
+	if err != nil {
+		p = stockPlanFor(k.order, k.ways)
+	}
+	k.current = p
+}
+
+func stockPlanFor(ids []int, ways int) plan.Plan {
+	return plan.Plan{Clusters: []plan.Cluster{{Apps: append([]int(nil), ids...), Ways: ways}}}
+}
+
+// Assignment implements sim.Dynamic: the sampling layout while a sweep
+// is active, otherwise the current plan's masks.
+func (k *KPartDynaway) Assignment() (map[int]cat.WayMask, error) {
+	out := make(map[int]cat.WayMask, len(k.order))
+	if k.active >= 0 {
+		st := k.apps[k.active]
+		sample, rest, err := cat.SamplingLayout(st.nextWays, k.ways)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range k.order {
+			if id == k.active {
+				out[id] = sample
+			} else {
+				out[id] = rest
+			}
+		}
+		return out, nil
+	}
+	if !k.have {
+		k.rebuild()
+	}
+	if len(k.current.Clusters) == 0 {
+		return out, nil
+	}
+	masks, err := k.current.Masks(k.ways)
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range k.current.Clusters {
+		for _, id := range c.Apps {
+			out[id] = masks[ci]
+		}
+	}
+	return out, nil
+}
+
+// kdCluster is a dendrogram node over measured curves.
+type kdCluster struct {
+	members []int
+	mpki    []float64
+	ipcSum  []float64
+	splits  [][]int
+}
+
+// kpartFromCurves runs KPart's algorithm with min-plus curve combination
+// over measured per-app curves (the information the original gathers
+// online).
+func kpartFromCurves(ids []int, apps map[int]*kdApp, ways int) (plan.Plan, error) {
+	cur := make([]*kdCluster, len(ids))
+	for i, id := range ids {
+		st := apps[id]
+		c := &kdCluster{
+			members: []int{id},
+			mpki:    append([]float64(nil), st.mpki...),
+			ipcSum:  append([]float64(nil), st.ipc...),
+			splits:  make([][]int, ways+1),
+		}
+		for w := 1; w <= ways; w++ {
+			c.splits[w] = []int{w}
+		}
+		cur[i] = c
+	}
+	levels := [][]*kdCluster{append([]*kdCluster(nil), cur...)}
+	for len(cur) > 1 {
+		bi, bj := 0, 1
+		best := math.Inf(1)
+		for i := 0; i < len(cur); i++ {
+			for j := i + 1; j < len(cur); j++ {
+				if d := curveDistance(cur[i].mpki, cur[j].mpki); d < best {
+					best, bi, bj = d, i, j
+				}
+			}
+		}
+		merged := minPlusCombine(cur[bi], cur[bj], ways)
+		next := make([]*kdCluster, 0, len(cur)-1)
+		for idx, c := range cur {
+			if idx != bi && idx != bj {
+				next = append(next, c)
+			}
+		}
+		cur = append(next, merged)
+		levels = append(levels, append([]*kdCluster(nil), cur...))
+	}
+
+	aloneIPC := map[int]float64{}
+	for _, id := range ids {
+		aloneIPC[id] = math.Max(apps[id].ipc[ways], 1e-9)
+	}
+	bestWS := math.Inf(-1)
+	var bestPlan plan.Plan
+	found := false
+	for _, level := range levels {
+		m := len(level)
+		if m > ways {
+			continue
+		}
+		util := make([][]int64, m)
+		for ci, c := range level {
+			util[ci] = lookahead.MissesUtility(scaleCurve(c.mpki, 1000))
+		}
+		alloc, err := lookahead.Allocate(util, ways)
+		if err != nil {
+			continue
+		}
+		ws := 0.0
+		ok := true
+		for ci, c := range level {
+			split := c.splits[alloc[ci]]
+			// Contention haircut: the min-plus combination is optimistic
+			// (it treats intra-cluster sharing as a perfect partition),
+			// so each member pays a small penalty per co-tenant; without
+			// it every level ties and the coarsest one wins spuriously.
+			haircut := math.Pow(0.96, float64(len(c.members)-1))
+			for j, member := range c.members {
+				w := split[j]
+				if w < 1 {
+					w = 1
+				}
+				ipc := apps[member].ipc[w] * haircut
+				if ipc <= 0 {
+					ok = false
+					break
+				}
+				ws += ipc / aloneIPC[member]
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok && ws > bestWS {
+			bestWS = ws
+			p := plan.Plan{Clusters: make([]plan.Cluster, m)}
+			for ci, c := range level {
+				p.Clusters[ci] = plan.Cluster{Apps: append([]int(nil), c.members...), Ways: alloc[ci]}
+			}
+			bestPlan = p
+			found = true
+		}
+	}
+	if !found {
+		return plan.Plan{}, fmt.Errorf("kpart-dynaway: no feasible level")
+	}
+	return bestPlan, nil
+}
+
+// minPlusCombine merges two measured-curve clusters by choosing, for
+// every total way count, the member split minimizing combined misses.
+func minPlusCombine(a, b *kdCluster, ways int) *kdCluster {
+	out := &kdCluster{
+		members: append(append([]int(nil), a.members...), b.members...),
+		mpki:    make([]float64, ways+1),
+		ipcSum:  make([]float64, ways+1),
+		splits:  make([][]int, ways+1),
+	}
+	for w := 1; w <= ways; w++ {
+		bestM := math.Inf(1)
+		bestA := 0
+		for wa := 0; wa <= w; wa++ {
+			var m float64
+			switch {
+			case wa == 0:
+				m = a.mpki[1]*1.1 + b.mpki[w]
+			case wa == w:
+				m = a.mpki[w] + b.mpki[1]*1.1
+			default:
+				m = a.mpki[wa] + b.mpki[w-wa]
+			}
+			if m < bestM {
+				bestM = m
+				bestA = wa
+			}
+		}
+		out.mpki[w] = bestM
+		split := make([]int, len(out.members))
+		var aSplit, bSplit []int
+		if bestA == 0 {
+			aSplit = make([]int, len(a.members))
+		} else {
+			aSplit = a.splits[bestA]
+		}
+		if w-bestA == 0 {
+			bSplit = make([]int, len(b.members))
+		} else {
+			bSplit = b.splits[w-bestA]
+		}
+		copy(split, aSplit)
+		copy(split[len(a.members):], bSplit)
+		out.splits[w] = split
+		ia, ib := 0.0, 0.0
+		if bestA > 0 {
+			ia = a.ipcSum[bestA]
+		} else {
+			ia = a.ipcSum[1] * 0.9
+		}
+		if w-bestA > 0 {
+			ib = b.ipcSum[w-bestA]
+		} else {
+			ib = b.ipcSum[1] * 0.9
+		}
+		out.ipcSum[w] = ia + ib
+	}
+	return out
+}
+
+// Profiled reports how many applications have complete profiles
+// (diagnostics).
+func (k *KPartDynaway) Profiled() int {
+	n := 0
+	for _, st := range k.apps {
+		if st.done {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package policy
+
+import (
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/core"
+	fp "github.com/faircache/lfoc/internal/fixedpoint"
+	"github.com/faircache/lfoc/internal/plan"
+)
+
+// LFOCStatic runs LFOC's clustering algorithm (Algorithm 1 + the Table 1
+// classifier) once over offline profiles — the §5.1 static-mode
+// evaluation, which measures the quality of the clustering decision
+// itself without online monitoring overheads.
+//
+// The offline float tables are converted to the fixed-point profiles the
+// kernel-style core consumes; from there on the decision path is exactly
+// the code the dynamic controller runs.
+type LFOCStatic struct {
+	// Params overrides the LFOC tunables; nil = paper defaults.
+	Params *core.Params
+}
+
+// Name implements Static.
+func (LFOCStatic) Name() string { return "LFOC" }
+
+// Decide implements Static.
+func (l LFOCStatic) Decide(w *Workload) (plan.Plan, error) {
+	if err := w.Validate(); err != nil {
+		return plan.Plan{}, err
+	}
+	params := core.DefaultParams(w.Plat.Ways)
+	if l.Params != nil {
+		params = *l.Params
+	}
+	infos := make([]core.AppInfo, w.NumApps())
+	for i, t := range w.Tables {
+		profile := ProfileFromTable(t)
+		infos[i] = core.AppInfo{
+			ID:      i,
+			Class:   core.Classify(profile, &params),
+			Profile: profile,
+		}
+	}
+	return core.Partition(infos, &params)
+}
+
+// ProfileFromTable converts an offline float profile table into the
+// fixed-point core.Profile LFOC operates on (the boundary where the
+// "userland" float world meets the "kernel" integer world).
+func ProfileFromTable(t *appmodel.Table) *core.Profile {
+	samples := make([]core.ProfileSample, 0, t.Ways)
+	for w := 1; w <= t.Ways; w++ {
+		samples = append(samples, core.ProfileSample{
+			Ways: w,
+			IPC:  fp.FromFloat(t.IPC[w]),
+			MPKC: fp.FromFloat(t.MPKC[w]),
+		})
+	}
+	return core.NewProfile(t.Ways, samples)
+}

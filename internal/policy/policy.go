@@ -1,0 +1,105 @@
+// Package policy implements the cache-management policies the paper
+// evaluates against LFOC: stock Linux (no partitioning), UCP, Dunn [24],
+// KPart [3] and Best-Static (the optimal-fairness clustering from the
+// PBBCache-style solver), plus the static-mode adapter for LFOC itself.
+//
+// Static policies implement the §5.1 methodology: they receive the
+// offline per-way profile tables of the workload's applications, decide a
+// clustering once, and the workload then runs under that fixed
+// configuration.
+package policy
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/lookahead"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/plan"
+)
+
+// Workload is the static policies' input: one dominant phase and one
+// offline profile table per application.
+type Workload struct {
+	Plat   *machine.Platform
+	Phases []*appmodel.PhaseSpec
+	Tables []*appmodel.Table
+}
+
+// NumApps returns the workload size.
+func (w *Workload) NumApps() int { return len(w.Phases) }
+
+// Validate checks structural consistency.
+func (w *Workload) Validate() error {
+	if w.Plat == nil {
+		return fmt.Errorf("policy: workload without platform")
+	}
+	if len(w.Phases) == 0 {
+		return fmt.Errorf("policy: empty workload")
+	}
+	if len(w.Tables) != len(w.Phases) {
+		return fmt.Errorf("policy: %d tables for %d phases", len(w.Tables), len(w.Phases))
+	}
+	return nil
+}
+
+// Static is a clustering policy evaluated in static mode.
+type Static interface {
+	Name() string
+	Decide(w *Workload) (plan.Plan, error)
+}
+
+// Stock is the baseline: no partitioning, everything shares the LLC.
+type Stock struct{}
+
+// Name implements Static.
+func (Stock) Name() string { return "Stock-Linux" }
+
+// Decide implements Static.
+func (Stock) Decide(w *Workload) (plan.Plan, error) {
+	if err := w.Validate(); err != nil {
+		return plan.Plan{}, err
+	}
+	return plan.SingleCluster(w.NumApps(), w.Plat.Ways), nil
+}
+
+// UCP is Qureshi & Patt's utility-based cache partitioning: strict
+// partitioning (one app per cluster) with lookahead on MPKI curves,
+// targeting throughput. Feasible only when apps ≤ ways.
+type UCP struct{}
+
+// Name implements Static.
+func (UCP) Name() string { return "UCP" }
+
+// Decide implements Static.
+func (UCP) Decide(w *Workload) (plan.Plan, error) {
+	if err := w.Validate(); err != nil {
+		return plan.Plan{}, err
+	}
+	n := w.NumApps()
+	if n > w.Plat.Ways {
+		return plan.Plan{}, fmt.Errorf("ucp: %d apps exceed %d ways (strict partitioning infeasible)", n, w.Plat.Ways)
+	}
+	util := make([][]int64, n)
+	for i, t := range w.Tables {
+		util[i] = lookahead.MissesUtility(scaleCurve(t.MPKI, 1000))
+	}
+	alloc, err := lookahead.Allocate(util, w.Plat.Ways)
+	if err != nil {
+		return plan.Plan{}, err
+	}
+	p := plan.Plan{Clusters: make([]plan.Cluster, n)}
+	for i := 0; i < n; i++ {
+		p.Clusters[i] = plan.Cluster{Apps: []int{i}, Ways: alloc[i]}
+	}
+	return p, nil
+}
+
+// scaleCurve converts a float curve (index 0 unused) to scaled int64.
+func scaleCurve(c []float64, scale float64) []int64 {
+	out := make([]int64, len(c))
+	for i, v := range c {
+		out[i] = int64(v * scale)
+	}
+	return out
+}

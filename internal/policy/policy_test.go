@@ -1,0 +1,302 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/core"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/metrics"
+	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/sharing"
+)
+
+// workloadOf builds a static Workload from catalog names.
+func workloadOf(t *testing.T, names ...string) *Workload {
+	t.Helper()
+	plat := machine.Skylake()
+	w := &Workload{Plat: plat}
+	for _, n := range names {
+		spec := profiles.MustGet(n)
+		ph := &spec.Phases[0]
+		w.Phases = append(w.Phases, ph)
+		w.Tables = append(w.Tables, appmodel.BuildTable(ph, plat))
+	}
+	return w
+}
+
+func evaluate(t *testing.T, w *Workload, p plan.Plan) metrics.Summary {
+	t.Helper()
+	model := sharing.NewModel(w.Plat)
+	sd, err := sharing.EvaluatePlan(model, w.Phases, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := metrics.Summarize(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if (&Workload{}).Validate() == nil {
+		t.Error("workload without platform accepted")
+	}
+	w := workloadOf(t, "povray06")
+	w.Tables = nil
+	if w.Validate() == nil {
+		t.Error("mismatched tables accepted")
+	}
+}
+
+func TestStock(t *testing.T) {
+	w := workloadOf(t, "povray06", "lbm06", "soplex06")
+	p, err := Stock{}.Decide(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Clusters) != 1 || p.Clusters[0].Ways != w.Plat.Ways {
+		t.Errorf("plan = %s", p.Canonical())
+	}
+	if (Stock{}).Name() != "Stock-Linux" {
+		t.Error("name wrong")
+	}
+}
+
+func TestUCP(t *testing.T) {
+	w := workloadOf(t, "xalancbmk06", "povray06", "lbm06")
+	p, err := UCP{}.Decide(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(3, w.Plat.Ways); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, c := range p.Clusters {
+		if len(c.Apps) != 1 {
+			t.Error("UCP must use strict partitioning")
+		}
+		sum += c.Ways
+	}
+	if sum != w.Plat.Ways {
+		t.Errorf("ways sum = %d", sum)
+	}
+	// The cache-sensitive app saves the most misses and must get the
+	// most ways.
+	wx := p.Clusters[p.ClusterOf(0)].Ways
+	for i := 1; i < 3; i++ {
+		if p.Clusters[p.ClusterOf(i)].Ways > wx {
+			t.Errorf("UCP gave app %d more ways than xalancbmk: %s", i, p.Canonical())
+		}
+	}
+	// Infeasible with more apps than ways.
+	big := workloadOf(t, "povray06", "povray06", "povray06", "povray06",
+		"povray06", "povray06", "povray06", "povray06", "povray06",
+		"povray06", "povray06", "povray06")
+	if _, err := (UCP{}).Decide(big); err == nil {
+		t.Error("UCP accepted n > ways")
+	}
+}
+
+func TestDunnStructure(t *testing.T) {
+	w := workloadOf(t, "gemsfdtd06", "lbm06", "soplex06", "omnetpp06", "povray06", "gamess06")
+	p, err := Dunn{}.Decide(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Overlapping {
+		t.Error("Dunn plan should be overlapping")
+	}
+	if err := p.Validate(6, w.Plat.Ways); err != nil {
+		t.Fatal(err)
+	}
+	// Ways should be ordered with stalls: find clusters of povray (low
+	// stalls) and of gemsfdtd (high stalls).
+	wLight := p.Clusters[p.ClusterOf(4)].Ways
+	wStream := p.Clusters[p.ClusterOf(0)].Ways
+	if wStream <= wLight {
+		t.Errorf("Dunn should give high-stall apps more ways: stream=%d light=%d (%s)",
+			wStream, wLight, p.Canonical())
+	}
+}
+
+func TestDunnConfusionCoMapsStreamingAndSensitive(t *testing.T) {
+	// The §5.1 failure mode: GemsFDTD (streaming) and soplex (sensitive)
+	// have similar stall fractions, so Dunn places them in the same or
+	// overlapping partitions.
+	w := workloadOf(t, "gemsfdtd06", "soplex06", "povray06", "gamess06")
+	p, err := Dunn{}.Decide(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, err := p.Masks(w.Plat.Ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg := masks[p.ClusterOf(0)]
+	ms := masks[p.ClusterOf(1)]
+	if !mg.Overlaps(ms) {
+		t.Errorf("expected overlapping partitions for gems/soplex: %s vs %s", mg, ms)
+	}
+}
+
+func TestKPartProducesValidThroughputPlan(t *testing.T) {
+	w := workloadOf(t, "xalancbmk06", "soplex06", "lbm06", "libquantum06", "povray06", "namd06")
+	p, err := KPart{}.Decide(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(6, w.Plat.Ways); err != nil {
+		t.Fatalf("%v (%s)", err, p.Canonical())
+	}
+	// KPart optimizes throughput: it must not be (much) worse than stock.
+	stockPlan, _ := Stock{}.Decide(w)
+	sKP := evaluate(t, w, p)
+	sStock := evaluate(t, w, stockPlan)
+	if sKP.STP < sStock.STP*0.97 {
+		t.Errorf("KPart STP %.3f well below stock %.3f", sKP.STP, sStock.STP)
+	}
+}
+
+func TestKPartMoreAppsThanWays(t *testing.T) {
+	// 12 apps on 11 ways: singleton level infeasible, needs merging.
+	names := []string{
+		"xalancbmk06", "soplex06", "omnetpp06", "lbm06", "libquantum06", "milc06",
+		"povray06", "namd06", "gamess06", "hmmer06", "gobmk06", "sjeng06",
+	}
+	w := workloadOf(t, names...)
+	p, err := KPart{}.Decide(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(12, w.Plat.Ways); err != nil {
+		t.Fatalf("%v (%s)", err, p.Canonical())
+	}
+	if len(p.Clusters) > w.Plat.Ways {
+		t.Error("more clusters than ways")
+	}
+}
+
+func TestLFOCStaticIsolatesStreaming(t *testing.T) {
+	w := workloadOf(t, "xalancbmk06", "soplex06", "lbm06", "libquantum06", "povray06")
+	p, err := LFOCStatic{}.Decide(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(5, w.Plat.Ways); err != nil {
+		t.Fatalf("%v (%s)", err, p.Canonical())
+	}
+	// lbm (2) and libquantum (3) must share a small cluster.
+	ci := p.ClusterOf(2)
+	if ci != p.ClusterOf(3) {
+		t.Errorf("streaming apps not co-located: %s", p.Canonical())
+	}
+	if p.Clusters[ci].Ways > 2 {
+		t.Errorf("streaming cluster too large: %s", p.Canonical())
+	}
+	// And LFOC must beat stock on unfairness for this mix.
+	stockPlan, _ := Stock{}.Decide(w)
+	if sLFOC, sStock := evaluate(t, w, p), evaluate(t, w, stockPlan); sLFOC.Unfairness >= sStock.Unfairness {
+		t.Errorf("LFOC unfairness %.3f >= stock %.3f", sLFOC.Unfairness, sStock.Unfairness)
+	}
+}
+
+func TestLFOCStaticClassificationMatchesOracle(t *testing.T) {
+	// The fixed-point classifier over converted tables must agree with
+	// the float Table 1 oracle for every catalog application.
+	plat := machine.Skylake()
+	crit := appmodel.DefaultCriteria()
+	params := core.DefaultParams(plat.Ways)
+	for _, name := range profiles.Names() {
+		spec := profiles.MustGet(name)
+		tbl := appmodel.DominantTable(spec, plat)
+		want := crit.Classify(tbl)
+		got := core.Classify(ProfileFromTable(tbl), &params)
+		if got.String() != want.String() {
+			t.Errorf("%s: fixed-point classifier says %v, oracle says %v", name, got, want)
+		}
+	}
+}
+
+func TestBestStaticBeatsStock(t *testing.T) {
+	w := workloadOf(t, "xalancbmk06", "soplex06", "lbm06", "povray06")
+	p, err := BestStatic{}.Decide(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(4, w.Plat.Ways); err != nil {
+		t.Fatal(err)
+	}
+	stockPlan, _ := Stock{}.Decide(w)
+	sBest := evaluate(t, w, p)
+	sStock := evaluate(t, w, stockPlan)
+	if sBest.Unfairness >= sStock.Unfairness {
+		t.Errorf("Best-Static unfairness %.3f >= stock %.3f", sBest.Unfairness, sStock.Unfairness)
+	}
+}
+
+func TestBestStaticAtLeastAsFairAsLFOC(t *testing.T) {
+	w := workloadOf(t, "xalancbmk06", "omnetpp06", "lbm06", "milc06", "povray06", "namd06")
+	pBest, err := BestStatic{}.Decide(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLFOC, err := LFOCStatic{}.Decide(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBest := evaluate(t, w, pBest)
+	sLFOC := evaluate(t, w, pLFOC)
+	// Allow solver-model mismatch slack: Best-Static scores candidates
+	// under a frozen bandwidth factor.
+	if sBest.Unfairness > sLFOC.Unfairness*1.05 {
+		t.Errorf("Best-Static (%.3f) clearly worse than LFOC (%.3f)", sBest.Unfairness, sLFOC.Unfairness)
+	}
+}
+
+func TestKPartCombineCostsReflectSharing(t *testing.T) {
+	w := workloadOf(t, "xalancbmk06", "lbm06")
+	sens := singleton(w, 0)
+	strm := singleton(w, 1)
+	merged := combine(w, sens, strm)
+	ways := w.Plat.Ways
+	if len(merged.members) != 2 {
+		t.Fatal("member bookkeeping wrong")
+	}
+	// Sharing a partition with a streaming app must cost the sensitive
+	// app IPC relative to owning the same partition alone.
+	if merged.ipc[ways][0] >= sens.ipc[ways][0] {
+		t.Errorf("sharing did not cost the sensitive app: %.3f vs %.3f",
+			merged.ipc[ways][0], sens.ipc[ways][0])
+	}
+	// Combined misses at full size at least match the sum of what both
+	// would produce with the same capacity split between them.
+	if merged.mpki[ways] <= 0 {
+		t.Error("combined miss curve empty")
+	}
+	// Miss curve monotone nonincreasing with more ways.
+	for ww := 2; ww <= ways; ww++ {
+		if merged.mpki[ww] > merged.mpki[ww-1]*1.02 {
+			t.Errorf("combined MPKI increases at %d ways", ww)
+		}
+	}
+}
+
+func TestCurveDistance(t *testing.T) {
+	a := []float64{0, 10, 5, 2}
+	if d := curveDistance(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	b := []float64{0, 10, 10, 10} // flat
+	if d := curveDistance(a, b); d <= 0 {
+		t.Errorf("distinct curves distance = %v", d)
+	}
+	// Scale invariance: 2x curve has zero distance.
+	c := []float64{0, 20, 10, 4}
+	if d := curveDistance(a, c); d > 1e-9 {
+		t.Errorf("scaled curve distance = %v", d)
+	}
+}

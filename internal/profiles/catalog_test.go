@@ -1,0 +1,174 @@
+package profiles
+
+import (
+	"testing"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/machine"
+)
+
+func TestCatalogSize(t *testing.T) {
+	// Fig. 5 draws from 34 SPEC benchmarks.
+	if got := len(Names()); got != 34 {
+		t.Errorf("catalog has %d entries, want 34", got)
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	for _, name := range Names() {
+		if err := MustGet(name).Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nonexistent"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet should panic")
+		}
+	}()
+	MustGet("nonexistent")
+}
+
+// The catalog's ground-truth classes must agree with the Table 1 criteria
+// applied to each app's dominant-phase profile on the Skylake platform —
+// this is the contract the whole evaluation rests on.
+func TestCatalogClassesMatchTable1(t *testing.T) {
+	plat := machine.Skylake()
+	crit := appmodel.DefaultCriteria()
+	for _, name := range Names() {
+		spec := MustGet(name)
+		tbl := appmodel.DominantTable(spec, plat)
+		if got := crit.Classify(tbl); got != spec.Class {
+			curve := tbl.SlowdownCurve()
+			t.Errorf("%s: classified %v, catalog says %v (slowdown@1=%.3f @2=%.3f mpkc@1=%.1f mpkc@11=%.1f)",
+				name, got, spec.Class, curve[1], curve[2], tbl.MPKC[1], tbl.MPKC[plat.Ways])
+		}
+	}
+}
+
+func TestClassPopulations(t *testing.T) {
+	st := ByClass(appmodel.ClassStreaming)
+	se := ByClass(appmodel.ClassSensitive)
+	li := ByClass(appmodel.ClassLight)
+	if len(st) < 5 {
+		t.Errorf("only %d streaming apps", len(st))
+	}
+	if len(se) < 6 {
+		t.Errorf("only %d sensitive apps", len(se))
+	}
+	if len(li) < 12 {
+		t.Errorf("only %d light apps", len(li))
+	}
+	if len(st)+len(se)+len(li) != len(Names()) {
+		t.Error("class partition incomplete")
+	}
+}
+
+func TestPhasedApps(t *testing.T) {
+	ph := Phased()
+	want := map[string]bool{
+		"fotonik3d17": true, "mcf06": true, "astar06": true,
+		"xz17": true, "xalancbmk17": true,
+	}
+	if len(ph) != len(want) {
+		t.Errorf("phased apps = %v", ph)
+	}
+	for _, n := range ph {
+		if !want[n] {
+			t.Errorf("unexpected phased app %s", n)
+		}
+	}
+}
+
+// Fig. 1 fidelity: lbm must be flat with high MPKC; xalancbmk must show a
+// steep slowdown curve with moderate MPKC at 1 way.
+func TestFig1Shapes(t *testing.T) {
+	plat := machine.Skylake()
+	lbm := appmodel.DominantTable(MustGet("lbm06"), plat)
+	xal := appmodel.DominantTable(MustGet("xalancbmk06"), plat)
+
+	if sd := lbm.Slowdown(1); sd > 1.06 {
+		t.Errorf("lbm slowdown at 1 way = %.3f, want ~1.0", sd)
+	}
+	if lbm.MPKC[1] < 15 {
+		t.Errorf("lbm MPKC = %.1f, want >= 15", lbm.MPKC[1])
+	}
+	if sd := xal.Slowdown(1); sd < 1.5 || sd > 2.5 {
+		t.Errorf("xalancbmk slowdown at 1 way = %.3f, want ~1.8", sd)
+	}
+	if xal.MPKC[1] < 5 || xal.MPKC[1] > 16 {
+		t.Errorf("xalancbmk MPKC at 1 way = %.1f, want ~10", xal.MPKC[1])
+	}
+	if xal.MPKC[plat.Ways] > 4 {
+		t.Errorf("xalancbmk MPKC at full LLC = %.1f, want small", xal.MPKC[plat.Ways])
+	}
+}
+
+// Fig. 4 fidelity: fotonik3d starts light (low MPKC) and transitions to
+// streaming (high MPKC).
+func TestFig4FotonikPhases(t *testing.T) {
+	plat := machine.Skylake()
+	spec := MustGet("fotonik3d17")
+	if len(spec.Phases) != 2 {
+		t.Fatal("fotonik3d should have 2 phases")
+	}
+	crit := appmodel.DefaultCriteria()
+	setup := appmodel.BuildTable(&spec.Phases[0], plat)
+	stream := appmodel.BuildTable(&spec.Phases[1], plat)
+	if got := crit.Classify(setup); got != appmodel.ClassLight {
+		t.Errorf("setup phase classified %v, want light", got)
+	}
+	if got := crit.Classify(stream); got != appmodel.ClassStreaming {
+		t.Errorf("stream phase classified %v, want streaming", got)
+	}
+	if setup.MPKC[plat.Ways] > 5 || stream.MPKC[plat.Ways] < 10 {
+		t.Error("fotonik3d MPKC phase contrast missing")
+	}
+}
+
+// Streaming apps must keep LLCMPKC >= 10 at every allocation so Table 1's
+// witness condition has room to fire during online sampling.
+func TestStreamingAppsHaveHighMPKC(t *testing.T) {
+	plat := machine.Skylake()
+	for _, name := range ByClass(appmodel.ClassStreaming) {
+		tbl := appmodel.DominantTable(MustGet(name), plat)
+		if tbl.MPKC[1] < 10 {
+			t.Errorf("%s: MPKC at 1 way = %.1f, want >= 10", name, tbl.MPKC[1])
+		}
+	}
+}
+
+// Sensitive apps must lose at least 5% performance somewhere at >= 2 ways
+// but recover at full allocation.
+func TestSensitiveAppsCurves(t *testing.T) {
+	plat := machine.Skylake()
+	for _, name := range ByClass(appmodel.ClassSensitive) {
+		tbl := appmodel.DominantTable(MustGet(name), plat)
+		if tbl.Slowdown(2) < 1.05 {
+			t.Errorf("%s: slowdown at 2 ways = %.3f, want >= 1.05", name, tbl.Slowdown(2))
+		}
+		if tbl.Slowdown(plat.Ways) != 1 {
+			t.Errorf("%s: slowdown at full LLC != 1", name)
+		}
+	}
+}
+
+// The Dunn confusion the paper reports (§5.1): streaming aggressors show
+// STALLS_L2_MISS fractions comparable to highly sensitive apps, so a
+// stalls-only policy cannot tell them apart.
+func TestDunnConfusionExists(t *testing.T) {
+	plat := machine.Skylake()
+	gems := appmodel.DominantTable(MustGet("gemsfdtd06"), plat)
+	sopl := appmodel.DominantTable(MustGet("soplex06"), plat)
+	// Compare stall fractions when sharing (few effective ways each).
+	g, s := gems.StallFrac[2], sopl.StallFrac[2]
+	ratio := g / s
+	if ratio < 0.6 || ratio > 1.8 {
+		t.Errorf("stall fractions too different (gems=%.2f soplex=%.2f); Dunn confusion would not occur", g, s)
+	}
+}

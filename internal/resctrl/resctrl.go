@@ -1,0 +1,337 @@
+// Package resctrl emulates the Linux resctrl filesystem interface to
+// Intel CAT — the control surface a production deployment of LFOC would
+// sit behind (the kernel's /sys/fs/resctrl, also wrapped by userland
+// libraries such as intel/goresctrl).
+//
+// The emulation covers the subset the paper's system needs:
+//
+//   - resource groups (directories) holding a task list and an L3
+//     "schemata" line of the form "L3:0=7ff;1=7ff";
+//   - schemata parsing/formatting with the kernel's validation rules
+//     (hex CBM, contiguous bits, minimum width);
+//   - task assignment semantics (a task lives in exactly one group; the
+//     default group holds every unassigned task);
+//   - monitoring hooks mirroring resctrl's mon_data (llc_occupancy).
+//
+// Internally every group maps to one class of service of a cat.Controller,
+// so policies written against this API drive exactly the same CAT model
+// as the rest of the repository, and a real-kernel backend could be
+// substituted without touching policy code.
+package resctrl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/faircache/lfoc/internal/cat"
+)
+
+// Group is one resctrl resource group.
+type Group struct {
+	name  string
+	cos   cat.COSID
+	tasks map[cat.TaskID]bool
+}
+
+// Name returns the group's directory name.
+func (g *Group) Name() string { return g.name }
+
+// Tasks returns the group's task list in ascending order (the "tasks"
+// file).
+func (g *Group) Tasks() []cat.TaskID {
+	out := make([]cat.TaskID, 0, len(g.tasks))
+	for t := range g.tasks {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FS is the emulated resctrl filesystem root.
+type FS struct {
+	ctrl     *cat.Controller
+	cacheIDs []int // L3 cache domains (sockets)
+	groups   map[string]*Group
+	nextCOS  cat.COSID
+	occFn    func(cat.TaskID) uint64
+}
+
+// NewFS mounts an emulated resctrl over a CAT controller. cacheIDs lists
+// the L3 domains (one per socket; the paper's testbed uses one). occFn,
+// if non-nil, backs the llc_occupancy monitoring files.
+func NewFS(ctrl *cat.Controller, cacheIDs []int, occFn func(cat.TaskID) uint64) (*FS, error) {
+	if ctrl == nil {
+		return nil, fmt.Errorf("resctrl: nil controller")
+	}
+	if len(cacheIDs) == 0 {
+		cacheIDs = []int{0}
+	}
+	fs := &FS{
+		ctrl:     ctrl,
+		cacheIDs: append([]int(nil), cacheIDs...),
+		groups:   map[string]*Group{},
+		nextCOS:  1,
+		occFn:    occFn,
+	}
+	fs.groups[""] = &Group{name: "", cos: 0, tasks: map[cat.TaskID]bool{}}
+	return fs, nil
+}
+
+// DefaultGroup returns the root group (COS 0).
+func (fs *FS) DefaultGroup() *Group { return fs.groups[""] }
+
+// Groups lists the group names (excluding the default root), sorted.
+func (fs *FS) Groups() []string {
+	out := make([]string, 0, len(fs.groups)-1)
+	for n := range fs.groups {
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// validName mirrors the kernel's directory-name restrictions.
+func validName(name string) bool {
+	if name == "" || name == "." || name == ".." || len(name) > 64 {
+		return false
+	}
+	for _, r := range name {
+		ok := r == '_' || r == '-' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MkGroup creates a resource group (mkdir). The group starts with the
+// full-LLC schemata, like the kernel's default.
+func (fs *FS) MkGroup(name string) (*Group, error) {
+	if !validName(name) {
+		return nil, fmt.Errorf("resctrl: invalid group name %q", name)
+	}
+	if _, dup := fs.groups[name]; dup {
+		return nil, fmt.Errorf("resctrl: group %q exists", name)
+	}
+	if int(fs.nextCOS) >= fs.ctrl.NumCOS() {
+		return nil, fmt.Errorf("resctrl: out of hardware CLOSIDs (%d)", fs.ctrl.NumCOS())
+	}
+	cos := fs.nextCOS
+	fs.nextCOS++
+	if err := fs.ctrl.SetCOS(cos, cat.FullMask(fs.ctrl.Ways())); err != nil {
+		return nil, err
+	}
+	g := &Group{name: name, cos: cos, tasks: map[cat.TaskID]bool{}}
+	fs.groups[name] = g
+	return g, nil
+}
+
+// RmGroup removes a group (rmdir); its tasks fall back to the default
+// group, as in the kernel.
+func (fs *FS) RmGroup(name string) error {
+	g, ok := fs.groups[name]
+	if !ok || name == "" {
+		return fmt.Errorf("resctrl: no such group %q", name)
+	}
+	def := fs.groups[""]
+	for t := range g.tasks {
+		def.tasks[t] = true
+		if err := fs.ctrl.Assign(t, 0); err != nil {
+			return err
+		}
+	}
+	delete(fs.groups, name)
+	return nil
+}
+
+// AssignTask moves a task into a group (writing to the "tasks" file).
+func (fs *FS) AssignTask(task cat.TaskID, group string) error {
+	g, ok := fs.groups[group]
+	if !ok {
+		return fmt.Errorf("resctrl: no such group %q", group)
+	}
+	for _, other := range fs.groups {
+		delete(other.tasks, task)
+	}
+	g.tasks[task] = true
+	return fs.ctrl.Assign(task, g.cos)
+}
+
+// GroupOf returns the name of the group holding the task ("" = default).
+func (fs *FS) GroupOf(task cat.TaskID) string {
+	for name, g := range fs.groups {
+		if g.tasks[task] {
+			return name
+		}
+	}
+	return ""
+}
+
+// WriteSchemata programs a group's L3 schemata from its textual form,
+// e.g. "L3:0=7ff;1=3".
+func (fs *FS) WriteSchemata(group, schemata string) error {
+	g, ok := fs.groups[group]
+	if !ok {
+		return fmt.Errorf("resctrl: no such group %q", group)
+	}
+	masks, err := ParseSchemata(schemata)
+	if err != nil {
+		return err
+	}
+	// Validate coverage: every configured domain must exist.
+	for id := range masks {
+		if !fs.hasDomain(id) {
+			return fmt.Errorf("resctrl: unknown cache id %d", id)
+		}
+	}
+	// This model has a single COS table shared by all domains; the
+	// kernel programs per-domain masks. We require all domains to agree
+	// (the only mode the paper uses) and program the controller once.
+	var mask cat.WayMask
+	first := true
+	for _, m := range masks {
+		if first {
+			mask = m
+			first = false
+		} else if m != mask {
+			return fmt.Errorf("resctrl: per-domain masks differ; this model supports uniform masks only")
+		}
+	}
+	if first {
+		return fmt.Errorf("resctrl: schemata has no L3 line")
+	}
+	return fs.ctrl.SetCOS(g.cos, mask)
+}
+
+// ReadSchemata renders a group's current schemata line.
+func (fs *FS) ReadSchemata(group string) (string, error) {
+	g, ok := fs.groups[group]
+	if !ok {
+		return "", fmt.Errorf("resctrl: no such group %q", group)
+	}
+	mask, err := fs.ctrl.COSMask(g.cos)
+	if err != nil {
+		return "", err
+	}
+	return FormatSchemata(fs.cacheIDs, mask), nil
+}
+
+// LLCOccupancy returns the mon_data llc_occupancy reading for a group:
+// the sum of its tasks' occupancy.
+func (fs *FS) LLCOccupancy(group string) (uint64, error) {
+	g, ok := fs.groups[group]
+	if !ok {
+		return 0, fmt.Errorf("resctrl: no such group %q", group)
+	}
+	if fs.occFn == nil {
+		return 0, fmt.Errorf("resctrl: monitoring not available")
+	}
+	var total uint64
+	for t := range g.tasks {
+		total += fs.occFn(t)
+	}
+	return total, nil
+}
+
+func (fs *FS) hasDomain(id int) bool {
+	for _, d := range fs.cacheIDs {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseSchemata parses an "L3:<id>=<hexmask>;<id>=<hexmask>" line into
+// per-domain masks.
+func ParseSchemata(s string) (map[int]cat.WayMask, error) {
+	s = strings.TrimSpace(s)
+	rest, ok := strings.CutPrefix(s, "L3:")
+	if !ok {
+		return nil, fmt.Errorf("resctrl: schemata %q does not start with \"L3:\"", s)
+	}
+	out := map[int]cat.WayMask{}
+	for _, part := range strings.Split(rest, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("resctrl: malformed schemata element %q", part)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil {
+			return nil, fmt.Errorf("resctrl: bad cache id %q: %v", kv[0], err)
+		}
+		raw, err := strconv.ParseUint(strings.TrimSpace(kv[1]), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("resctrl: bad CBM %q: %v", kv[1], err)
+		}
+		mask := cat.WayMask(raw)
+		if mask == 0 || !mask.Contiguous() {
+			return nil, fmt.Errorf("resctrl: CBM %#x must be a nonempty contiguous mask", raw)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("resctrl: duplicate cache id %d", id)
+		}
+		out[id] = mask
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("resctrl: empty schemata")
+	}
+	return out, nil
+}
+
+// FormatSchemata renders the same mask for every cache domain.
+func FormatSchemata(cacheIDs []int, mask cat.WayMask) string {
+	parts := make([]string, 0, len(cacheIDs))
+	ids := append([]int(nil), cacheIDs...)
+	sort.Ints(ids)
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("%d=%x", id, uint32(mask)))
+	}
+	return "L3:" + strings.Join(parts, ";")
+}
+
+// ApplyPlanMasks programs a whole clustering decision through the
+// filesystem interface: one group per cluster named cluster0..N, tasks
+// assigned per the mapping. Existing clusterN groups are reused or
+// created; surplus ones are removed. This is how a userland LFOC daemon
+// would enforce plans.
+func (fs *FS) ApplyPlanMasks(masks []cat.WayMask, members [][]cat.TaskID) error {
+	if len(masks) != len(members) {
+		return fmt.Errorf("resctrl: %d masks for %d member lists", len(masks), len(members))
+	}
+	for ci, mask := range masks {
+		name := fmt.Sprintf("cluster%d", ci)
+		if _, ok := fs.groups[name]; !ok {
+			if _, err := fs.MkGroup(name); err != nil {
+				return err
+			}
+		}
+		if err := fs.WriteSchemata(name, FormatSchemata(fs.cacheIDs, mask)); err != nil {
+			return err
+		}
+		for _, t := range members[ci] {
+			if err := fs.AssignTask(t, name); err != nil {
+				return err
+			}
+		}
+	}
+	// Remove stale cluster groups beyond the plan.
+	for _, name := range fs.Groups() {
+		var idx int
+		if n, err := fmt.Sscanf(name, "cluster%d", &idx); err == nil && n == 1 && idx >= len(masks) {
+			if err := fs.RmGroup(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

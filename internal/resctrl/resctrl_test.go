@@ -1,0 +1,287 @@
+package resctrl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/faircache/lfoc/internal/cat"
+)
+
+func newFS(t *testing.T) (*FS, *cat.Controller) {
+	t.Helper()
+	ctrl, err := cat.NewController(11, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFS(ctrl, []int{0}, func(task cat.TaskID) uint64 { return uint64(task) * 1000 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, ctrl
+}
+
+func TestParseSchemata(t *testing.T) {
+	m, err := ParseSchemata("L3:0=7ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != cat.FullMask(11) {
+		t.Errorf("mask = %x", uint32(m[0]))
+	}
+	m, err = ParseSchemata("L3:0=ff0;1=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != cat.MaskRange(4, 8) || m[1] != cat.MaskRange(0, 2) {
+		t.Errorf("masks = %v", m)
+	}
+}
+
+func TestParseSchemataErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"L2:0=f",
+		"L3:",
+		"L3:0",
+		"L3:x=f",
+		"L3:0=zz",
+		"L3:0=0",     // empty CBM
+		"L3:0=5",     // non-contiguous
+		"L3:0=f;0=f", // duplicate id
+	} {
+		if _, err := ParseSchemata(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestFormatSchemata(t *testing.T) {
+	s := FormatSchemata([]int{1, 0}, cat.MaskRange(0, 4))
+	if s != "L3:0=f;1=f" {
+		t.Errorf("schemata = %q", s)
+	}
+}
+
+func TestGroupLifecycle(t *testing.T) {
+	fs, ctrl := newFS(t)
+	g, err := fs.MkGroup("lfoc_stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "lfoc_stream" {
+		t.Error("name wrong")
+	}
+	// New group defaults to the full mask.
+	s, err := fs.ReadSchemata("lfoc_stream")
+	if err != nil || s != "L3:0=7ff" {
+		t.Errorf("schemata = %q, %v", s, err)
+	}
+	if err := fs.WriteSchemata("lfoc_stream", "L3:0=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AssignTask(42, "lfoc_stream"); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.MaskOf(42) != cat.MaskRange(0, 1) {
+		t.Error("mask did not reach the CAT controller")
+	}
+	if fs.GroupOf(42) != "lfoc_stream" {
+		t.Error("GroupOf wrong")
+	}
+	// Removing the group returns its tasks to the default group.
+	if err := fs.RmGroup("lfoc_stream"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.GroupOf(42) != "" {
+		t.Error("task not returned to default group")
+	}
+	if ctrl.MaskOf(42) != cat.FullMask(11) {
+		t.Error("task mask not reset")
+	}
+}
+
+func TestGroupErrors(t *testing.T) {
+	fs, _ := newFS(t)
+	if _, err := fs.MkGroup("bad name"); err == nil {
+		t.Error("space in name accepted")
+	}
+	if _, err := fs.MkGroup(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := fs.MkGroup("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.MkGroup("a"); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := fs.RmGroup("zzz"); err == nil {
+		t.Error("removing unknown group accepted")
+	}
+	if err := fs.RmGroup(""); err == nil {
+		t.Error("removing root accepted")
+	}
+	if err := fs.AssignTask(1, "zzz"); err == nil {
+		t.Error("assigning to unknown group accepted")
+	}
+	if err := fs.WriteSchemata("zzz", "L3:0=f"); err == nil {
+		t.Error("schemata on unknown group accepted")
+	}
+	if err := fs.WriteSchemata("a", "L3:9=f"); err == nil {
+		t.Error("unknown cache id accepted")
+	}
+	if _, err := fs.ReadSchemata("zzz"); err == nil {
+		t.Error("read on unknown group accepted")
+	}
+}
+
+func TestCLOSIDExhaustion(t *testing.T) {
+	ctrl, _ := cat.NewController(11, 3, 1) // COS 0 + 2 usable
+	fs, _ := NewFS(ctrl, nil, nil)
+	if _, err := fs.MkGroup("g1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.MkGroup("g2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.MkGroup("g3"); err == nil {
+		t.Error("CLOSID exhaustion not detected")
+	}
+}
+
+func TestTaskMovesBetweenGroups(t *testing.T) {
+	fs, ctrl := newFS(t)
+	_, _ = fs.MkGroup("a")
+	_, _ = fs.MkGroup("b")
+	_ = fs.WriteSchemata("a", "L3:0=3")
+	_ = fs.WriteSchemata("b", "L3:0=7f8")
+	_ = fs.AssignTask(7, "a")
+	_ = fs.AssignTask(7, "b")
+	if fs.GroupOf(7) != "b" {
+		t.Error("task not moved")
+	}
+	if ctrl.MaskOf(7) != cat.MaskRange(3, 8) {
+		t.Errorf("mask = %s", ctrl.MaskOf(7))
+	}
+	// Exactly one group holds the task.
+	count := 0
+	for _, name := range append(fs.Groups(), "") {
+		g := fs.DefaultGroup()
+		if name != "" {
+			for _, tsk := range fsGroupTasks(fs, name) {
+				if tsk == 7 {
+					count++
+				}
+			}
+			continue
+		}
+		for _, tsk := range g.Tasks() {
+			if tsk == 7 {
+				count++
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("task appears in %d groups", count)
+	}
+}
+
+func fsGroupTasks(fs *FS, name string) []cat.TaskID {
+	for _, n := range fs.Groups() {
+		if n == name {
+			// reach through AssignTask bookkeeping via GroupOf
+			var out []cat.TaskID
+			for t := cat.TaskID(0); t < 100; t++ {
+				if fs.GroupOf(t) == name {
+					out = append(out, t)
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+func TestLLCOccupancy(t *testing.T) {
+	fs, _ := newFS(t)
+	_, _ = fs.MkGroup("g")
+	_ = fs.AssignTask(3, "g")
+	_ = fs.AssignTask(4, "g")
+	occ, err := fs.LLCOccupancy("g")
+	if err != nil || occ != 7000 {
+		t.Errorf("occupancy = %d, %v", occ, err)
+	}
+	if _, err := fs.LLCOccupancy("zzz"); err == nil {
+		t.Error("unknown group accepted")
+	}
+	noMon, _ := NewFS(mustCtrl(t), nil, nil)
+	_, _ = noMon.MkGroup("g")
+	if _, err := noMon.LLCOccupancy("g"); err == nil {
+		t.Error("missing monitoring not reported")
+	}
+}
+
+func mustCtrl(t *testing.T) *cat.Controller {
+	t.Helper()
+	c, err := cat.NewController(11, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestApplyPlanMasks(t *testing.T) {
+	fs, ctrl := newFS(t)
+	masks := []cat.WayMask{cat.MaskRange(0, 1), cat.MaskRange(1, 10)}
+	members := [][]cat.TaskID{{1, 2}, {3}}
+	if err := fs.ApplyPlanMasks(masks, members); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.MaskOf(1) != masks[0] || ctrl.MaskOf(2) != masks[0] || ctrl.MaskOf(3) != masks[1] {
+		t.Error("plan masks not applied")
+	}
+	if got := fs.Groups(); len(got) != 2 {
+		t.Errorf("groups = %v", got)
+	}
+	// A smaller follow-up plan removes the stale group.
+	if err := fs.ApplyPlanMasks(masks[:1], members[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Groups(); len(got) != 1 || got[0] != "cluster0" {
+		t.Errorf("groups after shrink = %v", got)
+	}
+	// Mismatched inputs rejected.
+	if err := fs.ApplyPlanMasks(masks, members[:1]); err == nil {
+		t.Error("mismatched inputs accepted")
+	}
+}
+
+// Property: Format→Parse round-trips any contiguous mask.
+func TestQuickSchemataRoundTrip(t *testing.T) {
+	f := func(lo8, c8 uint8) bool {
+		lo, c := int(lo8%10), int(c8%10)+1
+		if lo+c > 11 {
+			c = 11 - lo
+		}
+		if c < 1 {
+			return true
+		}
+		mask := cat.MaskRange(lo, c)
+		s := FormatSchemata([]int{0}, mask)
+		m, err := ParseSchemata(s)
+		return err == nil && m[0] == mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewFSValidation(t *testing.T) {
+	if _, err := NewFS(nil, nil, nil); err == nil {
+		t.Error("nil controller accepted")
+	}
+	fs, _ := NewFS(mustCtrl(t), nil, nil)
+	if s, err := fs.ReadSchemata(""); err != nil || !strings.HasPrefix(s, "L3:0=") {
+		t.Errorf("default schemata = %q, %v", s, err)
+	}
+}

@@ -1,0 +1,40 @@
+package sharing
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/plan"
+)
+
+// EvaluatePlan estimates the per-application slowdown of a workload under
+// a clustering plan, with each application represented by one steady
+// phase. Slowdowns are relative to running alone with the whole LLC and
+// unloaded memory — the Eq. (2) baseline. This is the static-evaluation
+// path used by the Fig. 6 experiments and by the optimal solver's final
+// candidate scoring.
+func EvaluatePlan(m *Model, phases []*appmodel.PhaseSpec, p plan.Plan) ([]float64, error) {
+	n := len(phases)
+	if err := p.Validate(n, m.Plat.Ways); err != nil {
+		return nil, err
+	}
+	masks, err := p.AppMasks(n, m.Plat.Ways)
+	if err != nil {
+		return nil, err
+	}
+	apps := make([]App, n)
+	for i := 0; i < n; i++ {
+		apps[i] = App{ID: i, Phase: phases[i], Mask: masks[i]}
+	}
+	res := m.Evaluate(apps)
+	slow := make([]float64, n)
+	for i := 0; i < n; i++ {
+		alone := appmodel.PhasePerf(phases[i], m.Plat, m.Plat.LLCBytes(), 1)
+		r, ok := res[i]
+		if !ok || r.Perf.IPC <= 0 {
+			return nil, fmt.Errorf("sharing: no result for app %d", i)
+		}
+		slow[i] = alone.IPC / r.Perf.IPC
+	}
+	return slow, nil
+}

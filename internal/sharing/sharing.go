@@ -1,0 +1,249 @@
+// Package sharing estimates co-run performance: what each application
+// achieves when several of them run simultaneously under a given CAT
+// configuration.
+//
+// It is the counterpart of the probabilistic performance model inside the
+// authors' PBBCache simulator [8][15]: offline per-size profiles in,
+// per-application slowdown out. Two contention mechanisms are modeled:
+//
+//  1. Cache-space competition. Applications whose masks overlap compete
+//     for the ways they share. Under LRU, steady-state occupancy is
+//     approximately proportional to each competitor's line-insertion rate
+//     (miss rate × access rate): a streaming program inserts constantly
+//     and grabs space even though it gains nothing, which is precisely the
+//     aggression LFOC is designed to contain. We compute a damped
+//     fixed-point of share ∝ insertion-rate, with each application's share
+//     capped by its own mask capacity (masks may overlap partially, as
+//     Dunn's do).
+//
+//  2. Memory bandwidth saturation. The sum of DRAM demands may exceed the
+//     platform's sustainable bandwidth; when it does, every application's
+//     exposed memory latency inflates by the overcommit factor (the
+//     Morad-style model PBBCache borrows). Demand shrinks as latency
+//     grows, so we iterate the inflation factor to its fixed point.
+//
+// Within a sharing group (a connected component of mask overlap) the
+// model is exact in capacity: shares sum to the capacity of the union of
+// masks. Applications in different groups interact only through the
+// bandwidth term.
+package sharing
+
+import (
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/cat"
+	"github.com/faircache/lfoc/internal/machine"
+)
+
+// App is one co-running application: its current phase parameters and its
+// effective CAT mask.
+type App struct {
+	ID    int
+	Phase *appmodel.PhaseSpec
+	Mask  cat.WayMask
+}
+
+// Result is the model's estimate for one application.
+type Result struct {
+	Perf appmodel.Perf
+	// ShareBytes is the LLC space the application ends up holding — the
+	// model's analogue of a CMT occupancy reading.
+	ShareBytes uint64
+}
+
+// Model evaluates co-run configurations on a platform.
+type Model struct {
+	Plat *machine.Platform
+	// CacheIters bounds the share fixed-point iterations (default 30).
+	CacheIters int
+	// BWIters bounds the bandwidth fixed-point iterations (default 6).
+	BWIters int
+	// Damping in (0,1] blends successive share estimates (default 0.5).
+	Damping float64
+}
+
+// NewModel returns a model with default iteration parameters.
+func NewModel(plat *machine.Platform) *Model {
+	return &Model{Plat: plat, CacheIters: 30, BWIters: 6, Damping: 0.5}
+}
+
+// Evaluate computes the equilibrium performance of the given co-running
+// applications. The returned map is keyed by App.ID.
+func (m *Model) Evaluate(apps []App) map[int]Result {
+	res, _ := m.evaluate(apps, nil)
+	return res
+}
+
+// EvaluateAtScale computes the cache-share equilibrium under a fixed
+// memory-latency inflation factor, skipping the bandwidth fixed point.
+// The optimal solver uses this to keep candidate evaluation cheap and
+// decomposable: it freezes the workload-level factor once (see MemScale)
+// and scores every clustering candidate under it.
+func (m *Model) EvaluateAtScale(apps []App, memScale float64) map[int]Result {
+	if memScale < 1 {
+		memScale = 1
+	}
+	res, _ := m.evaluate(apps, &memScale)
+	return res
+}
+
+// MemScale returns the converged bandwidth latency-inflation factor for a
+// co-run configuration (1 = memory unsaturated).
+func (m *Model) MemScale(apps []App) float64 {
+	_, scale := m.evaluate(apps, nil)
+	return scale
+}
+
+// evaluate runs the full model; when fixedScale is non-nil the bandwidth
+// loop is skipped and *fixedScale is used throughout.
+func (m *Model) evaluate(apps []App, fixedScale *float64) (map[int]Result, float64) {
+	cacheIters := m.CacheIters
+	if cacheIters <= 0 {
+		cacheIters = 30
+	}
+	bwIters := m.BWIters
+	if bwIters <= 0 {
+		bwIters = 6
+	}
+	damping := m.Damping
+	if damping <= 0 || damping > 1 {
+		damping = 0.5
+	}
+
+	n := len(apps)
+	shares := make([]float64, n)
+	masks := make([]cat.WayMask, n)
+	for i, a := range apps {
+		masks[i] = a.Mask
+	}
+	groups := cat.SharingGroups(masks)
+
+	memScale := 1.0
+	if fixedScale != nil {
+		memScale = *fixedScale
+		bwIters = 1
+	}
+	var perfs []appmodel.Perf
+	for bw := 0; bw < bwIters; bw++ {
+		// Cache-share equilibrium per sharing group at current memScale.
+		for _, g := range groups {
+			m.groupShares(apps, g, shares, memScale, cacheIters, damping)
+		}
+		// Bandwidth fixed point: demand at current shares.
+		perfs = make([]appmodel.Perf, n)
+		total := 0.0
+		for i, a := range apps {
+			perfs[i] = appmodel.PhasePerf(a.Phase, m.Plat, uint64(shares[i]), memScale)
+			total += perfs[i].Bandwidth
+		}
+		if fixedScale != nil {
+			break
+		}
+		over := total / float64(m.Plat.MaxBandwidth)
+		if over <= 1 {
+			if memScale == 1 {
+				break
+			}
+			// Demand dropped below saturation: relax toward 1.
+			memScale = 1 + (memScale-1)*0.5
+			continue
+		}
+		memScale *= over
+	}
+
+	out := make(map[int]Result, n)
+	for i, a := range apps {
+		out[a.ID] = Result{Perf: perfs[i], ShareBytes: uint64(shares[i])}
+	}
+	return out, memScale
+}
+
+// groupShares computes the capacity split inside one sharing group.
+func (m *Model) groupShares(apps []App, group []int, shares []float64, memScale float64, iters int, damping float64) {
+	var union cat.WayMask
+	for _, i := range group {
+		union |= apps[i].Mask
+	}
+	capacity := float64(uint64(union.Count()) * m.Plat.WayBytes)
+
+	if len(group) == 1 {
+		i := group[0]
+		shares[i] = float64(uint64(apps[i].Mask.Count()) * m.Plat.WayBytes)
+		return
+	}
+
+	// Initialize equally, capped by own-mask capacity.
+	caps := make([]float64, len(group))
+	for gi, i := range group {
+		caps[gi] = float64(uint64(apps[i].Mask.Count()) * m.Plat.WayBytes)
+		s := capacity / float64(len(group))
+		if s > caps[gi] {
+			s = caps[gi]
+		}
+		shares[i] = s
+	}
+
+	const floorBytes = 64 * 1024 // an app always holds a few lines
+	pressure := make([]float64, len(group))
+	for it := 0; it < iters; it++ {
+		for gi, i := range group {
+			p := appmodel.PhasePerf(apps[i].Phase, m.Plat, uint64(shares[i]), memScale)
+			// Line-insertion rate: misses per second.
+			pressure[gi] = p.Bandwidth/float64(m.Plat.LineBytes) + 1 // +1 avoids all-zero
+		}
+		target := waterfill(capacity, pressure, caps, floorBytes)
+		for gi, i := range group {
+			shares[i] = (1-damping)*shares[i] + damping*target[gi]
+		}
+	}
+}
+
+// waterfill distributes capacity proportionally to pressure, capping each
+// recipient at caps[i] (but never below floor) and redistributing capped
+// excess among the rest.
+func waterfill(capacity float64, pressure, caps []float64, floor float64) []float64 {
+	n := len(pressure)
+	out := make([]float64, n)
+	active := make([]bool, n)
+	remaining := capacity
+	totalP := 0.0
+	for i := range pressure {
+		active[i] = true
+		totalP += pressure[i]
+	}
+	for round := 0; round < n; round++ {
+		if totalP <= 0 || remaining <= 0 {
+			break
+		}
+		capped := false
+		for i := range pressure {
+			if !active[i] {
+				continue
+			}
+			want := remaining * pressure[i] / totalP
+			if want >= caps[i] {
+				out[i] = caps[i]
+				active[i] = false
+				remaining -= caps[i]
+				totalP -= pressure[i]
+				capped = true
+			}
+		}
+		if !capped {
+			for i := range pressure {
+				if active[i] {
+					out[i] = remaining * pressure[i] / totalP
+				}
+			}
+			break
+		}
+	}
+	for i := range out {
+		if out[i] < floor {
+			out[i] = floor
+		}
+		if out[i] > caps[i] {
+			out[i] = caps[i]
+		}
+	}
+	return out
+}

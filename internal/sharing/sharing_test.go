@@ -1,0 +1,259 @@
+package sharing
+
+import (
+	"math"
+	"testing"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/cat"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/profiles"
+)
+
+func phaseOf(name string) *appmodel.PhaseSpec {
+	return &profiles.MustGet(name).Phases[0]
+}
+
+func TestSingleAppFullMaskMatchesAlone(t *testing.T) {
+	plat := machine.Skylake()
+	m := NewModel(plat)
+	ph := phaseOf("soplex06")
+	res := m.Evaluate([]App{{ID: 0, Phase: ph, Mask: cat.FullMask(plat.Ways)}})
+	alone := appmodel.PhasePerf(ph, plat, plat.LLCBytes(), 1)
+	got := res[0]
+	if math.Abs(got.Perf.IPC-alone.IPC) > 1e-9 {
+		t.Errorf("solo IPC = %v, want %v", got.Perf.IPC, alone.IPC)
+	}
+	if got.ShareBytes != plat.LLCBytes() {
+		t.Errorf("solo share = %d, want full LLC", got.ShareBytes)
+	}
+}
+
+func TestStreamingStealsSpaceFromSensitive(t *testing.T) {
+	plat := machine.Skylake()
+	m := NewModel(plat)
+	full := cat.FullMask(plat.Ways)
+	sens := phaseOf("xalancbmk06")
+	strm := phaseOf("lbm06")
+	res := m.Evaluate([]App{
+		{ID: 0, Phase: sens, Mask: full},
+		{ID: 1, Phase: strm, Mask: full},
+	})
+	// The streaming app inserts far more lines, so it must hold more
+	// space even though it gains nothing from it.
+	if res[1].ShareBytes <= res[0].ShareBytes {
+		t.Errorf("streaming share %d should exceed sensitive share %d",
+			res[1].ShareBytes, res[0].ShareBytes)
+	}
+	// Shares sum to the full capacity (within rounding).
+	sum := res[0].ShareBytes + res[1].ShareBytes
+	if math.Abs(float64(sum)-float64(plat.LLCBytes())) > float64(plat.LLCBytes())/100 {
+		t.Errorf("shares sum to %d, capacity %d", sum, plat.LLCBytes())
+	}
+	// The sensitive app suffers: its slowdown vs alone must be large.
+	alone := appmodel.PhasePerf(sens, plat, plat.LLCBytes(), 1)
+	sd := alone.IPC / res[0].Perf.IPC
+	if sd < 1.2 {
+		t.Errorf("sensitive slowdown when sharing with streaming = %v, want > 1.2", sd)
+	}
+	// The streaming app barely cares.
+	aloneS := appmodel.PhasePerf(strm, plat, plat.LLCBytes(), 1)
+	if sdS := aloneS.IPC / res[1].Perf.IPC; sdS > 1.3 {
+		t.Errorf("streaming slowdown = %v, should stay small", sdS)
+	}
+}
+
+func TestIsolationRestoresSensitivePerformance(t *testing.T) {
+	// Partitioning the streaming app into 1 way must give the sensitive
+	// app most of its alone performance back — the core LFOC mechanism.
+	plat := machine.Skylake()
+	m := NewModel(plat)
+	sens := phaseOf("xalancbmk06")
+	strm := phaseOf("lbm06")
+
+	sharedRes := m.Evaluate([]App{
+		{ID: 0, Phase: sens, Mask: cat.FullMask(plat.Ways)},
+		{ID: 1, Phase: strm, Mask: cat.FullMask(plat.Ways)},
+	})
+	isoRes := m.Evaluate([]App{
+		{ID: 0, Phase: sens, Mask: cat.MaskRange(1, plat.Ways-1)},
+		{ID: 1, Phase: strm, Mask: cat.MaskRange(0, 1)},
+	})
+	if isoRes[0].Perf.IPC <= sharedRes[0].Perf.IPC {
+		t.Errorf("isolation should improve the sensitive app: %v vs %v",
+			isoRes[0].Perf.IPC, sharedRes[0].Perf.IPC)
+	}
+	// And the sensitive app should now hold (nearly) its whole partition.
+	if isoRes[0].ShareBytes != uint64(plat.Ways-1)*plat.WayBytes {
+		t.Errorf("isolated sensitive share = %d", isoRes[0].ShareBytes)
+	}
+}
+
+func TestDisjointGroupsDoNotInteractThroughCache(t *testing.T) {
+	plat := machine.Skylake()
+	// Use light apps so bandwidth plays no role.
+	m := NewModel(plat)
+	l1 := phaseOf("povray06")
+	l2 := phaseOf("namd06")
+	together := m.Evaluate([]App{
+		{ID: 0, Phase: l1, Mask: cat.MaskRange(0, 5)},
+		{ID: 1, Phase: l2, Mask: cat.MaskRange(5, 6)},
+	})
+	aloneA := m.Evaluate([]App{{ID: 0, Phase: l1, Mask: cat.MaskRange(0, 5)}})
+	if math.Abs(together[0].Perf.IPC-aloneA[0].Perf.IPC) > 1e-9 {
+		t.Error("disjoint partitions interacted through the cache model")
+	}
+}
+
+func TestBandwidthSaturationSlowsEveryone(t *testing.T) {
+	plat := machine.Skylake()
+	m := NewModel(plat)
+	// Eight streaming apps each demanding multiple GB/s exceed MaxBandwidth.
+	var apps []App
+	for i := 0; i < 8; i++ {
+		apps = append(apps, App{ID: i, Phase: phaseOf("lbm06"), Mask: cat.FullMask(plat.Ways)})
+	}
+	res := m.Evaluate(apps)
+	var total float64
+	for _, r := range res {
+		total += r.Perf.Bandwidth
+	}
+	if total > float64(plat.MaxBandwidth)*1.15 {
+		t.Errorf("achieved bandwidth %v exceeds saturation %v by too much", total, plat.MaxBandwidth)
+	}
+	// Each streaming instance must run slower than alone.
+	alone := appmodel.PhasePerf(phaseOf("lbm06"), plat, plat.LLCBytes(), 1)
+	if res[0].Perf.IPC >= alone.IPC*0.95 {
+		t.Error("bandwidth saturation did not slow streaming apps down")
+	}
+}
+
+func TestOverlappingMasksShareCappedSpace(t *testing.T) {
+	plat := machine.Skylake()
+	m := NewModel(plat)
+	// Dunn-style: a 2-way mask inside an 11-way mask. The small-mask app
+	// may hold at most 2 ways of space no matter its pressure.
+	strm := phaseOf("lbm06")
+	sens := phaseOf("xalancbmk06")
+	res := m.Evaluate([]App{
+		{ID: 0, Phase: strm, Mask: cat.MaskRange(0, 2)},
+		{ID: 1, Phase: sens, Mask: cat.FullMask(plat.Ways)},
+	})
+	if res[0].ShareBytes > 2*plat.WayBytes {
+		t.Errorf("capped app holds %d bytes, cap is %d", res[0].ShareBytes, 2*plat.WayBytes)
+	}
+	if res[1].ShareBytes < 8*plat.WayBytes {
+		t.Errorf("large-mask app should get the rest, got %d", res[1].ShareBytes)
+	}
+}
+
+func TestEvaluateDeterminism(t *testing.T) {
+	plat := machine.Skylake()
+	m := NewModel(plat)
+	apps := []App{
+		{ID: 0, Phase: phaseOf("xalancbmk06"), Mask: cat.FullMask(plat.Ways)},
+		{ID: 1, Phase: phaseOf("lbm06"), Mask: cat.FullMask(plat.Ways)},
+		{ID: 2, Phase: phaseOf("povray06"), Mask: cat.FullMask(plat.Ways)},
+	}
+	a := m.Evaluate(apps)
+	b := m.Evaluate(apps)
+	for id := range a {
+		if a[id] != b[id] {
+			t.Fatalf("nondeterministic result for app %d", id)
+		}
+	}
+}
+
+func TestEvaluatePlanStockVsLFOCShape(t *testing.T) {
+	// A 4-app workload: isolating the two streaming apps in 1 way must
+	// reduce unfairness vs. the single-cluster (stock) plan.
+	plat := machine.Skylake()
+	m := NewModel(plat)
+	phases := []*appmodel.PhaseSpec{
+		phaseOf("xalancbmk06"),
+		phaseOf("soplex06"),
+		phaseOf("lbm06"),
+		phaseOf("libquantum06"),
+	}
+	stock := plan.SingleCluster(4, plat.Ways)
+	lfocish := plan.Plan{Clusters: []plan.Cluster{
+		{Apps: []int{2, 3}, Ways: 1},
+		{Apps: []int{0}, Ways: 6},
+		{Apps: []int{1}, Ways: 4},
+	}}
+	sdStock, err := EvaluatePlan(m, phases, stock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdLFOC, err := EvaluatePlan(m, phases, lfocish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfStock := maxOf(sdStock) / minOf(sdStock)
+	unfLFOC := maxOf(sdLFOC) / minOf(sdLFOC)
+	if unfLFOC >= unfStock {
+		t.Errorf("isolating streaming apps should reduce unfairness: %v vs %v", unfLFOC, unfStock)
+	}
+	// All slowdowns must be >= 1 (co-running never speeds you up here).
+	for i, s := range append(append([]float64{}, sdStock...), sdLFOC...) {
+		if s < 0.999 {
+			t.Errorf("slowdown %d = %v < 1", i, s)
+		}
+	}
+}
+
+func TestEvaluatePlanRejectsBadPlans(t *testing.T) {
+	plat := machine.Skylake()
+	m := NewModel(plat)
+	phases := []*appmodel.PhaseSpec{phaseOf("povray06")}
+	bad := plan.Plan{Clusters: []plan.Cluster{{Apps: []int{0, 1}, Ways: 1}}}
+	if _, err := EvaluatePlan(m, phases, bad); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+func TestModelDefaultsClamped(t *testing.T) {
+	plat := machine.Skylake()
+	m := &Model{Plat: plat, CacheIters: -1, BWIters: -1, Damping: 7}
+	res := m.Evaluate([]App{{ID: 0, Phase: phaseOf("povray06"), Mask: cat.FullMask(plat.Ways)}})
+	if res[0].Perf.IPC <= 0 {
+		t.Error("degenerate model parameters broke evaluation")
+	}
+}
+
+func TestWaterfillProperties(t *testing.T) {
+	caps := []float64{100, 1000, 1000}
+	out := waterfill(1200, []float64{10, 1, 1}, caps, 1)
+	// First is capped at 100; remainder split equally.
+	if math.Abs(out[0]-100) > 1e-9 {
+		t.Errorf("capped share = %v", out[0])
+	}
+	if math.Abs(out[1]-550) > 1e-6 || math.Abs(out[2]-550) > 1e-6 {
+		t.Errorf("redistribution wrong: %v", out)
+	}
+	sum := out[0] + out[1] + out[2]
+	if math.Abs(sum-1200) > 1e-6 {
+		t.Errorf("waterfill does not conserve capacity: %v", sum)
+	}
+}
+
+func maxOf(vs []float64) float64 {
+	m := vs[0]
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func minOf(vs []float64) float64 {
+	m := vs[0]
+	for _, v := range vs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

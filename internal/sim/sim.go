@@ -1,0 +1,407 @@
+// Package sim is the execution substrate that replaces the paper's
+// Linux + Skylake testbed: a deterministic discrete-time simulator that
+// co-runs synthetic applications under a cache-management policy and
+// reproduces the §5 measurement methodology.
+//
+// Methodology (faithful to §5): all applications start simultaneously;
+// each runs a fixed number of instructions per "run" and is restarted
+// immediately upon completion; the experiment ends when every application
+// has completed at least RunsTarget (3) runs — i.e. when the longest
+// application completes three times. Per-application completion time is
+// the geometric mean over its completed runs; slowdown divides it by the
+// analytically-computed alone completion time (full LLC, unloaded
+// memory); unfairness and STP follow Eqs. (3) and (4).
+//
+// Mechanics: time advances in fixed ticks (PolicyPeriod/TicksPerPeriod).
+// Application progress per tick comes from the internal/sharing
+// contention model, re-evaluated only when the CAT configuration or some
+// application's phase changes. Hardware counters accumulate exactly the
+// quantities the policies read (instructions, cycles, LLC misses,
+// STALLS_L2_MISS, CMT occupancy), and counter windows are delivered to
+// the policy at its requested instruction cadence — 100M instructions in
+// normal mode, 10M during LFOC sampling episodes, exactly as in §5.2.
+// One deliberate simplification: a restarted program keeps its monitoring
+// identity (class and history) instead of appearing as a brand-new
+// process; behaviour-wise the policy would re-learn the same class within
+// a few windows.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/cat"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/metrics"
+	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/pmc"
+	"github.com/faircache/lfoc/internal/sharing"
+)
+
+// Dynamic is the policy interface the simulator drives. core.Controller
+// (LFOC), policy.DunnDynamic and policy.StockDynamic implement it.
+type Dynamic interface {
+	AddApp(id int) error
+	WindowInsns(id int) uint64
+	OnWindow(id int, w pmc.Sample) bool
+	Reconfigure() plan.Plan
+	Assignment() (map[int]cat.WayMask, error)
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	Plat *machine.Platform
+	// TargetInsns is the per-run instruction quota (150G in the paper;
+	// experiments may scale it down together with the policy cadences).
+	TargetInsns uint64
+	// RunsTarget is the number of completed runs every app must reach
+	// before the experiment stops (3 in the paper).
+	RunsTarget int
+	// PolicyPeriod is the partitioner activation period (500ms).
+	PolicyPeriod time.Duration
+	// TicksPerPeriod sets the simulation tick: PolicyPeriod/this
+	// (default 250).
+	TicksPerPeriod int
+	// MaxSimTime aborts runaway experiments (default 1 hour of
+	// simulated time).
+	MaxSimTime time.Duration
+}
+
+// Validate applies defaults and checks consistency.
+func (c *Config) Validate() error {
+	if c.Plat == nil {
+		return fmt.Errorf("sim: config without platform")
+	}
+	if c.TargetInsns == 0 {
+		return fmt.Errorf("sim: TargetInsns must be positive")
+	}
+	if c.RunsTarget <= 0 {
+		c.RunsTarget = 3
+	}
+	if c.PolicyPeriod <= 0 {
+		c.PolicyPeriod = 500 * time.Millisecond
+	}
+	if c.TicksPerPeriod <= 0 {
+		c.TicksPerPeriod = 250
+	}
+	if c.MaxSimTime <= 0 {
+		c.MaxSimTime = time.Hour
+	}
+	return nil
+}
+
+// Result carries everything the experiments report.
+type Result struct {
+	// RunTimes[i] holds app i's completed run times in seconds.
+	RunTimes [][]float64
+	// CT[i] is the geometric-mean completion time of app i.
+	CT []float64
+	// AloneCT[i] is the analytic alone completion time.
+	AloneCT []float64
+	// Slowdowns[i] = CT[i]/AloneCT[i].
+	Slowdowns []float64
+	// Summary holds unfairness and STP.
+	Summary metrics.Summary
+	// Repartitions counts policy activations; SimSeconds is the
+	// simulated duration.
+	Repartitions int
+	SimSeconds   float64
+}
+
+type simApp struct {
+	id       int
+	inst     *appmodel.Instance
+	counter  pmc.Counter
+	nextWin  uint64 // cumulative instruction threshold for next window
+	runInsns uint64
+	runStart float64
+	runs     []float64
+	// fractional accumulators (counters are integers, progress is not)
+	fracInsns  float64
+	fracCycles float64
+	fracMiss   float64
+	fracStall  float64
+	perf       appmodel.Perf
+	share      uint64
+}
+
+// RunDynamic co-runs the workload under a dynamic policy.
+func RunDynamic(cfg Config, specs []*appmodel.Spec, pol Dynamic) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sim: empty workload")
+	}
+	if len(specs) > cfg.Plat.Cores {
+		return nil, fmt.Errorf("sim: %d apps exceed %d cores", len(specs), cfg.Plat.Cores)
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	n := len(specs)
+	apps := make([]*simApp, n)
+	for i, s := range specs {
+		apps[i] = &simApp{id: i, inst: appmodel.NewInstance(s)}
+		if err := pol.AddApp(i); err != nil {
+			return nil, err
+		}
+		apps[i].nextWin = pol.WindowInsns(i)
+	}
+
+	model := sharing.NewModel(cfg.Plat)
+	dt := cfg.PolicyPeriod.Seconds() / float64(cfg.TicksPerPeriod)
+	freq := float64(cfg.Plat.FreqHz)
+
+	masks := map[int]cat.WayMask{}
+	perfDirty := true
+	refreshMasks := func() error {
+		m, err := pol.Assignment()
+		if err != nil {
+			return err
+		}
+		masks = m
+		perfDirty = true
+		return nil
+	}
+	pol.Reconfigure()
+	if err := refreshMasks(); err != nil {
+		return nil, err
+	}
+
+	refreshPerf := func() {
+		shApps := make([]sharing.App, n)
+		for i, a := range apps {
+			mask := masks[a.id]
+			if mask == 0 {
+				mask = cat.FullMask(cfg.Plat.Ways)
+			}
+			shApps[i] = sharing.App{ID: a.id, Phase: a.inst.Phase(), Mask: mask}
+		}
+		res := model.Evaluate(shApps)
+		for _, a := range apps {
+			r := res[a.id]
+			a.perf = r.Perf
+			a.share = r.ShareBytes
+		}
+		perfDirty = false
+	}
+
+	simTime := 0.0
+	nextPolicy := cfg.PolicyPeriod.Seconds()
+	repartitions := 0
+	maxTime := cfg.MaxSimTime.Seconds()
+
+	done := func() bool {
+		for _, a := range apps {
+			if len(a.runs) < cfg.RunsTarget {
+				return false
+			}
+		}
+		return true
+	}
+
+	for !done() {
+		if simTime > maxTime {
+			return nil, fmt.Errorf("sim: exceeded MaxSimTime (%v) with runs %v", cfg.MaxSimTime, runCounts(apps))
+		}
+		if perfDirty {
+			refreshPerf()
+		}
+		simTime += dt
+		anyChange := false
+		for _, a := range apps {
+			// Progress.
+			ips := a.perf.IPC * freq
+			a.fracInsns += ips * dt
+			insns := uint64(a.fracInsns)
+			a.fracInsns -= float64(insns)
+			if insns > 0 {
+				if a.inst.Advance(insns) {
+					perfDirty = true
+				}
+			}
+			// Counters.
+			a.fracCycles += freq * dt
+			cycles := uint64(a.fracCycles)
+			a.fracCycles -= float64(cycles)
+			a.fracMiss += a.perf.MPKC / 1000 * freq * dt
+			miss := uint64(a.fracMiss)
+			a.fracMiss -= float64(miss)
+			a.fracStall += a.perf.StallFrac * freq * dt
+			stall := uint64(a.fracStall)
+			a.fracStall -= float64(stall)
+			a.counter.Add(pmc.Sample{
+				Instructions:   insns,
+				Cycles:         cycles,
+				LLCMisses:      miss,
+				LLCAccesses:    miss * 2,
+				StallsL2Miss:   stall,
+				OccupancyBytes: a.share,
+			})
+			// Window delivery.
+			for a.counter.Total().Instructions >= a.nextWin {
+				w := a.counter.ReadWindow()
+				if pol.OnWindow(a.id, w) {
+					anyChange = true
+				}
+				a.nextWin = a.counter.Total().Instructions + pol.WindowInsns(a.id)
+			}
+			// Run completion and restart.
+			a.runInsns += insns
+			for a.runInsns >= cfg.TargetInsns {
+				a.runs = append(a.runs, simTime-a.runStart)
+				a.runStart = simTime
+				a.runInsns -= cfg.TargetInsns
+				a.inst.Restart()
+				perfDirty = true
+			}
+		}
+		if anyChange {
+			if err := refreshMasks(); err != nil {
+				return nil, err
+			}
+		}
+		if simTime >= nextPolicy {
+			pol.Reconfigure()
+			repartitions++
+			nextPolicy += cfg.PolicyPeriod.Seconds()
+			if err := refreshMasks(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	return buildResult(cfg, specs, apps, repartitions, simTime)
+}
+
+func runCounts(apps []*simApp) []int {
+	out := make([]int, len(apps))
+	for i, a := range apps {
+		out[i] = len(a.runs)
+	}
+	return out
+}
+
+func buildResult(cfg Config, specs []*appmodel.Spec, apps []*simApp, repartitions int, simTime float64) (*Result, error) {
+	n := len(apps)
+	res := &Result{
+		RunTimes:     make([][]float64, n),
+		CT:           make([]float64, n),
+		AloneCT:      make([]float64, n),
+		Slowdowns:    make([]float64, n),
+		Repartitions: repartitions,
+		SimSeconds:   simTime,
+	}
+	for i, a := range apps {
+		res.RunTimes[i] = append([]float64(nil), a.runs...)
+		g, err := metrics.GeoMean(a.runs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: app %d: %w", i, err)
+		}
+		res.CT[i] = g
+		res.AloneCT[i] = AloneCompletionTime(specs[i], cfg.Plat, cfg.TargetInsns)
+		sd, err := metrics.Slowdown(g, res.AloneCT[i])
+		if err != nil {
+			return nil, err
+		}
+		// Tick quantization can nudge a fast run fractionally below the
+		// analytic alone time; slowdowns below 1 are clamped.
+		res.Slowdowns[i] = math.Max(1, sd)
+	}
+	summary, err := metrics.Summarize(res.Slowdowns)
+	if err != nil {
+		return nil, err
+	}
+	res.Summary = summary
+	return res, nil
+}
+
+// AloneCompletionTime integrates an application's phases running alone
+// with the full LLC and unloaded memory until targetInsns retire.
+func AloneCompletionTime(spec *appmodel.Spec, plat *machine.Platform, targetInsns uint64) float64 {
+	inst := appmodel.NewInstance(spec)
+	freq := float64(plat.FreqHz)
+	llc := plat.LLCBytes()
+	var t float64
+	remaining := targetInsns
+	for remaining > 0 {
+		perf := appmodel.PhasePerf(inst.Phase(), plat, llc, 1)
+		step := inst.InstructionsToPhaseEnd()
+		if step == 0 || step > remaining {
+			step = remaining
+		}
+		t += float64(step) / (perf.IPC * freq)
+		inst.Advance(step)
+		remaining -= step
+	}
+	return t
+}
+
+// FixedPlanPolicy adapts a static plan to the Dynamic interface: no
+// monitoring, constant masks — the §5.1 static evaluation mode.
+type FixedPlanPolicy struct {
+	ways  int
+	plan  plan.Plan
+	masks map[int]cat.WayMask
+}
+
+// NewFixedPlanPolicy validates the plan against the workload size and
+// precomputes its masks.
+func NewFixedPlanPolicy(p plan.Plan, nApps, ways int) (*FixedPlanPolicy, error) {
+	if err := p.Validate(nApps, ways); err != nil {
+		return nil, err
+	}
+	am, err := p.AppMasks(nApps, ways)
+	if err != nil {
+		return nil, err
+	}
+	masks := make(map[int]cat.WayMask, nApps)
+	for i, m := range am {
+		masks[i] = m
+	}
+	return &FixedPlanPolicy{ways: ways, plan: p, masks: masks}, nil
+}
+
+// AddApp implements Dynamic.
+func (f *FixedPlanPolicy) AddApp(id int) error {
+	if _, ok := f.masks[id]; !ok {
+		return fmt.Errorf("sim: app %d not covered by the fixed plan", id)
+	}
+	return nil
+}
+
+// WindowInsns implements Dynamic (a huge window: no monitoring needed).
+func (f *FixedPlanPolicy) WindowInsns(int) uint64 { return math.MaxUint64 / 4 }
+
+// OnWindow implements Dynamic.
+func (f *FixedPlanPolicy) OnWindow(int, pmc.Sample) bool { return false }
+
+// Reconfigure implements Dynamic.
+func (f *FixedPlanPolicy) Reconfigure() plan.Plan { return f.plan }
+
+// Assignment implements Dynamic.
+func (f *FixedPlanPolicy) Assignment() (map[int]cat.WayMask, error) {
+	out := make(map[int]cat.WayMask, len(f.masks))
+	for k, v := range f.masks {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// RunStatic co-runs the workload under a fixed clustering plan.
+func RunStatic(cfg Config, specs []*appmodel.Spec, p plan.Plan) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pol, err := NewFixedPlanPolicy(p, len(specs), cfg.Plat.Ways)
+	if err != nil {
+		return nil, err
+	}
+	return RunDynamic(cfg, specs, pol)
+}

@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/core"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/policy"
+	"github.com/faircache/lfoc/internal/profiles"
+)
+
+func testConfig() Config {
+	return Config{
+		Plat:         machine.Skylake(),
+		TargetInsns:  1_000_000_000,
+		RunsTarget:   3,
+		PolicyPeriod: 500 * time.Millisecond,
+	}
+}
+
+func specsOf(names ...string) []*appmodel.Spec {
+	out := make([]*appmodel.Spec, len(names))
+	for i, n := range names {
+		out[i] = profiles.MustGet(n)
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := Config{}
+	if c.Validate() == nil {
+		t.Error("empty config accepted")
+	}
+	c = Config{Plat: machine.Skylake()}
+	if c.Validate() == nil {
+		t.Error("zero TargetInsns accepted")
+	}
+	c = testConfig()
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+	if c.RunsTarget != 3 || c.TicksPerPeriod != 250 {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestAloneCompletionTime(t *testing.T) {
+	plat := machine.Skylake()
+	spec := profiles.MustGet("povray06")
+	ct := AloneCompletionTime(spec, plat, 1_000_000_000)
+	perf := appmodel.PhasePerf(&spec.Phases[0], plat, plat.LLCBytes(), 1)
+	want := 1e9 / (perf.IPC * float64(plat.FreqHz))
+	if math.Abs(ct-want)/want > 1e-9 {
+		t.Errorf("alone CT = %v, want %v", ct, want)
+	}
+	// Phased app: the alone time must account for both phases.
+	phased := profiles.MustGet("xz17")
+	ctp := AloneCompletionTime(phased, plat, 100_000_000_000)
+	if ctp <= 0 {
+		t.Errorf("phased alone CT = %v", ctp)
+	}
+}
+
+func TestStaticSoloAppSlowdownIsOne(t *testing.T) {
+	cfg := testConfig()
+	specs := specsOf("povray06")
+	res, err := RunStatic(cfg, specs, plan.SingleCluster(1, cfg.Plat.Ways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RunTimes[0]) < 3 {
+		t.Fatalf("only %d runs completed", len(res.RunTimes[0]))
+	}
+	if res.Slowdowns[0] > 1.02 {
+		t.Errorf("solo slowdown = %v, want ~1", res.Slowdowns[0])
+	}
+	if res.Summary.Unfairness != 1 {
+		t.Errorf("solo unfairness = %v", res.Summary.Unfairness)
+	}
+}
+
+func TestStaticStockShowsContention(t *testing.T) {
+	cfg := testConfig()
+	specs := specsOf("xalancbmk06", "lbm06", "libquantum06", "povray06")
+	res, err := RunStatic(cfg, specs, plan.SingleCluster(4, cfg.Plat.Ways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdowns[0] < 1.2 {
+		t.Errorf("sensitive slowdown under stock = %v, want > 1.2", res.Slowdowns[0])
+	}
+	if res.Summary.Unfairness < 1.15 {
+		t.Errorf("unfairness = %v, want contention", res.Summary.Unfairness)
+	}
+	// Everyone completed at least RunsTarget runs.
+	for i, rt := range res.RunTimes {
+		if len(rt) < 3 {
+			t.Errorf("app %d completed %d runs", i, len(rt))
+		}
+	}
+}
+
+func TestStaticIsolationPlanReducesUnfairness(t *testing.T) {
+	cfg := testConfig()
+	specs := specsOf("xalancbmk06", "lbm06", "libquantum06", "povray06")
+	stock, err := RunStatic(cfg, specs, plan.SingleCluster(4, cfg.Plat.Ways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso := plan.Plan{Clusters: []plan.Cluster{
+		{Apps: []int{1, 2}, Ways: 1},
+		{Apps: []int{0}, Ways: 8},
+		{Apps: []int{3}, Ways: 2},
+	}}
+	lfocish, err := RunStatic(cfg, specs, iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lfocish.Summary.Unfairness >= stock.Summary.Unfairness {
+		t.Errorf("isolation unfairness %.3f >= stock %.3f",
+			lfocish.Summary.Unfairness, stock.Summary.Unfairness)
+	}
+}
+
+func TestDynamicLFOCLearnsAndImproves(t *testing.T) {
+	cfg := testConfig()
+	specs := specsOf("xalancbmk06", "soplex06", "lbm06", "libquantum06", "povray06", "namd06")
+
+	stockPol := policy.NewStockDynamic(cfg.Plat.Ways)
+	stock, err := RunDynamic(cfg, specs, stockPol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl, err := core.NewController(core.DefaultParams(cfg.Plat.Ways), cfg.Plat.WayBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfoc, err := RunDynamic(cfg, specs, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Classes must have been learned online.
+	if ctrl.ClassOf(2) != core.ClassStreaming || ctrl.ClassOf(3) != core.ClassStreaming {
+		t.Errorf("streaming apps classified as %v/%v", ctrl.ClassOf(2), ctrl.ClassOf(3))
+	}
+	if ctrl.ClassOf(0) != core.ClassSensitive {
+		t.Errorf("xalancbmk classified as %v", ctrl.ClassOf(0))
+	}
+	if lfoc.Summary.Unfairness >= stock.Summary.Unfairness {
+		t.Errorf("LFOC unfairness %.3f >= stock %.3f",
+			lfoc.Summary.Unfairness, stock.Summary.Unfairness)
+	}
+	if lfoc.Repartitions == 0 {
+		t.Error("partitioner never ran")
+	}
+}
+
+func TestDynamicDunnRuns(t *testing.T) {
+	cfg := testConfig()
+	specs := specsOf("xalancbmk06", "lbm06", "povray06", "gamess06")
+	pol := policy.NewDunnDynamic(cfg.Plat.Ways)
+	res, err := RunDynamic(cfg, specs, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.STP <= 0 || res.Summary.Unfairness < 1 {
+		t.Errorf("bad summary: %+v", res.Summary)
+	}
+}
+
+func TestDynamicPhaseChangeTriggersResampling(t *testing.T) {
+	cfg := testConfig()
+	cfg.TargetInsns = 2_000_000_000
+	// A custom phased app: light for 600M insns, then streaming.
+	phased := &appmodel.Spec{
+		Name:  "phasey",
+		Class: appmodel.ClassStreaming,
+		Phases: []appmodel.PhaseSpec{
+			{Name: "quiet", DurationInsns: 600_000_000, BaseCPI: 0.5, APKI: 0.5, MLP: 4,
+				Locality: profiles.MustGet("povray06").Phases[0].Locality},
+			{Name: "stream", DurationInsns: 0, BaseCPI: 0.6, APKI: 55, MLP: 9,
+				Locality: profiles.MustGet("lbm06").Phases[0].Locality},
+		},
+	}
+	specs := []*appmodel.Spec{phased, profiles.MustGet("soplex06")}
+	ctrl, err := core.NewController(core.DefaultParams(cfg.Plat.Ways), cfg.Plat.WayBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDynamic(cfg, specs, ctrl); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.ClassOf(0) != core.ClassStreaming {
+		t.Errorf("phased app ended as %v, want streaming", ctrl.ClassOf(0))
+	}
+	if ctrl.Resamples(0) == 0 {
+		t.Error("no resampling despite phase change")
+	}
+}
+
+func TestRunDynamicErrors(t *testing.T) {
+	cfg := testConfig()
+	pol := policy.NewStockDynamic(cfg.Plat.Ways)
+	if _, err := RunDynamic(cfg, nil, pol); err == nil {
+		t.Error("empty workload accepted")
+	}
+	many := make([]*appmodel.Spec, cfg.Plat.Cores+1)
+	for i := range many {
+		many[i] = profiles.MustGet("povray06")
+	}
+	if _, err := RunDynamic(cfg, many, policy.NewStockDynamic(cfg.Plat.Ways)); err == nil {
+		t.Error("more apps than cores accepted")
+	}
+}
+
+func TestRunStaticRejectsBadPlan(t *testing.T) {
+	cfg := testConfig()
+	specs := specsOf("povray06", "namd06")
+	bad := plan.Plan{Clusters: []plan.Cluster{{Apps: []int{0}, Ways: 11}}}
+	if _, err := RunStatic(cfg, specs, bad); err == nil {
+		t.Error("plan missing an app accepted")
+	}
+}
+
+func TestMaxSimTimeGuard(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSimTime = time.Millisecond // absurdly small
+	specs := specsOf("povray06")
+	if _, err := RunStatic(cfg, specs, plan.SingleCluster(1, cfg.Plat.Ways)); err == nil {
+		t.Error("MaxSimTime guard did not fire")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig()
+	specs := specsOf("xalancbmk06", "lbm06", "povray06")
+	run := func() *Result {
+		ctrl, err := core.NewController(core.DefaultParams(cfg.Plat.Ways), cfg.Plat.WayBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunDynamic(cfg, specs, ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	for i := range a.Slowdowns {
+		if a.Slowdowns[i] != b.Slowdowns[i] {
+			t.Fatalf("nondeterministic slowdowns: %v vs %v", a.Slowdowns, b.Slowdowns)
+		}
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	cfg := testConfig()
+	specs := specsOf("xalancbmk06", "lbm06", "povray06")
+	res, err := RunStatic(cfg, specs, plan.SingleCluster(3, cfg.Plat.Ways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, runs := range res.RunTimes {
+		if len(runs) < cfg.RunsTarget {
+			t.Errorf("app %d: %d runs", i, len(runs))
+		}
+		var sum float64
+		for _, r := range runs {
+			if r <= 0 {
+				t.Errorf("app %d: non-positive run time %v", i, r)
+			}
+			sum += r
+		}
+		// An app is always running, so its completed runs cannot take
+		// longer than the whole experiment.
+		if sum > res.SimSeconds+1e-9 {
+			t.Errorf("app %d: runs sum %.3f > sim %.3f", i, sum, res.SimSeconds)
+		}
+		if res.CT[i] <= 0 || res.AloneCT[i] <= 0 {
+			t.Errorf("app %d: CT %v alone %v", i, res.CT[i], res.AloneCT[i])
+		}
+	}
+}
+
+func TestRepartitionCadence(t *testing.T) {
+	cfg := testConfig()
+	specs := specsOf("povray06", "namd06")
+	pol := policy.NewDunnDynamic(cfg.Plat.Ways)
+	res, err := RunDynamic(cfg, specs, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := res.SimSeconds / cfg.PolicyPeriod.Seconds()
+	if float64(res.Repartitions) < expected-2 || float64(res.Repartitions) > expected+2 {
+		t.Errorf("repartitions = %d, expected ~%.0f", res.Repartitions, expected)
+	}
+}
+
+// The §5.2 concern: LFOC's online sampling episodes run the workload
+// under deliberately suboptimal configurations. With early stopping they
+// must cost little — dynamic LFOC should stay close to the quality of
+// its own static decision (which pays no sampling overhead).
+func TestSamplingOverheadSmall(t *testing.T) {
+	cfg := testConfig()
+	specs := specsOf("xalancbmk06", "soplex06", "lbm06", "povray06")
+
+	ctrl, err := core.NewController(core.DefaultParams(cfg.Plat.Ways), cfg.Plat.WayBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := RunDynamic(cfg, specs, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-run the final learned plan statically.
+	static, err := RunStatic(cfg, specs, ctrl.Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Summary.Unfairness > static.Summary.Unfairness*1.15 {
+		t.Errorf("sampling overhead too high: dynamic %.3f vs static %.3f",
+			dyn.Summary.Unfairness, static.Summary.Unfairness)
+	}
+}
+
+// Extension (the paper's future work, §5.2): KPart-Dynaway must run to
+// completion under the simulator. Its full-sweep profiling is exactly
+// the overhead LFOC's early-stopping avoids, so dynamic LFOC should be
+// at least as fair on a mixed workload.
+func TestKPartDynawayExtension(t *testing.T) {
+	cfg := testConfig()
+	specs := specsOf("xalancbmk06", "soplex06", "lbm06", "libquantum06", "povray06")
+
+	kd := policy.NewKPartDynaway(cfg.Plat.Ways)
+	kdRes, err := RunDynamic(cfg, specs, kd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kdRes.Summary.STP <= 0 || kdRes.Summary.Unfairness < 1 {
+		t.Fatalf("bad summary: %+v", kdRes.Summary)
+	}
+	// After the workload ran, profiling must have finished and produced
+	// a real clustering (not the bootstrap single cluster).
+	p := kd.Reconfigure()
+	if err := p.Validate(len(specs), cfg.Plat.Ways); err != nil {
+		t.Fatalf("%v (%s)", err, p.Canonical())
+	}
+	if len(p.Clusters) < 2 {
+		t.Errorf("dynaway never moved beyond the bootstrap plan: %s", p.Canonical())
+	}
+
+	ctrl, err := core.NewController(core.DefaultParams(cfg.Plat.Ways), cfg.Plat.WayBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfocRes, err := RunDynamic(cfg, specs, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lfocRes.Summary.Unfairness > kdRes.Summary.Unfairness*1.1 {
+		t.Errorf("LFOC (%.3f) clearly less fair than KPart-Dynaway (%.3f)",
+			lfocRes.Summary.Unfairness, kdRes.Summary.Unfairness)
+	}
+}

@@ -1,0 +1,90 @@
+package stackdist
+
+// Mattson-style reuse-distance profiler: builds a Profile from an address
+// trace by maintaining an LRU stack of distinct lines and recording, for
+// each access, how many distinct lines were touched since the previous
+// access to the same line. This is the classical single-pass algorithm
+// (Mattson et al., 1970). The stack is a move-to-front slice, so each
+// access costs O(reuse depth) — cheap for the skewed traces real programs
+// produce.
+
+// Profiler accumulates reuse distances from a line-address stream.
+type Profiler struct {
+	lineBytes uint64
+	stack     []uint64       // most recent first
+	hist      map[int]uint64 // reuse distance (in lines) -> count
+	cold      uint64         // first-touch accesses (infinite distance)
+	total     uint64
+}
+
+// NewProfiler creates a profiler for a given line size.
+func NewProfiler(lineBytes uint64) *Profiler {
+	if lineBytes == 0 {
+		lineBytes = 64
+	}
+	return &Profiler{
+		lineBytes: lineBytes,
+		hist:      map[int]uint64{},
+	}
+}
+
+// Access records one byte-address access.
+func (p *Profiler) Access(addr uint64) {
+	line := addr / p.lineBytes
+	p.total++
+	for i, l := range p.stack {
+		if l == line {
+			p.hist[i]++
+			copy(p.stack[1:i+1], p.stack[:i])
+			p.stack[0] = line
+			return
+		}
+	}
+	p.cold++
+	p.stack = append(p.stack, 0)
+	copy(p.stack[1:], p.stack)
+	p.stack[0] = line
+}
+
+// Total returns the number of recorded accesses.
+func (p *Profiler) Total() uint64 { return p.total }
+
+// ColdMisses returns the number of first-touch accesses.
+func (p *Profiler) ColdMisses() uint64 { return p.cold }
+
+// Profile converts the accumulated histogram into a hit-ratio curve with
+// knots at the given cache sizes (bytes). Sizes are in lines internally:
+// an access with reuse distance d hits in any fully-associative LRU cache
+// holding more than d lines.
+func (p *Profiler) Profile(sizes []uint64) Profile {
+	if p.total == 0 {
+		return Profile{}
+	}
+	pts := make([]Point, 0, len(sizes))
+	for _, s := range sizes {
+		lines := s / p.lineBytes
+		var hits uint64
+		for d, c := range p.hist {
+			if uint64(d) < lines {
+				hits += c
+			}
+		}
+		pts = append(pts, Point{Bytes: s, HitRatio: float64(hits) / float64(p.total)})
+	}
+	return MustNew(pts)
+}
+
+// MissRatioAt returns the simulated miss ratio for a fully-associative
+// LRU cache with the given capacity in lines.
+func (p *Profiler) MissRatioAt(lines uint64) float64 {
+	if p.total == 0 {
+		return 1
+	}
+	var hits uint64
+	for d, c := range p.hist {
+		if uint64(d) < lines {
+			hits += c
+		}
+	}
+	return 1 - float64(hits)/float64(p.total)
+}

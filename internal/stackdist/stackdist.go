@@ -1,0 +1,184 @@
+// Package stackdist models application cache locality with reuse (stack)
+// distance profiles.
+//
+// Under LRU, an access hits in a cache of size S iff its reuse distance —
+// the number of distinct lines touched since the previous access to the
+// same line — is smaller than S. A program's hit ratio as a function of
+// cache size is therefore the CDF of its reuse-distance distribution. This
+// is the same class of model PBBCache-style tools use to predict per-size
+// performance from offline profiles, and it is how we substitute for the
+// SPEC CPU binaries the paper profiles on real hardware: each synthetic
+// application carries a Profile, and every metric the policies observe
+// (IPC, misses, stalls vs. allocated ways) is derived from it.
+//
+// Profiles are piecewise-linear, monotone nondecreasing hit-ratio curves
+// over cache size in bytes. The package also provides a Mattson-style
+// profiler that builds a Profile from an address trace, which is used to
+// cross-validate the analytic profiles against the trace-driven LLC
+// simulator in internal/cache.
+package stackdist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Point is one knot of a piecewise-linear hit-ratio curve.
+type Point struct {
+	Bytes    uint64  // cache size
+	HitRatio float64 // fraction of accesses that hit at this size
+}
+
+// Profile is a monotone piecewise-linear hit-ratio curve. The zero value
+// is a pure-streaming profile (hit ratio 0 at every size).
+type Profile struct {
+	points []Point
+}
+
+// New builds a profile from knots. Knots are sorted by size; hit ratios
+// must be in [0,1] and nondecreasing with size.
+func New(points []Point) (Profile, error) {
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Bytes < ps[j].Bytes })
+	prev := 0.0
+	for i, p := range ps {
+		if p.HitRatio < 0 || p.HitRatio > 1 {
+			return Profile{}, fmt.Errorf("stackdist: hit ratio %v out of [0,1]", p.HitRatio)
+		}
+		if p.HitRatio < prev {
+			return Profile{}, fmt.Errorf("stackdist: hit ratio decreases at knot %d", i)
+		}
+		if i > 0 && p.Bytes == ps[i-1].Bytes {
+			return Profile{}, fmt.Errorf("stackdist: duplicate knot at %d bytes", p.Bytes)
+		}
+		prev = p.HitRatio
+	}
+	return Profile{points: ps}, nil
+}
+
+// MustNew is New that panics on error; for static catalog construction.
+func MustNew(points []Point) Profile {
+	p, err := New(points)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// HitRatio returns the fraction of accesses that hit in a cache of the
+// given size, interpolating linearly between knots. Below the first knot
+// the curve ramps linearly from (0,0); beyond the last knot it is flat
+// (the residual misses are compulsory/streaming).
+func (p Profile) HitRatio(bytes uint64) float64 {
+	if len(p.points) == 0 {
+		return 0
+	}
+	first := p.points[0]
+	if bytes <= first.Bytes {
+		if first.Bytes == 0 {
+			return first.HitRatio
+		}
+		return first.HitRatio * float64(bytes) / float64(first.Bytes)
+	}
+	for i := 1; i < len(p.points); i++ {
+		hi := p.points[i]
+		if bytes <= hi.Bytes {
+			lo := p.points[i-1]
+			frac := float64(bytes-lo.Bytes) / float64(hi.Bytes-lo.Bytes)
+			return lo.HitRatio + frac*(hi.HitRatio-lo.HitRatio)
+		}
+	}
+	return p.points[len(p.points)-1].HitRatio
+}
+
+// MissRatio returns 1 - HitRatio.
+func (p Profile) MissRatio(bytes uint64) float64 { return 1 - p.HitRatio(bytes) }
+
+// MaxHitRatio returns the hit ratio with unbounded cache.
+func (p Profile) MaxHitRatio() float64 {
+	if len(p.points) == 0 {
+		return 0
+	}
+	return p.points[len(p.points)-1].HitRatio
+}
+
+// Knots returns a copy of the profile's knots.
+func (p Profile) Knots() []Point {
+	out := make([]Point, len(p.points))
+	copy(out, p.points)
+	return out
+}
+
+// Streaming returns a profile for a program that streams through a
+// footprint far larger than any cache: a tiny fraction of short-distance
+// reuse (spatial locality already filtered by L1/L2), everything else
+// compulsory misses.
+func Streaming(residualHit float64) Profile {
+	if residualHit < 0 {
+		residualHit = 0
+	}
+	if residualHit > 0.2 {
+		residualHit = 0.2
+	}
+	return MustNew([]Point{{Bytes: 64 * 1024, HitRatio: residualHit}})
+}
+
+// WorkingSet returns a profile with a single working set: the hit ratio
+// ramps to maxHit as the cache grows to wsBytes, with a soft knee
+// (three-segment ramp) so slowdown curves are smooth like measured ones.
+func WorkingSet(wsBytes uint64, maxHit float64) Profile {
+	if wsBytes < 4096 {
+		wsBytes = 4096 // avoid degenerate/duplicate knots
+	}
+	return MustNew([]Point{
+		{Bytes: wsBytes / 4, HitRatio: maxHit * 0.45},
+		{Bytes: wsBytes / 2, HitRatio: maxHit * 0.72},
+		{Bytes: wsBytes, HitRatio: maxHit * 0.95},
+		{Bytes: wsBytes + wsBytes/2, HitRatio: maxHit},
+	})
+}
+
+// Component is a weighted sub-working-set for Mix.
+type Component struct {
+	Weight  float64 // fraction of accesses belonging to this component
+	Profile Profile
+}
+
+// Mix combines component profiles: the hit ratio at every size is the
+// weighted sum of the component hit ratios. Weights should sum to ≤ 1;
+// the remainder is treated as never-reused (streaming) accesses.
+func Mix(components ...Component) Profile {
+	sizes := map[uint64]bool{}
+	for _, c := range components {
+		for _, k := range c.Profile.points {
+			sizes[k.Bytes] = true
+		}
+	}
+	if len(sizes) == 0 {
+		return Profile{}
+	}
+	all := make([]uint64, 0, len(sizes))
+	for s := range sizes {
+		all = append(all, s)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pts := make([]Point, 0, len(all))
+	for _, s := range all {
+		h := 0.0
+		for _, c := range components {
+			h += c.Weight * c.Profile.HitRatio(s)
+		}
+		if h > 1 {
+			h = 1
+		}
+		pts = append(pts, Point{Bytes: s, HitRatio: h})
+	}
+	// Enforce monotonicity against floating-point jitter.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].HitRatio < pts[i-1].HitRatio {
+			pts[i].HitRatio = pts[i-1].HitRatio
+		}
+	}
+	return MustNew(pts)
+}

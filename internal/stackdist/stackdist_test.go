@@ -1,0 +1,229 @@
+package stackdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const mb = 1 << 20
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Point{{Bytes: 1, HitRatio: -0.1}}); err == nil {
+		t.Error("negative hit ratio accepted")
+	}
+	if _, err := New([]Point{{Bytes: 1, HitRatio: 1.1}}); err == nil {
+		t.Error("hit ratio > 1 accepted")
+	}
+	if _, err := New([]Point{{Bytes: 1, HitRatio: 0.5}, {Bytes: 2, HitRatio: 0.4}}); err == nil {
+		t.Error("decreasing curve accepted")
+	}
+	if _, err := New([]Point{{Bytes: 5, HitRatio: 0.5}, {Bytes: 5, HitRatio: 0.5}}); err == nil {
+		t.Error("duplicate knot accepted")
+	}
+	if _, err := New([]Point{{Bytes: 2, HitRatio: 0.8}, {Bytes: 1, HitRatio: 0.3}}); err != nil {
+		t.Error("unsorted (but valid) input rejected:", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew([]Point{{Bytes: 1, HitRatio: 2}})
+}
+
+func TestZeroProfileStreams(t *testing.T) {
+	var p Profile
+	if p.HitRatio(100*mb) != 0 || p.MissRatio(1) != 1 || p.MaxHitRatio() != 0 {
+		t.Error("zero profile should never hit")
+	}
+}
+
+func TestHitRatioInterpolation(t *testing.T) {
+	p := MustNew([]Point{{Bytes: 10, HitRatio: 0.2}, {Bytes: 30, HitRatio: 0.8}})
+	cases := []struct {
+		bytes uint64
+		want  float64
+	}{
+		{0, 0}, {5, 0.1}, {10, 0.2}, {20, 0.5}, {30, 0.8}, {100, 0.8},
+	}
+	for _, c := range cases {
+		if got := p.HitRatio(c.bytes); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("HitRatio(%d) = %v, want %v", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestStreamingProfile(t *testing.T) {
+	p := Streaming(0.05)
+	if got := p.HitRatio(27 * mb); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("streaming hit ratio = %v", got)
+	}
+	// Clamping.
+	if Streaming(-1).MaxHitRatio() != 0 {
+		t.Error("negative residual not clamped")
+	}
+	if Streaming(0.9).MaxHitRatio() > 0.2 {
+		t.Error("huge residual not clamped")
+	}
+}
+
+func TestWorkingSetShape(t *testing.T) {
+	p := WorkingSet(16*mb, 0.9)
+	full := p.HitRatio(32 * mb)
+	if math.Abs(full-0.9) > 1e-9 {
+		t.Errorf("asymptotic hit ratio = %v", full)
+	}
+	small := p.HitRatio(1 * mb)
+	if small >= full || small <= 0 {
+		t.Errorf("small-cache hit ratio %v not between 0 and %v", small, full)
+	}
+	// Monotone in size.
+	prev := -1.0
+	for s := uint64(0); s <= 40*mb; s += mb / 2 {
+		h := p.HitRatio(s)
+		if h < prev {
+			t.Fatalf("hit ratio decreases at %d bytes", s)
+		}
+		prev = h
+	}
+	if WorkingSet(0, 0.5).MaxHitRatio() != 0.5 {
+		t.Error("zero working set not clamped")
+	}
+}
+
+func TestMix(t *testing.T) {
+	p := Mix(
+		Component{Weight: 0.5, Profile: WorkingSet(1*mb, 1.0)},
+		Component{Weight: 0.3, Profile: WorkingSet(20*mb, 1.0)},
+	)
+	// At huge sizes, hit ratio -> 0.8 (0.2 streaming remainder).
+	if got := p.HitRatio(100 * mb); math.Abs(got-0.8) > 0.01 {
+		t.Errorf("mixed asymptote = %v", got)
+	}
+	// At 2 MB the small WS is fully resident, the big one partially.
+	got := p.HitRatio(2 * mb)
+	if got < 0.5 || got > 0.7 {
+		t.Errorf("mixed midpoint = %v", got)
+	}
+	if Mix().MaxHitRatio() != 0 {
+		t.Error("empty mix should be streaming")
+	}
+}
+
+func TestProfilerLoopTrace(t *testing.T) {
+	// A loop over N lines has reuse distance N-1 for every non-cold access:
+	// it hits iff the cache holds >= N lines.
+	const lines = 64
+	pr := NewProfiler(64)
+	for it := 0; it < 10; it++ {
+		for i := 0; i < lines; i++ {
+			pr.Access(uint64(i) * 64)
+		}
+	}
+	if pr.Total() != 640 || pr.ColdMisses() != lines {
+		t.Fatalf("total=%d cold=%d", pr.Total(), pr.ColdMisses())
+	}
+	if mr := pr.MissRatioAt(lines); mr > 0.11 {
+		t.Errorf("miss ratio with full-size cache = %v", mr)
+	}
+	if mr := pr.MissRatioAt(lines - 1); mr != 1 {
+		t.Errorf("miss ratio with cache one line short = %v, want 1 (LRU loop thrashing)", mr)
+	}
+}
+
+func TestProfilerProfileKnots(t *testing.T) {
+	pr := NewProfiler(64)
+	// Heavy reuse of 8 lines plus a cold stream.
+	for i := 0; i < 2000; i++ {
+		pr.Access(uint64(i%8) * 64)
+		pr.Access(uint64(1<<30) + uint64(i)*64)
+	}
+	p := pr.Profile([]uint64{512, 1024, 64 * 1024})
+	if p.HitRatio(64*1024) < 0.45 || p.HitRatio(64*1024) > 0.55 {
+		t.Errorf("hit ratio at large size = %v, want ~0.5", p.HitRatio(64*1024))
+	}
+	if pr.MissRatioAt(0) != 1 {
+		t.Error("zero-size cache must miss always")
+	}
+}
+
+func TestProfilerEmpty(t *testing.T) {
+	pr := NewProfiler(0) // exercises default line size
+	if pr.MissRatioAt(10) != 1 {
+		t.Error("empty profiler should report all misses")
+	}
+	if got := pr.Profile([]uint64{1024}); got.MaxHitRatio() != 0 {
+		t.Error("empty profiler profile should stream")
+	}
+}
+
+// Property: HitRatio is monotone nondecreasing in cache size for random
+// valid profiles.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(seed int64, s1, s2 uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 1
+		pts := make([]Point, 0, n)
+		h := 0.0
+		size := uint64(0)
+		for i := 0; i < n; i++ {
+			size += uint64(rng.Intn(1000000) + 1)
+			h += rng.Float64() * (1 - h) * 0.5
+			pts = append(pts, Point{Bytes: size, HitRatio: h})
+		}
+		p := MustNew(pts)
+		a, b := uint64(s1), uint64(s2)
+		if a > b {
+			a, b = b, a
+		}
+		return p.HitRatio(a) <= p.HitRatio(b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mix hit ratio is bounded by the sum of the weights.
+func TestQuickMixBounded(t *testing.T) {
+	f := func(w1c, w2c uint8, sz uint32) bool {
+		w1 := float64(w1c%100) / 200
+		w2 := float64(w2c%100) / 200
+		p := Mix(
+			Component{Weight: w1, Profile: WorkingSet(4*mb, 1)},
+			Component{Weight: w2, Profile: WorkingSet(16*mb, 1)},
+		)
+		h := p.HitRatio(uint64(sz))
+		return h <= w1+w2+1e-9 && h >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mattson profiler hit ratio is monotone in cache size.
+func TestQuickProfilerMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pr := NewProfiler(64)
+		for i := 0; i < 500; i++ {
+			pr.Access(uint64(rng.Intn(128)) * 64)
+		}
+		prev := 1.0
+		for lines := uint64(0); lines <= 160; lines += 16 {
+			mr := pr.MissRatioAt(lines)
+			if mr > prev+1e-12 {
+				return false
+			}
+			prev = mr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package lfoc is a from-scratch Go reproduction of "LFOC: A Lightweight
+// Fairness-Oriented Cache Clustering Policy for Commodity Multicores"
+// (Garcia-Garcia, Saez, Castro, Prieto-Matias — ICPP 2019).
+//
+// The package re-exports the library's public surface:
+//
+//   - the LFOC controller itself (the paper's contribution): an integer
+//     arithmetic, kernel-style runtime that classifies applications online
+//     (streaming / sensitive / light-sharing), samples their cache
+//     sensitivity with an early-stopping way sweep, and clusters them onto
+//     Intel-CAT-style way partitions with UCP's lookahead;
+//   - the baselines the paper compares against: stock Linux, UCP, Dunn
+//     and KPart, plus Best-Static driven by a PBBCache-style parallel
+//     branch-and-bound optimal solver;
+//   - the experimental substrate: a Skylake-like platform model, a
+//     synthetic SPEC CPU2006/2017 application catalog, the co-run
+//     contention model, a deterministic co-scheduling simulator
+//     implementing the paper's measurement methodology, and the harness
+//     that regenerates every figure and table of the evaluation.
+//
+// Quick start:
+//
+//	cfg := lfoc.DefaultExperimentConfig()
+//	ctrl, _ := cfg.NewDynamicPolicy("lfoc")
+//	w, _ := lfoc.GetWorkload("S1")
+//	res, _ := lfoc.RunDynamic(cfg.SimConfig(), w.ScaledSpecs(cfg.Scale), ctrl)
+//	fmt.Println(res.Summary.Unfairness, res.Summary.STP)
+//
+// See the examples/ directory for complete programs and DESIGN.md for
+// the system inventory.
+package lfoc
+
+import (
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/cat"
+	"github.com/faircache/lfoc/internal/core"
+	"github.com/faircache/lfoc/internal/harness"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/metrics"
+	"github.com/faircache/lfoc/internal/pbb"
+	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/policy"
+	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/resctrl"
+	"github.com/faircache/lfoc/internal/sharing"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// ---------------------------------------------------------------------
+// Platform.
+// ---------------------------------------------------------------------
+
+// Platform describes a CAT-capable multicore (ways, way size, latencies,
+// bandwidth).
+type Platform = machine.Platform
+
+// Skylake returns the paper's experimental platform: a Xeon Gold 6138
+// with an 11-way 27.5 MB way-partitionable LLC.
+func Skylake() *Platform { return machine.Skylake() }
+
+// SmallPlatform returns a reduced platform for experimentation.
+func SmallPlatform(ways, cores int) *Platform { return machine.Small(ways, cores) }
+
+// ---------------------------------------------------------------------
+// Application models.
+// ---------------------------------------------------------------------
+
+// Spec is a synthetic application: a sequence of phases with stack-
+// distance locality profiles.
+type Spec = appmodel.Spec
+
+// PhaseSpec is one steady-state phase of an application.
+type PhaseSpec = appmodel.PhaseSpec
+
+// ProfileTable holds an application's offline per-way-count performance
+// curves (IPC, LLCMPKC, MPKI, stalls, bandwidth).
+type ProfileTable = appmodel.Table
+
+// AppClass is the ground-truth taxonomy of catalog applications
+// (distinct from Class, LFOC's *runtime* classification).
+type AppClass = appmodel.Class
+
+// Ground-truth class values.
+const (
+	AppLight     = appmodel.ClassLight
+	AppStreaming = appmodel.ClassStreaming
+	AppSensitive = appmodel.ClassSensitive
+)
+
+// Benchmarks lists the synthetic SPEC CPU2006/2017 catalog.
+func Benchmarks() []string { return profiles.Names() }
+
+// BenchmarksByClass lists catalog entries with a ground-truth class.
+func BenchmarksByClass(c AppClass) []string { return profiles.ByClass(c) }
+
+// Benchmark returns a catalog application model by name (e.g. "lbm06").
+func Benchmark(name string) (*Spec, error) { return profiles.Get(name) }
+
+// BuildProfile computes a phase's offline profile table on a platform.
+func BuildProfile(ph *PhaseSpec, plat *Platform) *ProfileTable {
+	return appmodel.BuildTable(ph, plat)
+}
+
+// ---------------------------------------------------------------------
+// Plans, metrics, contention model.
+// ---------------------------------------------------------------------
+
+// Plan is a cache-clustering decision: clusters of applications with way
+// counts.
+type Plan = plan.Plan
+
+// Cluster is one cache partition of a Plan.
+type Cluster = plan.Cluster
+
+// Summary bundles a workload's unfairness (Eq. 3) and STP (Eq. 4).
+type Summary = metrics.Summary
+
+// Unfairness computes MAX/MIN of the slowdowns (Eq. 3).
+func Unfairness(slowdowns []float64) (float64, error) { return metrics.Unfairness(slowdowns) }
+
+// STP computes the system throughput / weighted speedup (Eq. 4).
+func STP(slowdowns []float64) (float64, error) { return metrics.STP(slowdowns) }
+
+// ContentionModel estimates co-run performance under a CAT configuration
+// (the PBBCache-style analytic model).
+type ContentionModel = sharing.Model
+
+// NewContentionModel creates a contention model for a platform.
+func NewContentionModel(plat *Platform) *ContentionModel { return sharing.NewModel(plat) }
+
+// EstimateSlowdowns evaluates a plan with the contention model: one
+// dominant phase per application, slowdowns relative to running alone.
+func EstimateSlowdowns(m *ContentionModel, phases []*PhaseSpec, p Plan) ([]float64, error) {
+	return sharing.EvaluatePlan(m, phases, p)
+}
+
+// ---------------------------------------------------------------------
+// The LFOC controller (the paper's contribution).
+// ---------------------------------------------------------------------
+
+// Controller is the OS-level LFOC runtime: online classification,
+// early-stopping sampling mode, phase-change heuristics and the
+// Algorithm 1 partitioner. All arithmetic is fixed-point.
+type Controller = core.Controller
+
+// Params are LFOC's tunables (Table 1 thresholds, Algorithm 1 knobs,
+// monitoring cadences).
+type Params = core.Params
+
+// DefaultParams returns the paper's configuration for a k-way LLC.
+func DefaultParams(nrWays int) Params { return core.DefaultParams(nrWays) }
+
+// NewController creates an LFOC controller (wayBytes = per-way LLC
+// capacity, for CMT-based critical-size checks).
+func NewController(params Params, wayBytes uint64) (*Controller, error) {
+	return core.NewController(params, wayBytes)
+}
+
+// Class is LFOC's runtime application classification.
+type Class = core.Class
+
+// Classification values.
+const (
+	ClassUnknown   = core.ClassUnknown
+	ClassLight     = core.ClassLight
+	ClassStreaming = core.ClassStreaming
+	ClassSensitive = core.ClassSensitive
+)
+
+// ---------------------------------------------------------------------
+// Baseline policies.
+// ---------------------------------------------------------------------
+
+// StaticPolicy decides a clustering once from offline profiles (§5.1).
+type StaticPolicy = policy.Static
+
+// StaticWorkload is the static policies' input.
+type StaticWorkload = policy.Workload
+
+// Static policy implementations.
+type (
+	// StockPolicy shares the whole LLC (no partitioning).
+	StockPolicy = policy.Stock
+	// UCPPolicy is utility-based strict partitioning (throughput).
+	UCPPolicy = policy.UCP
+	// DunnPolicy is the stalls-driven k-means clustering baseline.
+	DunnPolicy = policy.Dunn
+	// KPartPolicy is the hierarchical partitioning-sharing baseline.
+	KPartPolicy = policy.KPart
+	// LFOCStaticPolicy runs LFOC's algorithm once over offline data.
+	LFOCStaticPolicy = policy.LFOCStatic
+	// BestStaticPolicy is the optimal-fairness clustering reference.
+	BestStaticPolicy = policy.BestStatic
+)
+
+// NewDunnDynamic creates the user-level dynamic Dunn runtime.
+func NewDunnDynamic(ways int) *policy.DunnDynamic { return policy.NewDunnDynamic(ways) }
+
+// NewStockDynamic creates the dynamic no-partitioning baseline.
+func NewStockDynamic(ways int) *policy.StockDynamic { return policy.NewStockDynamic(ways) }
+
+// NewKPartDynaway creates the dynamic KPart runtime ("KPart-Dynaway") —
+// the paper's future-work item implemented here as an extension: full
+// downward profiling sweeps plus periodic re-profiling, i.e. exactly the
+// overheads LFOC's early-stopping sampling avoids.
+func NewKPartDynaway(ways int) *policy.KPartDynaway { return policy.NewKPartDynaway(ways) }
+
+// ---------------------------------------------------------------------
+// Optimal solver (PBBCache reimplementation).
+// ---------------------------------------------------------------------
+
+// Solver determines optimal cache-clustering/partitioning solutions with
+// a parallel branch-and-bound search.
+type Solver = pbb.Solver
+
+// Solution is the solver's result.
+type Solution = pbb.Solution
+
+// Solver objectives.
+const (
+	OptimizeFairness   = pbb.Fairness
+	OptimizeThroughput = pbb.Throughput
+)
+
+// NewSolver creates a solver for a platform.
+func NewSolver(plat *Platform) *Solver { return pbb.New(plat) }
+
+// ---------------------------------------------------------------------
+// Simulator (the testbed substitute).
+// ---------------------------------------------------------------------
+
+// SimConfig parameterizes a co-run simulation.
+type SimConfig = sim.Config
+
+// SimResult carries completion times, slowdowns, unfairness and STP.
+type SimResult = sim.Result
+
+// DynamicPolicy is the interface the simulator drives; *Controller,
+// *policy.DunnDynamic and *policy.StockDynamic implement it.
+type DynamicPolicy = sim.Dynamic
+
+// RunDynamic co-runs a workload under a dynamic policy with the paper's
+// restart-until-three-completions methodology.
+func RunDynamic(cfg SimConfig, specs []*Spec, pol DynamicPolicy) (*SimResult, error) {
+	return sim.RunDynamic(cfg, specs, pol)
+}
+
+// RunStatic co-runs a workload under a fixed clustering plan.
+func RunStatic(cfg SimConfig, specs []*Spec, p Plan) (*SimResult, error) {
+	return sim.RunStatic(cfg, specs, p)
+}
+
+// ---------------------------------------------------------------------
+// Workloads and experiments.
+// ---------------------------------------------------------------------
+
+// ExperimentWorkload is one of the paper's 36 mixes (Fig. 5).
+type ExperimentWorkload = workloads.Workload
+
+// AllWorkloads returns S1..S21 and P1..P15.
+func AllWorkloads() []ExperimentWorkload { return workloads.All() }
+
+// GetWorkload looks a workload up by name.
+func GetWorkload(name string) (ExperimentWorkload, error) { return workloads.Get(name) }
+
+// RandomMix draws a random workload of the given size.
+func RandomMix(seed int64, size int) ExperimentWorkload { return workloads.RandomMix(seed, size) }
+
+// ExperimentConfig parameterizes the figure/table regeneration harness.
+type ExperimentConfig = harness.Config
+
+// DefaultExperimentConfig returns the standard (1/50 time-scaled)
+// experiment configuration.
+func DefaultExperimentConfig() ExperimentConfig { return harness.DefaultConfig() }
+
+// ---------------------------------------------------------------------
+// resctrl-style deployment interface.
+// ---------------------------------------------------------------------
+
+// Resctrl emulates the Linux resctrl filesystem over a CAT controller —
+// the control surface a production LFOC daemon would use (resource
+// groups, "L3:0=7ff" schemata lines, task files, llc_occupancy).
+type Resctrl = resctrl.FS
+
+// CATController is the raw CAT control plane (COS table + associations).
+type CATController = cat.Controller
+
+// WayMask is a CAT capacity bitmask (one bit per LLC way).
+type WayMask = cat.WayMask
+
+// TaskID identifies a task in the CAT/resctrl namespaces (the simulator
+// and the plans use plain application indices for the same ids).
+type TaskID = cat.TaskID
+
+// NewCATController creates a CAT control plane for a platform.
+func NewCATController(plat *Platform) (*CATController, error) {
+	return cat.NewController(plat.Ways, plat.NumCOS, plat.MinCBMBits)
+}
+
+// MountResctrl mounts the emulated resctrl filesystem over a controller.
+// occFn, if non-nil, backs the llc_occupancy monitoring files.
+func MountResctrl(ctrl *CATController, cacheIDs []int, occFn func(task int) uint64) (*Resctrl, error) {
+	var wrapped func(cat.TaskID) uint64
+	if occFn != nil {
+		wrapped = func(t cat.TaskID) uint64 { return occFn(int(t)) }
+	}
+	return resctrl.NewFS(ctrl, cacheIDs, wrapped)
+}
+
+// ApplyPlan enforces a clustering plan through the resctrl interface:
+// one resource group per cluster with sequential disjoint masks (or
+// Dunn-style overlapping masks when the plan says so).
+func ApplyPlan(fs *Resctrl, p Plan, plat *Platform) error {
+	masks, err := p.Masks(plat.Ways)
+	if err != nil {
+		return err
+	}
+	members := make([][]cat.TaskID, len(p.Clusters))
+	for ci, c := range p.Clusters {
+		for _, a := range c.Apps {
+			members[ci] = append(members[ci], cat.TaskID(a))
+		}
+	}
+	return fs.ApplyPlanMasks(masks, members)
+}

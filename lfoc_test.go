@@ -1,0 +1,189 @@
+package lfoc_test
+
+import (
+	"fmt"
+	"testing"
+
+	lfoc "github.com/faircache/lfoc"
+)
+
+func TestPublicAPISurface(t *testing.T) {
+	plat := lfoc.Skylake()
+	if plat.Ways != 11 || plat.LLCBytes() != 28_835_840 {
+		t.Errorf("platform: %d ways, %d bytes", plat.Ways, plat.LLCBytes())
+	}
+	if got := len(lfoc.Benchmarks()); got != 34 {
+		t.Errorf("catalog size %d", got)
+	}
+	if len(lfoc.BenchmarksByClass(lfoc.AppStreaming)) < 5 {
+		t.Error("streaming catalog too small")
+	}
+	if len(lfoc.AllWorkloads()) != 36 {
+		t.Error("workload count wrong")
+	}
+	if _, err := lfoc.Benchmark("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := lfoc.GetWorkload("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestPublicControllerFlow(t *testing.T) {
+	plat := lfoc.Skylake()
+	params := lfoc.DefaultParams(plat.Ways)
+	ctrl, err := lfoc.NewController(params, plat.WayBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.AddApp(0); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.ClassOf(0) != lfoc.ClassUnknown {
+		t.Error("fresh app should be unknown")
+	}
+}
+
+func TestPublicEstimateFlow(t *testing.T) {
+	plat := lfoc.Skylake()
+	model := lfoc.NewContentionModel(plat)
+	var phases []*lfoc.PhaseSpec
+	for _, n := range []string{"xalancbmk06", "lbm06"} {
+		s, err := lfoc.Benchmark(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases = append(phases, &s.Phases[0])
+	}
+	p := lfoc.Plan{Clusters: []lfoc.Cluster{
+		{Apps: []int{0}, Ways: 10},
+		{Apps: []int{1}, Ways: 1},
+	}}
+	sd, err := lfoc.EstimateSlowdowns(model, phases, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := lfoc.Unfairness(sd)
+	if err != nil || u < 1 {
+		t.Errorf("unfairness = %v, %v", u, err)
+	}
+	s, err := lfoc.STP(sd)
+	if err != nil || s <= 0 || s > 2 {
+		t.Errorf("STP = %v, %v", s, err)
+	}
+}
+
+func TestPublicSolverFlow(t *testing.T) {
+	plat := lfoc.Skylake()
+	solver := lfoc.NewSolver(plat)
+	var phases []*lfoc.PhaseSpec
+	for _, n := range []string{"xalancbmk06", "lbm06", "povray06"} {
+		s, _ := lfoc.Benchmark(n)
+		phases = append(phases, &s.Phases[0])
+	}
+	sol, err := solver.OptimalClustering(phases, lfoc.OptimizeFairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Exact || sol.Unfairness < 1 {
+		t.Errorf("solution: %+v", sol)
+	}
+}
+
+// ExampleEstimateSlowdowns demonstrates the offline estimation path: how
+// much does isolating a streaming aggressor help a sensitive program?
+func ExampleEstimateSlowdowns() {
+	plat := lfoc.Skylake()
+	model := lfoc.NewContentionModel(plat)
+
+	xalan, _ := lfoc.Benchmark("xalancbmk06")
+	lbm, _ := lfoc.Benchmark("lbm06")
+	phases := []*lfoc.PhaseSpec{&xalan.Phases[0], &lbm.Phases[0]}
+
+	shared := lfoc.Plan{Clusters: []lfoc.Cluster{{Apps: []int{0, 1}, Ways: 11}}}
+	isolated := lfoc.Plan{Clusters: []lfoc.Cluster{
+		{Apps: []int{0}, Ways: 10},
+		{Apps: []int{1}, Ways: 1},
+	}}
+
+	for _, p := range []lfoc.Plan{shared, isolated} {
+		sd, _ := lfoc.EstimateSlowdowns(model, phases, p)
+		u, _ := lfoc.Unfairness(sd)
+		fmt.Printf("clusters=%d unfairness=%.2f\n", len(p.Clusters), u)
+	}
+	// Output:
+	// clusters=1 unfairness=1.68
+	// clusters=2 unfairness=1.02
+}
+
+// ExampleDefaultParams shows the paper's LFOC configuration.
+func ExampleDefaultParams() {
+	p := lfoc.DefaultParams(11)
+	fmt.Println(p.MaxStreamingWay, p.GapsPerStreaming, p.WarmupIntervals)
+	// Output: 5 3 3
+}
+
+func TestPublicWrappersCoverage(t *testing.T) {
+	if lfoc.SmallPlatform(4, 4).Ways != 4 {
+		t.Error("SmallPlatform wrong")
+	}
+	if lfoc.RandomMix(3, 6).Size != 6 {
+		t.Error("RandomMix wrong")
+	}
+	w, err := lfoc.GetWorkload("S2")
+	if err != nil || w.Name != "S2" {
+		t.Error("GetWorkload wrong")
+	}
+	spec, err := lfoc.Benchmark("soplex06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := lfoc.BuildProfile(&spec.Phases[0], lfoc.Skylake())
+	if tbl.Ways != 11 {
+		t.Error("BuildProfile wrong")
+	}
+	d := lfoc.NewDunnDynamic(11)
+	if err := d.AddApp(0); err != nil {
+		t.Fatal(err)
+	}
+	cfg := lfoc.DefaultExperimentConfig()
+	if _, _, err := cfg.NewDynamicPolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	for _, name := range []string{"stock", "dunn", "lfoc"} {
+		if pol, _, err := cfg.NewDynamicPolicy(name); err != nil || pol == nil {
+			t.Errorf("policy %s: %v", name, err)
+		}
+	}
+}
+
+func TestPublicResctrlFlow(t *testing.T) {
+	plat := lfoc.Skylake()
+	catc, err := lfoc.NewCATController(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := lfoc.MountResctrl(catc, []int{0}, func(task int) uint64 { return 64 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lfoc.Plan{Clusters: []lfoc.Cluster{
+		{Apps: []int{0, 1}, Ways: 1},
+		{Apps: []int{2}, Ways: 10},
+	}}
+	if err := lfoc.ApplyPlan(fs, p, plat); err != nil {
+		t.Fatal(err)
+	}
+	if fs.GroupOf(lfoc.TaskID(2)) != "cluster1" {
+		t.Error("task not placed")
+	}
+	occ, err := fs.LLCOccupancy("cluster0")
+	if err != nil || occ != 128 {
+		t.Errorf("occupancy = %d, %v", occ, err)
+	}
+	// Invalid plan propagates an error.
+	bad := lfoc.Plan{Clusters: []lfoc.Cluster{{Apps: []int{0}, Ways: 99}}}
+	if err := lfoc.ApplyPlan(fs, bad, plat); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
