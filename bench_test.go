@@ -7,6 +7,8 @@
 package lfoc
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/faircache/lfoc/internal/appmodel"
@@ -175,7 +177,7 @@ func BenchmarkTable2KPart(b *testing.B) {
 	}
 }
 
-func sizeName(n int) string { return "apps-" + string(rune('0'+n/10)) + string(rune('0'+n%10)) }
+func sizeName(n int) string { return fmt.Sprintf("apps-%02d", n) }
 
 // ---------------------------------------------------------------------
 // Ablation benchmarks (DESIGN.md §4).
@@ -273,7 +275,8 @@ func BenchmarkAblationSolverSeeding(b *testing.B) {
 }
 
 // BenchmarkContentionModel measures one co-run equilibrium evaluation
-// (the inner loop of both the solver and the simulator).
+// (the inner loop of both the solver and the simulator) through the
+// compatibility map API.
 func BenchmarkContentionModel(b *testing.B) {
 	plat := machine.Skylake()
 	model := sharing.NewModel(plat)
@@ -288,6 +291,58 @@ func BenchmarkContentionModel(b *testing.B) {
 		if len(res) != len(apps) {
 			b.Fatal("bad result")
 		}
+	}
+}
+
+// BenchmarkContentionModelSession measures the same equilibrium through
+// the reusable Evaluator session (the allocation-free hot path the
+// solver and simulator actually use).
+func BenchmarkContentionModelSession(b *testing.B) {
+	plat := machine.Skylake()
+	model := sharing.NewModel(plat)
+	eval := sharing.NewEvaluator(model)
+	var apps []sharing.App
+	names := []string{"xalancbmk06", "soplex06", "lbm06", "milc06", "povray06", "namd06", "omnetpp06", "gamess06"}
+	for i, n := range names {
+		apps = append(apps, sharing.App{ID: i, Phase: &profiles.MustGet(n).Phases[0], Mask: cat.FullMask(plat.Ways)})
+	}
+	var res []sharing.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.EvaluateInto(res, apps)
+		if len(res) != len(apps) {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkSolverWorkers measures the branch-and-bound's scaling with
+// worker count on a 9-app clustering search: the lock-free read path
+// must let Workers=GOMAXPROCS beat (or on a single-core machine, match)
+// Workers=1.
+func BenchmarkSolverWorkers(b *testing.B) {
+	plat := machine.Skylake()
+	w := workloads.RandomMix(11, 9)
+	var phases []*appmodel.PhaseSpec
+	for _, name := range w.Benchmarks {
+		phases = append(phases, &profiles.MustGet(name).Phases[0])
+	}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	} else {
+		counts = append(counts, 4) // exercise the pool even on 1 CPU
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := pbb.New(plat)
+				s.Workers = workers
+				if _, err := s.OptimalClustering(phases, pbb.Fairness); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -6,20 +6,52 @@
 //	lfoc-bench -fig 6 -scale 50      # one figure at 1/50 time scale
 //	lfoc-bench -table 2
 //	lfoc-bench -fig 6 -workloads S1,S2,S3
+//	lfoc-bench -table 2 -json BENCH_table2.json   # machine-readable baseline
 //
 // The -scale flag divides all instruction quantities and the partitioner
 // period by the given factor (cadence ratios preserved); EXPERIMENTS.md
-// records the scale used for the published numbers.
+// records the scale used for the published numbers. The -json flag
+// additionally writes the Table 2 timings as a JSON baseline so the perf
+// trajectory can be tracked across revisions (CI commits one per run).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/faircache/lfoc/internal/harness"
 )
+
+// table2Baseline is the schema of the -json perf-baseline file.
+type table2Baseline struct {
+	GeneratedAt  string              `json:"generated_at"`
+	GoVersion    string              `json:"go_version"`
+	GOMAXPROCS   int                 `json:"gomaxprocs"`
+	Scale        uint64              `json:"scale"`
+	ItersPerSize int                 `json:"iters_per_size"`
+	Rows         []harness.Table2Row `json:"rows"`
+}
+
+func writeTable2JSON(path string, d harness.Table2Data, scale uint64, iters int) error {
+	b := table2Baseline{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Scale:        scale,
+		ItersPerSize: iters,
+		Rows:         d.Rows,
+	}
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
 
 func main() {
 	var (
@@ -33,6 +65,8 @@ func main() {
 		budget    = flag.Uint64("budget", 0, "optimal-solver node budget override")
 		ablation  = flag.Bool("ablation", false, "run the Algorithm 1 parameter sweep")
 		ucp       = flag.Bool("ucp", false, "run the UCP-vs-LFOC supplement (8-app workloads)")
+		iters     = flag.Int("iters", 200, "timing iterations per size for Table 2")
+		jsonOut   = flag.String("json", "", "also write Table 2 timings as a JSON baseline to this file")
 	)
 	flag.Parse()
 
@@ -76,14 +110,22 @@ func main() {
 		}
 	}
 
+	runTable2 := func() {
+		d, err := harness.Table2(cfg, *iters)
+		exitOn(err)
+		fmt.Println(d.Render())
+		if *jsonOut != "" {
+			exitOn(writeTable2JSON(*jsonOut, d, cfg.Scale, *iters))
+			fmt.Fprintln(os.Stderr, "lfoc-bench: wrote", *jsonOut)
+		}
+	}
+
 	did := false
 	if *all {
 		for n := 1; n <= 7; n++ {
 			run(n)
 		}
-		d, err := harness.Table2(cfg, 200)
-		exitOn(err)
-		fmt.Println(d.Render())
+		runTable2()
 		did = true
 	}
 	if *fig > 0 {
@@ -91,9 +133,7 @@ func main() {
 		did = true
 	}
 	if *table == 2 {
-		d, err := harness.Table2(cfg, 200)
-		exitOn(err)
-		fmt.Println(d.Render())
+		runTable2()
 		did = true
 	} else if *table != 0 {
 		exitOn(fmt.Errorf("unknown table %d (only Table 2 is an experiment; Table 1 is the classifier's thresholds)", *table))

@@ -1,0 +1,3 @@
+module github.com/faircache/lfoc
+
+go 1.24

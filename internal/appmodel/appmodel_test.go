@@ -348,3 +348,42 @@ func TestQuickAdvanceConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCurveCacheMatchesPhasePerf(t *testing.T) {
+	// CurveCache.Perf / PerfAtWays must be bit-identical to PhasePerf at
+	// every operating point: the solver's determinism (and comparability
+	// with directly-evaluated plans) depends on it.
+	plat := machine.Skylake()
+	phases := []PhaseSpec{sensitivePhase(), streamingPhase(), lightPhase()}
+	// Include an explicit-MLP phase so the mlp-resolution path is hit.
+	withMLP := sensitivePhase()
+	withMLP.MLP = 7.5
+	phases = append(phases, withMLP)
+	scales := []float64{0, 0.5, 1, 1.17, 2.4, 9}
+	for pi := range phases {
+		ph := &phases[pi]
+		c := NewCurveCache(ph, plat)
+		for _, scale := range scales {
+			// Arbitrary byte sizes, including off-knot and beyond-LLC points.
+			for _, bytes := range []uint64{0, 1, 4096, 100_000, mb, 3 * mb, 10*mb + 12345, plat.LLCBytes(), 2 * plat.LLCBytes()} {
+				want := PhasePerf(ph, plat, bytes, scale)
+				got := c.Perf(bytes, scale)
+				if got != want {
+					t.Fatalf("phase %d scale %v bytes %d: Perf %+v != PhasePerf %+v", pi, scale, bytes, got, want)
+				}
+				if bw := c.Bandwidth(bytes, scale); bw != want.Bandwidth {
+					t.Fatalf("phase %d scale %v bytes %d: Bandwidth %v != %v", pi, scale, bytes, bw, want.Bandwidth)
+				}
+			}
+			for w := 1; w <= plat.Ways; w++ {
+				want := PhasePerf(ph, plat, plat.WaysToBytes(w), scale)
+				if got := c.PerfAtWays(w, scale); got != want {
+					t.Fatalf("phase %d scale %v ways %d: PerfAtWays %+v != PhasePerf %+v", pi, scale, w, got, want)
+				}
+			}
+		}
+	}
+	if c := NewCurveCache(&phases[0], plat); c.Ways() != plat.Ways {
+		t.Errorf("Ways() = %d, want %d", c.Ways(), plat.Ways)
+	}
+}

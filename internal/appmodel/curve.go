@@ -1,0 +1,140 @@
+package appmodel
+
+import (
+	"github.com/faircache/lfoc/internal/machine"
+)
+
+// CurveCache precomputes everything PhasePerf derives from a (phase,
+// platform) pair so the contention model's inner loop stops rebuilding
+// the same piecewise-linear math on every call: the locality knots are
+// flattened into parallel arrays for a branch-light binary search, the
+// phase/platform constants (BaseCPI, APKI/1000, effective MLP, latencies)
+// are resolved once, and the hit ratio is additionally sampled at way
+// granularity for allocations that are exact way multiples.
+//
+// A CurveCache is immutable after construction and therefore safe to
+// share across goroutines (the parallel branch-and-bound workers all read
+// the same set). Perf and PerfAtWays are bit-identical to PhasePerf at
+// the same operating point: they execute the same floating-point
+// operations in the same order, only with the operands fetched from the
+// precomputed arrays.
+type CurveCache struct {
+	// Locality knots (parallel arrays, ascending sizes).
+	knotBytes []uint64
+	knotHits  []float64
+
+	// wayHits[w] is the hit ratio at exactly w ways (index 0 unused).
+	wayHits []float64
+
+	// Resolved constants.
+	baseCPI float64
+	apki    float64
+	apkiK   float64 // APKI/1000
+	hitCyc  float64 // float64(plat.LLCHitCycles)
+	memBase float64 // float64(plat.MemCycles) / effective MLP
+	freqF   float64 // float64(plat.FreqHz)
+	lineF   float64 // float64(plat.LineBytes)
+}
+
+// NewCurveCache flattens a phase's locality profile and platform
+// constants into an immutable evaluation cache.
+func NewCurveCache(ph *PhaseSpec, plat *machine.Platform) *CurveCache {
+	mlp := ph.MLP
+	if mlp <= 0 {
+		mlp = plat.MLP
+	}
+	knots := ph.Locality.Knots()
+	c := &CurveCache{
+		knotBytes: make([]uint64, len(knots)),
+		knotHits:  make([]float64, len(knots)),
+		wayHits:   make([]float64, plat.Ways+1),
+		baseCPI:   ph.BaseCPI,
+		apki:      ph.APKI,
+		apkiK:     ph.APKI / 1000,
+		hitCyc:    float64(plat.LLCHitCycles),
+		memBase:   float64(plat.MemCycles) / mlp,
+		freqF:     float64(plat.FreqHz),
+		lineF:     float64(plat.LineBytes),
+	}
+	for i, k := range knots {
+		c.knotBytes[i] = k.Bytes
+		c.knotHits[i] = k.HitRatio
+	}
+	for w := 1; w <= plat.Ways; w++ {
+		c.wayHits[w] = ph.Locality.HitRatio(plat.WaysToBytes(w))
+	}
+	return c
+}
+
+// hitRatio mirrors stackdist.Profile.HitRatio over the flattened knots.
+func (c *CurveCache) hitRatio(bytes uint64) float64 {
+	if len(c.knotBytes) == 0 {
+		return 0
+	}
+	if bytes <= c.knotBytes[0] {
+		if c.knotBytes[0] == 0 {
+			return c.knotHits[0]
+		}
+		return c.knotHits[0] * float64(bytes) / float64(c.knotBytes[0])
+	}
+	last := len(c.knotBytes) - 1
+	if bytes >= c.knotBytes[last] {
+		return c.knotHits[last]
+	}
+	lo, hi := 1, last
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bytes <= c.knotBytes[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	frac := float64(bytes-c.knotBytes[lo-1]) / float64(c.knotBytes[lo]-c.knotBytes[lo-1])
+	return c.knotHits[lo-1] + frac*(c.knotHits[lo]-c.knotHits[lo-1])
+}
+
+// perfFromHit applies the CPI decomposition to a hit ratio.
+func (c *CurveCache) perfFromHit(hr, memScale float64) Perf {
+	if memScale < 1 {
+		memScale = 1
+	}
+	miss := 1 - hr
+	hit := 1 - miss
+	memStall := c.memBase * memScale
+	stallPerAccess := hit*c.hitCyc + miss*memStall
+	stallCPI := c.apkiK * stallPerAccess
+	cpi := c.baseCPI + stallCPI
+	ipc := 1 / cpi
+	mpki := c.apki * miss
+	return Perf{
+		CPI:       cpi,
+		IPC:       ipc,
+		MissRatio: miss,
+		MPKC:      mpki * ipc,
+		MPKI:      mpki,
+		StallFrac: stallCPI / cpi,
+		Bandwidth: mpki / 1000 * ipc * c.freqF * c.lineF,
+	}
+}
+
+// Perf evaluates the phase at an arbitrary allocation of cacheBytes under
+// a memory-latency inflation memScale. Equivalent to PhasePerf.
+func (c *CurveCache) Perf(cacheBytes uint64, memScale float64) Perf {
+	return c.perfFromHit(c.hitRatio(cacheBytes), memScale)
+}
+
+// Bandwidth returns only the DRAM demand at an operating point — the
+// quantity the share fixed point's pressure term needs.
+func (c *CurveCache) Bandwidth(cacheBytes uint64, memScale float64) float64 {
+	return c.perfFromHit(c.hitRatio(cacheBytes), memScale).Bandwidth
+}
+
+// PerfAtWays evaluates the phase at exactly w ways using the
+// way-granularity samples, skipping the knot search entirely.
+func (c *CurveCache) PerfAtWays(w int, memScale float64) Perf {
+	return c.perfFromHit(c.wayHits[w], memScale)
+}
+
+// Ways returns the way count the cache was sampled for.
+func (c *CurveCache) Ways() int { return len(c.wayHits) - 1 }

@@ -48,15 +48,24 @@ func Fig6(cfg Config, names []string) (Fig6Data, error) {
 		}
 	}
 
+	// Workload rows are independent experiments: fan them out over a
+	// bounded worker pool (row order, and therefore every aggregate, is
+	// preserved).
+	rows, err := mapRows(cfg.workers(), list, func(w workloads.Workload) (Fig6Row, error) {
+		row, err := fig6Workload(cfg, w)
+		if err != nil {
+			return Fig6Row{}, fmt.Errorf("fig6: %s: %w", w.Name, err)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return Fig6Data{}, err
+	}
+
 	var data Fig6Data
 	unfAgg := make([][]float64, len(Fig6Policies))
 	stpAgg := make([][]float64, len(Fig6Policies))
-
-	for _, w := range list {
-		row, err := fig6Workload(cfg, w)
-		if err != nil {
-			return Fig6Data{}, fmt.Errorf("fig6: %s: %w", w.Name, err)
-		}
+	for _, row := range rows {
 		data.Rows = append(data.Rows, row)
 		for pi := range Fig6Policies {
 			unfAgg[pi] = append(unfAgg[pi], row.NormUnf[pi])
@@ -107,7 +116,10 @@ func fig6Workload(cfg Config, w workloads.Workload) (Fig6Row, error) {
 		policy.Dunn{},
 		policy.KPart{},
 		fixedStatic{name: "LFOC", plan: lfocPlan},
-		policy.BestStatic{NodeBudget: budget, Seeds: []plan.Plan{lfocPlan}},
+		// Workload rows are already fanned out across cores (Fig6's
+		// mapRows), so the per-row solver runs serially — two levels of
+		// parallelism would oversubscribe multiplicatively.
+		policy.BestStatic{NodeBudget: budget, Workers: 1, Seeds: []plan.Plan{lfocPlan}},
 	}
 
 	row := Fig6Row{Workload: w.Name}

@@ -46,14 +46,23 @@ func Fig7(cfg Config, names []string) (Fig7Data, error) {
 		}
 	}
 
+	// Like Fig6: one independent experiment per workload row, fanned out
+	// over a bounded worker pool with order preserved.
+	rows, err := mapRows(cfg.workers(), list, func(w workloads.Workload) (Fig7Row, error) {
+		row, err := fig7Workload(cfg, w)
+		if err != nil {
+			return Fig7Row{}, fmt.Errorf("fig7: %s: %w", w.Name, err)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return Fig7Data{}, err
+	}
+
 	var data Fig7Data
 	unfAgg := make([][]float64, len(Fig7Policies))
 	stpAgg := make([][]float64, len(Fig7Policies))
-	for _, w := range list {
-		row, err := fig7Workload(cfg, w)
-		if err != nil {
-			return Fig7Data{}, fmt.Errorf("fig7: %s: %w", w.Name, err)
-		}
+	for _, row := range rows {
 		data.Rows = append(data.Rows, row)
 		for pi := range Fig7Policies {
 			unfAgg[pi] = append(unfAgg[pi], row.NormUnf[pi])

@@ -35,7 +35,12 @@ type Config struct {
 	// for ≤10-app and >10-app workloads respectively.
 	SolverBudgetSmall uint64
 	SolverBudgetLarge uint64
-	// Workers bounds solver parallelism (0 = GOMAXPROCS).
+	// Workers bounds the harness's parallelism (0 = GOMAXPROCS). For
+	// Fig. 6/7 the workload rows fan out over this many goroutines and
+	// the per-row solver runs serially (rows are the unit of parallelism;
+	// a second level would oversubscribe multiplicatively). Fig. 2/3 have
+	// no row fan-out, so there Workers bounds the optimal solver's own
+	// worker pool instead.
 	Workers int
 }
 

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workers resolves the harness-level parallelism: Config.Workers when
+// set, GOMAXPROCS otherwise.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mapRows runs fn over items on a bounded worker pool and returns the
+// results in input order. Items are independent experiments (one figure
+// row each), so any interleaving yields the same output; on failure the
+// error of the lowest-indexed failing item is returned, keeping error
+// reporting deterministic too.
+func mapRows[W, R any](workers int, items []W, fn func(W) (R, error)) ([]R, error) {
+	n := len(items)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		out := make([]R, n)
+		for i, it := range items {
+			r, err := fn(it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	out := make([]R, n)
+	errs := make([]error, n)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = fn(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -36,7 +36,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"github.com/faircache/lfoc/internal/appmodel"
 	"github.com/faircache/lfoc/internal/cat"
@@ -109,17 +109,21 @@ type clusterScore struct {
 	stp   float64
 }
 
-// memo lazily computes per-(subset, ways) cluster scores.
+// memo lazily computes per-(subset, ways) cluster scores. Filled slots
+// are published through per-subset atomic pointers, so the read path —
+// the overwhelming majority of accesses once the search is warm — is a
+// single lock-free load. A subset computed concurrently by two workers is
+// computed twice; the result is deterministic, so last-writer-wins is
+// harmless.
 type memo struct {
 	n      int
 	ways   int
 	phases []*appmodel.PhaseSpec
+	curves map[*appmodel.PhaseSpec]*appmodel.CurveCache
 	alone  []float64 // alone IPC per app
 	model  *sharing.Model
 	scale  float64
-	mu     sync.Mutex
-	table  [][]clusterScore // [subset] -> [ways+1]
-	done   []bool
+	slots  []atomic.Pointer[[]clusterScore] // [subset] -> [ways+1]
 }
 
 func newMemo(phases []*appmodel.PhaseSpec, plat *machine.Platform, scale float64) *memo {
@@ -128,47 +132,57 @@ func newMemo(phases []*appmodel.PhaseSpec, plat *machine.Platform, scale float64
 		n:      n,
 		ways:   plat.Ways,
 		phases: phases,
+		curves: make(map[*appmodel.PhaseSpec]*appmodel.CurveCache, n),
 		alone:  make([]float64, n),
 		model:  &sharing.Model{Plat: plat, CacheIters: 12, Damping: 0.6},
 		scale:  scale,
-		table:  make([][]clusterScore, 1<<n),
-		done:   make([]bool, 1<<n),
+		slots:  make([]atomic.Pointer[[]clusterScore], 1<<n),
 	}
 	for i, ph := range phases {
-		m.alone[i] = appmodel.PhasePerf(ph, plat, plat.LLCBytes(), 1).IPC
+		if _, ok := m.curves[ph]; !ok {
+			m.curves[ph] = appmodel.NewCurveCache(ph, plat)
+		}
+		m.alone[i] = m.curves[ph].Perf(plat.LLCBytes(), 1).IPC
 	}
 	return m
 }
 
-// get returns the score table (indexed by way count) for a subset.
-func (m *memo) get(subset uint32) []clusterScore {
-	m.mu.Lock()
-	if m.done[subset] {
-		t := m.table[subset]
-		m.mu.Unlock()
-		return t
-	}
-	m.mu.Unlock()
+// newEvaluator returns a fresh per-worker evaluation session that shares
+// the memo's immutable curve caches.
+func (m *memo) newEvaluator() *sharing.Evaluator {
+	return sharing.NewEvaluatorWithCurves(m.model, m.curves)
+}
 
-	// Compute outside the lock (duplicate computation is harmless and
-	// deterministic).
-	var members []int
+// get returns the score table (indexed by way count) for a subset,
+// computing it with the worker's private scratch on a miss.
+func (m *memo) get(subset uint32, w *worker) []clusterScore {
+	if p := m.slots[subset].Load(); p != nil {
+		return *p
+	}
+	t := m.compute(subset, w)
+	m.slots[subset].Store(&t)
+	return t
+}
+
+// compute scores one member subset at every way count.
+func (m *memo) compute(subset uint32, w *worker) []clusterScore {
+	members := w.members[:0]
 	for i := 0; i < m.n; i++ {
 		if subset&(1<<i) != 0 {
 			members = append(members, i)
 		}
 	}
 	t := make([]clusterScore, m.ways+1)
-	apps := make([]sharing.App, len(members))
-	for w := 1; w <= m.ways; w++ {
-		mask := cat.MaskRange(0, w)
+	apps := w.apps[:len(members)]
+	for ways := 1; ways <= m.ways; ways++ {
+		mask := cat.MaskRange(0, ways)
 		for j, i := range members {
 			apps[j] = sharing.App{ID: i, Phase: m.phases[i], Mask: mask}
 		}
-		res := m.model.EvaluateAtScale(apps, m.scale)
+		w.res = w.eval.EvaluateAtScaleInto(w.res, apps, m.scale)
 		sc := clusterScore{minSd: math.Inf(1), maxSd: 0, stp: 0}
-		for _, i := range members {
-			sd := m.alone[i] / res[i].Perf.IPC
+		for j, i := range members {
+			sd := m.alone[i] / w.res[j].Perf.IPC
 			if sd < 1 {
 				sd = 1
 			}
@@ -176,13 +190,8 @@ func (m *memo) get(subset uint32) []clusterScore {
 			sc.maxSd = math.Max(sc.maxSd, sd)
 			sc.stp += 1 / sd
 		}
-		t[w] = sc
+		t[ways] = sc
 	}
-
-	m.mu.Lock()
-	m.table[subset] = t
-	m.done[subset] = true
-	m.mu.Unlock()
 	return t
 }
 
@@ -260,22 +269,24 @@ func (s *Solver) solve(phases []*appmodel.PhaseSpec, obj Objective, partitioning
 		ways:     s.Plat.Ways,
 		ident:    identical,
 		budget:   budget,
-		bestUnf:  math.Inf(1),
-		bestSTP:  math.Inf(-1),
 		partOnly: partitioningOnly,
 	}
+	search.storeBestUnf(math.Inf(1))
+	search.storeBestSTP(math.Inf(-1))
 
+	serial := search.newWorker()
 	for _, seed := range s.Seeds {
-		search.offerSeed(seed)
+		search.offerSeed(seed, serial)
 	}
 
 	if partitioningOnly {
-		subsets := make([]uint32, n)
+		subsets := serial.subsets[:n]
 		for i := range subsets {
 			subsets[i] = 1 << i
 		}
-		search.nodes++
-		search.scorePartition(subsets)
+		serial.nodes++
+		search.scorePartition(subsets, serial)
+		serial.flush()
 	} else {
 		search.run(workers)
 	}
@@ -291,14 +302,15 @@ func (s *Solver) solve(phases []*appmodel.PhaseSpec, obj Objective, partitioning
 		return Solution{}, fmt.Errorf("pbb: rescoring winner: %w", err)
 	}
 	unf, stp := summarize(slow)
+	nodes := search.nodes.Load()
 	return Solution{
 		Plan:       *search.bestPlan,
 		Slowdowns:  slow,
 		Unfairness: unf,
 		STP:        stp,
-		Exact:      search.nodes <= budget,
-		Nodes:      search.nodes,
-		Pruned:     search.pruned,
+		Exact:      nodes <= budget,
+		Nodes:      nodes,
+		Pruned:     search.pruned.Load(),
 	}, nil
 }
 

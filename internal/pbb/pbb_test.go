@@ -194,6 +194,7 @@ func TestBruteForceAgreementTinyCase(t *testing.T) {
 
 	scale := stockScale(phases, plat)
 	mm := newMemo(phases, plat, scale)
+	wk := (&searcher{memo: mm, n: len(phases), ways: plat.Ways}).newWorker()
 	bestUnf := 2.0e18
 	bestSTP := -1.0
 	var bestPlan plan.Plan
@@ -214,7 +215,7 @@ func TestBruteForceAgreementTinyCase(t *testing.T) {
 					for _, a := range cl {
 						sub |= 1 << a
 					}
-					sc := mm.get(sub)[ways[ci]]
+					sc := mm.get(sub, wk)[ways[ci]]
 					if sc.maxSd > maxSd {
 						maxSd = sc.maxSd
 					}
@@ -243,5 +244,70 @@ func TestBruteForceAgreementTinyCase(t *testing.T) {
 	}
 	if sol.Plan.Canonical() != bestPlan.Canonical() {
 		t.Errorf("B&B winner %s differs from brute force %s", sol.Plan.Canonical(), bestPlan.Canonical())
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	// The solver's output — plan, unfairness, STP — must be bit-identical
+	// regardless of parallelism, with and without warm-start seeds.
+	plat := machine.Skylake()
+	phases := mix("xalancbmk06", "soplex06", "omnetpp06", "lbm06", "milc06",
+		"povray06", "namd06", "sphinx306")
+	seed := plan.Plan{Clusters: []plan.Cluster{
+		{Apps: []int{0, 1, 2}, Ways: 5},
+		{Apps: []int{4, 5, 6, 7}, Ways: 5},
+		{Apps: []int{3}, Ways: 1},
+	}}
+	for _, obj := range []Objective{Fairness, Throughput} {
+		for _, seeded := range []bool{false, true} {
+			var ref Solution
+			for i, workers := range []int{1, 4, 16} {
+				s := New(plat)
+				s.Workers = workers
+				if seeded {
+					s.Seeds = []plan.Plan{seed}
+				}
+				sol, err := s.OptimalClustering(phases, obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sol.Exact {
+					t.Fatalf("obj=%v seeded=%v workers=%d: search did not complete", obj, seeded, workers)
+				}
+				if i == 0 {
+					ref = sol
+					continue
+				}
+				if got, want := sol.Plan.Canonical(), ref.Plan.Canonical(); got != want {
+					t.Errorf("obj=%v seeded=%v workers=%d: plan %s != workers=1 plan %s", obj, seeded, workers, got, want)
+				}
+				if sol.Unfairness != ref.Unfairness || sol.STP != ref.STP {
+					t.Errorf("obj=%v seeded=%v workers=%d: (unf=%v stp=%v) != (unf=%v stp=%v)",
+						obj, seeded, workers, sol.Unfairness, sol.STP, ref.Unfairness, ref.STP)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedTightensSearch(t *testing.T) {
+	// A valid seed must never change the winner, only prune more.
+	plat := machine.Skylake()
+	phases := mix("xalancbmk06", "soplex06", "lbm06", "milc06", "povray06", "namd06")
+	base, err := New(plat).OptimalClustering(phases, Fairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(plat)
+	s.Seeds = []plan.Plan{base.Plan}
+	seeded, err := s.OptimalClustering(phases, Fairness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Plan.Canonical() != base.Plan.Canonical() {
+		t.Errorf("seeding changed the winner: %s vs %s", seeded.Plan.Canonical(), base.Plan.Canonical())
+	}
+	if seeded.Unfairness != base.Unfairness {
+		t.Errorf("seeding changed the unfairness: %v vs %v", seeded.Unfairness, base.Unfairness)
 	}
 }

@@ -3,14 +3,35 @@ package pbb
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"github.com/faircache/lfoc/internal/plan"
+	"github.com/faircache/lfoc/internal/sharing"
 )
 
-// searcher holds the shared state of one branch-and-bound run. The
-// incumbent (bestUnf/bestSTP/bestPlan) and the node counters are guarded
-// by mu; workers read the incumbent under the lock only when a candidate
-// survives the cheap local bound, so contention stays low.
+// nodeFlushEvery bounds how stale a worker's contribution to the shared
+// node counter may get: locals are flushed to the atomics every this many
+// counted nodes (and at worker exit), so the budget check sees an almost
+// current total without any per-node shared-memory write.
+const nodeFlushEvery = 64
+
+// searcher holds the shared state of one branch-and-bound run.
+//
+// The read path is lock-free: the incumbent objective values are
+// published as atomic float bits, so boundedOut/overBudget never block,
+// and node counters are accumulated per worker and flushed in batches.
+// The mutex is confined to offer(), the rare path where a candidate
+// survived the lock-free bound and the incumbent plan itself must be
+// replaced consistently.
+//
+// The published bounds are monotone up to the tie tolerance: unfairness
+// only decreases (STP only increases) except when a tie-breaking
+// improvement is installed, which may move the primary metric by at most
+// its 1e-12 tie window. A stale lock-free read therefore prunes against
+// a bound at most one tie-window tighter than the current one — the same
+// race the mutex version had between a prune decision and an install
+// that immediately followed it, and strictly inside the relative margin
+// the prune thresholds carry.
 type searcher struct {
 	solver   *Solver
 	memo     *memo
@@ -21,18 +42,99 @@ type searcher struct {
 	budget   uint64
 	partOnly bool
 
-	mu       sync.Mutex
-	nodes    uint64
-	pruned   uint64
-	bestUnf  float64
-	bestSTP  float64
+	nodes       atomic.Uint64
+	pruned      atomic.Uint64
+	bestUnfBits atomic.Uint64 // math.Float64bits of the incumbent unfairness
+	bestSTPBits atomic.Uint64 // math.Float64bits of the incumbent STP
+
+	mu       sync.Mutex // guards bestPlan/bestKey and incumbent updates
 	bestPlan *plan.Plan
 	bestKey  string
 }
 
+func (s *searcher) loadBestUnf() float64   { return math.Float64frombits(s.bestUnfBits.Load()) }
+func (s *searcher) loadBestSTP() float64   { return math.Float64frombits(s.bestSTPBits.Load()) }
+func (s *searcher) storeBestUnf(v float64) { s.bestUnfBits.Store(math.Float64bits(v)) }
+func (s *searcher) storeBestSTP(v float64) { s.bestSTPBits.Store(math.Float64bits(v)) }
+
+// worker owns one goroutine's private search state: the evaluation
+// session, the memo-compute and enumeration scratch, and locally
+// accumulated node counters. Nothing in it is shared, so the hot
+// enumeration loop performs no allocation and no synchronized write.
+type worker struct {
+	s    *searcher
+	eval *sharing.Evaluator
+
+	// memo.compute scratch.
+	members []int
+	apps    []sharing.App
+	res     []sharing.Result
+
+	// Enumeration scratch: subset masks of the (partial) partition under
+	// consideration, way assignment and per-cluster score tables for
+	// composition scoring.
+	subsets []uint32
+	ways    []int
+	scores  [][]clusterScore
+
+	// Composition-bound scratch (flat [cluster*(ways+1)+w] tables): the
+	// optimistic suffix aggregates that let composeWays prune partial way
+	// assignments. suffMax[j][w] lower-bounds the max slowdown any
+	// completion of clusters j.. can reach when each may take up to w
+	// ways; suffMin upper-bounds the min slowdown; suffStp upper-bounds
+	// the STP sum.
+	suffMax []float64
+	suffMin []float64
+	suffStp []float64
+
+	// Locally accumulated counters, flushed to the searcher's atomics.
+	nodes, pruned uint64
+}
+
+func (s *searcher) newWorker() *worker {
+	stride := s.ways + 1
+	return &worker{
+		s:       s,
+		eval:    s.memo.newEvaluator(),
+		members: make([]int, 0, s.n),
+		apps:    make([]sharing.App, s.n),
+		subsets: make([]uint32, s.n),
+		ways:    make([]int, s.ways),
+		scores:  make([][]clusterScore, s.ways),
+		suffMax: make([]float64, s.ways*stride),
+		suffMin: make([]float64, s.ways*stride),
+		suffStp: make([]float64, s.ways*stride),
+	}
+}
+
+// countNode counts one complete partition node, flushing periodically.
+func (w *worker) countNode() {
+	w.nodes++
+	if w.nodes >= nodeFlushEvery {
+		w.flush()
+	}
+}
+
+// flush publishes the local counters.
+func (w *worker) flush() {
+	if w.nodes > 0 {
+		w.s.nodes.Add(w.nodes)
+		w.nodes = 0
+	}
+	if w.pruned > 0 {
+		w.s.pruned.Add(w.pruned)
+		w.pruned = 0
+	}
+}
+
+// overBudget is the lock-free anytime check.
+func (w *worker) overBudget() bool {
+	return w.s.nodes.Load()+w.nodes > w.s.budget
+}
+
 // offerSeed scores a heuristic plan with the memo and installs it as the
 // initial incumbent if valid. Invalid seeds are ignored.
-func (s *searcher) offerSeed(p plan.Plan) {
+func (s *searcher) offerSeed(p plan.Plan, w *worker) {
 	if err := p.Validate(s.n, s.ways); err != nil || p.Overlapping {
 		return
 	}
@@ -44,7 +146,7 @@ func (s *searcher) offerSeed(p plan.Plan) {
 			subsets[ci] |= 1 << a
 		}
 		ways[ci] = c.Ways
-		sc := s.memo.get(subsets[ci])[c.Ways]
+		sc := s.memo.get(subsets[ci], w)[c.Ways]
 		maxSd = math.Max(maxSd, sc.maxSd)
 		minSd = math.Min(minSd, sc.minSd)
 		stp += sc.stp
@@ -98,15 +200,17 @@ func (s *searcher) run(workers int) {
 	close(ch)
 
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			w := s.newWorker()
 			local := make([]int, s.n)
 			for p := range ch {
 				copy(local, p.assign)
-				s.extend(local, splitDepth, p.m)
+				s.extend(local, splitDepth, p.m, w)
 			}
+			w.flush()
 		}()
 	}
 	wg.Wait()
@@ -124,34 +228,40 @@ func (s *searcher) identOK(assign []int, app, cluster int) bool {
 
 // extend continues the restricted-growth enumeration from depth, scoring
 // complete partitions and applying the partial bound.
-func (s *searcher) extend(assign []int, depth, m int) {
-	if s.overBudget() {
+func (s *searcher) extend(assign []int, depth, m int, w *worker) {
+	if w.overBudget() {
 		return
 	}
 	if depth == s.n {
 		if m < 1 {
 			return
 		}
-		subsets := make([]uint32, m)
+		subsets := w.subsets[:m]
+		for i := range subsets {
+			subsets[i] = 0
+		}
 		for i, c := range assign {
 			subsets[c] |= 1 << i
 		}
-		s.countNode()
-		if !s.boundedOut(subsets, s.n) {
-			s.scorePartition(subsets)
+		w.countNode()
+		if !s.boundedOut(subsets, s.n, w) {
+			s.scorePartition(subsets, w)
 		} else {
-			s.countPruned()
+			w.pruned++
 		}
 		return
 	}
 	// Partial bound: clusters formed so far can only get worse.
 	if depth >= 2 && m >= 1 {
-		subsets := make([]uint32, m)
+		subsets := w.subsets[:m]
+		for i := range subsets {
+			subsets[i] = 0
+		}
 		for i := 0; i < depth; i++ {
 			subsets[assign[i]] |= 1 << i
 		}
-		if s.boundedOut(subsets, depth) {
-			s.countPruned()
+		if s.boundedOut(subsets, depth, w) {
+			w.pruned++
 			return
 		}
 	}
@@ -167,14 +277,15 @@ func (s *searcher) extend(assign []int, depth, m int) {
 		if c == m {
 			nm++
 		}
-		s.extend(assign, depth+1, nm)
+		s.extend(assign, depth+1, nm, w)
 	}
 }
 
 // boundedOut computes an admissible lower bound for the (partial)
-// partition and compares it with the incumbent. assignedApps is the
-// number of apps already placed (== n for complete partitions).
-func (s *searcher) boundedOut(subsets []uint32, assignedApps int) bool {
+// partition and compares it with the incumbent, read lock-free (a stale
+// incumbent only weakens pruning, never correctness). assignedApps is
+// the number of apps already placed (== n for complete partitions).
+func (s *searcher) boundedOut(subsets []uint32, assignedApps int, w *worker) bool {
 	m := len(subsets)
 	wmax := s.ways - m + 1
 	if wmax < 1 {
@@ -188,7 +299,7 @@ func (s *searcher) boundedOut(subsets []uint32, assignedApps int) bool {
 		lbMax := 1.0
 		ubMin := math.Inf(1)
 		for _, sub := range subsets {
-			sc := s.memo.get(sub)[wmax]
+			sc := s.memo.get(sub, w)[wmax]
 			lbMax = math.Max(lbMax, sc.maxSd)
 			ubMin = math.Min(ubMin, sc.minSd)
 		}
@@ -197,79 +308,185 @@ func (s *searcher) boundedOut(subsets []uint32, assignedApps int) bool {
 			// workload minimum.
 			ubMin = 1
 		}
-		lb := lbMax / ubMin
-		s.mu.Lock()
-		out := lb > s.bestUnf*(1+1e-12)
-		s.mu.Unlock()
-		return out
+		return lbMax/ubMin > s.loadBestUnf()*(1+1e-12)
 	default: // Throughput
 		ub := 0.0
 		for _, sub := range subsets {
-			ub += s.memo.get(sub)[wmax].stp
+			ub += s.memo.get(sub, w)[wmax].stp
 		}
 		ub += float64(s.n - assignedApps) // unassigned apps contribute ≤ 1 each
-		s.mu.Lock()
-		out := ub < s.bestSTP-1e-12
-		s.mu.Unlock()
-		return out
+		bs := s.loadBestSTP()
+		return ub < bs-stpPruneTol(bs)
 	}
 }
 
 // scorePartition enumerates way compositions for a complete partition and
-// updates the incumbent.
-func (s *searcher) scorePartition(subsets []uint32) {
+// updates the incumbent. Before recursing it builds, in worker scratch,
+// admissible suffix bounds over the clusters' score curves so partial
+// compositions that cannot beat (or tie) the incumbent are cut without
+// visiting their C(ways-1, m-1)-sized subtrees.
+func (s *searcher) scorePartition(subsets []uint32, w *worker) {
 	m := len(subsets)
 	if m > s.ways {
 		return
 	}
-	scores := make([][]clusterScore, m)
+	scores := w.scores[:m]
 	for i, sub := range subsets {
-		scores[i] = s.memo.get(sub)
+		scores[i] = s.memo.get(sub, w)
 	}
-	ways := make([]int, m)
-	var rec func(i, remaining int, maxSd, minSd, stp float64)
-	rec = func(i, remaining int, maxSd, minSd, stp float64) {
-		if i == m-1 {
-			sc := scores[i][remaining]
-			ways[i] = remaining
-			tMax := math.Max(maxSd, sc.maxSd)
-			tMin := math.Min(minSd, sc.minSd)
-			s.offer(subsets, ways, tMax/tMin, stp+sc.stp)
-			return
-		}
-		// Leave at least one way per remaining cluster.
-		maxW := remaining - (m - 1 - i)
-		for w := 1; w <= maxW; w++ {
-			sc := scores[i][w]
-			ways[i] = w
-			rec(i+1, remaining-w, math.Max(maxSd, sc.maxSd), math.Min(minSd, sc.minSd), stp+sc.stp)
+
+	// Per-cluster optimistic curves, folded into suffix aggregates.
+	// Prefix-optimizing over the way axis (rather than trusting the
+	// model's monotonicity in ways) keeps the bound admissible even if an
+	// equilibrium curve has a tiny non-monotone wobble; admissibility is
+	// what makes pruning schedule-independent and therefore keeps the
+	// solver's output identical across worker counts.
+	stride := s.ways + 1
+	for j := m - 1; j >= 0; j-- {
+		sj := scores[j]
+		row := j * stride
+		nextRow := row + stride
+		bMax, bMin, bStp := math.Inf(1), math.Inf(-1), math.Inf(-1)
+		for ww := 1; ww <= s.ways; ww++ {
+			sc := sj[ww]
+			if sc.maxSd < bMax {
+				bMax = sc.maxSd // best (lowest) max slowdown with ≤ ww ways
+			}
+			if sc.minSd > bMin {
+				bMin = sc.minSd // best (highest) min slowdown with ≤ ww ways
+			}
+			if sc.stp > bStp {
+				bStp = sc.stp // best STP contribution with ≤ ww ways
+			}
+			if j == m-1 {
+				w.suffMax[row+ww] = bMax
+				w.suffMin[row+ww] = bMin
+				w.suffStp[row+ww] = bStp
+			} else {
+				nMax, nMin, nStp := w.suffMax[nextRow+ww], w.suffMin[nextRow+ww], w.suffStp[nextRow+ww]
+				if nMax > bMax {
+					w.suffMax[row+ww] = nMax
+				} else {
+					w.suffMax[row+ww] = bMax
+				}
+				if nMin < bMin {
+					w.suffMin[row+ww] = nMin
+				} else {
+					w.suffMin[row+ww] = bMin
+				}
+				w.suffStp[row+ww] = bStp + nStp
+			}
 		}
 	}
-	rec(0, s.ways, 1, math.Inf(1), 0)
+
+	s.composeWays(subsets, scores, w, 0, s.ways, 1, math.Inf(1), 0)
 }
 
-// offer proposes a complete solution to the incumbent.
+// composeWays recursively assigns way counts to clusters i.. given the
+// remaining ways, carrying the running max/min slowdown and STP sum.
+// Partial assignments whose admissible completion bound cannot reach the
+// incumbent are pruned.
+func (s *searcher) composeWays(subsets []uint32, scores [][]clusterScore, w *worker, i, remaining int, maxSd, minSd, stp float64) {
+	m := len(subsets)
+	if i == m-1 {
+		sc := scores[i][remaining]
+		w.ways[i] = remaining
+		tMax := maxSd
+		if sc.maxSd > tMax {
+			tMax = sc.maxSd
+		}
+		tMin := minSd
+		if sc.minSd < tMin {
+			tMin = sc.minSd
+		}
+		s.offer(subsets, w.ways[:m], tMax/tMin, stp+sc.stp)
+		return
+	}
+
+	// Completion bound: clusters i.. may each take at most wcap ways.
+	wcap := remaining - (m - i - 1)
+	at := i*(s.ways+1) + wcap
+	switch s.obj {
+	case Fairness:
+		lbMax := maxSd
+		if sm := w.suffMax[at]; sm > lbMax {
+			lbMax = sm
+		}
+		ubMin := minSd
+		if sm := w.suffMin[at]; sm < ubMin {
+			ubMin = sm
+		}
+		if lbMax/ubMin > s.loadBestUnf()*(1+1e-12) {
+			return
+		}
+	default:
+		bs := s.loadBestSTP()
+		if stp+w.suffStp[at] < bs-stpPruneTol(bs) {
+			return
+		}
+	}
+
+	// Leave at least one way per remaining cluster.
+	for ww := 1; ww <= wcap; ww++ {
+		sc := scores[i][ww]
+		w.ways[i] = ww
+		tMax := maxSd
+		if sc.maxSd > tMax {
+			tMax = sc.maxSd
+		}
+		tMin := minSd
+		if sc.minSd < tMin {
+			tMin = sc.minSd
+		}
+		s.composeWays(subsets, scores, w, i+1, remaining-ww, tMax, tMin, stp+sc.stp)
+	}
+}
+
+// offer proposes a complete solution to the incumbent. Candidates that
+// cannot beat (or tie) the published bound are rejected without the lock;
+// survivors re-check under the mutex, which also orders the atomic
+// publication of the tightened bound.
 func (s *searcher) offer(subsets []uint32, ways []int, unf, stp float64) {
+	// Lock-free pre-filter against the published incumbent: reject only
+	// candidates that could neither improve nor tie under the very
+	// conditions the locked section evaluates. The published bound only
+	// tightens, so a rejection now would also be a rejection later, and a
+	// stale accept is re-checked under the lock — behaviour is identical
+	// to always locking, minus the contention.
+	switch s.obj {
+	case Fairness:
+		bu := s.loadBestUnf()
+		if !(unf < bu+1e-12) && !unfEq(unf, bu) {
+			return
+		}
+	default:
+		bs := s.loadBestSTP()
+		if !(stp > bs-1e-12) && !stpEq(stp, bs) {
+			return
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	bestUnf, bestSTP := s.loadBestUnf(), s.loadBestSTP()
 	better := false
 	switch s.obj {
 	case Fairness:
-		if unf < s.bestUnf-1e-12 {
+		if unf < bestUnf-1e-12 {
 			better = true
-		} else if unf < s.bestUnf+1e-12 && stp > s.bestSTP+1e-12 {
+		} else if unf < bestUnf+1e-12 && stp > bestSTP+1e-12 {
 			better = true
 		}
 	default:
-		if stp > s.bestSTP+1e-12 {
+		if stp > bestSTP+1e-12 {
 			better = true
-		} else if stp > s.bestSTP-1e-12 && unf < s.bestUnf-1e-12 {
+		} else if stp > bestSTP-1e-12 && unf < bestUnf-1e-12 {
 			better = true
 		}
 	}
 	if !better && s.bestPlan != nil {
 		// Deterministic tie-break across parallel workers.
-		if unfEq(unf, s.bestUnf) && stpEq(stp, s.bestSTP) {
+		if unfEq(unf, bestUnf) && stpEq(stp, bestSTP) {
 			cand := buildPlan(subsets, ways)
 			if key := cand.Canonical(); key < s.bestKey {
 				s.bestPlan = &cand
@@ -280,14 +497,47 @@ func (s *searcher) offer(subsets []uint32, ways []int, unf, stp float64) {
 	}
 	if better {
 		cand := buildPlan(subsets, ways)
-		s.bestUnf, s.bestSTP = unf, stp
+		s.storeBestUnf(unf)
+		s.storeBestSTP(stp)
 		s.bestPlan = &cand
 		s.bestKey = cand.Canonical()
 	}
 }
 
-func unfEq(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(b)) }
-func stpEq(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(b)) }
+// stpPruneTol is the STP pruning tolerance: the same relative width as
+// relEq's tie window, so a prune can never cut a candidate that the
+// offer tie-break would have accepted — that consistency is what keeps
+// the Throughput winner identical across worker counts and schedules.
+func stpPruneTol(best float64) float64 {
+	m := best
+	if m < 0 {
+		m = -m
+	}
+	if m < 1 {
+		m = 1
+	}
+	return 1e-12 * m
+}
+
+// relEq reports |a-b| <= 1e-12*max(1,|b|), branch-only (hot in the offer
+// pre-filter).
+func relEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := b
+	if m < 0 {
+		m = -m
+	}
+	if m < 1 {
+		m = 1
+	}
+	return d <= 1e-12*m
+}
+
+func unfEq(a, b float64) bool { return relEq(a, b) }
+func stpEq(a, b float64) bool { return relEq(a, b) }
 
 func buildPlan(subsets []uint32, ways []int) plan.Plan {
 	p := plan.Plan{Clusters: make([]plan.Cluster, len(subsets))}
@@ -301,23 +551,4 @@ func buildPlan(subsets []uint32, ways []int) plan.Plan {
 		p.Clusters[i] = plan.Cluster{Apps: apps, Ways: ways[i]}
 	}
 	return p
-}
-
-func (s *searcher) countNode() {
-	s.mu.Lock()
-	s.nodes++
-	s.mu.Unlock()
-}
-
-func (s *searcher) countPruned() {
-	s.mu.Lock()
-	s.pruned++
-	s.mu.Unlock()
-}
-
-func (s *searcher) overBudget() bool {
-	s.mu.Lock()
-	over := s.nodes > s.budget
-	s.mu.Unlock()
-	return over
 }

@@ -15,6 +15,8 @@ type BestStatic struct {
 	Objective pbb.Objective
 	// NodeBudget caps the anytime search (0 = solver default).
 	NodeBudget uint64
+	// Workers bounds the solver's parallelism (0 = GOMAXPROCS).
+	Workers int
 	// Seeds warm-start the branch-and-bound (e.g. with LFOC's plan).
 	Seeds []plan.Plan
 }
@@ -29,6 +31,7 @@ func (b BestStatic) Decide(w *Workload) (plan.Plan, error) {
 	}
 	solver := pbb.New(w.Plat)
 	solver.NodeBudget = b.NodeBudget
+	solver.Workers = b.Workers
 	solver.Seeds = b.Seeds
 	sol, err := solver.OptimalClustering(w.Phases, b.Objective)
 	if err != nil {

@@ -49,7 +49,11 @@ func (KPart) Decide(w *Workload) (plan.Plan, error) {
 	if err := w.Validate(); err != nil {
 		return plan.Plan{}, err
 	}
-	levels := kpartDendrogram(w)
+	// One evaluation session for the whole dendrogram: curve caches and
+	// equilibrium scratch are shared across every merge evaluation.
+	model := &sharing.Model{Plat: w.Plat, CacheIters: 10, Damping: 0.6}
+	eval := sharing.NewEvaluator(model)
+	levels := kpartDendrogram(w, eval)
 	return kpartBestLevel(w, levels)
 }
 
@@ -71,7 +75,7 @@ func singleton(w *Workload, i int) *kcluster {
 // combine merges two clusters, deriving the combined curves from the
 // sharing equilibrium of all members inside a single partition of each
 // possible size.
-func combine(w *Workload, a, b *kcluster) *kcluster {
+func combine(w *Workload, eval *sharing.Evaluator, a, b *kcluster) *kcluster {
 	ways := w.Plat.Ways
 	members := append(append([]int(nil), a.members...), b.members...)
 	out := &kcluster{
@@ -79,18 +83,18 @@ func combine(w *Workload, a, b *kcluster) *kcluster {
 		mpki:    make([]float64, ways+1),
 		ipc:     make([][]float64, ways+1),
 	}
-	model := &sharing.Model{Plat: w.Plat, CacheIters: 10, Damping: 0.6}
 	apps := make([]sharing.App, len(members))
+	var res []sharing.Result
 	for ww := 1; ww <= ways; ww++ {
 		mask := cat.MaskRange(0, ww)
 		for j, m := range members {
 			apps[j] = sharing.App{ID: m, Phase: w.Phases[m], Mask: mask}
 		}
-		res := model.EvaluateAtScale(apps, 1)
+		res = eval.EvaluateAtScaleInto(res, apps, 1)
 		out.ipc[ww] = make([]float64, len(members))
 		total := 0.0
-		for j, m := range members {
-			p := res[m].Perf
+		for j := range members {
+			p := res[j].Perf
 			out.ipc[ww][j] = p.IPC
 			total += p.MPKI
 		}
@@ -101,7 +105,7 @@ func combine(w *Workload, a, b *kcluster) *kcluster {
 
 // kpartDendrogram builds all levels of the hierarchical clustering, from
 // n singleton clusters down to one.
-func kpartDendrogram(w *Workload) [][]*kcluster {
+func kpartDendrogram(w *Workload, eval *sharing.Evaluator) [][]*kcluster {
 	cur := make([]*kcluster, w.NumApps())
 	for i := range cur {
 		cur[i] = singleton(w, i)
@@ -117,7 +121,7 @@ func kpartDendrogram(w *Workload) [][]*kcluster {
 				}
 			}
 		}
-		merged := combine(w, cur[bi], cur[bj])
+		merged := combine(w, eval, cur[bi], cur[bj])
 		next := make([]*kcluster, 0, len(cur)-1)
 		for idx, c := range cur {
 			if idx != bi && idx != bj {

@@ -261,7 +261,8 @@ func TestKPartCombineCostsReflectSharing(t *testing.T) {
 	w := workloadOf(t, "xalancbmk06", "lbm06")
 	sens := singleton(w, 0)
 	strm := singleton(w, 1)
-	merged := combine(w, sens, strm)
+	eval := sharing.NewEvaluator(&sharing.Model{Plat: w.Plat, CacheIters: 10, Damping: 0.6})
+	merged := combine(w, eval, sens, strm)
 	ways := w.Plat.Ways
 	if len(merged.members) != 2 {
 		t.Fatal("member bookkeeping wrong")

@@ -1,0 +1,357 @@
+package sharing
+
+import (
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/cat"
+)
+
+// Evaluator is a reusable evaluation session over one Model. It owns all
+// the scratch the equilibrium computation needs (shares, sharing groups,
+// water-filling buffers, per-phase curve caches), so repeated
+// evaluations — the solver scoring thousands of candidate clusters, the
+// simulator re-evaluating after every phase change — allocate nothing
+// after warm-up.
+//
+// An Evaluator is not safe for concurrent use; give each goroutine its
+// own (they can share one read-only curve map via NewEvaluatorWithCurves,
+// which is how the branch-and-bound workers avoid rebuilding the caches
+// per worker). Results are identical to the Model's map-returning methods:
+// the arithmetic is the same, in the same order.
+type Evaluator struct {
+	model *Model
+
+	// shared is an optional read-only curve map provided at construction;
+	// curves holds lazily built caches for phases not present in shared.
+	shared map[*appmodel.PhaseSpec]*appmodel.CurveCache
+	curves map[*appmodel.PhaseSpec]*appmodel.CurveCache
+
+	// Scratch, grown on demand to the app count.
+	shares    []float64
+	masks     []cat.WayMask
+	appCurves []*appmodel.CurveCache
+	perfs     []appmodel.Perf
+
+	// Union-find + flattened sharing groups.
+	parent   []int
+	groupID  []int
+	groupLen []int
+	groupOff []int
+	members  []int
+
+	// Water-filling buffers (sized to the largest group).
+	caps     []float64
+	pressure []float64
+	target   []float64
+	active   []bool
+
+	// resScratch backs the Model's pooled map wrappers.
+	resScratch []Result
+}
+
+// NewEvaluator creates an evaluation session for a model.
+func NewEvaluator(m *Model) *Evaluator {
+	return NewEvaluatorWithCurves(m, nil)
+}
+
+// NewEvaluatorWithCurves creates a session that resolves phase curves
+// from the given immutable map first (the map must not be mutated after
+// this call); misses are cached privately.
+func NewEvaluatorWithCurves(m *Model, curves map[*appmodel.PhaseSpec]*appmodel.CurveCache) *Evaluator {
+	return &Evaluator{
+		model:  m,
+		shared: curves,
+		curves: make(map[*appmodel.PhaseSpec]*appmodel.CurveCache),
+	}
+}
+
+// Curve returns the evaluator's cached perf curve for a phase. Lookup
+// order: the construction-time shared map (lock-free), the evaluator's
+// private cache, then the model-level cache (mutex-guarded, shared by
+// all evaluators of the model so curves are built once per phase).
+func (e *Evaluator) Curve(ph *appmodel.PhaseSpec) *appmodel.CurveCache {
+	if c, ok := e.shared[ph]; ok {
+		return c
+	}
+	if c, ok := e.curves[ph]; ok {
+		return c
+	}
+	c := e.model.curveFor(ph)
+	e.curves[ph] = c
+	return c
+}
+
+// grow sizes the scratch for n applications. groupOff is the allocation
+// sentinel because it is the one slice that must hold n+1 entries (so
+// n == 0 still allocates it).
+func (e *Evaluator) grow(n int) {
+	if cap(e.groupOff) < n+1 {
+		e.shares = make([]float64, n)
+		e.masks = make([]cat.WayMask, n)
+		e.appCurves = make([]*appmodel.CurveCache, n)
+		e.perfs = make([]appmodel.Perf, n)
+		e.parent = make([]int, n)
+		e.groupID = make([]int, n)
+		e.groupLen = make([]int, n)
+		e.groupOff = make([]int, n+1)
+		e.members = make([]int, n)
+		e.caps = make([]float64, n)
+		e.pressure = make([]float64, n)
+		e.target = make([]float64, n)
+		e.active = make([]bool, n)
+	}
+	e.shares = e.shares[:n]
+	e.masks = e.masks[:n]
+	e.appCurves = e.appCurves[:n]
+	e.perfs = e.perfs[:n]
+	e.parent = e.parent[:n]
+	e.groupID = e.groupID[:n]
+	e.groupLen = e.groupLen[:n]
+	e.groupOff = e.groupOff[:n+1]
+	e.members = e.members[:n]
+}
+
+// EvaluateInto computes the co-run equilibrium and stores the result for
+// apps[i] in dst[i] (positional, unlike the Model's ID-keyed maps). dst
+// is grown if needed and returned.
+func (e *Evaluator) EvaluateInto(dst []Result, apps []App) []Result {
+	dst = growResults(dst, len(apps))
+	e.evaluate(dst, apps, nil)
+	return dst
+}
+
+// EvaluateAtScaleInto is EvaluateInto under a frozen memory-latency
+// inflation factor (the solver's decomposable scoring mode).
+func (e *Evaluator) EvaluateAtScaleInto(dst []Result, apps []App, memScale float64) []Result {
+	if memScale < 1 {
+		memScale = 1
+	}
+	dst = growResults(dst, len(apps))
+	e.evaluate(dst, apps, &memScale)
+	return dst
+}
+
+// MemScale returns the converged bandwidth latency-inflation factor.
+func (e *Evaluator) MemScale(apps []App) float64 {
+	e.resScratch = growResults(e.resScratch, len(apps))
+	return e.evaluate(e.resScratch, apps, nil)
+}
+
+func growResults(dst []Result, n int) []Result {
+	if cap(dst) < n {
+		return make([]Result, n)
+	}
+	return dst[:n]
+}
+
+// evaluate is the core fixed point; when fixedScale is non-nil the
+// bandwidth loop is skipped and *fixedScale is used throughout. It
+// returns the final inflation factor.
+func (e *Evaluator) evaluate(dst []Result, apps []App, fixedScale *float64) float64 {
+	m := e.model
+	cacheIters := m.CacheIters
+	if cacheIters <= 0 {
+		cacheIters = 30
+	}
+	bwIters := m.BWIters
+	if bwIters <= 0 {
+		bwIters = 6
+	}
+	damping := m.Damping
+	if damping <= 0 || damping > 1 {
+		damping = 0.5
+	}
+
+	n := len(apps)
+	e.grow(n)
+	for i := range apps {
+		e.masks[i] = apps[i].Mask
+		e.appCurves[i] = e.Curve(apps[i].Phase)
+	}
+	ngroups := e.sharingGroups(n)
+
+	memScale := 1.0
+	if fixedScale != nil {
+		memScale = *fixedScale
+		bwIters = 1
+	}
+	for bw := 0; bw < bwIters; bw++ {
+		// Cache-share equilibrium per sharing group at current memScale.
+		for g := 0; g < ngroups; g++ {
+			e.groupShares(e.members[e.groupOff[g]:e.groupOff[g+1]], memScale, cacheIters, damping)
+		}
+		// Bandwidth fixed point: demand at current shares.
+		total := 0.0
+		for i := range apps {
+			e.perfs[i] = e.appCurves[i].Perf(uint64(e.shares[i]), memScale)
+			total += e.perfs[i].Bandwidth
+		}
+		if fixedScale != nil {
+			break
+		}
+		over := total / float64(m.Plat.MaxBandwidth)
+		if over <= 1 {
+			if memScale == 1 {
+				break
+			}
+			// Demand dropped below saturation: relax toward 1.
+			memScale = 1 + (memScale-1)*0.5
+			continue
+		}
+		memScale *= over
+	}
+
+	for i := range apps {
+		dst[i] = Result{Perf: e.perfs[i], ShareBytes: uint64(e.shares[i])}
+	}
+	return memScale
+}
+
+// sharingGroups partitions app indices into connected components of mask
+// overlap, flattened into e.members with per-group offsets in e.groupOff.
+// Group and member order match cat.SharingGroups (ascending first-seen).
+func (e *Evaluator) sharingGroups(n int) int {
+	parent := e.parent
+	for i := 0; i < n; i++ {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if e.masks[i].Overlaps(e.masks[j]) {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	// Assign group ids in ascending first-member order and bucket.
+	ngroups := 0
+	for i := 0; i < n; i++ {
+		e.groupID[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if e.groupID[r] < 0 {
+			e.groupID[r] = ngroups
+			e.groupLen[ngroups] = 0
+			ngroups++
+		}
+		e.groupLen[e.groupID[r]]++
+	}
+	off := 0
+	for g := 0; g < ngroups; g++ {
+		e.groupOff[g] = off
+		off += e.groupLen[g]
+		e.groupLen[g] = 0 // reuse as fill cursor
+	}
+	e.groupOff[ngroups] = off
+	for i := 0; i < n; i++ {
+		g := e.groupID[find(i)]
+		e.members[e.groupOff[g]+e.groupLen[g]] = i
+		e.groupLen[g]++
+	}
+	return ngroups
+}
+
+// groupShares computes the capacity split inside one sharing group,
+// writing into e.shares.
+func (e *Evaluator) groupShares(group []int, memScale float64, iters int, damping float64) {
+	plat := e.model.Plat
+	var union cat.WayMask
+	for _, i := range group {
+		union |= e.masks[i]
+	}
+	capacity := float64(uint64(union.Count()) * plat.WayBytes)
+
+	if len(group) == 1 {
+		i := group[0]
+		e.shares[i] = float64(uint64(e.masks[i].Count()) * plat.WayBytes)
+		return
+	}
+
+	// Initialize equally, capped by own-mask capacity.
+	caps := e.caps[:len(group)]
+	pressure := e.pressure[:len(group)]
+	target := e.target[:len(group)]
+	active := e.active[:len(group)]
+	for gi, i := range group {
+		caps[gi] = float64(uint64(e.masks[i].Count()) * plat.WayBytes)
+		s := capacity / float64(len(group))
+		if s > caps[gi] {
+			s = caps[gi]
+		}
+		e.shares[i] = s
+	}
+
+	const floorBytes = 64 * 1024 // an app always holds a few lines
+	for it := 0; it < iters; it++ {
+		for gi, i := range group {
+			// Line-insertion rate: misses per second.
+			bw := e.appCurves[i].Bandwidth(uint64(e.shares[i]), memScale)
+			pressure[gi] = bw/float64(plat.LineBytes) + 1 // +1 avoids all-zero
+		}
+		waterfillInto(target, active, capacity, pressure, caps, floorBytes)
+		for gi, i := range group {
+			e.shares[i] = (1-damping)*e.shares[i] + damping*target[gi]
+		}
+	}
+}
+
+// waterfillInto distributes capacity proportionally to pressure, capping
+// each recipient at caps[i] (but never below floor) and redistributing
+// capped excess among the rest. out and active are caller-provided
+// scratch of len(pressure).
+func waterfillInto(out []float64, active []bool, capacity float64, pressure, caps []float64, floor float64) {
+	n := len(pressure)
+	for i := range out {
+		out[i] = 0
+	}
+	remaining := capacity
+	totalP := 0.0
+	for i := range pressure {
+		active[i] = true
+		totalP += pressure[i]
+	}
+	for round := 0; round < n; round++ {
+		if totalP <= 0 || remaining <= 0 {
+			break
+		}
+		capped := false
+		for i := range pressure {
+			if !active[i] {
+				continue
+			}
+			want := remaining * pressure[i] / totalP
+			if want >= caps[i] {
+				out[i] = caps[i]
+				active[i] = false
+				remaining -= caps[i]
+				totalP -= pressure[i]
+				capped = true
+			}
+		}
+		if !capped {
+			for i := range pressure {
+				if active[i] {
+					out[i] = remaining * pressure[i] / totalP
+				}
+			}
+			break
+		}
+	}
+	for i := range out {
+		if out[i] < floor {
+			out[i] = floor
+		}
+		if out[i] > caps[i] {
+			out[i] = caps[i]
+		}
+	}
+}

@@ -29,6 +29,8 @@
 package sharing
 
 import (
+	"sync"
+
 	"github.com/faircache/lfoc/internal/appmodel"
 	"github.com/faircache/lfoc/internal/cat"
 	"github.com/faircache/lfoc/internal/machine"
@@ -59,6 +61,17 @@ type Model struct {
 	BWIters int
 	// Damping in (0,1] blends successive share estimates (default 0.5).
 	Damping float64
+
+	// curveMu guards curves, the model-level phase-curve cache shared by
+	// every Evaluator created from this model (so the convenience map
+	// methods do not rebuild per call).
+	curveMu sync.Mutex
+	curves  map[*appmodel.PhaseSpec]*appmodel.CurveCache
+
+	// pool recycles Evaluators for the convenience map methods, so
+	// repeated Evaluate calls reuse scratch without the caller holding a
+	// session explicitly.
+	pool sync.Pool
 }
 
 // NewModel returns a model with default iteration parameters.
@@ -66,11 +79,28 @@ func NewModel(plat *machine.Platform) *Model {
 	return &Model{Plat: plat, CacheIters: 30, BWIters: 6, Damping: 0.5}
 }
 
+// getEvaluator borrows a pooled session; putEvaluator returns it.
+func (m *Model) getEvaluator() *Evaluator {
+	if v := m.pool.Get(); v != nil {
+		return v.(*Evaluator)
+	}
+	return NewEvaluator(m)
+}
+
+func (m *Model) putEvaluator(e *Evaluator) { m.pool.Put(e) }
+
 // Evaluate computes the equilibrium performance of the given co-running
 // applications. The returned map is keyed by App.ID.
+//
+// This is the convenience wrapper over a pooled Evaluator session. Hot
+// paths (the solver, the simulator) hold their own Evaluator and use
+// EvaluateInto, which is positional and allocation-free.
 func (m *Model) Evaluate(apps []App) map[int]Result {
-	res, _ := m.evaluate(apps, nil)
-	return res
+	e := m.getEvaluator()
+	e.resScratch = e.EvaluateInto(e.resScratch, apps)
+	out := resultMap(apps, e.resScratch)
+	m.putEvaluator(e)
+	return out
 }
 
 // EvaluateAtScale computes the cache-share equilibrium under a fixed
@@ -79,171 +109,52 @@ func (m *Model) Evaluate(apps []App) map[int]Result {
 // decomposable: it freezes the workload-level factor once (see MemScale)
 // and scores every clustering candidate under it.
 func (m *Model) EvaluateAtScale(apps []App, memScale float64) map[int]Result {
-	if memScale < 1 {
-		memScale = 1
-	}
-	res, _ := m.evaluate(apps, &memScale)
-	return res
+	e := m.getEvaluator()
+	e.resScratch = e.EvaluateAtScaleInto(e.resScratch, apps, memScale)
+	out := resultMap(apps, e.resScratch)
+	m.putEvaluator(e)
+	return out
 }
 
 // MemScale returns the converged bandwidth latency-inflation factor for a
 // co-run configuration (1 = memory unsaturated).
 func (m *Model) MemScale(apps []App) float64 {
-	_, scale := m.evaluate(apps, nil)
+	e := m.getEvaluator()
+	scale := e.MemScale(apps)
+	m.putEvaluator(e)
 	return scale
 }
 
-// evaluate runs the full model; when fixedScale is non-nil the bandwidth
-// loop is skipped and *fixedScale is used throughout.
-func (m *Model) evaluate(apps []App, fixedScale *float64) (map[int]Result, float64) {
-	cacheIters := m.CacheIters
-	if cacheIters <= 0 {
-		cacheIters = 30
+// curveFor returns the model-level cached curve for a phase, building it
+// on first use. Safe for concurrent use.
+func (m *Model) curveFor(ph *appmodel.PhaseSpec) *appmodel.CurveCache {
+	m.curveMu.Lock()
+	defer m.curveMu.Unlock()
+	if c, ok := m.curves[ph]; ok {
+		return c
 	}
-	bwIters := m.BWIters
-	if bwIters <= 0 {
-		bwIters = 6
+	if m.curves == nil {
+		m.curves = make(map[*appmodel.PhaseSpec]*appmodel.CurveCache)
 	}
-	damping := m.Damping
-	if damping <= 0 || damping > 1 {
-		damping = 0.5
-	}
-
-	n := len(apps)
-	shares := make([]float64, n)
-	masks := make([]cat.WayMask, n)
-	for i, a := range apps {
-		masks[i] = a.Mask
-	}
-	groups := cat.SharingGroups(masks)
-
-	memScale := 1.0
-	if fixedScale != nil {
-		memScale = *fixedScale
-		bwIters = 1
-	}
-	var perfs []appmodel.Perf
-	for bw := 0; bw < bwIters; bw++ {
-		// Cache-share equilibrium per sharing group at current memScale.
-		for _, g := range groups {
-			m.groupShares(apps, g, shares, memScale, cacheIters, damping)
-		}
-		// Bandwidth fixed point: demand at current shares.
-		perfs = make([]appmodel.Perf, n)
-		total := 0.0
-		for i, a := range apps {
-			perfs[i] = appmodel.PhasePerf(a.Phase, m.Plat, uint64(shares[i]), memScale)
-			total += perfs[i].Bandwidth
-		}
-		if fixedScale != nil {
-			break
-		}
-		over := total / float64(m.Plat.MaxBandwidth)
-		if over <= 1 {
-			if memScale == 1 {
-				break
-			}
-			// Demand dropped below saturation: relax toward 1.
-			memScale = 1 + (memScale-1)*0.5
-			continue
-		}
-		memScale *= over
-	}
-
-	out := make(map[int]Result, n)
-	for i, a := range apps {
-		out[a.ID] = Result{Perf: perfs[i], ShareBytes: uint64(shares[i])}
-	}
-	return out, memScale
+	c := appmodel.NewCurveCache(ph, m.Plat)
+	m.curves[ph] = c
+	return c
 }
 
-// groupShares computes the capacity split inside one sharing group.
-func (m *Model) groupShares(apps []App, group []int, shares []float64, memScale float64, iters int, damping float64) {
-	var union cat.WayMask
-	for _, i := range group {
-		union |= apps[i].Mask
+// resultMap rekeys a positional result slice by App.ID.
+func resultMap(apps []App, res []Result) map[int]Result {
+	out := make(map[int]Result, len(apps))
+	for i, a := range apps {
+		out[a.ID] = res[i]
 	}
-	capacity := float64(uint64(union.Count()) * m.Plat.WayBytes)
-
-	if len(group) == 1 {
-		i := group[0]
-		shares[i] = float64(uint64(apps[i].Mask.Count()) * m.Plat.WayBytes)
-		return
-	}
-
-	// Initialize equally, capped by own-mask capacity.
-	caps := make([]float64, len(group))
-	for gi, i := range group {
-		caps[gi] = float64(uint64(apps[i].Mask.Count()) * m.Plat.WayBytes)
-		s := capacity / float64(len(group))
-		if s > caps[gi] {
-			s = caps[gi]
-		}
-		shares[i] = s
-	}
-
-	const floorBytes = 64 * 1024 // an app always holds a few lines
-	pressure := make([]float64, len(group))
-	for it := 0; it < iters; it++ {
-		for gi, i := range group {
-			p := appmodel.PhasePerf(apps[i].Phase, m.Plat, uint64(shares[i]), memScale)
-			// Line-insertion rate: misses per second.
-			pressure[gi] = p.Bandwidth/float64(m.Plat.LineBytes) + 1 // +1 avoids all-zero
-		}
-		target := waterfill(capacity, pressure, caps, floorBytes)
-		for gi, i := range group {
-			shares[i] = (1-damping)*shares[i] + damping*target[gi]
-		}
-	}
+	return out
 }
 
-// waterfill distributes capacity proportionally to pressure, capping each
-// recipient at caps[i] (but never below floor) and redistributing capped
-// excess among the rest.
+// waterfill is the allocating wrapper around waterfillInto, kept for
+// tests and one-off callers.
 func waterfill(capacity float64, pressure, caps []float64, floor float64) []float64 {
-	n := len(pressure)
-	out := make([]float64, n)
-	active := make([]bool, n)
-	remaining := capacity
-	totalP := 0.0
-	for i := range pressure {
-		active[i] = true
-		totalP += pressure[i]
-	}
-	for round := 0; round < n; round++ {
-		if totalP <= 0 || remaining <= 0 {
-			break
-		}
-		capped := false
-		for i := range pressure {
-			if !active[i] {
-				continue
-			}
-			want := remaining * pressure[i] / totalP
-			if want >= caps[i] {
-				out[i] = caps[i]
-				active[i] = false
-				remaining -= caps[i]
-				totalP -= pressure[i]
-				capped = true
-			}
-		}
-		if !capped {
-			for i := range pressure {
-				if active[i] {
-					out[i] = remaining * pressure[i] / totalP
-				}
-			}
-			break
-		}
-	}
-	for i := range out {
-		if out[i] < floor {
-			out[i] = floor
-		}
-		if out[i] > caps[i] {
-			out[i] = caps[i]
-		}
-	}
+	out := make([]float64, len(pressure))
+	active := make([]bool, len(pressure))
+	waterfillInto(out, active, capacity, pressure, caps, floor)
 	return out
 }

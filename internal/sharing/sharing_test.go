@@ -257,3 +257,89 @@ func minOf(vs []float64) float64 {
 	}
 	return m
 }
+
+func TestEvaluatorMatchesMapAPI(t *testing.T) {
+	// EvaluateInto (positional, scratch-reusing) must agree bit-for-bit
+	// with the map-returning wrappers, including across reuses of the
+	// same session with different app counts and overlapping masks.
+	plat := machine.Skylake()
+	m := NewModel(plat)
+	eval := NewEvaluator(m)
+	cases := [][]App{
+		{
+			{ID: 0, Phase: phaseOf("xalancbmk06"), Mask: cat.MaskRange(0, 4)},
+			{ID: 1, Phase: phaseOf("lbm06"), Mask: cat.MaskRange(4, 4)},
+			{ID: 2, Phase: phaseOf("povray06"), Mask: cat.MaskRange(8, 3)},
+		},
+		{
+			{ID: 0, Phase: phaseOf("xalancbmk06"), Mask: cat.FullMask(plat.Ways)},
+			{ID: 1, Phase: phaseOf("lbm06"), Mask: cat.FullMask(plat.Ways)},
+			{ID: 2, Phase: phaseOf("soplex06"), Mask: cat.FullMask(plat.Ways)},
+			{ID: 3, Phase: phaseOf("milc06"), Mask: cat.FullMask(plat.Ways)},
+		},
+		{
+			// Partially overlapping masks (Dunn-style) exercise the
+			// sharing-group machinery.
+			{ID: 0, Phase: phaseOf("omnetpp06"), Mask: cat.MaskRange(0, 6)},
+			{ID: 1, Phase: phaseOf("lbm06"), Mask: cat.MaskRange(4, 4)},
+			{ID: 2, Phase: phaseOf("namd06"), Mask: cat.MaskRange(9, 2)},
+		},
+	}
+	var res []Result
+	for ci, apps := range cases {
+		want := m.Evaluate(apps)
+		res = eval.EvaluateInto(res, apps)
+		for i, a := range apps {
+			if res[i] != want[a.ID] {
+				t.Errorf("case %d app %d: EvaluateInto %+v != Evaluate %+v", ci, i, res[i], want[a.ID])
+			}
+		}
+		wantScale := m.MemScale(apps)
+		if gotScale := eval.MemScale(apps); gotScale != wantScale {
+			t.Errorf("case %d: MemScale %v != %v", ci, gotScale, wantScale)
+		}
+		wantAt := m.EvaluateAtScale(apps, 1.3)
+		res = eval.EvaluateAtScaleInto(res, apps, 1.3)
+		for i, a := range apps {
+			if res[i] != wantAt[a.ID] {
+				t.Errorf("case %d app %d: EvaluateAtScaleInto %+v != EvaluateAtScale %+v", ci, i, res[i], wantAt[a.ID])
+			}
+		}
+	}
+}
+
+func TestEvaluatorSteadyStateAllocFree(t *testing.T) {
+	plat := machine.Skylake()
+	eval := NewEvaluator(NewModel(plat))
+	apps := []App{
+		{ID: 0, Phase: phaseOf("xalancbmk06"), Mask: cat.FullMask(plat.Ways)},
+		{ID: 1, Phase: phaseOf("lbm06"), Mask: cat.FullMask(plat.Ways)},
+		{ID: 2, Phase: phaseOf("soplex06"), Mask: cat.MaskRange(0, 5)},
+	}
+	res := eval.EvaluateInto(nil, apps) // warm up scratch and curves
+	allocs := testing.AllocsPerRun(50, func() {
+		res = eval.EvaluateInto(res, apps)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state EvaluateInto allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestEvaluateEmptyWorkload(t *testing.T) {
+	// Empty inputs must return empty results, not panic (regression:
+	// grow(0) used to slice a nil groupOff).
+	m := NewModel(machine.Skylake())
+	if res := m.Evaluate(nil); len(res) != 0 {
+		t.Errorf("Evaluate(nil) = %v, want empty", res)
+	}
+	if res := m.Evaluate([]App{}); len(res) != 0 {
+		t.Errorf("Evaluate([]) = %v, want empty", res)
+	}
+	eval := NewEvaluator(m)
+	if res := eval.EvaluateInto(nil, nil); len(res) != 0 {
+		t.Errorf("EvaluateInto(nil, nil) = %v, want empty", res)
+	}
+	if scale := m.MemScale(nil); scale != 1 {
+		t.Errorf("MemScale(nil) = %v, want 1", scale)
+	}
+}

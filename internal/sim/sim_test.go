@@ -368,3 +368,36 @@ func TestKPartDynawayExtension(t *testing.T) {
 			lfocRes.Summary.Unfairness, kdRes.Summary.Unfairness)
 	}
 }
+
+func TestEquilCacheExactness(t *testing.T) {
+	// The memoized equilibrium path must reproduce the direct path
+	// bit-for-bit: same completion times, slowdowns and summary.
+	cfg := testConfig()
+	specs := specsOf("xalancbmk06", "lbm06", "povray06", "soplex06")
+	run := func(disable bool) *Result {
+		c := cfg
+		c.noEquilCache = disable
+		ctrl, err := core.NewController(core.DefaultParams(c.Plat.Ways), c.Plat.WayBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunDynamic(c, specs, ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cached := run(false)
+	direct := run(true)
+	if cached.SimSeconds != direct.SimSeconds {
+		t.Errorf("SimSeconds diverge: cached %v direct %v", cached.SimSeconds, direct.SimSeconds)
+	}
+	for i := range cached.Slowdowns {
+		if cached.Slowdowns[i] != direct.Slowdowns[i] {
+			t.Errorf("app %d slowdown diverges: cached %v direct %v", i, cached.Slowdowns[i], direct.Slowdowns[i])
+		}
+	}
+	if cached.Summary != direct.Summary {
+		t.Errorf("summary diverges: cached %+v direct %+v", cached.Summary, direct.Summary)
+	}
+}

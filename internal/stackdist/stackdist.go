@@ -69,7 +69,9 @@ func MustNew(points []Point) Profile {
 // HitRatio returns the fraction of accesses that hit in a cache of the
 // given size, interpolating linearly between knots. Below the first knot
 // the curve ramps linearly from (0,0); beyond the last knot it is flat
-// (the residual misses are compulsory/streaming).
+// (the residual misses are compulsory/streaming). Knot lookup is a binary
+// search, so the cost is O(log knots) even for trace-derived profiles
+// with hundreds of knots.
 func (p Profile) HitRatio(bytes uint64) float64 {
 	if len(p.points) == 0 {
 		return 0
@@ -81,15 +83,24 @@ func (p Profile) HitRatio(bytes uint64) float64 {
 		}
 		return first.HitRatio * float64(bytes) / float64(first.Bytes)
 	}
-	for i := 1; i < len(p.points); i++ {
-		hi := p.points[i]
-		if bytes <= hi.Bytes {
-			lo := p.points[i-1]
-			frac := float64(bytes-lo.Bytes) / float64(hi.Bytes-lo.Bytes)
-			return lo.HitRatio + frac*(hi.HitRatio-lo.HitRatio)
+	last := p.points[len(p.points)-1]
+	if bytes >= last.Bytes {
+		return last.HitRatio
+	}
+	// Invariant: points[lo-1].Bytes < bytes <= points[hi].Bytes.
+	lo, hi := 1, len(p.points)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bytes <= p.points[mid].Bytes {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	return p.points[len(p.points)-1].HitRatio
+	hiP := p.points[lo]
+	loP := p.points[lo-1]
+	frac := float64(bytes-loP.Bytes) / float64(hiP.Bytes-loP.Bytes)
+	return loP.HitRatio + frac*(hiP.HitRatio-loP.HitRatio)
 }
 
 // MissRatio returns 1 - HitRatio.

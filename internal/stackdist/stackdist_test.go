@@ -227,3 +227,65 @@ func TestQuickProfilerMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// linearHitRatio is the pre-binary-search reference implementation.
+func linearHitRatio(p Profile, bytes uint64) float64 {
+	pts := p.Knots()
+	if len(pts) == 0 {
+		return 0
+	}
+	first := pts[0]
+	if bytes <= first.Bytes {
+		if first.Bytes == 0 {
+			return first.HitRatio
+		}
+		return first.HitRatio * float64(bytes) / float64(first.Bytes)
+	}
+	for i := 1; i < len(pts); i++ {
+		hi := pts[i]
+		if bytes <= hi.Bytes {
+			lo := pts[i-1]
+			frac := float64(bytes-lo.Bytes) / float64(hi.Bytes-lo.Bytes)
+			return lo.HitRatio + frac*(hi.HitRatio-lo.HitRatio)
+		}
+	}
+	return pts[len(pts)-1].HitRatio
+}
+
+func TestHitRatioBinarySearchMatchesLinearScan(t *testing.T) {
+	profiles := []Profile{
+		{},
+		Streaming(0.05),
+		WorkingSet(16<<20, 0.9),
+		MustNew([]Point{{Bytes: 0, HitRatio: 0.1}, {Bytes: 1 << 20, HitRatio: 0.5}}),
+		MustNew(func() []Point {
+			// Many-knot profile: exercise deep binary searches.
+			var pts []Point
+			for i := 0; i < 257; i++ {
+				pts = append(pts, Point{Bytes: uint64(i+1) * 4096, HitRatio: float64(i) / 300})
+			}
+			return pts
+		}()),
+	}
+	for pi, p := range profiles {
+		for _, bytes := range []uint64{0, 1, 4095, 4096, 4097, 100_000, 1 << 20, 1<<20 + 1, 16 << 20, 1 << 30} {
+			want := linearHitRatio(p, bytes)
+			if got := p.HitRatio(bytes); got != want {
+				t.Errorf("profile %d at %d bytes: binary %v != linear %v", pi, bytes, got, want)
+			}
+		}
+		// Dense sweep across every knot boundary.
+		for _, k := range p.Knots() {
+			for d := -2; d <= 2; d++ {
+				b := k.Bytes + uint64(d) // underflow at 0 is fine (wraps to huge; still must agree)
+				if k.Bytes == 0 && d < 0 {
+					continue
+				}
+				want := linearHitRatio(p, b)
+				if got := p.HitRatio(b); got != want {
+					t.Errorf("profile %d at knot±%d (%d bytes): binary %v != linear %v", pi, d, b, got, want)
+				}
+			}
+		}
+	}
+}

@@ -21,7 +21,7 @@
 // Quick start:
 //
 //	cfg := lfoc.DefaultExperimentConfig()
-//	ctrl, _ := cfg.NewDynamicPolicy("lfoc")
+//	ctrl, _, _ := cfg.NewDynamicPolicy("lfoc")
 //	w, _ := lfoc.GetWorkload("S1")
 //	res, _ := lfoc.RunDynamic(cfg.SimConfig(), w.ScaledSpecs(cfg.Scale), ctrl)
 //	fmt.Println(res.Summary.Unfairness, res.Summary.STP)
