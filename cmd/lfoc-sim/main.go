@@ -1,27 +1,74 @@
 // Command lfoc-sim co-runs one workload under one policy and reports the
-// paper's metrics (per-app slowdowns, unfairness, STP).
+// paper's metrics (per-app slowdowns, unfairness, STP), in the closed
+// §5 methodology or as an open system under arrival/departure churn.
 //
 // Usage:
 //
 //	lfoc-sim -workload S3 -policy lfoc
 //	lfoc-sim -workload P7 -policy dunn -scale 20
 //	lfoc-sim -apps lbm06,xalancbmk06,povray06 -policy stock
+//	lfoc-sim -workload S3 -arrivals poisson:2 -duration 10 -seed 7
+//	lfoc-sim -workload S3 -arrivals uniform:0.5 -duration 10 -json out.json
+//	lfoc-sim -workload S3 -sweep 0.5,1,2 -duration 10 -seed 7
 //
 // Policies: stock (no partitioning), dunn, lfoc (all dynamic).
+//
+// -arrivals switches to the open system: applications arrive by a
+// seeded Poisson process (poisson:<rate>, arrivals per simulated
+// second) or a fixed cadence (uniform:<interval seconds>) over
+// -duration simulated seconds, run one instruction quota, and depart.
+// Results are per-app slowdowns at departure plus windowed
+// unfairness/STP/throughput series. -sweep compares stock/dunn/lfoc on
+// identical traces across a list of rates. -seed makes every open run
+// reproducible; -json writes the machine-readable result (mirroring
+// lfoc-bench -json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 
-	"github.com/faircache/lfoc/internal/appmodel"
 	"github.com/faircache/lfoc/internal/harness"
 	"github.com/faircache/lfoc/internal/profiles"
 	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/sim/scenario"
 	"github.com/faircache/lfoc/internal/workloads"
 )
+
+// closedJSON is the -json schema of a closed run.
+type closedJSON struct {
+	Workload     string    `json:"workload"`
+	Policy       string    `json:"policy"`
+	Scale        uint64    `json:"scale"`
+	Benchmarks   []string  `json:"benchmarks"`
+	CT           []float64 `json:"ct_seconds"`
+	AloneCT      []float64 `json:"alone_ct_seconds"`
+	Slowdowns    []float64 `json:"slowdowns"`
+	Unfairness   float64   `json:"unfairness"`
+	STP          float64   `json:"stp"`
+	Repartitions int       `json:"repartitions"`
+	SimSeconds   float64   `json:"sim_seconds"`
+}
+
+// openJSON is the -json schema of an open run.
+type openJSON struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+	Scale    uint64 `json:"scale"`
+	Seed     int64  `json:"seed"`
+	*sim.OpenResult
+}
+
+// sweepJSON is the -json schema of a -sweep comparison.
+type sweepJSON struct {
+	Scale uint64 `json:"scale"`
+	harness.ChurnData
+}
 
 func main() {
 	var (
@@ -29,40 +76,70 @@ func main() {
 		apps     = flag.String("apps", "", "comma-separated benchmark list (alternative to -workload)")
 		polName  = flag.String("policy", "lfoc", "policy: stock | dunn | lfoc")
 		scale    = flag.Uint64("scale", 50, "time-scale divisor (1 = paper scale)")
+		arrivals = flag.String("arrivals", "", "open-system arrival process: poisson:<rate> | uniform:<interval>")
+		duration = flag.Float64("duration", 10, "open-system arrival window in simulated seconds")
+		seed     = flag.Int64("seed", 1, "seed for the open-system arrival trace")
+		sweep    = flag.String("sweep", "", "comma-separated Poisson rates: compare stock/dunn/lfoc across the load sweep")
+		jsonOut  = flag.String("json", "", "write the machine-readable result to this file")
 	)
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
 
-	var specs []*appmodel.Spec
-	var label string
+	var w workloads.Workload
 	switch {
 	case *workload != "":
-		w, err := workloads.Get(*workload)
+		var err error
+		w, err = workloads.Get(*workload)
 		exitOn(err)
-		specs = w.ScaledSpecs(cfg.Scale)
-		label = w.Name
 	case *apps != "":
-		for _, name := range strings.Split(*apps, ",") {
-			s, err := profiles.Get(strings.TrimSpace(name))
-			exitOn(err)
-			specs = append(specs, s)
+		var names []string
+		for _, n := range strings.Split(*apps, ",") {
+			name := strings.TrimSpace(n)
+			if _, err := profiles.Get(name); err != nil {
+				exitOn(err)
+			}
+			names = append(names, name)
 		}
-		label = *apps
+		w = workloads.Workload{Name: *apps, Benchmarks: names}
 	default:
 		fmt.Fprintln(os.Stderr, "lfoc-sim: need -workload or -apps")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	pol, ctrl, err := cfg.NewDynamicPolicy(*polName)
+	switch {
+	case *sweep != "":
+		if *workload == "" {
+			exitOn(fmt.Errorf("-sweep needs -workload"))
+		}
+		var rates []float64
+		for _, s := range strings.Split(*sweep, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			exitOn(err)
+			rates = append(rates, r)
+		}
+		d, err := harness.Churn(cfg, w.Name, rates, *duration, *seed)
+		exitOn(err)
+		fmt.Println(d.Render())
+		writeJSON(*jsonOut, sweepJSON{Scale: cfg.Scale, ChurnData: d})
+	case *arrivals != "":
+		runOpen(cfg, w, *polName, *arrivals, *duration, *seed, *jsonOut)
+	default:
+		runClosed(cfg, w, *polName, *jsonOut)
+	}
+}
+
+func runClosed(cfg harness.Config, w workloads.Workload, polName, jsonOut string) {
+	specs := w.ScaledSpecs(cfg.Scale)
+	pol, ctrl, err := cfg.NewDynamicPolicy(polName)
 	exitOn(err)
 
 	res, err := sim.RunDynamic(cfg.SimConfig(), specs, pol)
 	exitOn(err)
 
-	fmt.Printf("workload: %s   policy: %s   scale: 1/%d\n\n", label, *polName, cfg.Scale)
+	fmt.Printf("workload: %s   policy: %s   scale: 1/%d\n\n", w.Name, polName, cfg.Scale)
 	fmt.Printf("%-16s %10s %10s %9s %6s\n", "benchmark", "CT(s)", "alone(s)", "slowdown", "runs")
 	for i, s := range specs {
 		fmt.Printf("%-16s %10.3f %10.3f %9.3f %6d\n",
@@ -73,10 +150,94 @@ func main() {
 	if ctrl != nil {
 		fmt.Println("\nLFOC final classification:")
 		for i, s := range specs {
-			fmt.Printf("  %-16s %s (resamples: %d)\n", s.Name, ctrl.ClassOf(i), ctrl.Resamples(i))
+			id := res.FinalMonIDs[i]
+			fmt.Printf("  %-16s %s (resamples: %d)\n", s.Name, ctrl.ClassOf(id), ctrl.Resamples(id))
 		}
 		fmt.Println("final plan:", ctrl.Plan().Canonical())
 	}
+
+	benchNames := make([]string, len(specs))
+	for i, s := range specs {
+		benchNames[i] = s.Name
+	}
+	writeJSON(jsonOut, closedJSON{
+		Workload:     w.Name,
+		Policy:       polName,
+		Scale:        cfg.Scale,
+		Benchmarks:   benchNames,
+		CT:           res.CT,
+		AloneCT:      res.AloneCT,
+		Slowdowns:    res.Slowdowns,
+		Unfairness:   res.Summary.Unfairness,
+		STP:          res.Summary.STP,
+		Repartitions: res.Repartitions,
+		SimSeconds:   res.SimSeconds,
+	})
+}
+
+func runOpen(cfg harness.Config, w workloads.Workload, polName, arrivals string, duration float64, seed int64, jsonOut string) {
+	kind, arg, ok := strings.Cut(arrivals, ":")
+	if !ok {
+		exitOn(fmt.Errorf("-arrivals %q: want poisson:<rate> or uniform:<interval>", arrivals))
+	}
+	val, err := strconv.ParseFloat(arg, 64)
+	exitOn(err)
+
+	var scn *scenario.Open
+	switch kind {
+	case "poisson":
+		scn, err = w.OpenScenario(val, duration, seed, cfg.Scale)
+	case "uniform":
+		if val <= 0 {
+			err = fmt.Errorf("-arrivals uniform: interval must be positive")
+		} else {
+			// Arrivals at i*interval for every i with i*interval < duration.
+			scn, err = w.UniformScenario(val, int(math.Ceil(duration/val)), cfg.Scale)
+		}
+		seed = 0 // a uniform trace is unseeded; don't imply otherwise
+	default:
+		err = fmt.Errorf("-arrivals %q: unknown process %q", arrivals, kind)
+	}
+	exitOn(err)
+
+	pol, _, err := cfg.NewDynamicPolicy(polName)
+	exitOn(err)
+	res, err := sim.RunOpen(cfg.SimConfig(), scn, pol)
+	exitOn(err)
+
+	fmt.Printf("scenario: %s   policy: %s   scale: 1/%d   seed: %d\n\n", res.Scenario, polName, cfg.Scale, seed)
+	fmt.Printf("%-16s %10s %10s %10s %9s %8s\n", "benchmark", "arrived", "admitted", "departed", "slowdown", "wait(s)")
+	for _, a := range res.Apps {
+		admitted, departed, slowdown, wait := "-", "-", "-", "-"
+		if a.AdmittedAt >= 0 {
+			admitted = fmt.Sprintf("%.3f", a.AdmittedAt)
+			wait = fmt.Sprintf("%.3f", a.WaitSeconds)
+		}
+		if a.DepartedAt >= 0 {
+			departed = fmt.Sprintf("%.3f", a.DepartedAt)
+			slowdown = fmt.Sprintf("%.3f", a.Slowdown)
+		}
+		fmt.Printf("%-16s %10.3f %10s %10s %9s %8s\n",
+			a.Name, a.ArrivedAt, admitted, departed, slowdown, wait)
+	}
+	fmt.Printf("\ndeparted: %d/%d    mean slowdown: %.3f    mean wait: %.3fs    peak active: %d\n",
+		res.Departed, len(res.Apps), res.MeanSlowdown, res.MeanWait, res.PeakActive)
+	fmt.Printf("windowed means: unfairness %.3f    STP %.3f    throughput %.3f runs/s\n",
+		res.Series.MeanUnfairness(), res.Series.MeanSTP(), res.Series.TotalThroughput())
+	fmt.Printf("repartitions: %d    simulated: %.1fs    windows: %d × %.3fs\n",
+		res.Repartitions, res.SimSeconds, len(res.Series.Points), res.Series.Width)
+
+	writeJSON(jsonOut, openJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, OpenResult: res})
+}
+
+func writeJSON(path string, v any) {
+	if path == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(v, "", "  ")
+	exitOn(err)
+	exitOn(os.WriteFile(path, append(buf, '\n'), 0o644))
+	fmt.Fprintln(os.Stderr, "lfoc-sim: wrote", path)
 }
 
 func exitOn(err error) {

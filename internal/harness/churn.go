@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// ChurnPolicies is the policy order of the open-system load sweep.
+var ChurnPolicies = []string{"stock", "dunn", "lfoc"}
+
+// ChurnRow is one (arrival rate, policy) cell of the sweep.
+type ChurnRow struct {
+	Policy string  `json:"policy"`
+	Rate   float64 `json:"rate"`
+	// Arrivals/Departed/Remaining describe the population; Remaining is
+	// nonzero only if the run hit a horizon before draining.
+	Arrivals  int `json:"arrivals"`
+	Departed  int `json:"departed"`
+	Remaining int `json:"remaining"`
+	// MeanSlowdown and MeanWait average over departed applications;
+	// Unfairness and STP are windowed means (the open-system analogues
+	// of Eqs. 3 and 4); Throughput is completed runs per simulated
+	// second over the whole run.
+	MeanSlowdown float64 `json:"mean_slowdown"`
+	MeanWait     float64 `json:"mean_wait"`
+	Unfairness   float64 `json:"unfairness"`
+	STP          float64 `json:"stp"`
+	Throughput   float64 `json:"throughput"`
+	PeakActive   int     `json:"peak_active"`
+	SimSeconds   float64 `json:"sim_seconds"`
+}
+
+// ChurnData is the open-system load sweep: the same seeded arrival
+// process replayed against every dynamic policy at every rate.
+type ChurnData struct {
+	Workload string     `json:"workload"`
+	Window   float64    `json:"window_seconds"`
+	Seed     int64      `json:"seed"`
+	Rows     []ChurnRow `json:"rows"`
+}
+
+// Churn runs the open-system experiment: applications from the named
+// Fig. 5 mix arrive by a seeded Poisson process over window simulated
+// seconds at each of the given rates, run one instruction quota, and
+// depart; stock, Dunn and LFOC face the identical trace at each rate.
+func Churn(cfg Config, workloadName string, rates []float64, window float64, seed int64) (ChurnData, error) {
+	cfg = cfg.normalized()
+	if len(rates) == 0 {
+		return ChurnData{}, fmt.Errorf("churn: no arrival rates")
+	}
+	w, err := workloads.Get(workloadName)
+	if err != nil {
+		return ChurnData{}, err
+	}
+
+	type cell struct {
+		rate   float64
+		policy string
+	}
+	var cells []cell
+	for _, r := range rates {
+		for _, p := range ChurnPolicies {
+			cells = append(cells, cell{rate: r, policy: p})
+		}
+	}
+	rows, err := mapRows(cfg.workers(), cells, func(c cell) (ChurnRow, error) {
+		row, err := churnCell(cfg, w, c.rate, c.policy, window, seed)
+		if err != nil {
+			return ChurnRow{}, fmt.Errorf("churn: %s rate %g %s: %w", w.Name, c.rate, c.policy, err)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return ChurnData{}, err
+	}
+	return ChurnData{Workload: w.Name, Window: window, Seed: seed, Rows: rows}, nil
+}
+
+func churnCell(cfg Config, w workloads.Workload, rate float64, polName string, window float64, seed int64) (ChurnRow, error) {
+	// The same (rate, seed) trace for every policy: the comparison is
+	// between policies, never between traces.
+	scn, err := w.OpenScenario(rate, window, seed, cfg.Scale)
+	if err != nil {
+		return ChurnRow{}, err
+	}
+	pol, _, err := cfg.NewDynamicPolicy(polName)
+	if err != nil {
+		return ChurnRow{}, err
+	}
+	res, err := sim.RunOpen(cfg.SimConfig(), scn, pol)
+	if err != nil {
+		return ChurnRow{}, err
+	}
+	return ChurnRow{
+		Policy:       polName,
+		Rate:         rate,
+		Arrivals:     len(res.Apps),
+		Departed:     res.Departed,
+		Remaining:    res.Remaining,
+		MeanSlowdown: res.MeanSlowdown,
+		MeanWait:     res.MeanWait,
+		Unfairness:   res.Series.MeanUnfairness(),
+		STP:          res.Series.MeanSTP(),
+		Throughput:   res.Series.TotalThroughput(),
+		PeakActive:   res.PeakActive,
+		SimSeconds:   res.SimSeconds,
+	}, nil
+}
+
+// Render formats the sweep as one table per arrival rate.
+func (d ChurnData) Render() string {
+	out := fmt.Sprintf("Open-system churn: workload %s, Poisson arrivals over %gs, seed %d\n",
+		d.Workload, d.Window, d.Seed)
+	header := []string{"policy", "arrivals", "departed", "slowdown", "wait(s)", "unfairness", "STP", "tput(runs/s)", "peak"}
+	var rate float64 = -1
+	var rows [][]string
+	flush := func() {
+		if len(rows) > 0 {
+			out += fmt.Sprintf("\narrival rate %g/s:\n%s", rate, renderTable(rows))
+			rows = nil
+		}
+	}
+	for _, r := range d.Rows {
+		if r.Rate != rate {
+			flush()
+			rate = r.Rate
+			rows = [][]string{header}
+		}
+		rows = append(rows, []string{
+			r.Policy,
+			fmt.Sprintf("%d", r.Arrivals),
+			fmt.Sprintf("%d", r.Departed),
+			f3(r.MeanSlowdown),
+			f3(r.MeanWait),
+			f3(r.Unfairness),
+			f3(r.STP),
+			f3(r.Throughput),
+			fmt.Sprintf("%d", r.PeakActive),
+		})
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import "fmt"
+
+// WindowPoint is one fixed-width time window of an experiment. In an
+// open system the end-of-run scalar aggregates of Summary are
+// meaningless — the population changes under the metric — so fairness
+// and throughput are reported per window over the applications active
+// in that window.
+type WindowPoint struct {
+	// Start and End bound the window in simulated seconds.
+	Start, End float64
+	// Active is the number of applications in the system at the end of
+	// the window.
+	Active int
+	// Arrivals and Departures count the population changes inside the
+	// window.
+	Arrivals, Departures int
+	// RunsCompleted counts instruction quotas retired inside the window.
+	RunsCompleted int
+	// Throughput is RunsCompleted per simulated second.
+	Throughput float64
+	// Unfairness, STP and MeanSlowdown are computed over the cumulative
+	// slowdowns of the applications active at the window's end (1, 0 and
+	// 0 respectively when no application has measurable progress yet).
+	Unfairness   float64
+	STP          float64
+	MeanSlowdown float64
+}
+
+// WindowedSeries is a sequence of contiguous windows of equal width.
+type WindowedSeries struct {
+	// Width is the window length in simulated seconds.
+	Width  float64
+	Points []WindowPoint
+}
+
+// WindowSnapshot summarizes a set of instantaneous slowdowns without
+// erroring on degenerate populations, which windows in an open system
+// routinely are (empty right after a departure burst, singleton under
+// light load). Slowdowns below 1 — tick-quantization artifacts — are
+// clamped, mirroring the closed-methodology reporting.
+func WindowSnapshot(slowdowns []float64) (unfairness, stp, mean float64) {
+	if len(slowdowns) == 0 {
+		return 1, 0, 0
+	}
+	lo, hi, sum, inv := 0.0, 0.0, 0.0, 0.0
+	for i, s := range slowdowns {
+		if s < 1 {
+			s = 1
+		}
+		if i == 0 || s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+		sum += s
+		inv += 1 / s
+	}
+	return hi / lo, inv, sum / float64(len(slowdowns))
+}
+
+// Add appends a window point.
+func (s *WindowedSeries) Add(p WindowPoint) { s.Points = append(s.Points, p) }
+
+// MeanUnfairness averages Unfairness over windows that had at least one
+// active application (1 when there were none).
+func (s *WindowedSeries) MeanUnfairness() float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.Active > 0 {
+			sum += p.Unfairness
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// MeanSTP averages STP over windows with at least one active
+// application (0 when there were none).
+func (s *WindowedSeries) MeanSTP() float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.Active > 0 {
+			sum += p.STP
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TotalThroughput is completed runs divided by covered time (0 for an
+// empty series).
+func (s *WindowedSeries) TotalThroughput() float64 {
+	runs, t := 0, 0.0
+	for _, p := range s.Points {
+		runs += p.RunsCompleted
+		t += p.End - p.Start
+	}
+	if t <= 0 {
+		return 0
+	}
+	return float64(runs) / t
+}
+
+// PeakActive returns the largest end-of-window population.
+func (s *WindowedSeries) PeakActive() int {
+	peak := 0
+	for _, p := range s.Points {
+		if p.Active > peak {
+			peak = p.Active
+		}
+	}
+	return peak
+}
+
+// Fingerprint renders the series compactly for determinism checks: two
+// series are byte-identical iff every windowed metric is.
+func (s *WindowedSeries) Fingerprint() string {
+	out := fmt.Sprintf("w=%.17g n=%d", s.Width, len(s.Points))
+	for _, p := range s.Points {
+		out += fmt.Sprintf(";[%.17g,%.17g)a=%d+%d-%d r=%d u=%.17g stp=%.17g ms=%.17g",
+			p.Start, p.End, p.Active, p.Arrivals, p.Departures, p.RunsCompleted,
+			p.Unfairness, p.STP, p.MeanSlowdown)
+	}
+	return out
+}

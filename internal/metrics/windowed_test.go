@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowSnapshot(t *testing.T) {
+	u, s, m := WindowSnapshot(nil)
+	if u != 1 || s != 0 || m != 0 {
+		t.Errorf("empty snapshot = (%v,%v,%v)", u, s, m)
+	}
+	u, s, m = WindowSnapshot([]float64{2})
+	if u != 1 || s != 0.5 || m != 2 {
+		t.Errorf("singleton snapshot = (%v,%v,%v)", u, s, m)
+	}
+	u, s, m = WindowSnapshot([]float64{1, 2, 4})
+	if u != 4 || math.Abs(s-1.75) > 1e-15 || math.Abs(m-7.0/3) > 1e-15 {
+		t.Errorf("snapshot = (%v,%v,%v)", u, s, m)
+	}
+	// Sub-1 slowdowns (tick quantization) are clamped.
+	u, _, m = WindowSnapshot([]float64{0.5, 2})
+	if u != 2 || m != 1.5 {
+		t.Errorf("clamped snapshot = (%v,_,%v)", u, m)
+	}
+}
+
+func TestWindowedSeriesAggregates(t *testing.T) {
+	var s WindowedSeries
+	s.Width = 1
+	if s.MeanUnfairness() != 1 || s.MeanSTP() != 0 || s.TotalThroughput() != 0 || s.PeakActive() != 0 {
+		t.Error("empty-series aggregates wrong")
+	}
+	s.Add(WindowPoint{Start: 0, End: 1, Active: 2, RunsCompleted: 4, Throughput: 4, Unfairness: 1.5, STP: 1.5})
+	s.Add(WindowPoint{Start: 1, End: 2, Active: 0}) // idle window: excluded from means
+	s.Add(WindowPoint{Start: 2, End: 3, Active: 4, RunsCompleted: 2, Throughput: 2, Unfairness: 2.5, STP: 3.5})
+	if got := s.MeanUnfairness(); got != 2 {
+		t.Errorf("MeanUnfairness = %v", got)
+	}
+	if got := s.MeanSTP(); got != 2.5 {
+		t.Errorf("MeanSTP = %v", got)
+	}
+	if got := s.TotalThroughput(); got != 2 {
+		t.Errorf("TotalThroughput = %v", got)
+	}
+	if got := s.PeakActive(); got != 4 {
+		t.Errorf("PeakActive = %v", got)
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := WindowedSeries{Width: 1, Points: []WindowPoint{{Start: 0, End: 1, STP: 2}}}
+	b := WindowedSeries{Width: 1, Points: []WindowPoint{{Start: 0, End: 1, STP: 2}}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical series, different fingerprints")
+	}
+	b.Points[0].STP = math.Nextafter(2, 3)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("one-ulp STP difference not visible in fingerprint")
+	}
+}

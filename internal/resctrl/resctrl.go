@@ -55,7 +55,12 @@ type FS struct {
 	cacheIDs []int // L3 cache domains (sockets)
 	groups   map[string]*Group
 	nextCOS  cat.COSID
-	occFn    func(cat.TaskID) uint64
+	// freeCOS holds classes of service reclaimed from removed groups,
+	// reused LIFO before fresh CLOSIDs are allocated — without this an
+	// open system that churns groups exhausts the COS table even though
+	// only a handful are ever live at once.
+	freeCOS []cat.COSID
+	occFn   func(cat.TaskID) uint64
 }
 
 // NewFS mounts an emulated resctrl over a CAT controller. cacheIDs lists
@@ -118,11 +123,17 @@ func (fs *FS) MkGroup(name string) (*Group, error) {
 	if _, dup := fs.groups[name]; dup {
 		return nil, fmt.Errorf("resctrl: group %q exists", name)
 	}
-	if int(fs.nextCOS) >= fs.ctrl.NumCOS() {
-		return nil, fmt.Errorf("resctrl: out of hardware CLOSIDs (%d)", fs.ctrl.NumCOS())
+	var cos cat.COSID
+	if n := len(fs.freeCOS); n > 0 {
+		cos = fs.freeCOS[n-1]
+		fs.freeCOS = fs.freeCOS[:n-1]
+	} else {
+		if int(fs.nextCOS) >= fs.ctrl.NumCOS() {
+			return nil, fmt.Errorf("resctrl: out of hardware CLOSIDs (%d)", fs.ctrl.NumCOS())
+		}
+		cos = fs.nextCOS
+		fs.nextCOS++
 	}
-	cos := fs.nextCOS
-	fs.nextCOS++
 	if err := fs.ctrl.SetCOS(cos, cat.FullMask(fs.ctrl.Ways())); err != nil {
 		return nil, err
 	}
@@ -132,7 +143,8 @@ func (fs *FS) MkGroup(name string) (*Group, error) {
 }
 
 // RmGroup removes a group (rmdir); its tasks fall back to the default
-// group, as in the kernel.
+// group, as in the kernel, and its class of service is reclaimed for
+// the next MkGroup.
 func (fs *FS) RmGroup(name string) error {
 	g, ok := fs.groups[name]
 	if !ok || name == "" {
@@ -146,7 +158,19 @@ func (fs *FS) RmGroup(name string) error {
 		}
 	}
 	delete(fs.groups, name)
+	fs.freeCOS = append(fs.freeCOS, g.cos)
 	return nil
+}
+
+// RemoveTask drops a task from the filesystem entirely — the task
+// exited. Its group keeps its schemata; the CAT association is
+// released. Removing an unknown task is a no-op, like the kernel
+// cleaning up an already-reaped pid.
+func (fs *FS) RemoveTask(task cat.TaskID) {
+	for _, g := range fs.groups {
+		delete(g.tasks, task)
+	}
+	fs.ctrl.Remove(task)
 }
 
 // AssignTask moves a task into a group (writing to the "tasks" file).

@@ -1,6 +1,7 @@
 package resctrl
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -283,5 +284,132 @@ func TestNewFSValidation(t *testing.T) {
 	fs, _ := NewFS(mustCtrl(t), nil, nil)
 	if s, err := fs.ReadSchemata(""); err != nil || !strings.HasPrefix(s, "L3:0=") {
 		t.Errorf("default schemata = %q, %v", s, err)
+	}
+}
+
+// Churn: an open system creates and removes one group per departing
+// cluster for the lifetime of the deployment. Without COS reclamation
+// the 16-entry CLOSID table is exhausted after 15 MkGroups ever; with
+// it, group churn is bounded only by the number of *live* groups.
+func TestCOSReclamationUnderChurn(t *testing.T) {
+	fs, ctrl := newFS(t)
+	for i := 0; i < 100; i++ {
+		name := "g"
+		g, err := fs.MkGroup(name)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if int(g.cos) >= ctrl.NumCOS() {
+			t.Fatalf("iteration %d: COS %d beyond the table", i, g.cos)
+		}
+		if err := fs.WriteSchemata(name, "L3:0=3"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.AssignTask(cat.TaskID(i), name); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.RmGroup(name); err != nil {
+			t.Fatal(err)
+		}
+		// The kernel parks the task in the default group on rmdir...
+		if got := fs.GroupOf(cat.TaskID(i)); got != "" {
+			t.Fatalf("task %d in group %q after rmdir", i, got)
+		}
+		// ...and the exit cleans it up entirely.
+		fs.RemoveTask(cat.TaskID(i))
+		if got := len(fs.DefaultGroup().Tasks()); got != 0 {
+			t.Fatalf("iteration %d: %d tasks left in default group", i, got)
+		}
+	}
+	if got := len(fs.Groups()); got != 0 {
+		t.Errorf("%d groups left after churn", got)
+	}
+}
+
+// A reclaimed COS must come back with the kernel's mkdir default (full
+// mask), not the departed cluster's schemata.
+func TestReclaimedCOSResetToFullMask(t *testing.T) {
+	fs, _ := newFS(t)
+	if _, err := fs.MkGroup("narrow"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteSchemata("narrow", "L3:0=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RmGroup("narrow"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.MkGroup("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := fs.ReadSchemata("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != FormatSchemata([]int{0}, cat.FullMask(11)) {
+		t.Errorf("reused COS schemata = %q, want full mask", s)
+	}
+}
+
+// Live groups must never have their COS handed out: reclamation only
+// covers removed groups.
+func TestReclamationDoesNotTouchLiveGroups(t *testing.T) {
+	fs, ctrl := newFS(t)
+	seen := map[cat.COSID]string{0: ""}
+	// Fill the table with live groups.
+	for i := 0; i < ctrl.NumCOS()-1; i++ {
+		name := fmt.Sprintf("live%d", i)
+		g, err := fs.MkGroup(name)
+		if err != nil {
+			t.Fatalf("group %d: %v", i, err)
+		}
+		if prev, dup := seen[g.cos]; dup {
+			t.Fatalf("COS %d assigned to both %q and %q", g.cos, prev, name)
+		}
+		seen[g.cos] = name
+	}
+	// Table full: the next mkdir must fail, not steal a live COS.
+	if _, err := fs.MkGroup("overflow"); err == nil {
+		t.Fatal("mkdir beyond the COS table succeeded")
+	}
+	// Freeing one group frees exactly one slot.
+	if err := fs.RmGroup("live3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.MkGroup("replacement"); err != nil {
+		t.Fatalf("mkdir after rmdir: %v", err)
+	}
+	if _, err := fs.MkGroup("overflow"); err == nil {
+		t.Fatal("second mkdir beyond the COS table succeeded")
+	}
+}
+
+// A mid-experiment departure through the plan-application path: the
+// follow-up plan has fewer clusters, and the departed app's task is
+// gone from the filesystem.
+func TestApplyPlanMasksDeparture(t *testing.T) {
+	fs, ctrl := newFS(t)
+	masks := []cat.WayMask{cat.MaskRange(0, 2), cat.MaskRange(2, 9)}
+	members := [][]cat.TaskID{{1, 2}, {3}}
+	if err := fs.ApplyPlanMasks(masks, members); err != nil {
+		t.Fatal(err)
+	}
+	// App 3 departs: the next plan only has one cluster.
+	fs.RemoveTask(3)
+	if err := fs.ApplyPlanMasks(masks[:1], members[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Groups(); len(got) != 1 || got[0] != "cluster0" {
+		t.Errorf("groups after departure = %v", got)
+	}
+	if got := fs.GroupOf(3); got != "" {
+		t.Errorf("departed task still in group %q", got)
+	}
+	if got := ctrl.COSOf(3); got != 0 {
+		t.Errorf("departed task still associated with COS %d", got)
+	}
+	// The freed COS is reusable immediately.
+	if _, err := fs.MkGroup("next"); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,150 @@
+package sim_test
+
+// Golden pins: the kernel+scenario refactor must reproduce the
+// pre-refactor monolithic RunDynamic bit-for-bit on the paper's closed
+// methodology. The constants below were captured from the monolithic
+// implementation (commit "PR 1", scale 1/200, LFOC policy) on two
+// Fig. 5 workloads — one stable-class mix (S1) and one phased mix (P1).
+// Any arithmetic reordering in the kernel shows up here as a
+// non-identical float64.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/faircache/lfoc/internal/harness"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+type goldenRun struct {
+	workload     string
+	simSeconds   float64
+	unfairness   float64
+	stp          float64
+	repartitions int
+	slowdowns    []float64
+	runs         []int
+}
+
+var goldenRuns = []goldenRun{
+	{
+		workload:     "S1",
+		simSeconds:   2.1567000000056615,
+		unfairness:   1.4575688028221692,
+		stp:          7.3243386265096326,
+		repartitions: 862,
+		slowdowns: []float64{
+			1.0000000000026255,
+			1.0000000000026255,
+			1.4575688028257356,
+			1.1306074393873562,
+			1.0101525913918237,
+			1.2813927673031127,
+			1.0000000000024469,
+			1.0168449732938096,
+		},
+		runs: []int{3, 3, 4, 5, 10, 5, 3, 10},
+	},
+	{
+		workload:     "P1",
+		simSeconds:   2.0249900000047987,
+		unfairness:   1.8063513138471323,
+		stp:          6.2721563015360795,
+		repartitions: 809,
+		slowdowns: []float64{
+			1.2504836137492052,
+			1.2347206949142264,
+			1.3338190481212826,
+			1.0000000000021787,
+			1.0000014109216855,
+			1.3002057293094078,
+			1.8063513138510678,
+			1.6945440774707972,
+		},
+		runs: []int{5, 5, 5, 3, 3, 4, 3, 3},
+	},
+}
+
+func goldenConfig() harness.Config {
+	cfg := harness.DefaultConfig()
+	cfg.Scale = 200
+	return cfg
+}
+
+func TestClosedScenarioGolden(t *testing.T) {
+	for _, g := range goldenRuns {
+		t.Run(g.workload, func(t *testing.T) {
+			cfg := goldenConfig()
+			w, err := workloads.Get(g.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pol, _, err := cfg.NewDynamicPolicy("lfoc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.RunDynamic(cfg.SimConfig(), w.ScaledSpecs(cfg.Scale), pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SimSeconds != g.simSeconds {
+				t.Errorf("SimSeconds = %.17g, golden %.17g", res.SimSeconds, g.simSeconds)
+			}
+			if res.Summary.Unfairness != g.unfairness {
+				t.Errorf("Unfairness = %.17g, golden %.17g", res.Summary.Unfairness, g.unfairness)
+			}
+			if res.Summary.STP != g.stp {
+				t.Errorf("STP = %.17g, golden %.17g", res.Summary.STP, g.stp)
+			}
+			if res.Repartitions != g.repartitions {
+				t.Errorf("Repartitions = %d, golden %d", res.Repartitions, g.repartitions)
+			}
+			for i, want := range g.slowdowns {
+				if res.Slowdowns[i] != want {
+					t.Errorf("slowdown[%d] = %.17g, golden %.17g", i, res.Slowdowns[i], want)
+				}
+				if len(res.RunTimes[i]) != g.runs[i] {
+					t.Errorf("runs[%d] = %d, golden %d", i, len(res.RunTimes[i]), g.runs[i])
+				}
+			}
+		})
+	}
+}
+
+// The golden runs above fix one policy; this check covers the whole
+// closed surface more cheaply: two identical invocations must agree
+// bit-for-bit for every policy, including the windowed-metrics path.
+func TestClosedScenarioSelfDeterminism(t *testing.T) {
+	cfg := goldenConfig()
+	w, err := workloads.Get("S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := w.ScaledSpecs(cfg.Scale)
+	for _, name := range []string{"stock", "dunn", "lfoc"} {
+		run := func() *sim.Result {
+			pol, _, err := cfg.NewDynamicPolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := cfg.SimConfig()
+			sc.MetricsWindow = sc.PolicyPeriod * 4
+			res, err := sim.RunDynamic(sc, specs, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		if fmt.Sprintf("%v", a.Slowdowns) != fmt.Sprintf("%v", b.Slowdowns) {
+			t.Errorf("%s: nondeterministic slowdowns", name)
+		}
+		if a.Series == nil || b.Series == nil {
+			t.Fatalf("%s: windowed series not collected", name)
+		}
+		if a.Series.Fingerprint() != b.Series.Fingerprint() {
+			t.Errorf("%s: nondeterministic windowed series", name)
+		}
+	}
+}

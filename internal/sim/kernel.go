@@ -1,0 +1,504 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/cat"
+	"github.com/faircache/lfoc/internal/metrics"
+	"github.com/faircache/lfoc/internal/pmc"
+	"github.com/faircache/lfoc/internal/sharing"
+	"github.com/faircache/lfoc/internal/sim/scenario"
+)
+
+// kernelApp is one application slot. A slot is created at admission and
+// never reused; it survives identity resets (the monitoring id changes,
+// the slot does not), which is how results stay attributable across the
+// paper's restart semantics, fresh-process restarts and departures.
+type kernelApp struct {
+	slot  int // result index, stable for the app's lifetime
+	monID int // policy/monitoring identity; changes on RestartFresh
+	spec  *appmodel.Spec
+	inst  *appmodel.Instance
+
+	counter  pmc.Counter
+	nextWin  uint64 // cumulative instruction threshold for next window
+	runInsns uint64
+	runStart float64
+	runs     []float64
+	// fractional accumulators (counters are integers, progress is not)
+	fracInsns  float64
+	fracCycles float64
+	fracMiss   float64
+	fracStall  float64
+	perf       appmodel.Perf
+	share      uint64
+
+	active     bool
+	arrivedAt  float64 // scheduled arrival time (trace time)
+	admittedAt float64 // when the app actually got a core
+	departedAt float64 // negative while in the system
+
+	// Alone-clock: simulated seconds an identical solo run (full LLC,
+	// unloaded memory) would have needed for the instructions retired so
+	// far. Feeds instantaneous slowdowns for windowed metrics and the
+	// slowdown-at-departure of open scenarios.
+	aloneT     float64
+	alonePhase *appmodel.PhaseSpec
+	aloneIPS   float64
+}
+
+// equilState is one memoized contention-model fixed point, positional
+// over the active apps in slot order.
+type equilState struct {
+	perfs  []appmodel.Perf
+	shares []uint64
+}
+
+const equilCacheMax = 4096
+
+// kernel is the scenario-agnostic execution engine: it integrates
+// application progress under the contention model, accumulates hardware
+// counters, delivers counter windows to the policy, activates the
+// partitioner periodically, and consults the scenario for arrivals,
+// run-completion outcomes and termination.
+type kernel struct {
+	cfg Config
+	pol Dynamic
+	scn scenario.Scenario
+
+	apps      []*kernelApp
+	runCounts []int // completed runs per slot (shared with scenario.Progress)
+	nActive   int
+	nextMonID int
+	peak      int
+
+	arrivals []scenario.Arrival
+	arrIdx   int
+	waitQ    []scenario.Arrival // arrivals waiting for a free core
+
+	eval   *sharing.Evaluator
+	shApps []sharing.App
+	shRes  []sharing.Result
+	equil  map[string]*equilState
+	keyBuf []byte
+
+	masks     map[int]cat.WayMask
+	perfDirty bool
+
+	aloneIPSCache map[*appmodel.PhaseSpec]float64
+
+	freq float64
+	dt   float64
+
+	simTime      float64
+	nextPolicy   float64
+	repartitions int
+
+	// Windowed-metrics collection (enabled by Config.MetricsWindow).
+	collect   bool
+	series    metrics.WindowedSeries
+	winStart  float64
+	winArr    int
+	winDep    int
+	winRuns   int
+	sdScratch []float64
+}
+
+// newKernel validates the configuration, admits the scenario's initial
+// applications and primes the policy, mirroring the historical
+// RunDynamic setup sequence exactly.
+func newKernel(cfg Config, scn scenario.Scenario, pol Dynamic) (*kernel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	initial := scn.Initial()
+	for _, s := range initial {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for i, arr := range scn.Arrivals() {
+		if arr.Spec == nil {
+			return nil, fmt.Errorf("sim: arrival %d without a spec", i)
+		}
+		if err := arr.Spec.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	k := &kernel{
+		cfg:           cfg,
+		pol:           pol,
+		scn:           scn,
+		arrivals:      scn.Arrivals(),
+		eval:          sharing.NewEvaluator(sharing.NewModel(cfg.Plat)),
+		equil:         make(map[string]*equilState),
+		masks:         map[int]cat.WayMask{},
+		aloneIPSCache: map[*appmodel.PhaseSpec]float64{},
+		freq:          float64(cfg.Plat.FreqHz),
+		dt:            cfg.PolicyPeriod.Seconds() / float64(cfg.TicksPerPeriod),
+		nextPolicy:    cfg.PolicyPeriod.Seconds(),
+		perfDirty:     true,
+		collect:       cfg.MetricsWindow > 0,
+	}
+	if k.collect {
+		k.series.Width = cfg.MetricsWindow.Seconds()
+	}
+	if len(initial) > cfg.Plat.Cores {
+		return nil, fmt.Errorf("sim: %d apps exceed %d cores", len(initial), cfg.Plat.Cores)
+	}
+	for _, s := range initial {
+		if err := k.admit(s, 0); err != nil {
+			return nil, err
+		}
+	}
+	pol.Reconfigure()
+	if err := k.refreshMasks(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// admit creates a slot for spec and registers it with the policy. The
+// caller has verified a core is free.
+func (k *kernel) admit(spec *appmodel.Spec, arrivedAt float64) error {
+	a := &kernelApp{
+		slot:       len(k.apps),
+		monID:      k.nextMonID,
+		spec:       spec,
+		inst:       appmodel.NewInstance(spec),
+		active:     true,
+		arrivedAt:  arrivedAt,
+		admittedAt: k.simTime,
+		runStart:   k.simTime,
+		departedAt: -1,
+	}
+	k.nextMonID++
+	if err := k.pol.AddApp(a.monID); err != nil {
+		return err
+	}
+	a.nextWin = k.pol.WindowInsns(a.monID)
+	k.apps = append(k.apps, a)
+	k.runCounts = append(k.runCounts, 0)
+	k.nActive++
+	if k.nActive > k.peak {
+		k.peak = k.nActive
+	}
+	k.winArr++
+	k.perfDirty = true
+	return nil
+}
+
+// depart removes an application from the system, releasing its core and
+// its policy state, and back-fills the core from the wait queue.
+func (k *kernel) depart(a *kernelApp) error {
+	a.active = false
+	a.departedAt = k.simTime
+	k.nActive--
+	k.winDep++
+	k.pol.RemoveApp(a.monID)
+	k.perfDirty = true
+	for len(k.waitQ) > 0 && k.nActive < k.cfg.Plat.Cores {
+		arr := k.waitQ[0]
+		k.waitQ = k.waitQ[1:]
+		if err := k.admit(arr.Spec, arr.Time); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refreshIdentity gives the slot a brand-new monitoring identity: the
+// policy sees the old process exit and a new one spawn, so class and
+// history are re-learned from scratch.
+func (k *kernel) refreshIdentity(a *kernelApp) error {
+	k.pol.RemoveApp(a.monID)
+	a.monID = k.nextMonID
+	k.nextMonID++
+	if err := k.pol.AddApp(a.monID); err != nil {
+		return err
+	}
+	a.counter.Reset()
+	a.nextWin = k.pol.WindowInsns(a.monID)
+	return nil
+}
+
+func (k *kernel) refreshMasks() error {
+	m, err := k.pol.Assignment()
+	if err != nil {
+		return err
+	}
+	k.masks = m
+	k.perfDirty = true
+	return nil
+}
+
+// refreshPerf re-evaluates the contention-model fixed point over the
+// active applications. The equilibrium is a pure function of (per-app
+// spec, phase index, mask): restarted applications revisit identical
+// configurations constantly and the policy cycles through a small set
+// of plans, so memoizing the fixed point pays for itself within a few
+// runs; the slot stands in for the spec in the key since a slot's spec
+// never changes.
+func (k *kernel) refreshPerf() {
+	k.shApps = k.shApps[:0]
+	for _, a := range k.apps {
+		if !a.active {
+			continue
+		}
+		mask := k.masks[a.monID]
+		if mask == 0 {
+			mask = cat.FullMask(k.cfg.Plat.Ways)
+		}
+		k.shApps = append(k.shApps, sharing.App{ID: a.monID, Phase: a.inst.Phase(), Mask: mask})
+	}
+	k.perfDirty = false
+	if len(k.shApps) == 0 {
+		return
+	}
+	var key string
+	if !k.cfg.noEquilCache {
+		k.keyBuf = k.keyBuf[:0]
+		idx := 0
+		for _, a := range k.apps {
+			if !a.active {
+				continue
+			}
+			k.keyBuf = binary.LittleEndian.AppendUint32(k.keyBuf, uint32(a.slot))
+			k.keyBuf = binary.LittleEndian.AppendUint32(k.keyBuf, uint32(a.inst.PhaseIndex()))
+			k.keyBuf = binary.LittleEndian.AppendUint32(k.keyBuf, uint32(k.shApps[idx].Mask))
+			idx++
+		}
+		key = string(k.keyBuf)
+		if st, ok := k.equil[key]; ok {
+			idx = 0
+			for _, a := range k.apps {
+				if !a.active {
+					continue
+				}
+				a.perf = st.perfs[idx]
+				a.share = st.shares[idx]
+				idx++
+			}
+			return
+		}
+	}
+	k.shRes = k.eval.EvaluateInto(k.shRes, k.shApps)
+	idx := 0
+	for _, a := range k.apps {
+		if !a.active {
+			continue
+		}
+		a.perf = k.shRes[idx].Perf
+		a.share = k.shRes[idx].ShareBytes
+		idx++
+	}
+	if !k.cfg.noEquilCache {
+		if len(k.equil) >= equilCacheMax {
+			clear(k.equil)
+		}
+		st := &equilState{
+			perfs:  make([]appmodel.Perf, len(k.shApps)),
+			shares: make([]uint64, len(k.shApps)),
+		}
+		idx = 0
+		for _, a := range k.apps {
+			if !a.active {
+				continue
+			}
+			st.perfs[idx] = a.perf
+			st.shares[idx] = a.share
+			idx++
+		}
+		k.equil[key] = st
+	}
+}
+
+// alonePhaseIPS returns the solo instruction rate (insns/second, full
+// LLC, unloaded memory) for a phase, cached per phase spec.
+func (k *kernel) alonePhaseIPS(ph *appmodel.PhaseSpec) float64 {
+	if ips, ok := k.aloneIPSCache[ph]; ok {
+		return ips
+	}
+	ips := appmodel.PhasePerf(ph, k.cfg.Plat, k.cfg.Plat.LLCBytes(), 1).IPC * k.freq
+	k.aloneIPSCache[ph] = ips
+	return ips
+}
+
+// closeWindow finalizes the current metrics window at the given end
+// time and opens the next one.
+func (k *kernel) closeWindow(end float64) {
+	p := metrics.WindowPoint{
+		Start:         k.winStart,
+		End:           end,
+		Active:        k.nActive,
+		Arrivals:      k.winArr,
+		Departures:    k.winDep,
+		RunsCompleted: k.winRuns,
+	}
+	if w := end - k.winStart; w > 0 {
+		p.Throughput = float64(k.winRuns) / w
+	}
+	k.sdScratch = k.sdScratch[:0]
+	for _, a := range k.apps {
+		if !a.active || a.aloneT <= 0 {
+			continue
+		}
+		k.sdScratch = append(k.sdScratch, (end-a.admittedAt)/a.aloneT)
+	}
+	p.Unfairness, p.STP, p.MeanSlowdown = metrics.WindowSnapshot(k.sdScratch)
+	k.series.Add(p)
+	k.winStart = end
+	k.winArr, k.winDep, k.winRuns = 0, 0, 0
+}
+
+// progress assembles the scenario's view of the kernel state. Runs
+// shares the kernel's storage; scenarios treat it as read-only.
+func (k *kernel) progress() scenario.Progress {
+	return scenario.Progress{
+		Time:    k.simTime,
+		Active:  k.nActive,
+		Pending: len(k.arrivals) - k.arrIdx + len(k.waitQ),
+		Runs:    k.runCounts,
+	}
+}
+
+// run executes the scenario to completion. The per-tick structure —
+// termination check, arrival delivery, equilibrium refresh, time
+// advance, per-app integration, mask refresh, partitioner activation,
+// metrics windows — keeps the historical closed-methodology operation
+// order exactly, so closed runs are bit-identical to the pre-kernel
+// monolithic loop (pinned by the golden test).
+func (k *kernel) run() error {
+	maxTime := k.cfg.MaxSimTime.Seconds()
+	for !k.scn.Done(k.progress()) {
+		if k.simTime > maxTime {
+			return fmt.Errorf("sim: exceeded MaxSimTime (%v) with runs %v", k.cfg.MaxSimTime, k.runCounts)
+		}
+		// Deliver arrivals that are due; a full machine queues them.
+		admitted := false
+		for k.arrIdx < len(k.arrivals) && k.arrivals[k.arrIdx].Time <= k.simTime {
+			arr := k.arrivals[k.arrIdx]
+			k.arrIdx++
+			if k.nActive >= k.cfg.Plat.Cores {
+				k.waitQ = append(k.waitQ, arr)
+				continue
+			}
+			if err := k.admit(arr.Spec, arr.Time); err != nil {
+				return err
+			}
+			admitted = true
+		}
+		if admitted {
+			if err := k.refreshMasks(); err != nil {
+				return err
+			}
+		}
+		if k.perfDirty {
+			k.refreshPerf()
+		}
+		k.simTime += k.dt
+		anyChange := false
+		for _, a := range k.apps {
+			if !a.active {
+				continue
+			}
+			// Progress.
+			ips := a.perf.IPC * k.freq
+			a.fracInsns += ips * k.dt
+			insns := uint64(a.fracInsns)
+			a.fracInsns -= float64(insns)
+			if insns > 0 {
+				// Alone-clock: charge the retired instructions at the
+				// solo rate of the phase they retired under (phase
+				// boundaries inside one tick are charged to the phase
+				// the tick started in — a sub-tick approximation).
+				ph := a.inst.Phase()
+				if ph != a.alonePhase {
+					a.alonePhase = ph
+					a.aloneIPS = k.alonePhaseIPS(ph)
+				}
+				a.aloneT += float64(insns) / a.aloneIPS
+				if a.inst.Advance(insns) {
+					k.perfDirty = true
+				}
+			}
+			// Counters.
+			a.fracCycles += k.freq * k.dt
+			cycles := uint64(a.fracCycles)
+			a.fracCycles -= float64(cycles)
+			a.fracMiss += a.perf.MPKC / 1000 * k.freq * k.dt
+			miss := uint64(a.fracMiss)
+			a.fracMiss -= float64(miss)
+			a.fracStall += a.perf.StallFrac * k.freq * k.dt
+			stall := uint64(a.fracStall)
+			a.fracStall -= float64(stall)
+			a.counter.Add(pmc.Sample{
+				Instructions:   insns,
+				Cycles:         cycles,
+				LLCMisses:      miss,
+				LLCAccesses:    miss * 2,
+				StallsL2Miss:   stall,
+				OccupancyBytes: a.share,
+			})
+			// Window delivery.
+			for a.counter.Total().Instructions >= a.nextWin {
+				w := a.counter.ReadWindow()
+				if k.pol.OnWindow(a.monID, w) {
+					anyChange = true
+				}
+				a.nextWin = a.counter.Total().Instructions + k.pol.WindowInsns(a.monID)
+			}
+			// Run completion: the scenario decides the app's fate.
+			a.runInsns += insns
+			for a.active && a.runInsns >= k.cfg.TargetInsns {
+				a.runs = append(a.runs, k.simTime-a.runStart)
+				k.runCounts[a.slot]++
+				k.winRuns++
+				a.runStart = k.simTime
+				a.runInsns -= k.cfg.TargetInsns
+				switch k.scn.OnRunComplete(a.slot, len(a.runs)) {
+				case scenario.Depart:
+					if err := k.depart(a); err != nil {
+						return err
+					}
+					anyChange = true
+				case scenario.RestartFresh:
+					a.inst.Restart()
+					k.perfDirty = true
+					if err := k.refreshIdentity(a); err != nil {
+						return err
+					}
+					anyChange = true
+				default: // scenario.Restart
+					a.inst.Restart()
+					k.perfDirty = true
+				}
+			}
+		}
+		if anyChange {
+			if err := k.refreshMasks(); err != nil {
+				return err
+			}
+		}
+		if k.simTime >= k.nextPolicy {
+			k.pol.Reconfigure()
+			k.repartitions++
+			k.nextPolicy += k.cfg.PolicyPeriod.Seconds()
+			if err := k.refreshMasks(); err != nil {
+				return err
+			}
+		}
+		if k.collect {
+			for k.simTime >= k.winStart+k.series.Width {
+				k.closeWindow(k.winStart + k.series.Width)
+			}
+		}
+	}
+	if k.collect && k.simTime > k.winStart {
+		k.closeWindow(k.simTime)
+	}
+	return nil
+}

@@ -1,33 +1,44 @@
 // Package sim is the execution substrate that replaces the paper's
-// Linux + Skylake testbed: a deterministic discrete-time simulator that
-// co-runs synthetic applications under a cache-management policy and
-// reproduces the §5 measurement methodology.
+// Linux + Skylake testbed: a deterministic discrete-event simulator that
+// co-runs synthetic applications under a cache-management policy.
 //
-// Methodology (faithful to §5): all applications start simultaneously;
-// each runs a fixed number of instructions per "run" and is restarted
-// immediately upon completion; the experiment ends when every application
-// has completed at least RunsTarget (3) runs — i.e. when the longest
-// application completes three times. Per-application completion time is
-// the geometric mean over its completed runs; slowdown divides it by the
-// analytically-computed alone completion time (full LLC, unloaded
-// memory); unfairness and STP follow Eqs. (3) and (4).
+// The package is split into a scenario-agnostic kernel (kernel.go) and
+// a scenario layer (the internal/sim/scenario sub-package). The kernel
+// integrates application progress under the internal/sharing contention
+// model, accumulates exactly the hardware counters the policies read
+// (instructions, cycles, LLC misses, STALLS_L2_MISS, CMT occupancy),
+// delivers counter windows at each application's requested instruction
+// cadence — 100M instructions in normal mode, 10M during LFOC sampling
+// episodes, as in §5.2 — and activates the partitioner periodically.
+// The scenario decides which applications exist, when they arrive, and
+// what happens when one retires its per-run instruction quota.
 //
-// Mechanics: time advances in fixed ticks (PolicyPeriod/TicksPerPeriod).
-// Application progress per tick comes from the internal/sharing
-// contention model, re-evaluated only when the CAT configuration or some
-// application's phase changes. Hardware counters accumulate exactly the
-// quantities the policies read (instructions, cycles, LLC misses,
-// STALLS_L2_MISS, CMT occupancy), and counter windows are delivered to
-// the policy at its requested instruction cadence — 100M instructions in
-// normal mode, 10M during LFOC sampling episodes, exactly as in §5.2.
-// One deliberate simplification: a restarted program keeps its monitoring
-// identity (class and history) instead of appearing as a brand-new
-// process; behaviour-wise the policy would re-learn the same class within
-// a few windows.
+// Closed methodology (faithful to §5, scenario.Closed, RunDynamic): all
+// applications start simultaneously; each runs a fixed number of
+// instructions per "run" and is restarted immediately upon completion;
+// the experiment ends when every application has completed at least
+// RunsTarget (3) runs. Per-application completion time is the geometric
+// mean over its completed runs; slowdown divides it by the analytic
+// alone completion time; unfairness and STP follow Eqs. (3) and (4).
+// By default a restarted program keeps its monitoring identity (the
+// paper's simplification); scenario.Closed.ResetIdentityOnRestart makes
+// every restart look like an exit plus a fresh spawn instead, so the
+// policy must re-learn the class.
+//
+// Open methodology (scenario.Open, RunOpen): applications arrive from a
+// seeded Poisson process or an explicit trace, run their quota once and
+// depart, freeing their core (a full machine queues arrivals FIFO).
+// Because the population changes under the metrics, results are
+// time-windowed series (metrics.WindowedSeries) plus per-application
+// slowdowns at departure, not end-of-run scalars.
+//
+// Time advances in fixed ticks (PolicyPeriod/TicksPerPeriod); progress
+// per tick comes from the contention model, re-evaluated (memoized)
+// only when the CAT configuration, the population or some application's
+// phase changes.
 package sim
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"time"
@@ -38,13 +49,19 @@ import (
 	"github.com/faircache/lfoc/internal/metrics"
 	"github.com/faircache/lfoc/internal/plan"
 	"github.com/faircache/lfoc/internal/pmc"
-	"github.com/faircache/lfoc/internal/sharing"
+	"github.com/faircache/lfoc/internal/sim/scenario"
 )
 
 // Dynamic is the policy interface the simulator drives. core.Controller
-// (LFOC), policy.DunnDynamic and policy.StockDynamic implement it.
+// (LFOC), policy.DunnDynamic, policy.StockDynamic and
+// policy.KPartDynaway implement it. Ids are monitoring identities: the
+// kernel allocates a fresh id per admission (and per identity-reset
+// restart), and RemoveApp retires it when the application departs —
+// policies must release all per-app state there, or an open-system run
+// leaks monitoring state and classes of service.
 type Dynamic interface {
 	AddApp(id int) error
+	RemoveApp(id int)
 	WindowInsns(id int) uint64
 	OnWindow(id int, w pmc.Sample) bool
 	Reconfigure() plan.Plan
@@ -58,7 +75,7 @@ type Config struct {
 	// experiments may scale it down together with the policy cadences).
 	TargetInsns uint64
 	// RunsTarget is the number of completed runs every app must reach
-	// before the experiment stops (3 in the paper).
+	// before a closed experiment stops (3 in the paper).
 	RunsTarget int
 	// PolicyPeriod is the partitioner activation period (500ms).
 	PolicyPeriod time.Duration
@@ -68,6 +85,10 @@ type Config struct {
 	// MaxSimTime aborts runaway experiments (default 1 hour of
 	// simulated time).
 	MaxSimTime time.Duration
+	// MetricsWindow enables time-windowed metrics collection at the
+	// given simulated-time granularity (0 = off for closed runs; open
+	// runs default it to PolicyPeriod).
+	MetricsWindow time.Duration
 
 	// noEquilCache disables the equilibrium memoization (testing knob:
 	// the memoized and direct paths must agree exactly).
@@ -94,10 +115,13 @@ func (c *Config) Validate() error {
 	if c.MaxSimTime <= 0 {
 		c.MaxSimTime = time.Hour
 	}
+	if c.MetricsWindow < 0 {
+		return fmt.Errorf("sim: MetricsWindow must be non-negative")
+	}
 	return nil
 }
 
-// Result carries everything the experiments report.
+// Result carries everything the closed-methodology experiments report.
 type Result struct {
 	// RunTimes[i] holds app i's completed run times in seconds.
 	RunTimes [][]float64
@@ -113,245 +137,74 @@ type Result struct {
 	// simulated duration.
 	Repartitions int
 	SimSeconds   float64
+	// FinalMonIDs[i] is app i's monitoring identity at the end of the
+	// run — equal to i unless the scenario resets identities on
+	// restart; use it to query per-app policy state (classes,
+	// resamples) after a run.
+	FinalMonIDs []int
+	// Series holds windowed metrics when Config.MetricsWindow was set
+	// (nil otherwise).
+	Series *metrics.WindowedSeries
 }
 
-type simApp struct {
-	id       int
-	inst     *appmodel.Instance
-	counter  pmc.Counter
-	nextWin  uint64 // cumulative instruction threshold for next window
-	runInsns uint64
-	runStart float64
-	runs     []float64
-	// fractional accumulators (counters are integers, progress is not)
-	fracInsns  float64
-	fracCycles float64
-	fracMiss   float64
-	fracStall  float64
-	perf       appmodel.Perf
-	share      uint64
-}
-
-// RunDynamic co-runs the workload under a dynamic policy.
+// RunDynamic co-runs the workload under a dynamic policy with the
+// paper's closed methodology (scenario.Closed with the configured
+// RunsTarget).
 func RunDynamic(cfg Config, specs []*appmodel.Spec, pol Dynamic) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("sim: empty workload")
-	}
-	if len(specs) > cfg.Plat.Cores {
-		return nil, fmt.Errorf("sim: %d apps exceed %d cores", len(specs), cfg.Plat.Cores)
-	}
-	for _, s := range specs {
-		if err := s.Validate(); err != nil {
-			return nil, err
-		}
-	}
+	return RunClosed(cfg, scenario.NewClosed(specs, cfg.RunsTarget), pol)
+}
 
-	n := len(specs)
-	apps := make([]*simApp, n)
-	for i, s := range specs {
-		apps[i] = &simApp{id: i, inst: appmodel.NewInstance(s)}
-		if err := pol.AddApp(i); err != nil {
-			return nil, err
-		}
-		apps[i].nextWin = pol.WindowInsns(i)
-	}
-
-	model := sharing.NewModel(cfg.Plat)
-	dt := cfg.PolicyPeriod.Seconds() / float64(cfg.TicksPerPeriod)
-	freq := float64(cfg.Plat.FreqHz)
-
-	masks := map[int]cat.WayMask{}
-	perfDirty := true
-	refreshMasks := func() error {
-		m, err := pol.Assignment()
-		if err != nil {
-			return err
-		}
-		masks = m
-		perfDirty = true
-		return nil
-	}
-	pol.Reconfigure()
-	if err := refreshMasks(); err != nil {
+// RunClosed co-runs a closed scenario (every application present from
+// time zero, restarting until done) under a dynamic policy.
+func RunClosed(cfg Config, scn *scenario.Closed, pol Dynamic) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-
-	// The equilibrium is a pure function of (per-app phase index, per-app
-	// mask): restarted applications revisit identical configurations
-	// constantly, and the policy cycles through a small set of plans, so
-	// memoizing the fixed point pays for itself within a few runs. The
-	// evaluator and the app/result slices are reused across refreshes.
-	eval := sharing.NewEvaluator(model)
-	shApps := make([]sharing.App, n)
-	shRes := make([]sharing.Result, n)
-	type equilState struct {
-		perfs  []appmodel.Perf
-		shares []uint64
+	if len(scn.Specs) == 0 {
+		return nil, fmt.Errorf("sim: empty workload")
 	}
-	const equilCacheMax = 4096
-	equil := make(map[string]*equilState)
-	keyBuf := make([]byte, 0, n*8)
-
-	refreshPerf := func() {
-		for i, a := range apps {
-			mask := masks[a.id]
-			if mask == 0 {
-				mask = cat.FullMask(cfg.Plat.Ways)
-			}
-			shApps[i] = sharing.App{ID: a.id, Phase: a.inst.Phase(), Mask: mask}
-		}
-		perfDirty = false
-		var key string
-		if !cfg.noEquilCache {
-			keyBuf = keyBuf[:0]
-			for i, a := range apps {
-				keyBuf = binary.LittleEndian.AppendUint32(keyBuf, uint32(a.inst.PhaseIndex()))
-				keyBuf = binary.LittleEndian.AppendUint32(keyBuf, uint32(shApps[i].Mask))
-			}
-			key = string(keyBuf)
-			if st, ok := equil[key]; ok {
-				for i, a := range apps {
-					a.perf = st.perfs[i]
-					a.share = st.shares[i]
-				}
-				return
-			}
-		}
-		shRes = eval.EvaluateInto(shRes, shApps)
-		for i, a := range apps {
-			a.perf = shRes[i].Perf
-			a.share = shRes[i].ShareBytes
-		}
-		if !cfg.noEquilCache {
-			if len(equil) >= equilCacheMax {
-				clear(equil)
-			}
-			st := &equilState{perfs: make([]appmodel.Perf, n), shares: make([]uint64, n)}
-			for i, a := range apps {
-				st.perfs[i] = a.perf
-				st.shares[i] = a.share
-			}
-			equil[key] = st
-		}
+	if scn.RunsTarget <= 0 {
+		// Default through a copy: the caller's scenario stays untouched.
+		c := *scn
+		c.RunsTarget = cfg.RunsTarget
+		scn = &c
 	}
-
-	simTime := 0.0
-	nextPolicy := cfg.PolicyPeriod.Seconds()
-	repartitions := 0
-	maxTime := cfg.MaxSimTime.Seconds()
-
-	done := func() bool {
-		for _, a := range apps {
-			if len(a.runs) < cfg.RunsTarget {
-				return false
-			}
-		}
-		return true
+	k, err := newKernel(cfg, scn, pol)
+	if err != nil {
+		return nil, err
 	}
-
-	for !done() {
-		if simTime > maxTime {
-			return nil, fmt.Errorf("sim: exceeded MaxSimTime (%v) with runs %v", cfg.MaxSimTime, runCounts(apps))
-		}
-		if perfDirty {
-			refreshPerf()
-		}
-		simTime += dt
-		anyChange := false
-		for _, a := range apps {
-			// Progress.
-			ips := a.perf.IPC * freq
-			a.fracInsns += ips * dt
-			insns := uint64(a.fracInsns)
-			a.fracInsns -= float64(insns)
-			if insns > 0 {
-				if a.inst.Advance(insns) {
-					perfDirty = true
-				}
-			}
-			// Counters.
-			a.fracCycles += freq * dt
-			cycles := uint64(a.fracCycles)
-			a.fracCycles -= float64(cycles)
-			a.fracMiss += a.perf.MPKC / 1000 * freq * dt
-			miss := uint64(a.fracMiss)
-			a.fracMiss -= float64(miss)
-			a.fracStall += a.perf.StallFrac * freq * dt
-			stall := uint64(a.fracStall)
-			a.fracStall -= float64(stall)
-			a.counter.Add(pmc.Sample{
-				Instructions:   insns,
-				Cycles:         cycles,
-				LLCMisses:      miss,
-				LLCAccesses:    miss * 2,
-				StallsL2Miss:   stall,
-				OccupancyBytes: a.share,
-			})
-			// Window delivery.
-			for a.counter.Total().Instructions >= a.nextWin {
-				w := a.counter.ReadWindow()
-				if pol.OnWindow(a.id, w) {
-					anyChange = true
-				}
-				a.nextWin = a.counter.Total().Instructions + pol.WindowInsns(a.id)
-			}
-			// Run completion and restart.
-			a.runInsns += insns
-			for a.runInsns >= cfg.TargetInsns {
-				a.runs = append(a.runs, simTime-a.runStart)
-				a.runStart = simTime
-				a.runInsns -= cfg.TargetInsns
-				a.inst.Restart()
-				perfDirty = true
-			}
-		}
-		if anyChange {
-			if err := refreshMasks(); err != nil {
-				return nil, err
-			}
-		}
-		if simTime >= nextPolicy {
-			pol.Reconfigure()
-			repartitions++
-			nextPolicy += cfg.PolicyPeriod.Seconds()
-			if err := refreshMasks(); err != nil {
-				return nil, err
-			}
-		}
+	if err := k.run(); err != nil {
+		return nil, err
 	}
-
-	return buildResult(cfg, specs, apps, repartitions, simTime)
+	return buildResult(k)
 }
 
-func runCounts(apps []*simApp) []int {
-	out := make([]int, len(apps))
-	for i, a := range apps {
-		out[i] = len(a.runs)
-	}
-	return out
-}
-
-func buildResult(cfg Config, specs []*appmodel.Spec, apps []*simApp, repartitions int, simTime float64) (*Result, error) {
-	n := len(apps)
+func buildResult(k *kernel) (*Result, error) {
+	n := len(k.apps)
 	res := &Result{
 		RunTimes:     make([][]float64, n),
 		CT:           make([]float64, n),
 		AloneCT:      make([]float64, n),
 		Slowdowns:    make([]float64, n),
-		Repartitions: repartitions,
-		SimSeconds:   simTime,
+		Repartitions: k.repartitions,
+		SimSeconds:   k.simTime,
+		FinalMonIDs:  make([]int, n),
 	}
-	for i, a := range apps {
+	if k.collect {
+		res.Series = &k.series
+	}
+	for i, a := range k.apps {
 		res.RunTimes[i] = append([]float64(nil), a.runs...)
+		res.FinalMonIDs[i] = a.monID
 		g, err := metrics.GeoMean(a.runs)
 		if err != nil {
 			return nil, fmt.Errorf("sim: app %d: %w", i, err)
 		}
 		res.CT[i] = g
-		res.AloneCT[i] = AloneCompletionTime(specs[i], cfg.Plat, cfg.TargetInsns)
+		res.AloneCT[i] = AloneCompletionTime(a.spec, k.cfg.Plat, k.cfg.TargetInsns)
 		sd, err := metrics.Slowdown(g, res.AloneCT[i])
 		if err != nil {
 			return nil, err
@@ -421,6 +274,10 @@ func (f *FixedPlanPolicy) AddApp(id int) error {
 	}
 	return nil
 }
+
+// RemoveApp implements Dynamic: the plan is fixed, departures leave it
+// untouched (departed ids simply stop being asked about).
+func (f *FixedPlanPolicy) RemoveApp(int) {}
 
 // WindowInsns implements Dynamic (a huge window: no monitoring needed).
 func (f *FixedPlanPolicy) WindowInsns(int) uint64 { return math.MaxUint64 / 4 }

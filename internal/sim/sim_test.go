@@ -11,6 +11,7 @@ import (
 	"github.com/faircache/lfoc/internal/plan"
 	"github.com/faircache/lfoc/internal/policy"
 	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/sim/scenario"
 )
 
 func testConfig() Config {
@@ -399,5 +400,44 @@ func TestEquilCacheExactness(t *testing.T) {
 	}
 	if cached.Summary != direct.Summary {
 		t.Errorf("summary diverges: cached %+v direct %+v", cached.Summary, direct.Summary)
+	}
+}
+
+// The equilibrium memo must stay exact under churn too: the cache key
+// now spans a varying active set, and a collision between different
+// populations would silently corrupt an open run.
+func TestOpenEquilCacheExactness(t *testing.T) {
+	cfg := testConfig()
+	cfg.TargetInsns = 500_000_000
+	pool := specsOf("xalancbmk06", "lbm06", "povray06", "soplex06")
+	run := func(disable bool) *OpenResult {
+		c := cfg
+		c.noEquilCache = disable
+		scn, err := scenario.NewPoisson("exact", pool, 8, 2, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl, err := core.NewController(core.DefaultParams(c.Plat.Ways), c.Plat.WayBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunOpen(c, scn, ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cached := run(false)
+	direct := run(true)
+	if cached.Series.Fingerprint() != direct.Series.Fingerprint() {
+		t.Error("windowed series diverge between memoized and direct equilibrium paths")
+	}
+	if len(cached.Apps) != len(direct.Apps) {
+		t.Fatalf("populations diverge: %d vs %d", len(cached.Apps), len(direct.Apps))
+	}
+	for i := range cached.Apps {
+		if cached.Apps[i] != direct.Apps[i] {
+			t.Errorf("app %d diverges: %+v vs %+v", i, cached.Apps[i], direct.Apps[i])
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"github.com/faircache/lfoc/internal/appmodel"
 	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/sim/scenario"
 )
 
 // Kind distinguishes stable-class (S) from phased (P) workloads.
@@ -219,6 +220,37 @@ func Dynamic() []Workload {
 		out = append(out, w)
 	}
 	return out
+}
+
+// OpenScenario turns the mix into an open-system workload: arrivals
+// follow a seeded Poisson process of the given rate (arrivals per
+// simulated second) over [0, window) seconds, each arrival drawing its
+// application uniformly from the mix (duplicates in the mix weight the
+// draw, as in the closed methodology). scale applies the usual
+// time-scale division to the specs.
+func (w Workload) OpenScenario(rate, window float64, seed int64, scale uint64) (*scenario.Open, error) {
+	name := fmt.Sprintf("%s-poisson(%g/s)", w.Name, rate)
+	return scenario.NewPoisson(name, w.ScaledSpecs(scale), rate, window, seed)
+}
+
+// UniformScenario is the deterministic counterpart of OpenScenario: one
+// arrival every interval seconds, count arrivals total, cycling through
+// the mix in order. Useful for load sweeps that must not confound rate
+// with trace randomness.
+func (w Workload) UniformScenario(interval float64, count int, scale uint64) (*scenario.Open, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("workloads: arrival interval must be positive, got %v", interval)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("workloads: arrival count must be positive, got %d", count)
+	}
+	specs := w.ScaledSpecs(scale)
+	arrivals := make([]scenario.Arrival, count)
+	for i := range arrivals {
+		arrivals[i] = scenario.Arrival{Time: float64(i) * interval, Spec: specs[i%len(specs)]}
+	}
+	name := fmt.Sprintf("%s-uniform(%gs)", w.Name, interval)
+	return scenario.NewTrace(name, nil, arrivals)
 }
 
 // RandomMix draws a size-app mix (max two instances per benchmark, at

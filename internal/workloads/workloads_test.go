@@ -187,3 +187,84 @@ func TestRandomMix(t *testing.T) {
 		}
 	}
 }
+
+func TestOpenScenarioBuilder(t *testing.T) {
+	w, err := Get("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := w.OpenScenario(4, 10, 42, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.OpenScenario(4, 10, 42, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Arrivals()) != len(b.Arrivals()) {
+		t.Fatal("same seed, different traces")
+	}
+	names := map[string]bool{}
+	for _, n := range w.Benchmarks {
+		names[n] = true
+	}
+	for i, arr := range a.Arrivals() {
+		// ScaledSpecs copies specs per call, so compare by value.
+		if arr.Time != b.Arrivals()[i].Time || arr.Spec.Name != b.Arrivals()[i].Spec.Name {
+			t.Fatal("same seed, different traces")
+		}
+		if !names[arr.Spec.Name] {
+			t.Errorf("arrival %d draws %q, not in the mix", i, arr.Spec.Name)
+		}
+	}
+	// Scaled specs: every bounded phase shrank.
+	for _, arr := range a.Arrivals() {
+		for _, ph := range arr.Spec.Phases {
+			full := profilePhaseDuration(t, arr.Spec.Name, ph.Name)
+			if full > 0 && ph.DurationInsns >= full {
+				t.Errorf("%s phase %q not scaled: %d", arr.Spec.Name, ph.Name, ph.DurationInsns)
+			}
+		}
+	}
+}
+
+func profilePhaseDuration(t *testing.T, specName, phaseName string) uint64 {
+	t.Helper()
+	s := profiles.MustGet(specName)
+	for _, ph := range s.Phases {
+		if ph.Name == phaseName {
+			return ph.DurationInsns
+		}
+	}
+	t.Fatalf("%s has no phase %q", specName, phaseName)
+	return 0
+}
+
+func TestUniformScenarioBuilder(t *testing.T) {
+	w, err := Get("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn, err := w.UniformScenario(0.5, 6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := scn.Arrivals()
+	if len(arr) != 6 {
+		t.Fatalf("%d arrivals, want 6", len(arr))
+	}
+	for i := range arr {
+		if arr[i].Time != 0.5*float64(i) {
+			t.Errorf("arrival %d at %v, want %v", i, arr[i].Time, 0.5*float64(i))
+		}
+		if arr[i].Spec.Name != profiles.MustGet(w.Benchmarks[i%len(w.Benchmarks)]).Name {
+			t.Errorf("arrival %d draws %q, want mix order", i, arr[i].Spec.Name)
+		}
+	}
+	if _, err := w.UniformScenario(0, 6, 50); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := w.UniformScenario(0.5, 0, 50); err == nil {
+		t.Error("zero count accepted")
+	}
+}

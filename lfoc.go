@@ -44,6 +44,7 @@ import (
 	"github.com/faircache/lfoc/internal/resctrl"
 	"github.com/faircache/lfoc/internal/sharing"
 	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/sim/scenario"
 	"github.com/faircache/lfoc/internal/workloads"
 )
 
@@ -249,6 +250,65 @@ func RunDynamic(cfg SimConfig, specs []*Spec, pol DynamicPolicy) (*SimResult, er
 // RunStatic co-runs a workload under a fixed clustering plan.
 func RunStatic(cfg SimConfig, specs []*Spec, p Plan) (*SimResult, error) {
 	return sim.RunStatic(cfg, specs, p)
+}
+
+// ---------------------------------------------------------------------
+// Scenarios (the kernel/scenario split of the simulator).
+// ---------------------------------------------------------------------
+
+// Scenario shapes one experiment over the scenario-agnostic simulation
+// kernel: which applications exist, when they arrive, and what happens
+// when one retires its instruction quota.
+type Scenario = scenario.Scenario
+
+// ClosedScenario is the paper's §5 closed-batch methodology as a
+// scenario value (RunDynamic is exactly this scenario); its
+// ResetIdentityOnRestart knob makes every restart look like an
+// exit+spawn so policies must re-learn classes.
+type ClosedScenario = scenario.Closed
+
+// OpenScenario is the open-system scenario: applications arrive from a
+// seeded Poisson process or an explicit trace, run their quota once,
+// and depart.
+type OpenScenario = scenario.Open
+
+// ScenarioArrival schedules one application entering an open system.
+type ScenarioArrival = scenario.Arrival
+
+// OpenSimResult carries an open run's per-app outcomes and windowed
+// metric series.
+type OpenSimResult = sim.OpenResult
+
+// WindowedSeries is the time-windowed metric trajectory of a run.
+type WindowedSeries = metrics.WindowedSeries
+
+// NewClosedScenario builds the closed scenario for a workload.
+func NewClosedScenario(specs []*Spec, runsTarget int) *ClosedScenario {
+	return scenario.NewClosed(specs, runsTarget)
+}
+
+// NewPoissonScenario builds an open scenario with seeded Poisson
+// arrivals (rate per simulated second over [0, window) seconds) drawn
+// uniformly from pool.
+func NewPoissonScenario(name string, pool []*Spec, rate, window float64, seed int64) (*OpenScenario, error) {
+	return scenario.NewPoisson(name, pool, rate, window, seed)
+}
+
+// NewTraceScenario builds an open scenario from an explicit arrival
+// trace.
+func NewTraceScenario(name string, initial []*Spec, arrivals []ScenarioArrival) (*OpenScenario, error) {
+	return scenario.NewTrace(name, initial, arrivals)
+}
+
+// RunClosed runs a closed scenario under a dynamic policy.
+func RunClosed(cfg SimConfig, scn *ClosedScenario, pol DynamicPolicy) (*SimResult, error) {
+	return sim.RunClosed(cfg, scn, pol)
+}
+
+// RunOpen runs an open scenario under a dynamic policy; same
+// (scenario, seed, config) inputs reproduce identical results.
+func RunOpen(cfg SimConfig, scn *OpenScenario, pol DynamicPolicy) (*OpenSimResult, error) {
+	return sim.RunOpen(cfg, scn, pol)
 }
 
 // ---------------------------------------------------------------------
