@@ -1,6 +1,8 @@
 // Command lfoc-sim co-runs one workload under one policy and reports the
 // paper's metrics (per-app slowdowns, unfairness, STP), in the closed
-// §5 methodology or as an open system under arrival/departure churn.
+// §5 methodology, as an open system under arrival/departure churn, or —
+// with -machines — across a multi-machine cluster behind one arrival
+// stream.
 //
 // Usage:
 //
@@ -10,6 +12,8 @@
 //	lfoc-sim -workload S3 -arrivals poisson:2 -duration 10 -seed 7
 //	lfoc-sim -workload S3 -arrivals uniform:0.5 -duration 10 -json out.json
 //	lfoc-sim -workload S3 -sweep 0.5,1,2 -duration 10 -seed 7
+//	lfoc-sim -workload S3 -arrivals poisson:4 -machines 4 -placement fair -seed 7
+//	lfoc-sim -workload S3 -sweep 2,4 -machines 4 -duration 10
 //
 // Policies: stock (no partitioning), dunn, lfoc (all dynamic).
 //
@@ -22,6 +26,17 @@
 // identical traces across a list of rates. -seed makes every open run
 // reproducible; -json writes the machine-readable result (mirroring
 // lfoc-bench -json).
+//
+// -machines N spreads the arrival stream across a fleet of N identical
+// machines, each running its own instance of -policy; -placement picks
+// the routing policy (rr = round-robin, least = least-loaded, fair =
+// contention-aware via the sharing model). Cluster JSON output includes
+// the per-machine results and windowed series. -machines with -sweep
+// runs the placement × partitioning grid at each rate; an explicit
+// -placement or -policy narrows the corresponding grid axis.
+//
+// All usage and runtime errors exit non-zero, so CI steps built on this
+// command cannot silently pass.
 package main
 
 import (
@@ -33,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/faircache/lfoc/internal/cluster"
 	"github.com/faircache/lfoc/internal/harness"
 	"github.com/faircache/lfoc/internal/profiles"
 	"github.com/faircache/lfoc/internal/sim"
@@ -64,25 +80,63 @@ type openJSON struct {
 	*sim.OpenResult
 }
 
+// clusterJSON is the -json schema of a cluster run: the cluster result
+// (fleet aggregates, assignments, per-machine outcomes and series) plus
+// the run parameters.
+type clusterJSON struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+	Scale    uint64 `json:"scale"`
+	Seed     int64  `json:"seed"`
+	*cluster.Result
+}
+
 // sweepJSON is the -json schema of a -sweep comparison.
 type sweepJSON struct {
 	Scale uint64 `json:"scale"`
 	harness.ChurnData
 }
 
+// clusterSweepJSON is the -json schema of a cluster -sweep grid (one
+// entry per rate).
+type clusterSweepJSON struct {
+	Scale uint64                     `json:"scale"`
+	Grids []harness.ClusterSweepData `json:"grids"`
+}
+
 func main() {
 	var (
-		workload = flag.String("workload", "", "workload name (S1..S21, P1..P15)")
-		apps     = flag.String("apps", "", "comma-separated benchmark list (alternative to -workload)")
-		polName  = flag.String("policy", "lfoc", "policy: stock | dunn | lfoc")
-		scale    = flag.Uint64("scale", 50, "time-scale divisor (1 = paper scale)")
-		arrivals = flag.String("arrivals", "", "open-system arrival process: poisson:<rate> | uniform:<interval>")
-		duration = flag.Float64("duration", 10, "open-system arrival window in simulated seconds")
-		seed     = flag.Int64("seed", 1, "seed for the open-system arrival trace")
-		sweep    = flag.String("sweep", "", "comma-separated Poisson rates: compare stock/dunn/lfoc across the load sweep")
-		jsonOut  = flag.String("json", "", "write the machine-readable result to this file")
+		workload  = flag.String("workload", "", "workload name (S1..S21, P1..P15)")
+		apps      = flag.String("apps", "", "comma-separated benchmark list (alternative to -workload)")
+		polName   = flag.String("policy", "lfoc", "policy: stock | dunn | lfoc")
+		scale     = flag.Uint64("scale", 50, "time-scale divisor (1 = paper scale)")
+		arrivals  = flag.String("arrivals", "", "open-system arrival process: poisson:<rate> | uniform:<interval>")
+		duration  = flag.Float64("duration", 10, "open-system arrival window in simulated seconds")
+		seed      = flag.Int64("seed", 1, "seed for the open-system arrival trace")
+		sweep     = flag.String("sweep", "", "comma-separated Poisson rates: compare stock/dunn/lfoc across the load sweep")
+		machines  = flag.Int("machines", 1, "cluster size: spread arrivals across this many machines")
+		placement = flag.String("placement", "", "cluster placement policy: rr | least | fair (implies cluster mode)")
+		jsonOut   = flag.String("json", "", "write the machine-readable result to this file")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if flag.NArg() > 0 {
+		fail(fmt.Errorf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
+	}
+	if *machines < 1 {
+		fail(fmt.Errorf("-machines must be at least 1, got %d", *machines))
+	}
+	if *sweep != "" && *arrivals != "" {
+		fail(fmt.Errorf("-sweep and -arrivals are mutually exclusive (a sweep generates its own traces)"))
+	}
+	clustered := *machines > 1 || *placement != ""
+	if *placement == "" {
+		*placement = "rr"
+	}
+	if clustered && *sweep == "" && *arrivals == "" {
+		fail(fmt.Errorf("cluster mode needs an open system: set -arrivals or -sweep"))
+	}
 
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
@@ -104,15 +158,13 @@ func main() {
 		}
 		w = workloads.Workload{Name: *apps, Benchmarks: names}
 	default:
-		fmt.Fprintln(os.Stderr, "lfoc-sim: need -workload or -apps")
-		flag.Usage()
-		os.Exit(2)
+		fail(fmt.Errorf("need -workload or -apps"))
 	}
 
 	switch {
 	case *sweep != "":
 		if *workload == "" {
-			exitOn(fmt.Errorf("-sweep needs -workload"))
+			fail(fmt.Errorf("-sweep needs -workload"))
 		}
 		var rates []float64
 		for _, s := range strings.Split(*sweep, ",") {
@@ -120,10 +172,33 @@ func main() {
 			exitOn(err)
 			rates = append(rates, r)
 		}
-		d, err := harness.Churn(cfg, w.Name, rates, *duration, *seed)
-		exitOn(err)
-		fmt.Println(d.Render())
-		writeJSON(*jsonOut, sweepJSON{Scale: cfg.Scale, ChurnData: d})
+		if clustered {
+			// The grid defaults to every placement × every policy; an
+			// explicit -placement or -policy narrows its axis (and an
+			// invalid name fails the run rather than being ignored).
+			var placements, policies []string
+			if explicit["placement"] {
+				placements = []string{*placement}
+			}
+			if explicit["policy"] {
+				policies = []string{*polName}
+			}
+			out := clusterSweepJSON{Scale: cfg.Scale}
+			for _, rate := range rates {
+				d, err := harness.ClusterSweep(cfg, w.Name, *machines, placements, policies, rate, *duration, *seed)
+				exitOn(err)
+				fmt.Println(d.Render())
+				out.Grids = append(out.Grids, d)
+			}
+			writeJSON(*jsonOut, out)
+		} else {
+			d, err := harness.Churn(cfg, w.Name, rates, *duration, *seed)
+			exitOn(err)
+			fmt.Println(d.Render())
+			writeJSON(*jsonOut, sweepJSON{Scale: cfg.Scale, ChurnData: d})
+		}
+	case clustered:
+		runCluster(cfg, w, *polName, *placement, *machines, *arrivals, *duration, *seed, *jsonOut)
 	case *arrivals != "":
 		runOpen(cfg, w, *polName, *arrivals, *duration, *seed, *jsonOut)
 	default:
@@ -175,10 +250,12 @@ func runClosed(cfg harness.Config, w workloads.Workload, polName, jsonOut string
 	})
 }
 
-func runOpen(cfg harness.Config, w workloads.Workload, polName, arrivals string, duration float64, seed int64, jsonOut string) {
+// openScenario builds the open-system scenario selected by -arrivals.
+// The returned seed is 0 for unseeded (uniform) traces.
+func openScenario(cfg harness.Config, w workloads.Workload, arrivals string, duration float64, seed int64) (*scenario.Open, int64) {
 	kind, arg, ok := strings.Cut(arrivals, ":")
 	if !ok {
-		exitOn(fmt.Errorf("-arrivals %q: want poisson:<rate> or uniform:<interval>", arrivals))
+		fail(fmt.Errorf("-arrivals %q: want poisson:<rate> or uniform:<interval>", arrivals))
 	}
 	val, err := strconv.ParseFloat(arg, 64)
 	exitOn(err)
@@ -199,6 +276,11 @@ func runOpen(cfg harness.Config, w workloads.Workload, polName, arrivals string,
 		err = fmt.Errorf("-arrivals %q: unknown process %q", arrivals, kind)
 	}
 	exitOn(err)
+	return scn, seed
+}
+
+func runOpen(cfg harness.Config, w workloads.Workload, polName, arrivals string, duration float64, seed int64, jsonOut string) {
+	scn, seed := openScenario(cfg, w, arrivals, duration, seed)
 
 	pol, _, err := cfg.NewDynamicPolicy(polName)
 	exitOn(err)
@@ -230,6 +312,37 @@ func runOpen(cfg harness.Config, w workloads.Workload, polName, arrivals string,
 	writeJSON(jsonOut, openJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, OpenResult: res})
 }
 
+func runCluster(cfg harness.Config, w workloads.Workload, polName, placement string, machines int, arrivals string, duration float64, seed int64, jsonOut string) {
+	scn, seed := openScenario(cfg, w, arrivals, duration, seed)
+
+	pl, err := cluster.NewPlacement(placement, cfg.Plat)
+	exitOn(err)
+	res, err := cluster.Run(cluster.Config{Sim: cfg.SimConfig(), Machines: machines, Placement: pl},
+		scn, func(int) (sim.Dynamic, error) {
+			pol, _, err := cfg.NewDynamicPolicy(polName)
+			return pol, err
+		})
+	exitOn(err)
+
+	fmt.Printf("scenario: %s   policy: %s   placement: %s   machines: %d   scale: 1/%d   seed: %d\n\n",
+		res.Scenario, polName, res.Placement, res.Machines, cfg.Scale, seed)
+	fmt.Printf("%-8s %9s %9s %9s %10s %10s %10s %10s\n",
+		"machine", "arrivals", "departed", "remaining", "wait p50", "wait p95", "wait max", "simulated")
+	for _, m := range res.PerMachine {
+		fmt.Printf("%-8d %9d %9d %9d %10.3f %10.3f %10.3f %9.1fs\n",
+			m.Index, m.Arrivals, m.Open.Departed, m.Open.Remaining,
+			m.Wait.P50, m.Wait.P95, m.Wait.Max, m.Open.SimSeconds)
+	}
+	fmt.Printf("\ncluster: departed %d/%d    mean slowdown: %.3f    mean wait: %.3fs    peak active: %d\n",
+		res.Departed, res.Departed+res.Remaining, res.MeanSlowdown, res.MeanWait, res.PeakActive)
+	fmt.Printf("windowed means: unfairness %.3f    STP %.3f    throughput %.3f runs/s\n",
+		res.Series.MeanUnfairness(), res.Series.MeanSTP(), res.Series.TotalThroughput())
+	fmt.Printf("repartitions: %d    simulated: %.1fs    windows: %d × %.3fs\n",
+		res.Repartitions, res.SimSeconds, len(res.Series.Points), res.Series.Width)
+
+	writeJSON(jsonOut, clusterJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, Result: res})
+}
+
 func writeJSON(path string, v any) {
 	if path == "" {
 		return
@@ -238,6 +351,14 @@ func writeJSON(path string, v any) {
 	exitOn(err)
 	exitOn(os.WriteFile(path, append(buf, '\n'), 0o644))
 	fmt.Fprintln(os.Stderr, "lfoc-sim: wrote", path)
+}
+
+// fail reports a usage error and exits non-zero, printing the flag
+// summary for context.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lfoc-sim:", err)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func exitOn(err error) {

@@ -132,6 +132,26 @@ func (s *Spec) Validate() error {
 // Phased reports whether the application has more than one phase.
 func (s *Spec) Phased() bool { return len(s.Phases) > 1 }
 
+// DominantPhase returns the application's longest phase (the first
+// endless one if any) — the single-phase stand-in the static policies
+// and the cluster placement layer use when they must characterize an
+// application before running it.
+func (s *Spec) DominantPhase() *PhaseSpec {
+	best := 0
+	var bestDur uint64
+	for i := range s.Phases {
+		d := s.Phases[i].DurationInsns
+		if d == 0 {
+			return &s.Phases[i]
+		}
+		if d > bestDur {
+			bestDur = d
+			best = i
+		}
+	}
+	return &s.Phases[best]
+}
+
 // Perf is the model output at one operating point.
 type Perf struct {
 	CPI       float64

@@ -1,0 +1,280 @@
+// Package cluster scales the single-socket simulator to a fleet: N
+// independent machine kernels behind one open-system arrival stream,
+// with a pluggable placement policy deciding which machine admits each
+// arrival. Every machine runs its own dynamic partitioning policy
+// (stock/Dunn/LFOC) over its own resctrl-style state, exactly as a
+// single-machine RunOpen would; the cluster layer only routes arrivals
+// and aggregates metrics, so an N=1 cluster is bit-identical to RunOpen
+// and every machine's result equals an independent replay of its split
+// trace (both pinned by tests).
+//
+// Execution interleaves deterministically at arrival granularity: for
+// each trace arrival, every machine is advanced to the arrival instant
+// (machines tick independently between arrivals — an idle machine keeps
+// its policy period and metrics windows running, like real hardware),
+// the placement policy scores the synchronized fleet state, and the
+// arrival is injected into the chosen machine. When the trace is
+// exhausted the machines drain concurrently; they share nothing, so the
+// parallel drain cannot perturb results.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/metrics"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/sim/scenario"
+)
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// Sim is the per-machine simulator configuration (platform, quotas,
+	// policy period). Machines are homogeneous.
+	Sim sim.Config
+	// Machines is the fleet size (≥ 1).
+	Machines int
+	// Placement decides which machine admits each arrival. The instance
+	// must be fresh for this run (policies may keep internal state).
+	Placement Policy
+}
+
+// WaitStats is a machine's admission-queue wait distribution over the
+// applications it admitted.
+type WaitStats struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	Max  float64 `json:"max"`
+}
+
+// MachineResult is one machine's share of a cluster run.
+type MachineResult struct {
+	// Index is the machine's position in the fleet.
+	Index int `json:"machine"`
+	// Arrivals counts applications placed on this machine (including
+	// time-zero initial placements).
+	Arrivals int `json:"arrivals"`
+	// Wait is the admission-queue wait distribution over admitted apps.
+	Wait WaitStats `json:"wait"`
+	// Open is the machine's full open-system result: per-app outcomes
+	// and its windowed metric series.
+	Open *sim.OpenResult `json:"result"`
+}
+
+// Result is what a cluster run reports: cluster-wide aggregates plus
+// the per-machine breakdowns they were merged from.
+type Result struct {
+	Scenario  string `json:"scenario"`
+	Placement string `json:"placement"`
+	Machines  int    `json:"machines"`
+	// Assignments maps each trace arrival (in trace order) to the
+	// machine that received it — the placement decision record, and the
+	// input to workloads.SplitArrivals for replaying machines solo.
+	Assignments []int `json:"assignments"`
+	// PerMachine holds each machine's result, in index order.
+	PerMachine []MachineResult `json:"per_machine"`
+	// Series is the cluster-wide windowed series: per-machine windows
+	// merged index by index (counts and STP sum, unfairness is the
+	// fleet-wide max/min slowdown ratio).
+	Series metrics.WindowedSeries `json:"series"`
+	// Summary, MeanSlowdown and MeanWait aggregate over all departed
+	// applications across the fleet.
+	Summary      metrics.Summary `json:"summary"`
+	MeanSlowdown float64         `json:"mean_slowdown"`
+	MeanWait     float64         `json:"mean_wait"`
+	Departed     int             `json:"departed"`
+	Remaining    int             `json:"remaining"`
+	// PeakActive is the largest end-of-window fleet population;
+	// Repartitions sums policy activations across machines; SimSeconds
+	// is the longest machine's simulated duration.
+	PeakActive   int     `json:"peak_active"`
+	Repartitions int     `json:"repartitions"`
+	SimSeconds   float64 `json:"sim_seconds"`
+}
+
+// Run executes an open scenario over a cluster. newPolicy constructs
+// the per-machine partitioning policy (each machine needs its own
+// instance — policies hold per-app monitoring state). Identical
+// (scenario, config, placement, policy) inputs produce identical
+// results; the determinism tests pin this under the race detector.
+func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynamic, error)) (*Result, error) {
+	if err := cfg.Sim.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Machines < 1 {
+		return nil, fmt.Errorf("cluster: need at least one machine, got %d", cfg.Machines)
+	}
+	if cfg.Placement == nil {
+		return nil, fmt.Errorf("cluster: no placement policy")
+	}
+	if newPolicy == nil {
+		return nil, fmt.Errorf("cluster: no policy factory")
+	}
+	initial := scn.Initial()
+	arrivals := scn.Arrivals()
+	if len(initial) == 0 && len(arrivals) == 0 {
+		return nil, fmt.Errorf("cluster: open scenario %q has no applications", scn.Name())
+	}
+
+	// Time-zero placement: initial applications are placed against the
+	// empty fleet, with the states updated as each one lands so load-
+	// sensitive policies spread them. Not-yet-running apps are
+	// represented by their dominant phase.
+	states := make([]MachineState, cfg.Machines)
+	for i := range states {
+		states[i] = MachineState{Index: i, Cores: cfg.Sim.Plat.Cores}
+	}
+	perMachineInitial := make([][]*appmodel.Spec, cfg.Machines)
+	for _, spec := range initial {
+		idx := cfg.Placement.Place(spec, 0, states)
+		if idx < 0 || idx >= cfg.Machines {
+			return nil, fmt.Errorf("cluster: placement %q chose machine %d of %d", cfg.Placement.Name(), idx, cfg.Machines)
+		}
+		perMachineInitial[idx] = append(perMachineInitial[idx], spec)
+		states[idx].Active++
+		states[idx].Phases = append(states[idx].Phases, spec.DominantPhase())
+	}
+
+	machines := make([]*sim.OpenMachine, cfg.Machines)
+	placed := make([]int, cfg.Machines)
+	for i := range machines {
+		pol, err := newPolicy(i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: machine %d policy: %w", i, err)
+		}
+		m, err := sim.NewOpenMachine(cfg.Sim, pol, scn.Name(), perMachineInitial[i], scn.Horizon())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
+		}
+		machines[i] = m
+		placed[i] = len(perMachineInitial[i])
+	}
+
+	// Main loop: advance the fleet to each arrival instant, place, inject.
+	assignments := make([]int, 0, len(arrivals))
+	for _, arr := range arrivals {
+		for i, m := range machines {
+			if err := m.AdvanceTo(arr.Time); err != nil {
+				return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
+			}
+			states[i].Active = m.Active()
+			states[i].Queued = m.Queued()
+			states[i].Phases = m.ActivePhases(states[i].Phases[:0])
+		}
+		idx := cfg.Placement.Place(arr.Spec, arr.Time, states)
+		if idx < 0 || idx >= cfg.Machines {
+			return nil, fmt.Errorf("cluster: placement %q chose machine %d of %d", cfg.Placement.Name(), idx, cfg.Machines)
+		}
+		if err := machines[idx].Inject(arr); err != nil {
+			return nil, fmt.Errorf("cluster: machine %d: %w", idx, err)
+		}
+		assignments = append(assignments, idx)
+		placed[idx]++
+	}
+
+	// Drain concurrently: machines are fully independent past placement.
+	errs := make([]error, cfg.Machines)
+	var wg sync.WaitGroup
+	for i, m := range machines {
+		wg.Add(1)
+		go func(i int, m *sim.OpenMachine) {
+			defer wg.Done()
+			errs[i] = m.Drain()
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
+		}
+	}
+
+	return buildResult(cfg, scn, machines, placed, assignments), nil
+}
+
+func buildResult(cfg Config, scn *scenario.Open, machines []*sim.OpenMachine, placed, assignments []int) *Result {
+	res := &Result{
+		Scenario:    scn.Name(),
+		Placement:   cfg.Placement.Name(),
+		Machines:    cfg.Machines,
+		Assignments: assignments,
+		PerMachine:  make([]MachineResult, cfg.Machines),
+	}
+	series := make([]*metrics.WindowedSeries, cfg.Machines)
+	var slowdowns []float64
+	var waitSum float64
+	for i, m := range machines {
+		open := m.Result()
+		res.PerMachine[i] = MachineResult{
+			Index:    i,
+			Arrivals: placed[i],
+			Wait:     waitStats(open),
+			Open:     open,
+		}
+		series[i] = &open.Series
+		res.Departed += open.Departed
+		res.Remaining += open.Remaining
+		res.Repartitions += open.Repartitions
+		if open.SimSeconds > res.SimSeconds {
+			res.SimSeconds = open.SimSeconds
+		}
+		for _, a := range open.Apps {
+			if a.DepartedAt >= 0 && a.Slowdown > 0 {
+				slowdowns = append(slowdowns, a.Slowdown)
+				waitSum += a.WaitSeconds
+			}
+		}
+	}
+	res.Series = metrics.MergeSeries(series)
+	res.PeakActive = res.Series.PeakActive()
+	if n := len(slowdowns); n > 0 {
+		unf, stp, mean, _, _ := metrics.SlowdownStats(slowdowns)
+		res.Summary = metrics.Summary{Unfairness: unf, STP: stp}
+		res.MeanSlowdown = mean
+		res.MeanWait = waitSum / float64(n)
+	}
+	return res
+}
+
+// waitStats summarizes the admission-queue waits of a machine's
+// admitted applications (zero value when none were admitted).
+func waitStats(open *sim.OpenResult) WaitStats {
+	var waits []float64
+	for _, a := range open.Apps {
+		if a.AdmittedAt >= 0 {
+			waits = append(waits, a.WaitSeconds)
+		}
+	}
+	if len(waits) == 0 {
+		return WaitStats{}
+	}
+	sort.Float64s(waits)
+	sum := 0.0
+	for _, w := range waits {
+		sum += w
+	}
+	return WaitStats{
+		Mean: sum / float64(len(waits)),
+		P50:  quantile(waits, 0.50),
+		P95:  quantile(waits, 0.95),
+		Max:  waits[len(waits)-1],
+	}
+}
+
+// quantile returns the nearest-rank q-quantile of a sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,231 @@
+package cluster_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/cluster"
+	"github.com/faircache/lfoc/internal/core"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/policy"
+	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/sim/scenario"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+func clusterSimConfig(plat *machine.Platform) sim.Config {
+	return sim.Config{
+		Plat:         plat,
+		TargetInsns:  500_000_000,
+		PolicyPeriod: 100 * time.Millisecond,
+	}
+}
+
+func pool(names ...string) []*appmodel.Spec {
+	out := make([]*appmodel.Spec, len(names))
+	for i, n := range names {
+		out[i] = profiles.MustGet(n)
+	}
+	return out
+}
+
+func stockFactory(plat *machine.Platform) func(int) (sim.Dynamic, error) {
+	return func(int) (sim.Dynamic, error) { return policy.NewStockDynamic(plat.Ways), nil }
+}
+
+func lfocFactory(plat *machine.Platform) func(int) (sim.Dynamic, error) {
+	return func(int) (sim.Dynamic, error) {
+		return core.NewController(core.DefaultParams(plat.Ways), plat.WayBytes)
+	}
+}
+
+// An N=1 cluster must reproduce RunOpen bit-for-bit: same trace, same
+// policy, same config — the cluster layer adds routing, not physics.
+func TestClusterN1GoldenVsRunOpen(t *testing.T) {
+	plat := machine.Skylake()
+	cfg := clusterSimConfig(plat)
+	mkScn := func() *scenario.Open {
+		scn, err := scenario.NewPoisson("golden", pool("xalancbmk06", "lbm06", "povray06", "libquantum06"), 8, 3, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scn
+	}
+
+	ctrl, err := core.NewController(core.DefaultParams(plat.Ways), plat.WayBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.RunOpen(cfg, mkScn(), ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 1, Placement: cluster.NewRoundRobin()},
+		mkScn(), lfocFactory(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.PerMachine[0].Open
+	if !reflect.DeepEqual(got, want) {
+		if got.Series.Fingerprint() != want.Series.Fingerprint() {
+			t.Errorf("series diverge:\n cluster %s\n solo    %s", got.Series.Fingerprint(), want.Series.Fingerprint())
+		}
+		if len(got.Apps) != len(want.Apps) {
+			t.Fatalf("populations diverge: %d vs %d", len(got.Apps), len(want.Apps))
+		}
+		for i := range got.Apps {
+			if got.Apps[i] != want.Apps[i] {
+				t.Errorf("app %d diverges:\n cluster %+v\n solo    %+v", i, got.Apps[i], want.Apps[i])
+			}
+		}
+		t.Errorf("N=1 cluster result not bit-identical to RunOpen:\n cluster %+v\n solo    %+v",
+			*got, *want)
+	}
+	// Cluster-wide aggregates of a single machine collapse to the
+	// machine's own numbers.
+	if res.Departed != want.Departed || res.Remaining != want.Remaining {
+		t.Errorf("aggregate departed/remaining %d/%d, want %d/%d",
+			res.Departed, res.Remaining, want.Departed, want.Remaining)
+	}
+	if res.MeanSlowdown != want.MeanSlowdown {
+		t.Errorf("aggregate mean slowdown %v, want %v", res.MeanSlowdown, want.MeanSlowdown)
+	}
+}
+
+// Machines inside a cluster are independent: replaying each machine's
+// split sub-trace through a solo RunOpen must reproduce that machine's
+// cluster result exactly.
+func TestClusterSplitTraceEquivalence(t *testing.T) {
+	plat := machine.Small(8, 4)
+	cfg := clusterSimConfig(plat)
+	const machines = 3
+	scn, err := scenario.NewPoisson("split", pool("xalancbmk06", "lbm06", "povray06", "namd06"), 10, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Run(cluster.Config{Sim: cfg, Machines: machines, Placement: cluster.NewLeastLoaded()},
+		scn, stockFactory(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	split, err := workloads.SplitArrivals(scn.Arrivals(), res.Assignments, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < machines; m++ {
+		if len(split[m]) == 0 {
+			t.Errorf("machine %d got no arrivals; least-loaded should spread %d arrivals", m, len(scn.Arrivals()))
+			continue
+		}
+		sub, err := scenario.NewTrace(scn.Name(), nil, split[m])
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := sim.RunOpen(cfg, sub, policy.NewStockDynamic(plat.Ways))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.PerMachine[m].Open, solo) {
+			t.Errorf("machine %d: cluster result differs from solo replay of its sub-trace", m)
+		}
+	}
+}
+
+// Identical (scenario, seed, placement, policy) inputs must reproduce
+// the whole cluster result. CI runs this under -race, which also
+// exercises the concurrent drain.
+func TestClusterDeterminism(t *testing.T) {
+	plat := machine.Small(8, 4)
+	cfg := clusterSimConfig(plat)
+	for _, placement := range []string{"rr", "least", "fair"} {
+		run := func() *cluster.Result {
+			scn, err := scenario.NewPoisson("det", pool("xalancbmk06", "lbm06", "povray06", "soplex06"), 10, 2, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := cluster.NewPlacement(placement, plat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 4, Placement: p}, scn, lfocFactory(plat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("placement %q: same inputs, different cluster results", placement)
+		}
+		if got := len(a.Assignments); got != len(a.PerMachine[0].Open.Apps)+len(a.PerMachine[1].Open.Apps)+
+			len(a.PerMachine[2].Open.Apps)+len(a.PerMachine[3].Open.Apps) {
+			t.Errorf("placement %q: %d assignments but machine populations disagree", placement, got)
+		}
+	}
+}
+
+// The fleet-wide series must conserve counts: arrivals, departures and
+// completed runs across machines sum into the merged series.
+func TestClusterSeriesConservation(t *testing.T) {
+	plat := machine.Small(8, 4)
+	cfg := clusterSimConfig(plat)
+	scn, err := scenario.NewPoisson("conserve", pool("xalancbmk06", "lbm06", "povray06"), 12, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 2, Placement: cluster.NewRoundRobin()},
+		scn, stockFactory(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantArr, gotArr, wantRuns, gotRuns int
+	for _, m := range res.PerMachine {
+		for _, p := range m.Open.Series.Points {
+			wantArr += p.Arrivals
+			wantRuns += p.RunsCompleted
+		}
+	}
+	for _, p := range res.Series.Points {
+		gotArr += p.Arrivals
+		gotRuns += p.RunsCompleted
+	}
+	if gotArr != wantArr || gotRuns != wantRuns {
+		t.Errorf("merged series arrivals/runs = %d/%d, machines sum %d/%d", gotArr, gotRuns, wantArr, wantRuns)
+	}
+	if res.Departed+res.Remaining != len(res.Assignments) {
+		t.Errorf("departed %d + remaining %d != %d placed arrivals",
+			res.Departed, res.Remaining, len(res.Assignments))
+	}
+	if res.Summary.Unfairness < 1 {
+		t.Errorf("cluster unfairness %v < 1", res.Summary.Unfairness)
+	}
+}
+
+func TestClusterRejectsBadConfig(t *testing.T) {
+	plat := machine.Small(8, 4)
+	cfg := clusterSimConfig(plat)
+	scn, err := scenario.NewPoisson("bad", pool("povray06"), 5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 0, Placement: cluster.NewRoundRobin()},
+		scn, stockFactory(plat)); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := cluster.Run(cluster.Config{Machines: 2, Placement: cluster.NewRoundRobin()},
+		scn, stockFactory(plat)); err == nil {
+		t.Error("zero-value sim config (nil platform) accepted")
+	}
+	if _, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 2}, scn, stockFactory(plat)); err == nil {
+		t.Error("nil placement accepted")
+	}
+	if _, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 2, Placement: cluster.NewRoundRobin()},
+		scn, nil); err == nil {
+		t.Error("nil policy factory accepted")
+	}
+}

@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/cat"
+	"github.com/faircache/lfoc/internal/core"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/policy"
+	"github.com/faircache/lfoc/internal/sharing"
+)
+
+// MachineState is one machine's placement-visible load at an arrival
+// instant: every machine has been advanced to the arrival time before
+// the policy is consulted, so the view is synchronous across the fleet.
+type MachineState struct {
+	// Index identifies the machine within the cluster.
+	Index int
+	// Cores is the machine's admission capacity (one app per core).
+	Cores int
+	// Active counts applications currently holding a core.
+	Active int
+	// Queued counts arrivals waiting for a core (plus injected arrivals
+	// not yet delivered) — the admission-queue length.
+	Queued int
+	// Phases holds the current phase of every resident application, the
+	// contention-model view of what the machine is running.
+	Phases []*appmodel.PhaseSpec
+}
+
+// Load is the machine's total commitment: resident plus queued.
+func (s MachineState) Load() int { return s.Active + s.Queued }
+
+// Policy decides which machine admits an arriving application. A policy
+// may keep internal state (RoundRobin's cursor, FairnessAware's caches),
+// so one instance must not be shared across concurrent cluster runs;
+// construct a fresh policy per Run.
+type Policy interface {
+	// Name labels the policy in results and reports.
+	Name() string
+	// Place returns the MachineState.Index of the machine that admits
+	// the arrival. machines is non-empty and ordered by Index.
+	Place(spec *appmodel.Spec, t float64, machines []MachineState) int
+}
+
+// RoundRobin cycles through the machines in index order regardless of
+// load — the baseline every placement study needs.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a round-robin placement starting at machine 0.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "rr" }
+
+// Place implements Policy.
+func (r *RoundRobin) Place(_ *appmodel.Spec, _ float64, machines []MachineState) int {
+	idx := r.next % len(machines)
+	r.next = (r.next + 1) % len(machines)
+	return machines[idx].Index
+}
+
+// LeastLoaded admits on the machine with the fewest resident plus
+// queued applications, breaking ties toward the shorter admission queue
+// and then the lower index — deterministic joint-shortest-queue.
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns the least-loaded placement.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Policy.
+func (l *LeastLoaded) Name() string { return "least" }
+
+// Place implements Policy.
+func (l *LeastLoaded) Place(_ *appmodel.Spec, _ float64, machines []MachineState) int {
+	best := 0
+	for i := 1; i < len(machines); i++ {
+		if better(machines[i], machines[best]) {
+			best = i
+		}
+	}
+	return machines[best].Index
+}
+
+// better orders machine states by load, then queue length (index order
+// breaks the final tie because the scan goes low to high).
+func better(a, b MachineState) bool {
+	if a.Load() != b.Load() {
+		return a.Load() < b.Load()
+	}
+	return a.Queued < b.Queued
+}
+
+// FairnessAware is the contention-aware placement: it scores every
+// candidate machine with the sharing model — the predicted unfairness
+// of the machine's residents plus the newcomer, all competing for the
+// full LLC (the pessimistic pre-partitioning view the per-machine LFOC
+// then improves on) — and admits where the prediction is best, with
+// queueing machines penalized by their queue depth.
+//
+// LFOC's light/streaming classification keeps the policy cheap where
+// the model cannot change the answer: an arrival whose dominant phase
+// classifies as light-sharing neither suffers nor inflicts contention
+// (Table 1), so it is placed least-loaded without evaluating the model.
+// Streaming and sensitive arrivals take the model path, which is where
+// classification pays off twice — a sensitive newcomer is steered away
+// from streaming-heavy machines because the model predicts exactly the
+// slowdown those aggressors inflict.
+type FairnessAware struct {
+	plat   *machine.Platform
+	eval   *sharing.Evaluator
+	params core.Params
+
+	classes  map[*appmodel.PhaseSpec]core.Class
+	aloneIPC map[*appmodel.PhaseSpec]float64
+	fullMask cat.WayMask
+
+	scratch []sharing.App
+	res     []sharing.Result
+	sds     []float64
+	ll      LeastLoaded
+}
+
+// NewFairnessAware returns the contention-aware placement for a fleet
+// of machines of the given (identical) platform.
+func NewFairnessAware(plat *machine.Platform) *FairnessAware {
+	return &FairnessAware{
+		plat:     plat,
+		eval:     sharing.NewEvaluator(sharing.NewModel(plat)),
+		params:   core.DefaultParams(plat.Ways),
+		classes:  map[*appmodel.PhaseSpec]core.Class{},
+		aloneIPC: map[*appmodel.PhaseSpec]float64{},
+		fullMask: cat.FullMask(plat.Ways),
+	}
+}
+
+// Name implements Policy.
+func (f *FairnessAware) Name() string { return "fair" }
+
+// classOf classifies a phase through LFOC's Table 1 criteria, cached
+// per phase spec (the offline profile build dominates the cost).
+func (f *FairnessAware) classOf(ph *appmodel.PhaseSpec) core.Class {
+	if c, ok := f.classes[ph]; ok {
+		return c
+	}
+	prof := policy.ProfileFromTable(appmodel.BuildTable(ph, f.plat))
+	c := core.Classify(prof, &f.params)
+	f.classes[ph] = c
+	return c
+}
+
+// alone returns the phase's solo IPC (full LLC, unloaded memory),
+// cached per phase spec.
+func (f *FairnessAware) alone(ph *appmodel.PhaseSpec) float64 {
+	if ipc, ok := f.aloneIPC[ph]; ok {
+		return ipc
+	}
+	ipc := appmodel.PhasePerf(ph, f.plat, f.plat.LLCBytes(), 1).IPC
+	f.aloneIPC[ph] = ipc
+	return ipc
+}
+
+// Place implements Policy.
+func (f *FairnessAware) Place(spec *appmodel.Spec, t float64, machines []MachineState) int {
+	ph := spec.DominantPhase()
+	if f.classOf(ph) == core.ClassLight {
+		return f.ll.Place(spec, t, machines)
+	}
+	best, bestScore := 0, 0.0
+	for i, m := range machines {
+		score := f.score(ph, m)
+		if i == 0 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return machines[best].Index
+}
+
+// score is the predicted unfairness of the machine's residents plus the
+// newcomer under full-LLC sharing, inflated by the queue depth when the
+// machine has no free core (the newcomer would wait, and everyone ahead
+// of it makes the wait longer).
+func (f *FairnessAware) score(ph *appmodel.PhaseSpec, m MachineState) float64 {
+	f.scratch = f.scratch[:0]
+	for i, resident := range m.Phases {
+		f.scratch = append(f.scratch, sharing.App{ID: i, Phase: resident, Mask: f.fullMask})
+	}
+	f.scratch = append(f.scratch, sharing.App{ID: len(m.Phases), Phase: ph, Mask: f.fullMask})
+
+	f.res = f.eval.EvaluateInto(f.res, f.scratch)
+	f.sds = f.sds[:0]
+	for i, a := range f.scratch {
+		f.sds = append(f.sds, f.alone(a.Phase)/f.res[i].Perf.IPC)
+	}
+	lo, hi := f.sds[0], f.sds[0]
+	for _, s := range f.sds[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	unfairness := hi / lo
+	if m.Load() >= m.Cores {
+		unfairness *= float64(2 + m.Queued)
+	}
+	return unfairness
+}
+
+// NewPlacement constructs a placement policy by name: "rr"/"roundrobin",
+// "least"/"leastloaded", or "fair"/"fairness". plat is needed only by
+// the fairness-aware policy (the machines' shared platform model).
+func NewPlacement(name string, plat *machine.Platform) (Policy, error) {
+	switch name {
+	case "rr", "roundrobin":
+		return NewRoundRobin(), nil
+	case "least", "leastloaded":
+		return NewLeastLoaded(), nil
+	case "fair", "fairness":
+		if plat == nil {
+			return nil, fmt.Errorf("cluster: fairness-aware placement needs a platform")
+		}
+		return NewFairnessAware(plat), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement %q (want rr, least or fair)", name)
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/profiles"
+)
+
+func states(loads ...[3]int) []MachineState {
+	out := make([]MachineState, len(loads))
+	for i, l := range loads {
+		out[i] = MachineState{Index: i, Cores: l[0], Active: l[1], Queued: l[2]}
+	}
+	return out
+}
+
+func TestRoundRobinOrder(t *testing.T) {
+	rr := NewRoundRobin()
+	ms := states([3]int{4, 0, 0}, [3]int{4, 0, 0}, [3]int{4, 0, 0})
+	spec := profiles.MustGet("povray06")
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := rr.Place(spec, float64(i), ms); got != w {
+			t.Errorf("arrival %d: placed on %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLeastLoadedTieBreaking(t *testing.T) {
+	ll := NewLeastLoaded()
+	spec := profiles.MustGet("povray06")
+	cases := []struct {
+		name string
+		ms   []MachineState
+		want int
+	}{
+		{"fewest total load wins", states([3]int{4, 3, 0}, [3]int{4, 1, 0}, [3]int{4, 2, 0}), 1},
+		{"queued counts as load", states([3]int{4, 1, 3}, [3]int{4, 2, 0}), 1},
+		{"equal load, shorter queue wins", states([3]int{4, 1, 2}, [3]int{4, 2, 1}, [3]int{4, 3, 0}), 2},
+		{"full tie, lowest index wins", states([3]int{4, 2, 1}, [3]int{4, 2, 1}), 0},
+		{"empty fleet, lowest index wins", states([3]int{4, 0, 0}, [3]int{4, 0, 0}, [3]int{4, 0, 0}), 0},
+	}
+	for _, c := range cases {
+		if got := ll.Place(spec, 0, c.ms); got != c.want {
+			t.Errorf("%s: placed on %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// phasesOf returns the dominant phases of the named catalog benchmarks.
+func phasesOf(names ...string) []*appmodel.PhaseSpec {
+	out := make([]*appmodel.PhaseSpec, len(names))
+	for i, n := range names {
+		out[i] = profiles.MustGet(n).DominantPhase()
+	}
+	return out
+}
+
+// A sensitive arrival must avoid the machine whose residents are
+// streaming aggressors: the sharing model predicts the slowdown they
+// inflict, so the machine hosting light programs scores best.
+func TestFairnessAwarePicksModelBest(t *testing.T) {
+	plat := machine.Skylake()
+	fa := NewFairnessAware(plat)
+	ms := []MachineState{
+		{Index: 0, Cores: 8, Active: 2, Phases: phasesOf("lbm06", "libquantum06")},
+		{Index: 1, Cores: 8, Active: 2, Phases: phasesOf("povray06", "namd06")},
+	}
+	sensitive := profiles.MustGet("xalancbmk06")
+	if got := fa.Place(sensitive, 0, ms); got != 1 {
+		t.Errorf("sensitive arrival placed with the streaming aggressors (machine %d), want the light machine 1", got)
+	}
+	// Swap the machines: the pick must follow the residents, not the index.
+	ms[0].Phases, ms[1].Phases = ms[1].Phases, ms[0].Phases
+	if got := fa.Place(sensitive, 0, ms); got != 0 {
+		t.Errorf("sensitive arrival placed on machine %d after swap, want 0", got)
+	}
+}
+
+// A machine with no free core is penalized by its queue depth: a
+// sensitive arrival prefers an emptier machine even when the full
+// machine's mix looks benign.
+func TestFairnessAwareAvoidsQueues(t *testing.T) {
+	plat := machine.Skylake()
+	fa := NewFairnessAware(plat)
+	light4 := phasesOf("povray06", "namd06", "povray06", "namd06")
+	ms := []MachineState{
+		{Index: 0, Cores: 4, Active: 4, Queued: 2, Phases: light4},
+		{Index: 1, Cores: 4, Active: 2, Phases: phasesOf("lbm06", "soplex06")},
+	}
+	if got := fa.Place(profiles.MustGet("xalancbmk06"), 0, ms); got != 1 {
+		t.Errorf("sensitive arrival queued on a full machine (%d), want the machine with free cores", got)
+	}
+}
+
+// Light arrivals skip the model: they place least-loaded.
+func TestFairnessAwareLightGoesLeastLoaded(t *testing.T) {
+	plat := machine.Skylake()
+	fa := NewFairnessAware(plat)
+	ms := []MachineState{
+		{Index: 0, Cores: 8, Active: 3, Phases: phasesOf("povray06", "namd06", "povray06")},
+		{Index: 1, Cores: 8, Active: 1, Phases: phasesOf("lbm06")},
+	}
+	if got := fa.Place(profiles.MustGet("povray06"), 0, ms); got != 1 {
+		t.Errorf("light arrival placed on machine %d, want least-loaded 1", got)
+	}
+}
+
+func TestNewPlacement(t *testing.T) {
+	plat := machine.Skylake()
+	for name, want := range map[string]string{
+		"rr": "rr", "roundrobin": "rr",
+		"least": "least", "leastloaded": "least",
+		"fair": "fair", "fairness": "fair",
+	} {
+		p, err := NewPlacement(name, plat)
+		if err != nil {
+			t.Fatalf("NewPlacement(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("NewPlacement(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := NewPlacement("nope", plat); err == nil {
+		t.Error("unknown placement accepted")
+	}
+	if _, err := NewPlacement("fair", nil); err == nil {
+		t.Error("fairness placement without a platform accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/faircache/lfoc/internal/cluster"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// ClusterPlacements is the placement order of the cluster sweep.
+var ClusterPlacements = []string{"rr", "least", "fair"}
+
+// ClusterRow is one (placement, partitioning policy) cell of the grid.
+type ClusterRow struct {
+	Placement string `json:"placement"`
+	Policy    string `json:"policy"`
+	// Arrivals counts trace arrivals; MachineArrivals breaks them down
+	// per machine — the load-balance view of the placement decision.
+	Arrivals        int   `json:"arrivals"`
+	MachineArrivals []int `json:"machine_arrivals"`
+	Departed        int   `json:"departed"`
+	Remaining       int   `json:"remaining"`
+	// MeanSlowdown/MeanWait average over departed applications across
+	// the fleet; Unfairness/STP are fleet-wide windowed means;
+	// Throughput is completed runs per simulated second.
+	MeanSlowdown float64 `json:"mean_slowdown"`
+	MeanWait     float64 `json:"mean_wait"`
+	Unfairness   float64 `json:"unfairness"`
+	STP          float64 `json:"stp"`
+	Throughput   float64 `json:"throughput"`
+	PeakActive   int     `json:"peak_active"`
+	SimSeconds   float64 `json:"sim_seconds"`
+}
+
+// ClusterSweepData is the placement × partitioning-policy grid: every
+// cell faces the identical seeded arrival trace over the same fleet.
+type ClusterSweepData struct {
+	Workload string       `json:"workload"`
+	Machines int          `json:"machines"`
+	Rate     float64      `json:"rate"`
+	Window   float64      `json:"window_seconds"`
+	Seed     int64        `json:"seed"`
+	Rows     []ClusterRow `json:"rows"`
+}
+
+// ClusterSweep runs the deployment-scale experiment the cluster layer
+// exists for: applications from the named Fig. 5 mix arrive by one
+// seeded Poisson process and are placed across a homogeneous fleet,
+// comparing every placement policy against every per-machine
+// partitioning policy on the identical trace. Empty placement/policy
+// lists default to ClusterPlacements and ChurnPolicies.
+func ClusterSweep(cfg Config, workloadName string, machines int, placements, policies []string, rate, window float64, seed int64) (ClusterSweepData, error) {
+	cfg = cfg.normalized()
+	if machines < 1 {
+		return ClusterSweepData{}, fmt.Errorf("cluster sweep: need at least one machine, got %d", machines)
+	}
+	if len(placements) == 0 {
+		placements = ClusterPlacements
+	}
+	if len(policies) == 0 {
+		policies = ChurnPolicies
+	}
+	w, err := workloads.Get(workloadName)
+	if err != nil {
+		return ClusterSweepData{}, err
+	}
+
+	type cell struct{ placement, policy string }
+	var cells []cell
+	for _, pl := range placements {
+		for _, po := range policies {
+			cells = append(cells, cell{placement: pl, policy: po})
+		}
+	}
+	rows, err := mapRows(cfg.workers(), cells, func(c cell) (ClusterRow, error) {
+		row, err := clusterCell(cfg, w, machines, c.placement, c.policy, rate, window, seed)
+		if err != nil {
+			return ClusterRow{}, fmt.Errorf("cluster sweep: %s %s/%s: %w", w.Name, c.placement, c.policy, err)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return ClusterSweepData{}, err
+	}
+	return ClusterSweepData{Workload: w.Name, Machines: machines, Rate: rate, Window: window, Seed: seed, Rows: rows}, nil
+}
+
+func clusterCell(cfg Config, w workloads.Workload, machines int, placement, polName string, rate, window float64, seed int64) (ClusterRow, error) {
+	// The same (rate, seed) trace for every cell: the comparison is
+	// between placement/partitioning combinations, never between traces.
+	scn, err := w.OpenScenario(rate, window, seed, cfg.Scale)
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	pl, err := cluster.NewPlacement(placement, cfg.Plat)
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	res, err := cluster.Run(cluster.Config{Sim: cfg.SimConfig(), Machines: machines, Placement: pl},
+		scn, func(int) (sim.Dynamic, error) {
+			pol, _, err := cfg.NewDynamicPolicy(polName)
+			return pol, err
+		})
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	row := ClusterRow{
+		Placement:    pl.Name(),
+		Policy:       polName,
+		Arrivals:     len(res.Assignments),
+		Departed:     res.Departed,
+		Remaining:    res.Remaining,
+		MeanSlowdown: res.MeanSlowdown,
+		MeanWait:     res.MeanWait,
+		Unfairness:   res.Series.MeanUnfairness(),
+		STP:          res.Series.MeanSTP(),
+		Throughput:   res.Series.TotalThroughput(),
+		PeakActive:   res.PeakActive,
+		SimSeconds:   res.SimSeconds,
+	}
+	for _, m := range res.PerMachine {
+		row.MachineArrivals = append(row.MachineArrivals, m.Arrivals)
+	}
+	return row, nil
+}
+
+// Render formats the grid as one table per placement policy.
+func (d ClusterSweepData) Render() string {
+	out := fmt.Sprintf("Cluster sweep: workload %s over %d machines, Poisson %g/s for %gs, seed %d\n",
+		d.Workload, d.Machines, d.Rate, d.Window, d.Seed)
+	header := []string{"policy", "arrivals", "per-machine", "departed", "slowdown", "wait(s)", "unfairness", "STP", "tput(runs/s)", "peak"}
+	placement := ""
+	var rows [][]string
+	flush := func() {
+		if len(rows) > 0 {
+			out += fmt.Sprintf("\nplacement %s:\n%s", placement, renderTable(rows))
+			rows = nil
+		}
+	}
+	for _, r := range d.Rows {
+		if r.Placement != placement {
+			flush()
+			placement = r.Placement
+			rows = [][]string{header}
+		}
+		loads := make([]string, len(r.MachineArrivals))
+		for i, n := range r.MachineArrivals {
+			loads[i] = fmt.Sprint(n)
+		}
+		rows = append(rows, []string{
+			r.Policy,
+			fmt.Sprintf("%d", r.Arrivals),
+			strings.Join(loads, "/"),
+			fmt.Sprintf("%d", r.Departed),
+			f3(r.MeanSlowdown),
+			f3(r.MeanWait),
+			f3(r.Unfairness),
+			f3(r.STP),
+			f3(r.Throughput),
+			fmt.Sprintf("%d", r.PeakActive),
+		})
+	}
+	flush()
+	return out
+}

@@ -146,8 +146,7 @@ func (c Config) newDunn() *policy.DunnDynamic {
 func (c Config) staticWorkload(w workloads.Workload) *policy.Workload {
 	out := &policy.Workload{Plat: c.Plat}
 	for _, name := range w.Benchmarks {
-		spec := specOf(name)
-		ph := dominantPhase(spec)
+		ph := specOf(name).DominantPhase()
 		out.Phases = append(out.Phases, ph)
 		out.Tables = append(out.Tables, appmodel.BuildTable(ph, c.Plat))
 	}
@@ -157,21 +156,4 @@ func (c Config) staticWorkload(w workloads.Workload) *policy.Workload {
 func specOf(name string) *appmodel.Spec {
 	w := workloads.Workload{Benchmarks: []string{name}}
 	return w.Specs()[0]
-}
-
-// dominantPhase returns the longest (or endless) phase of a spec.
-func dominantPhase(spec *appmodel.Spec) *appmodel.PhaseSpec {
-	best := 0
-	var bestDur uint64
-	for i := range spec.Phases {
-		d := spec.Phases[i].DurationInsns
-		if d == 0 {
-			return &spec.Phases[i]
-		}
-		if d > bestDur {
-			bestDur = d
-			best = i
-		}
-	}
-	return &spec.Phases[best]
 }

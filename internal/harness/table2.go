@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/faircache/lfoc/internal/core"
@@ -9,12 +10,19 @@ import (
 	"github.com/faircache/lfoc/internal/workloads"
 )
 
-// Table2Row holds the average execution time of both partitioning
-// algorithms for one workload size.
+// Table2Row holds the average execution time — and, for the CI perf
+// gate, the average heap allocations — of both partitioning algorithms
+// for one workload size.
 type Table2Row struct {
 	Apps    int
 	LFOCms  float64
 	KPartms float64
+	// LFOCAllocs and KPartAllocs are heap allocations per invocation
+	// (runtime.MemStats.Mallocs deltas over the timing loop). Unlike the
+	// millisecond columns they are essentially machine-independent,
+	// which is what makes them a zero-tolerance regression signal.
+	LFOCAllocs  float64
+	KPartAllocs float64
 }
 
 // Table2Data reproduces Table 2: the execution-time comparison of LFOC's
@@ -45,6 +53,8 @@ func Table2(cfg Config, itersPerSize int) (Table2Data, error) {
 			infos[i] = core.AppInfo{ID: i, Class: core.Classify(prof, &params), Profile: prof}
 		}
 
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		for it := 0; it < itersPerSize; it++ {
 			if _, err := core.Partition(infos, &params); err != nil {
@@ -52,8 +62,11 @@ func Table2(cfg Config, itersPerSize int) (Table2Data, error) {
 			}
 		}
 		lfocMs := time.Since(start).Seconds() * 1000 / float64(itersPerSize)
+		runtime.ReadMemStats(&ms1)
+		lfocAllocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(itersPerSize)
 
 		kp := policy.KPart{}
+		runtime.ReadMemStats(&ms0)
 		start = time.Now()
 		for it := 0; it < itersPerSize; it++ {
 			if _, err := kp.Decide(sw); err != nil {
@@ -61,8 +74,14 @@ func Table2(cfg Config, itersPerSize int) (Table2Data, error) {
 			}
 		}
 		kpartMs := time.Since(start).Seconds() * 1000 / float64(itersPerSize)
+		runtime.ReadMemStats(&ms1)
+		kpartAllocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(itersPerSize)
 
-		out.Rows = append(out.Rows, Table2Row{Apps: n, LFOCms: lfocMs, KPartms: kpartMs})
+		out.Rows = append(out.Rows, Table2Row{
+			Apps:   n,
+			LFOCms: lfocMs, KPartms: kpartMs,
+			LFOCAllocs: lfocAllocs, KPartAllocs: kpartAllocs,
+		})
 	}
 	return out, nil
 }

@@ -26,6 +26,15 @@ type WindowPoint struct {
 	Unfairness   float64
 	STP          float64
 	MeanSlowdown float64
+	// Samples counts the slowdowns behind those three aggregates, and
+	// MinSlowdown/MaxSlowdown bound them (0 when Samples is 0). They
+	// exist so a cluster can merge per-machine windows exactly: STP sums,
+	// MeanSlowdown recombines weighted by Samples, and cluster unfairness
+	// is max-of-maxes over min-of-mins — none of which is recoverable
+	// from the per-machine ratios alone.
+	Samples     int
+	MinSlowdown float64
+	MaxSlowdown float64
 }
 
 // WindowedSeries is a sequence of contiguous windows of equal width.
@@ -41,10 +50,20 @@ type WindowedSeries struct {
 // light load). Slowdowns below 1 — tick-quantization artifacts — are
 // clamped, mirroring the closed-methodology reporting.
 func WindowSnapshot(slowdowns []float64) (unfairness, stp, mean float64) {
+	unfairness, stp, mean, _, _ = SlowdownStats(slowdowns)
+	return unfairness, stp, mean
+}
+
+// SlowdownStats is WindowSnapshot plus the extreme slowdowns behind the
+// unfairness ratio (lo and hi are 0 for an empty population). Cluster
+// aggregation needs the extremes: the unfairness of a fleet is the
+// max-of-maxes over the min-of-mins, not any function of the
+// per-machine ratios.
+func SlowdownStats(slowdowns []float64) (unfairness, stp, mean, lo, hi float64) {
 	if len(slowdowns) == 0 {
-		return 1, 0, 0
+		return 1, 0, 0, 0, 0
 	}
-	lo, hi, sum, inv := 0.0, 0.0, 0.0, 0.0
+	sum, inv := 0.0, 0.0
 	for i, s := range slowdowns {
 		if s < 1 {
 			s = 1
@@ -58,7 +77,7 @@ func WindowSnapshot(slowdowns []float64) (unfairness, stp, mean float64) {
 		sum += s
 		inv += 1 / s
 	}
-	return hi / lo, inv, sum / float64(len(slowdowns))
+	return hi / lo, inv, sum / float64(len(slowdowns)), lo, hi
 }
 
 // Add appends a window point.
@@ -126,9 +145,81 @@ func (s *WindowedSeries) PeakActive() int {
 func (s *WindowedSeries) Fingerprint() string {
 	out := fmt.Sprintf("w=%.17g n=%d", s.Width, len(s.Points))
 	for _, p := range s.Points {
-		out += fmt.Sprintf(";[%.17g,%.17g)a=%d+%d-%d r=%d u=%.17g stp=%.17g ms=%.17g",
+		out += fmt.Sprintf(";[%.17g,%.17g)a=%d+%d-%d r=%d u=%.17g stp=%.17g ms=%.17g n=%d lo=%.17g hi=%.17g",
 			p.Start, p.End, p.Active, p.Arrivals, p.Departures, p.RunsCompleted,
-			p.Unfairness, p.STP, p.MeanSlowdown)
+			p.Unfairness, p.STP, p.MeanSlowdown, p.Samples, p.MinSlowdown, p.MaxSlowdown)
+	}
+	return out
+}
+
+// MergeSeries combines per-machine series of equal width into one
+// cluster-wide series, window index by window index. Counts and STP
+// (a sum of speedups, Eq. 4) add; MeanSlowdown recombines weighted by
+// each machine's sample count; cluster unfairness is the max-of-maxes
+// over the min-of-mins (Eq. 3 over the whole fleet). Machines that
+// finished early simply stop contributing; a window's Start/End span
+// the contributing machines' bounds (final partial windows may make the
+// last span ragged).
+func MergeSeries(series []*WindowedSeries) WindowedSeries {
+	out := WindowedSeries{}
+	maxLen := 0
+	for _, s := range series {
+		if s == nil {
+			continue
+		}
+		if out.Width == 0 {
+			out.Width = s.Width
+		}
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		var m WindowPoint
+		first := true
+		sdSum := 0.0
+		for _, s := range series {
+			if s == nil || i >= len(s.Points) {
+				continue
+			}
+			p := s.Points[i]
+			if first {
+				m.Start, m.End = p.Start, p.End
+				first = false
+			} else {
+				if p.Start < m.Start {
+					m.Start = p.Start
+				}
+				if p.End > m.End {
+					m.End = p.End
+				}
+			}
+			m.Active += p.Active
+			m.Arrivals += p.Arrivals
+			m.Departures += p.Departures
+			m.RunsCompleted += p.RunsCompleted
+			m.STP += p.STP
+			sdSum += p.MeanSlowdown * float64(p.Samples)
+			m.Samples += p.Samples
+			if p.Samples > 0 {
+				if m.MinSlowdown == 0 || p.MinSlowdown < m.MinSlowdown {
+					m.MinSlowdown = p.MinSlowdown
+				}
+				if p.MaxSlowdown > m.MaxSlowdown {
+					m.MaxSlowdown = p.MaxSlowdown
+				}
+			}
+		}
+		if w := m.End - m.Start; w > 0 {
+			m.Throughput = float64(m.RunsCompleted) / w
+		}
+		if m.Samples > 0 {
+			m.Unfairness = m.MaxSlowdown / m.MinSlowdown
+			m.MeanSlowdown = sdSum / float64(m.Samples)
+		} else {
+			m.Unfairness = 1
+		}
+		out.Add(m)
 	}
 	return out
 }

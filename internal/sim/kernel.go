@@ -3,6 +3,7 @@ package sim
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"github.com/faircache/lfoc/internal/appmodel"
 	"github.com/faircache/lfoc/internal/cat"
@@ -348,7 +349,8 @@ func (k *kernel) closeWindow(end float64) {
 		}
 		k.sdScratch = append(k.sdScratch, (end-a.admittedAt)/a.aloneT)
 	}
-	p.Unfairness, p.STP, p.MeanSlowdown = metrics.WindowSnapshot(k.sdScratch)
+	p.Unfairness, p.STP, p.MeanSlowdown, p.MinSlowdown, p.MaxSlowdown = metrics.SlowdownStats(k.sdScratch)
+	p.Samples = len(k.sdScratch)
 	k.series.Add(p)
 	k.winStart = end
 	k.winArr, k.winDep, k.winRuns = 0, 0, 0
@@ -372,8 +374,23 @@ func (k *kernel) progress() scenario.Progress {
 // order exactly, so closed runs are bit-identical to the pre-kernel
 // monolithic loop (pinned by the golden test).
 func (k *kernel) run() error {
+	if err := k.runUntil(math.Inf(1)); err != nil {
+		return err
+	}
+	k.finish()
+	return nil
+}
+
+// runUntil advances the simulation until simTime reaches until or the
+// scenario reports done, whichever comes first. It is run's loop with a
+// pause point: pausing after a tick and resuming executes exactly the
+// operation sequence of an uninterrupted run (the extra `simTime <
+// until` test and the repeated Done call are pure), which is what lets
+// a cluster interleave placement decisions between ticks of independent
+// machines without perturbing any single machine's trajectory.
+func (k *kernel) runUntil(until float64) error {
 	maxTime := k.cfg.MaxSimTime.Seconds()
-	for !k.scn.Done(k.progress()) {
+	for k.simTime < until && !k.scn.Done(k.progress()) {
 		if k.simTime > maxTime {
 			return fmt.Errorf("sim: exceeded MaxSimTime (%v) with runs %v", k.cfg.MaxSimTime, k.runCounts)
 		}
@@ -497,8 +514,13 @@ func (k *kernel) run() error {
 			}
 		}
 	}
+	return nil
+}
+
+// finish closes the trailing partial metrics window once the run is
+// over. Split from runUntil so stepped execution closes it exactly once.
+func (k *kernel) finish() {
 	if k.collect && k.simTime > k.winStart {
 		k.closeWindow(k.simTime)
 	}
-	return nil
 }

@@ -71,12 +71,12 @@ func RunOpen(cfg Config, scn *scenario.Open, pol Dynamic) (*OpenResult, error) {
 	if err := k.run(); err != nil {
 		return nil, err
 	}
-	return buildOpenResult(k, scn), nil
+	return buildOpenResult(k, scn.Name()), nil
 }
 
-func buildOpenResult(k *kernel, scn *scenario.Open) *OpenResult {
+func buildOpenResult(k *kernel, name string) *OpenResult {
 	res := &OpenResult{
-		Scenario:     scn.Name(),
+		Scenario:     name,
 		Apps:         make([]AppOutcome, len(k.apps)),
 		Series:       k.series,
 		PeakActive:   k.peak,

@@ -213,6 +213,10 @@ func (o *Open) WithHorizon(seconds float64) *Open {
 	return o
 }
 
+// Horizon returns the cap set by WithHorizon (0 = none) — the cluster
+// layer propagates it to every machine it feeds from the trace.
+func (o *Open) Horizon() float64 { return o.horizon }
+
 // Name implements Scenario.
 func (o *Open) Name() string { return o.name }
 

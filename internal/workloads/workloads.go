@@ -253,6 +253,44 @@ func (w Workload) UniformScenario(interval float64, count int, scale uint64) (*s
 	return scenario.NewTrace(name, nil, arrivals)
 }
 
+// SplitArrivals partitions a trace across machines by an explicit
+// per-arrival assignment (assignment[i] is arrival i's machine). Each
+// sub-trace preserves the original arrival order, so replaying machine
+// m's sub-trace through a single-machine open run reproduces exactly
+// what machine m executed inside a cluster run — the machine-
+// independence property the cluster tests pin.
+func SplitArrivals(arrivals []scenario.Arrival, assignment []int, machines int) ([][]scenario.Arrival, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("workloads: need at least one machine, got %d", machines)
+	}
+	if len(assignment) != len(arrivals) {
+		return nil, fmt.Errorf("workloads: %d assignments for %d arrivals", len(assignment), len(arrivals))
+	}
+	out := make([][]scenario.Arrival, machines)
+	for i, arr := range arrivals {
+		m := assignment[i]
+		if m < 0 || m >= machines {
+			return nil, fmt.Errorf("workloads: arrival %d assigned to machine %d of %d", i, m, machines)
+		}
+		out[m] = append(out[m], arr)
+	}
+	return out, nil
+}
+
+// SplitRoundRobin partitions a trace round-robin across machines — the
+// static counterpart of the cluster's RoundRobin placement, useful for
+// building per-machine scenarios without running a cluster.
+func SplitRoundRobin(arrivals []scenario.Arrival, machines int) ([][]scenario.Arrival, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("workloads: need at least one machine, got %d", machines)
+	}
+	assignment := make([]int, len(arrivals))
+	for i := range assignment {
+		assignment[i] = i % machines
+	}
+	return SplitArrivals(arrivals, assignment, machines)
+}
+
 // RandomMix draws a size-app mix (max two instances per benchmark, at
 // least one streaming and one sensitive app) from the whole catalog —
 // used by the Fig. 2/3 optimal-solution studies.

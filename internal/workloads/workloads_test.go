@@ -268,3 +268,50 @@ func TestUniformScenarioBuilder(t *testing.T) {
 		t.Error("zero count accepted")
 	}
 }
+
+func TestSplitArrivals(t *testing.T) {
+	w, err := Get("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn, err := w.UniformScenario(0.5, 7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := scn.Arrivals()
+
+	split, err := SplitArrivals(arr, []int{0, 1, 2, 0, 1, 2, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split[0]) != 3 || len(split[1]) != 2 || len(split[2]) != 2 {
+		t.Fatalf("split sizes %d/%d/%d, want 3/2/2", len(split[0]), len(split[1]), len(split[2]))
+	}
+	for m, sub := range split {
+		for i := 1; i < len(sub); i++ {
+			if sub[i].Time < sub[i-1].Time {
+				t.Errorf("machine %d: sub-trace out of order", m)
+			}
+		}
+	}
+	// Round-robin is the same split.
+	rr, err := SplitRoundRobin(arr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range rr {
+		if len(rr[m]) != len(split[m]) {
+			t.Errorf("machine %d: round-robin split %d arrivals, want %d", m, len(rr[m]), len(split[m]))
+		}
+	}
+
+	if _, err := SplitArrivals(arr, []int{0}, 3); err == nil {
+		t.Error("assignment length mismatch accepted")
+	}
+	if _, err := SplitArrivals(arr, []int{0, 1, 2, 0, 1, 2, 3}, 3); err == nil {
+		t.Error("out-of-range machine accepted")
+	}
+	if _, err := SplitRoundRobin(arr, 0); err == nil {
+		t.Error("zero machines accepted")
+	}
+}

@@ -33,6 +33,7 @@ package lfoc
 import (
 	"github.com/faircache/lfoc/internal/appmodel"
 	"github.com/faircache/lfoc/internal/cat"
+	"github.com/faircache/lfoc/internal/cluster"
 	"github.com/faircache/lfoc/internal/core"
 	"github.com/faircache/lfoc/internal/harness"
 	"github.com/faircache/lfoc/internal/machine"
@@ -309,6 +310,60 @@ func RunClosed(cfg SimConfig, scn *ClosedScenario, pol DynamicPolicy) (*SimResul
 // (scenario, seed, config) inputs reproduce identical results.
 func RunOpen(cfg SimConfig, scn *OpenScenario, pol DynamicPolicy) (*OpenSimResult, error) {
 	return sim.RunOpen(cfg, scn, pol)
+}
+
+// ---------------------------------------------------------------------
+// Cluster layer (multi-machine placement).
+// ---------------------------------------------------------------------
+
+// ClusterConfig parameterizes a multi-machine cluster run: per-machine
+// simulator configuration, fleet size and placement policy.
+type ClusterConfig = cluster.Config
+
+// ClusterResult carries a cluster run's fleet-wide aggregates, the
+// per-arrival placement record and every machine's open-system result.
+type ClusterResult = cluster.Result
+
+// ClusterMachineResult is one machine's share of a cluster run.
+type ClusterMachineResult = cluster.MachineResult
+
+// PlacementPolicy decides which machine admits an arriving application.
+type PlacementPolicy = cluster.Policy
+
+// PlacementMachineState is one machine's placement-visible load.
+type PlacementMachineState = cluster.MachineState
+
+// NewRoundRobinPlacement cycles arrivals through the machines in order.
+func NewRoundRobinPlacement() PlacementPolicy { return cluster.NewRoundRobin() }
+
+// NewLeastLoadedPlacement admits on the machine with the fewest
+// resident plus queued applications.
+func NewLeastLoadedPlacement() PlacementPolicy { return cluster.NewLeastLoaded() }
+
+// NewFairnessAwarePlacement scores candidate machines with the sharing
+// model plus LFOC's light/streaming classification and admits where
+// predicted unfairness is lowest.
+func NewFairnessAwarePlacement(plat *Platform) PlacementPolicy {
+	return cluster.NewFairnessAware(plat)
+}
+
+// NewPlacement constructs a placement policy by name ("rr", "least" or
+// "fair").
+func NewPlacement(name string, plat *Platform) (PlacementPolicy, error) {
+	return cluster.NewPlacement(name, plat)
+}
+
+// RunCluster executes an open scenario over a fleet of machines, each
+// running its own dynamic partitioning policy built by newPolicy. An
+// N=1 cluster reproduces RunOpen bit-identically.
+func RunCluster(cfg ClusterConfig, scn *OpenScenario, newPolicy func(machine int) (DynamicPolicy, error)) (*ClusterResult, error) {
+	return cluster.Run(cfg, scn, newPolicy)
+}
+
+// SplitArrivals partitions an arrival trace across machines by an
+// explicit per-arrival assignment (such as ClusterResult.Assignments).
+func SplitArrivals(arrivals []ScenarioArrival, assignment []int, machines int) ([][]ScenarioArrival, error) {
+	return workloads.SplitArrivals(arrivals, assignment, machines)
 }
 
 // ---------------------------------------------------------------------
