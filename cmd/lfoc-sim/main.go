@@ -30,10 +30,15 @@
 // -machines N spreads the arrival stream across a fleet of N identical
 // machines, each running its own instance of -policy; -placement picks
 // the routing policy (rr = round-robin, least = least-loaded, fair =
-// contention-aware via the sharing model). Cluster JSON output includes
-// the per-machine results and windowed series. -machines with -sweep
-// runs the placement × partitioning grid at each rate; an explicit
-// -placement or -policy narrows the corresponding grid axis.
+// contention-aware via the sharing model). -machine-mix makes the fleet
+// heterogeneous: a comma-separated list of <count>x<ways>way[<cores>c]
+// groups (e.g. -machine-mix 2x11way,2x7way), each machine running the
+// default platform resized to that way/core count, with its -policy
+// instance built for its own platform. Cluster JSON output includes
+// the per-machine results (with per-machine platform/cores/ways) and
+// windowed series. -machines with -sweep runs the placement ×
+// partitioning grid at each rate; an explicit -placement or -policy
+// narrows the corresponding grid axis.
 //
 // All usage and runtime errors exit non-zero, so CI steps built on this
 // command cannot silently pass.
@@ -88,6 +93,9 @@ type clusterJSON struct {
 	Policy   string `json:"policy"`
 	Scale    uint64 `json:"scale"`
 	Seed     int64  `json:"seed"`
+	// Mix is the -machine-mix fleet specification (empty when the fleet
+	// is homogeneous).
+	Mix string `json:"mix,omitempty"`
 	*cluster.Result
 }
 
@@ -115,6 +123,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for the open-system arrival trace")
 		sweep     = flag.String("sweep", "", "comma-separated Poisson rates: compare stock/dunn/lfoc across the load sweep")
 		machines  = flag.Int("machines", 1, "cluster size: spread arrivals across this many machines")
+		mix       = flag.String("machine-mix", "", "heterogeneous fleet spec: <count>x<ways>way[<cores>c],... e.g. 2x11way,2x7way (implies cluster mode)")
 		placement = flag.String("placement", "", "cluster placement policy: rr | least | fair (implies cluster mode)")
 		jsonOut   = flag.String("json", "", "write the machine-readable result to this file")
 	)
@@ -130,7 +139,7 @@ func main() {
 	if *sweep != "" && *arrivals != "" {
 		fail(fmt.Errorf("-sweep and -arrivals are mutually exclusive (a sweep generates its own traces)"))
 	}
-	clustered := *machines > 1 || *placement != ""
+	clustered := *machines > 1 || *placement != "" || *mix != ""
 	if *placement == "" {
 		*placement = "rr"
 	}
@@ -140,6 +149,14 @@ func main() {
 
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
+
+	// With -machine-mix the fleet size comes from the mix; an explicit
+	// -machines must agree with it (checked by the cluster layer), while
+	// the flag's default of 1 should not be mistaken for a constraint.
+	fleetSize := *machines
+	if *mix != "" && !explicit["machines"] {
+		fleetSize = 0
+	}
 
 	var w workloads.Workload
 	switch {
@@ -185,7 +202,7 @@ func main() {
 			}
 			out := clusterSweepJSON{Scale: cfg.Scale}
 			for _, rate := range rates {
-				d, err := harness.ClusterSweep(cfg, w.Name, *machines, placements, policies, rate, *duration, *seed)
+				d, err := harness.ClusterSweep(cfg, w.Name, fleetSize, *mix, placements, policies, rate, *duration, *seed)
 				exitOn(err)
 				fmt.Println(d.Render())
 				out.Grids = append(out.Grids, d)
@@ -198,7 +215,7 @@ func main() {
 			writeJSON(*jsonOut, sweepJSON{Scale: cfg.Scale, ChurnData: d})
 		}
 	case clustered:
-		runCluster(cfg, w, *polName, *placement, *machines, *arrivals, *duration, *seed, *jsonOut)
+		runCluster(cfg, w, *polName, *placement, fleetSize, *mix, *arrivals, *duration, *seed, *jsonOut)
 	case *arrivals != "":
 		runOpen(cfg, w, *polName, *arrivals, *duration, *seed, *jsonOut)
 	default:
@@ -312,25 +329,38 @@ func runOpen(cfg harness.Config, w workloads.Workload, polName, arrivals string,
 	writeJSON(jsonOut, openJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, OpenResult: res})
 }
 
-func runCluster(cfg harness.Config, w workloads.Workload, polName, placement string, machines int, arrivals string, duration float64, seed int64, jsonOut string) {
+func runCluster(cfg harness.Config, w workloads.Workload, polName, placement string, machines int, mix, arrivals string, duration float64, seed int64, jsonOut string) {
 	scn, seed := openScenario(cfg, w, arrivals, duration, seed)
 
 	pl, err := cluster.NewPlacement(placement, cfg.Plat)
 	exitOn(err)
-	res, err := cluster.Run(cluster.Config{Sim: cfg.SimConfig(), Machines: machines, Placement: pl},
-		scn, func(int) (sim.Dynamic, error) {
-			pol, _, err := cfg.NewDynamicPolicy(polName)
+	ccfg := cluster.Config{Sim: cfg.SimConfig(), Machines: machines, Placement: pl}
+	if mix != "" {
+		ccfg.Fleet, err = cluster.ParseMachineMix(mix, ccfg.Sim)
+		exitOn(err)
+	}
+	sims, err := ccfg.MachineConfigs()
+	exitOn(err)
+	res, err := cluster.Run(ccfg,
+		scn, func(i int) (sim.Dynamic, error) {
+			// Per-machine platform: a heterogeneous fleet needs each
+			// policy instance built for its machine's own way count.
+			pol, _, err := cfg.NewDynamicPolicyFor(polName, sims[i].Plat)
 			return pol, err
 		})
 	exitOn(err)
 
-	fmt.Printf("scenario: %s   policy: %s   placement: %s   machines: %d   scale: 1/%d   seed: %d\n\n",
-		res.Scenario, polName, res.Placement, res.Machines, cfg.Scale, seed)
-	fmt.Printf("%-8s %9s %9s %9s %10s %10s %10s %10s\n",
-		"machine", "arrivals", "departed", "remaining", "wait p50", "wait p95", "wait max", "simulated")
+	fleet := fmt.Sprintf("%d", res.Machines)
+	if mix != "" {
+		fleet = fmt.Sprintf("%d (%s)", res.Machines, cluster.MixNames(sims))
+	}
+	fmt.Printf("scenario: %s   policy: %s   placement: %s   machines: %s   scale: 1/%d   seed: %d\n\n",
+		res.Scenario, polName, res.Placement, fleet, cfg.Scale, seed)
+	fmt.Printf("%-8s %6s %6s %9s %9s %9s %10s %10s %10s %10s\n",
+		"machine", "cores", "ways", "arrivals", "departed", "remaining", "wait p50", "wait p95", "wait max", "simulated")
 	for _, m := range res.PerMachine {
-		fmt.Printf("%-8d %9d %9d %9d %10.3f %10.3f %10.3f %9.1fs\n",
-			m.Index, m.Arrivals, m.Open.Departed, m.Open.Remaining,
+		fmt.Printf("%-8d %6d %6d %9d %9d %9d %10.3f %10.3f %10.3f %9.1fs\n",
+			m.Index, m.Cores, m.Ways, m.Arrivals, m.Open.Departed, m.Open.Remaining,
 			m.Wait.P50, m.Wait.P95, m.Wait.Max, m.Open.SimSeconds)
 	}
 	fmt.Printf("\ncluster: departed %d/%d    mean slowdown: %.3f    mean wait: %.3fs    peak active: %d\n",
@@ -340,7 +370,7 @@ func runCluster(cfg harness.Config, w workloads.Workload, polName, placement str
 	fmt.Printf("repartitions: %d    simulated: %.1fs    windows: %d × %.3fs\n",
 		res.Repartitions, res.SimSeconds, len(res.Series.Points), res.Series.Width)
 
-	writeJSON(jsonOut, clusterJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, Result: res})
+	writeJSON(jsonOut, clusterJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, Mix: mix, Result: res})
 }
 
 func writeJSON(path string, v any) {

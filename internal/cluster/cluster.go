@@ -8,18 +8,30 @@
 // and every machine's result equals an independent replay of its split
 // trace (both pinned by tests).
 //
+// Fleets may be heterogeneous: Config.Fleet gives every machine its own
+// sim.Config (mixed core counts, LLC sizes and way counts; mixed
+// partitioning-policy cadences too, provided every entry sets one
+// common explicit MetricsWindow — fleet windows merge index-by-index,
+// so widths must agree), while the homogeneous Sim+Machines form
+// remains a shorthand for N copies of one configuration — the two
+// forms produce byte-identical results for identical fleets.
+//
 // Execution interleaves deterministically at arrival granularity: for
 // each trace arrival, every machine is advanced to the arrival instant
 // (machines tick independently between arrivals — an idle machine keeps
 // its policy period and metrics windows running, like real hardware),
 // the placement policy scores the synchronized fleet state, and the
-// arrival is injected into the chosen machine. When the trace is
-// exhausted the machines drain concurrently; they share nothing, so the
-// parallel drain cannot perturb results.
+// arrival is injected into the chosen machine. Machines share nothing
+// between placement points, so the advancement fans out over a bounded
+// worker pool (Config.Workers); placement itself stays serial — it is
+// the only synchronization point — and results are bit-identical for
+// every worker count and GOMAXPROCS setting. When the trace is
+// exhausted the machines drain through the same pool.
 package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -31,18 +43,76 @@ import (
 
 // Config parameterizes a cluster run.
 type Config struct {
-	// Sim is the per-machine simulator configuration (platform, quotas,
-	// policy period). Machines are homogeneous.
+	// Sim is the default per-machine simulator configuration (platform,
+	// quotas, policy period): every machine of a homogeneous fleet runs
+	// it. Ignored when Fleet is set.
 	Sim sim.Config
-	// Machines is the fleet size (≥ 1).
+	// Machines is the fleet size (≥ 1). When Fleet is set it may be left
+	// zero (the fleet size is len(Fleet)); a non-zero value must then
+	// match len(Fleet).
 	Machines int
+	// Fleet, when non-empty, configures each machine individually — a
+	// heterogeneous fleet. Machine i runs Fleet[i]; platforms may differ
+	// in core count, way count and LLC size. Entries with different
+	// PolicyPeriods must set one common explicit MetricsWindow (see
+	// MachineConfigs). A fleet of identical entries is equivalent to the
+	// Sim+Machines form.
+	Fleet []sim.Config
 	// Placement decides which machine admits each arrival. The instance
 	// must be fresh for this run (policies may keep internal state).
 	Placement Policy
+	// Workers bounds the fleet-advancement worker pool (0 = GOMAXPROCS,
+	// 1 = serial). Machines are independent between placement points, so
+	// the setting affects wall-clock time only, never results.
+	Workers int
 }
 
-// WaitStats is a machine's admission-queue wait distribution over the
-// applications it admitted.
+// MachineConfigs resolves the per-machine simulator configurations: N
+// validated copies of Sim for a homogeneous fleet, or the validated
+// Fleet entries. The returned slice is freshly allocated and defaults
+// are applied, so callers may use it to build per-machine policies.
+//
+// Every machine must collect metric windows of the same width (the
+// fleet series merges window-by-window): a machine's effective width is
+// MetricsWindow, defaulting to its PolicyPeriod, so a mixed-cadence
+// fleet must set MetricsWindow explicitly on every entry. The mismatch
+// is rejected here, before any machine simulates.
+func (c *Config) MachineConfigs() ([]sim.Config, error) {
+	if len(c.Fleet) > 0 {
+		if c.Machines != 0 && c.Machines != len(c.Fleet) {
+			return nil, fmt.Errorf("cluster: Machines = %d but Fleet configures %d machines", c.Machines, len(c.Fleet))
+		}
+		sims := make([]sim.Config, len(c.Fleet))
+		for i, s := range c.Fleet {
+			if err := s.Validate(); err != nil {
+				return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
+			}
+			sims[i] = s
+			if w, w0 := sims[i].EffectiveMetricsWindow(), sims[0].EffectiveMetricsWindow(); w != w0 {
+				return nil, fmt.Errorf("cluster: machine %d collects %v metric windows but machine 0 collects %v — "+
+					"mixed-cadence fleets must set an explicit common MetricsWindow", i, w, w0)
+			}
+		}
+		return sims, nil
+	}
+	if c.Machines < 1 {
+		return nil, fmt.Errorf("cluster: need at least one machine, got %d", c.Machines)
+	}
+	s := c.Sim
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sims := make([]sim.Config, c.Machines)
+	for i := range sims {
+		sims[i] = s
+	}
+	return sims, nil
+}
+
+// WaitStats is a machine's admission-queue wait distribution over every
+// application it admitted — including applications still resident when
+// the run ended (their wait is known at admission). Contrast with
+// Result.MeanWait, which covers only departed applications.
 type WaitStats struct {
 	Mean float64 `json:"mean"`
 	P50  float64 `json:"p50"`
@@ -54,6 +124,12 @@ type WaitStats struct {
 type MachineResult struct {
 	// Index is the machine's position in the fleet.
 	Index int `json:"machine"`
+	// Platform names the machine's platform model; Cores and Ways are
+	// its capacity — identical across a homogeneous fleet, the
+	// distinguishing columns of a heterogeneous one.
+	Platform string `json:"platform"`
+	Cores    int    `json:"cores"`
+	Ways     int    `json:"ways"`
 	// Arrivals counts applications placed on this machine (including
 	// time-zero initial placements).
 	Arrivals int `json:"arrivals"`
@@ -80,8 +156,13 @@ type Result struct {
 	// merged index by index (counts and STP sum, unfairness is the
 	// fleet-wide max/min slowdown ratio).
 	Series metrics.WindowedSeries `json:"series"`
-	// Summary, MeanSlowdown and MeanWait aggregate over all departed
-	// applications across the fleet.
+	// Summary, MeanSlowdown and MeanWait aggregate over the fleet's
+	// departed applications — exactly the population counted by
+	// Departed, the same denominator sim.OpenResult.MeanWait uses. Apps
+	// still resident or queued when the run ended contribute to the
+	// per-machine WaitStats (which cover every admitted app) but not
+	// here; the two views answer different questions and deliberately
+	// use different denominators.
 	Summary      metrics.Summary `json:"summary"`
 	MeanSlowdown float64         `json:"mean_slowdown"`
 	MeanWait     float64         `json:"mean_wait"`
@@ -97,16 +178,17 @@ type Result struct {
 
 // Run executes an open scenario over a cluster. newPolicy constructs
 // the per-machine partitioning policy (each machine needs its own
-// instance — policies hold per-app monitoring state). Identical
-// (scenario, config, placement, policy) inputs produce identical
-// results; the determinism tests pin this under the race detector.
+// instance — policies hold per-app monitoring state; in a heterogeneous
+// fleet it must also match machine i's platform, see
+// Config.MachineConfigs). Identical (scenario, config, placement,
+// policy) inputs produce identical results regardless of Workers and
+// GOMAXPROCS; the determinism tests pin this under the race detector.
 func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynamic, error)) (*Result, error) {
-	if err := cfg.Sim.Validate(); err != nil {
+	sims, err := cfg.MachineConfigs()
+	if err != nil {
 		return nil, err
 	}
-	if cfg.Machines < 1 {
-		return nil, fmt.Errorf("cluster: need at least one machine, got %d", cfg.Machines)
-	}
+	nMachines := len(sims)
 	if cfg.Placement == nil {
 		return nil, fmt.Errorf("cluster: no placement policy")
 	}
@@ -119,33 +201,23 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 		return nil, fmt.Errorf("cluster: open scenario %q has no applications", scn.Name())
 	}
 
-	// Time-zero placement: initial applications are placed against the
-	// empty fleet, with the states updated as each one lands so load-
-	// sensitive policies spread them. Not-yet-running apps are
-	// represented by their dominant phase.
-	states := make([]MachineState, cfg.Machines)
+	states := make([]MachineState, nMachines)
 	for i := range states {
-		states[i] = MachineState{Index: i, Cores: cfg.Sim.Plat.Cores}
+		states[i] = MachineState{Index: i, Cores: sims[i].Plat.Cores, Plat: sims[i].Plat}
 	}
-	perMachineInitial := make([][]*appmodel.Spec, cfg.Machines)
-	for _, spec := range initial {
-		idx := cfg.Placement.Place(spec, 0, states)
-		if idx < 0 || idx >= cfg.Machines {
-			return nil, fmt.Errorf("cluster: placement %q chose machine %d of %d", cfg.Placement.Name(), idx, cfg.Machines)
-		}
-		perMachineInitial[idx] = append(perMachineInitial[idx], spec)
-		states[idx].Active++
-		states[idx].Phases = append(states[idx].Phases, spec.DominantPhase())
+	perMachineInitial, err := placeInitial(cfg.Placement, initial, states)
+	if err != nil {
+		return nil, err
 	}
 
-	machines := make([]*sim.OpenMachine, cfg.Machines)
-	placed := make([]int, cfg.Machines)
+	machines := make([]*sim.OpenMachine, nMachines)
+	placed := make([]int, nMachines)
 	for i := range machines {
 		pol, err := newPolicy(i)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: machine %d policy: %w", i, err)
 		}
-		m, err := sim.NewOpenMachine(cfg.Sim, pol, scn.Name(), perMachineInitial[i], scn.Horizon())
+		m, err := sim.NewOpenMachine(sims[i], pol, scn.Name(), perMachineInitial[i], scn.Horizon())
 		if err != nil {
 			return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
 		}
@@ -153,20 +225,19 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 		placed[i] = len(perMachineInitial[i])
 	}
 
-	// Main loop: advance the fleet to each arrival instant, place, inject.
+	// Main loop: advance the fleet to each arrival instant (in parallel
+	// — machines share nothing between placement points), place against
+	// the synchronized states, inject serially.
+	pool := newFleetPool(machines, states, cfg.Workers)
+	defer pool.close()
 	assignments := make([]int, 0, len(arrivals))
 	for _, arr := range arrivals {
-		for i, m := range machines {
-			if err := m.AdvanceTo(arr.Time); err != nil {
-				return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
-			}
-			states[i].Active = m.Active()
-			states[i].Queued = m.Queued()
-			states[i].Phases = m.ActivePhases(states[i].Phases[:0])
+		if err := pool.advanceTo(arr.Time); err != nil {
+			return nil, err
 		}
 		idx := cfg.Placement.Place(arr.Spec, arr.Time, states)
-		if idx < 0 || idx >= cfg.Machines {
-			return nil, fmt.Errorf("cluster: placement %q chose machine %d of %d", cfg.Placement.Name(), idx, cfg.Machines)
+		if idx < 0 || idx >= nMachines {
+			return nil, fmt.Errorf("cluster: placement %q chose machine %d of %d", cfg.Placement.Name(), idx, nMachines)
 		}
 		if err := machines[idx].Inject(arr); err != nil {
 			return nil, fmt.Errorf("cluster: machine %d: %w", idx, err)
@@ -175,41 +246,176 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 		placed[idx]++
 	}
 
-	// Drain concurrently: machines are fully independent past placement.
-	errs := make([]error, cfg.Machines)
-	var wg sync.WaitGroup
-	for i, m := range machines {
-		wg.Add(1)
-		go func(i int, m *sim.OpenMachine) {
-			defer wg.Done()
-			errs[i] = m.Drain()
-		}(i, m)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
-		}
+	// Drain through the same pool: machines are fully independent past
+	// placement.
+	if err := pool.drain(); err != nil {
+		return nil, err
 	}
 
-	return buildResult(cfg, scn, machines, placed, assignments), nil
+	return buildResult(cfg, scn, machines, placed, assignments)
 }
 
-func buildResult(cfg Config, scn *scenario.Open, machines []*sim.OpenMachine, placed, assignments []int) *Result {
+// placeInitial routes the time-zero applications: each is placed against
+// the fleet state its predecessors produced, so load-sensitive policies
+// spread them. A machine admits one application per core; initial
+// applications beyond a machine's core count will start queued, so they
+// count toward Queued — not Active — and stay out of the resident phase
+// set. Placement must see the over-subscribed start the kernel will
+// actually produce: LeastLoaded's tie-break and FairnessAware's queue
+// penalty both read Queued.
+func placeInitial(p Policy, initial []*appmodel.Spec, states []MachineState) ([][]*appmodel.Spec, error) {
+	perMachine := make([][]*appmodel.Spec, len(states))
+	for _, spec := range initial {
+		idx := p.Place(spec, 0, states)
+		if idx < 0 || idx >= len(states) {
+			return nil, fmt.Errorf("cluster: placement %q chose machine %d of %d", p.Name(), idx, len(states))
+		}
+		perMachine[idx] = append(perMachine[idx], spec)
+		if states[idx].Active < states[idx].Cores {
+			states[idx].Active++
+			states[idx].Phases = append(states[idx].Phases, spec.DominantPhase())
+		} else {
+			states[idx].Queued++
+		}
+	}
+	return perMachine, nil
+}
+
+// fleetJob is one unit of fleet-pool work: advance machine idx to time t,
+// or drain it.
+type fleetJob struct {
+	idx   int
+	t     float64
+	drain bool
+}
+
+// fleetPool advances a fleet over a persistent bounded worker pool (the
+// harness mapRows pattern, kept alive across arrivals so the per-arrival
+// fan-out does not re-spawn goroutines). Worker i only ever touches
+// machines[j] and states[j] for the jobs it receives, and jobs within a
+// batch have distinct indices, so the fan-out is race-free and cannot
+// perturb any machine's trajectory: results are bit-identical to the
+// serial loop for every worker count.
+type fleetPool struct {
+	machines []*sim.OpenMachine
+	states   []MachineState
+	errs     []error
+	jobs     chan fleetJob
+	batch    sync.WaitGroup // in-flight jobs of the current batch
+	workers  sync.WaitGroup // worker lifetimes, for close()
+}
+
+// newFleetPool sizes the pool: workers caps at the fleet size, 0 means
+// GOMAXPROCS, and ≤ 1 degrades to inline serial execution (no
+// goroutines at all).
+func newFleetPool(machines []*sim.OpenMachine, states []MachineState, workers int) *fleetPool {
+	p := &fleetPool{
+		machines: machines,
+		states:   states,
+		errs:     make([]error, len(machines)),
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(machines) {
+		workers = len(machines)
+	}
+	if workers <= 1 {
+		return p
+	}
+	p.jobs = make(chan fleetJob)
+	for w := 0; w < workers; w++ {
+		p.workers.Add(1)
+		go func() {
+			defer p.workers.Done()
+			for j := range p.jobs {
+				p.run(j)
+				p.batch.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes one job; the error (if any) lands in the job's slot so
+// dispatch can report the lowest-indexed failure deterministically.
+func (p *fleetPool) run(j fleetJob) {
+	m := p.machines[j.idx]
+	if j.drain {
+		p.errs[j.idx] = m.Drain()
+		return
+	}
+	if err := m.AdvanceTo(j.t); err != nil {
+		p.errs[j.idx] = err
+		return
+	}
+	s := &p.states[j.idx]
+	s.Active = m.Active()
+	s.Queued = m.Queued()
+	s.Phases = m.ActivePhases(s.Phases[:0])
+}
+
+// dispatch runs one job per machine (inline when the pool is serial) and
+// returns the lowest-indexed error.
+func (p *fleetPool) dispatch(mk func(i int) fleetJob) error {
+	if p.jobs == nil {
+		for i := range p.machines {
+			p.run(mk(i))
+		}
+	} else {
+		p.batch.Add(len(p.machines))
+		for i := range p.machines {
+			p.jobs <- mk(i)
+		}
+		p.batch.Wait()
+	}
+	for i, err := range p.errs {
+		if err != nil {
+			return fmt.Errorf("cluster: machine %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// advanceTo advances every machine to time t and refreshes its
+// placement-visible state.
+func (p *fleetPool) advanceTo(t float64) error {
+	return p.dispatch(func(i int) fleetJob { return fleetJob{idx: i, t: t} })
+}
+
+// drain marks every machine's arrival stream exhausted and runs it to
+// completion.
+func (p *fleetPool) drain() error {
+	return p.dispatch(func(i int) fleetJob { return fleetJob{idx: i, drain: true} })
+}
+
+// close shuts the workers down. Safe on a serial pool.
+func (p *fleetPool) close() {
+	if p.jobs != nil {
+		close(p.jobs)
+		p.workers.Wait()
+	}
+}
+
+func buildResult(cfg Config, scn *scenario.Open, machines []*sim.OpenMachine, placed, assignments []int) (*Result, error) {
 	res := &Result{
 		Scenario:    scn.Name(),
 		Placement:   cfg.Placement.Name(),
-		Machines:    cfg.Machines,
+		Machines:    len(machines),
 		Assignments: assignments,
-		PerMachine:  make([]MachineResult, cfg.Machines),
+		PerMachine:  make([]MachineResult, len(machines)),
 	}
-	series := make([]*metrics.WindowedSeries, cfg.Machines)
+	series := make([]*metrics.WindowedSeries, len(machines))
 	var slowdowns []float64
 	var waitSum float64
 	for i, m := range machines {
 		open := m.Result()
+		plat := m.Platform()
 		res.PerMachine[i] = MachineResult{
 			Index:    i,
+			Platform: plat.Name,
+			Cores:    plat.Cores,
+			Ways:     plat.Ways,
 			Arrivals: placed[i],
 			Wait:     waitStats(open),
 			Open:     open,
@@ -222,21 +428,29 @@ func buildResult(cfg Config, scn *scenario.Open, machines []*sim.OpenMachine, pl
 			res.SimSeconds = open.SimSeconds
 		}
 		for _, a := range open.Apps {
+			// A departed app always has Slowdown > 0 (clamped ≥ 1 at
+			// departure), so this predicate is exactly the one behind
+			// open.Departed: len(slowdowns) == res.Departed, the one
+			// documented denominator for MeanSlowdown and MeanWait.
 			if a.DepartedAt >= 0 && a.Slowdown > 0 {
 				slowdowns = append(slowdowns, a.Slowdown)
 				waitSum += a.WaitSeconds
 			}
 		}
 	}
-	res.Series = metrics.MergeSeries(series)
+	merged, err := metrics.MergeSeries(series)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	res.Series = merged
 	res.PeakActive = res.Series.PeakActive()
-	if n := len(slowdowns); n > 0 {
+	if res.Departed > 0 {
 		unf, stp, mean, _, _ := metrics.SlowdownStats(slowdowns)
 		res.Summary = metrics.Summary{Unfairness: unf, STP: stp}
 		res.MeanSlowdown = mean
-		res.MeanWait = waitSum / float64(n)
+		res.MeanWait = waitSum / float64(res.Departed)
 	}
-	return res
+	return res, nil
 }
 
 // waitStats summarizes the admission-queue waits of a machine's

@@ -2,6 +2,7 @@ package cluster_test
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -93,6 +94,220 @@ func TestClusterN1GoldenVsRunOpen(t *testing.T) {
 	}
 	if res.MeanSlowdown != want.MeanSlowdown {
 		t.Errorf("aggregate mean slowdown %v, want %v", res.MeanSlowdown, want.MeanSlowdown)
+	}
+}
+
+// An over-subscribed time-zero fleet must actually run: initial apps
+// beyond a machine's core count start in its admission queue (like
+// arrivals on a full machine) and are admitted as residents depart, so
+// the whole population eventually completes.
+func TestClusterOverCapacityTimeZeroRuns(t *testing.T) {
+	plat := machine.Small(8, 2)
+	cfg := clusterSimConfig(plat)
+	initial := pool("povray06", "namd06", "povray06", "namd06", "povray06", "namd06", "povray06")
+	scn, err := scenario.NewTrace("overcap", initial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 initial apps over 2 machines × 2 cores: 4 cores' worth start
+	// resident, 3 start queued.
+	res, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 2, Placement: cluster.NewLeastLoaded()},
+		scn, stockFactory(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departed != len(initial) || res.Remaining != 0 {
+		t.Errorf("departed %d remaining %d, want all %d initial apps to complete",
+			res.Departed, res.Remaining, len(initial))
+	}
+	queued := 0
+	for _, m := range res.PerMachine {
+		for _, a := range m.Open.Apps {
+			if a.WaitSeconds > 0 {
+				queued++
+			}
+		}
+	}
+	if queued != 3 {
+		t.Errorf("%d apps report queue wait, want the 3 over-capacity initial apps", queued)
+	}
+}
+
+// Machines with different policy cadences collect metric windows of
+// different widths unless MetricsWindow is set explicitly; the mismatch
+// must be rejected before any machine simulates, and an explicit common
+// window must make the same fleet run.
+func TestClusterMixedCadenceNeedsExplicitWindow(t *testing.T) {
+	plat := machine.Small(8, 4)
+	fast := clusterSimConfig(plat)
+	slow := fast
+	slow.PolicyPeriod = 2 * fast.PolicyPeriod
+	cfg := cluster.Config{Fleet: []sim.Config{fast, slow}}
+	if _, err := cfg.MachineConfigs(); err == nil {
+		t.Fatal("mixed-cadence fleet without explicit MetricsWindow accepted")
+	}
+	fast.MetricsWindow = fast.PolicyPeriod
+	slow.MetricsWindow = fast.PolicyPeriod
+	scn, err := scenario.NewPoisson("cadence", pool("povray06", "lbm06"), 6, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Run(cluster.Config{Fleet: []sim.Config{fast, slow}, Placement: cluster.NewRoundRobin()},
+		scn, stockFactory(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series.Width != fast.MetricsWindow.Seconds() {
+		t.Errorf("merged width %v, want %v", res.Series.Width, fast.MetricsWindow.Seconds())
+	}
+}
+
+// A homogeneous fleet expressed through the per-machine Fleet list must
+// be byte-identical to the Sim+Machines shorthand: the heterogeneous
+// config path adds expressiveness, not physics.
+func TestClusterHomogeneousFleetConfigEquivalence(t *testing.T) {
+	plat := machine.Small(8, 4)
+	cfg := clusterSimConfig(plat)
+	mkScn := func() *scenario.Open {
+		scn, err := scenario.NewPoisson("hom-fleet", pool("xalancbmk06", "lbm06", "povray06"), 10, 3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scn
+	}
+	want, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 3, Placement: cluster.NewLeastLoaded()},
+		mkScn(), lfocFactory(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.Run(cluster.Config{Fleet: []sim.Config{cfg, cfg, cfg}, Placement: cluster.NewLeastLoaded()},
+		mkScn(), lfocFactory(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fleet-config homogeneous run differs from Sim+Machines run:\n fleet %s\n plain %s",
+			got.Series.Fingerprint(), want.Series.Fingerprint())
+	}
+}
+
+// An N=1 cluster built from a heterogeneous-config Fleet entry must
+// reproduce RunOpen on that same config bit-for-bit, exactly like the
+// homogeneous N=1 golden.
+func TestClusterHeterogeneousN1GoldenVsRunOpen(t *testing.T) {
+	plat := machine.Small(7, 4)
+	cfg := clusterSimConfig(plat)
+	mkScn := func() *scenario.Open {
+		scn, err := scenario.NewPoisson("het-golden", pool("xalancbmk06", "lbm06", "povray06"), 8, 3, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scn
+	}
+	want, err := sim.RunOpen(cfg, mkScn(), policy.NewStockDynamic(plat.Ways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Run(cluster.Config{Fleet: []sim.Config{cfg}, Placement: cluster.NewRoundRobin()},
+		mkScn(), stockFactory(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.PerMachine[0].Open, want) {
+		t.Errorf("heterogeneous-config N=1 cluster not bit-identical to RunOpen:\n cluster %s\n solo    %s",
+			res.PerMachine[0].Open.Series.Fingerprint(), want.Series.Fingerprint())
+	}
+	if res.PerMachine[0].Ways != plat.Ways || res.PerMachine[0].Cores != plat.Cores {
+		t.Errorf("machine reports %dw/%dc, want %dw/%dc",
+			res.PerMachine[0].Ways, res.PerMachine[0].Cores, plat.Ways, plat.Cores)
+	}
+}
+
+// Heterogeneous machines stay independent too: each machine of a mixed
+// fleet must equal a solo RunOpen replay of its split sub-trace on its
+// own platform with its own policy.
+func TestClusterHeterogeneousSplitTraceEquivalence(t *testing.T) {
+	base := clusterSimConfig(machine.Small(8, 4))
+	fleet, err := cluster.ParseMachineMix("1x8way4c,1x5way3c", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn, err := scenario.NewPoisson("het-split", pool("xalancbmk06", "lbm06", "povray06", "namd06"), 10, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Run(cluster.Config{Fleet: fleet, Placement: cluster.NewLeastLoaded()},
+		scn, func(i int) (sim.Dynamic, error) {
+			return policy.NewStockDynamic(fleet[i].Plat.Ways), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := workloads.SplitArrivals(scn.Arrivals(), res.Assignments, len(fleet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range fleet {
+		if len(split[m]) == 0 {
+			t.Errorf("machine %d got no arrivals", m)
+			continue
+		}
+		sub, err := scenario.NewTrace(scn.Name(), nil, split[m])
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := sim.RunOpen(fleet[m], sub, policy.NewStockDynamic(fleet[m].Plat.Ways))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.PerMachine[m].Open, solo) {
+			t.Errorf("machine %d (%s): cluster result differs from solo replay on its own platform",
+				m, res.PerMachine[m].Platform)
+		}
+	}
+}
+
+// Parallel fleet advancement must be bit-identical to the serial loop:
+// machines share nothing between placement points, so neither the
+// worker-pool size nor GOMAXPROCS may perturb any result. CI runs this
+// under -race, which also exercises the pool itself.
+func TestClusterParallelAdvanceDeterminism(t *testing.T) {
+	base := clusterSimConfig(machine.Small(8, 4))
+	fleet, err := cluster.ParseMachineMix("2x8way4c,2x5way4c", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *cluster.Result {
+		scn, err := scenario.NewPoisson("par-det", pool("xalancbmk06", "lbm06", "povray06", "soplex06"), 12, 2, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cluster.Run(
+			cluster.Config{Fleet: fleet, Placement: cluster.NewLeastLoaded(), Workers: workers},
+			scn, func(i int) (sim.Dynamic, error) {
+				return policy.NewStockDynamic(fleet[i].Plat.Ways), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d: parallel advancement diverges from serial:\n parallel %s\n serial   %s",
+				workers, got.Series.Fingerprint(), serial.Series.Fingerprint())
+		}
+	}
+	// The acceptance knob is GOMAXPROCS (Workers defaults to it): the
+	// same run must be bit-identical at GOMAXPROCS 1 and 4.
+	prev := runtime.GOMAXPROCS(1)
+	gm1 := run(0)
+	runtime.GOMAXPROCS(4)
+	gm4 := run(0)
+	runtime.GOMAXPROCS(prev)
+	if !reflect.DeepEqual(gm1, gm4) {
+		t.Error("GOMAXPROCS=1 and GOMAXPROCS=4 cluster results differ")
 	}
 }
 

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/faircache/lfoc/internal/sim"
+)
+
+// ParseMachineMix parses a heterogeneous fleet specification into
+// per-machine simulator configurations for Config.Fleet.
+//
+// The grammar is comma-separated groups of <count>x<ways>way with an
+// optional <cores>c suffix: "2x11way,2x7way" is two 11-way machines
+// followed by two 7-way ones; "1x11way20c,3x4way8c" mixes core counts
+// too. Machine order follows the spec left to right (placement indices
+// are positional).
+//
+// Each group derives its machines from base, the fleet-wide default:
+// the platform is cloned with the group's way count (the LLC shrinks or
+// grows with it — WayBytes is inherited) and, when given, core count;
+// everything else — way size, latencies, bandwidth, policy period,
+// instruction quota — is inherited unchanged. Machines within a group
+// share one *machine.Platform value, so placement caches keyed by
+// platform are shared across the group too.
+func ParseMachineMix(spec string, base sim.Config) ([]sim.Config, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: machine mix base config: %w", err)
+	}
+	var fleet []sim.Config
+	for _, group := range strings.Split(spec, ",") {
+		group = strings.TrimSpace(group)
+		count, ways, cores, err := parseMixGroup(group)
+		if err != nil {
+			return nil, err
+		}
+		plat := *base.Plat
+		plat.Ways = ways
+		plat.Name = fmt.Sprintf("%s-%dw", base.Plat.Name, ways)
+		if cores > 0 {
+			plat.Cores = cores
+			plat.Name += fmt.Sprintf("-%dc", cores)
+		}
+		if plat.MinCBMBits > plat.Ways {
+			plat.MinCBMBits = plat.Ways
+		}
+		if err := plat.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: machine mix %q: %w", group, err)
+		}
+		cfg := base
+		cfg.Plat = &plat
+		for i := 0; i < count; i++ {
+			fleet = append(fleet, cfg)
+		}
+	}
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("cluster: machine mix %q configures no machines", spec)
+	}
+	return fleet, nil
+}
+
+// parseMixGroup parses one "<count>x<ways>way[<cores>c]" group.
+func parseMixGroup(group string) (count, ways, cores int, err error) {
+	fail := func() (int, int, int, error) {
+		return 0, 0, 0, fmt.Errorf("cluster: machine mix group %q: want <count>x<ways>way[<cores>c], e.g. 2x11way or 1x7way8c", group)
+	}
+	countStr, rest, ok := strings.Cut(group, "x")
+	if !ok {
+		return fail()
+	}
+	waysStr, coresStr, ok := strings.Cut(rest, "way")
+	if !ok {
+		return fail()
+	}
+	if coresStr != "" {
+		var found bool
+		if coresStr, found = strings.CutSuffix(coresStr, "c"); !found {
+			return fail()
+		}
+		if cores, err = strconv.Atoi(coresStr); err != nil || cores < 1 {
+			return fail()
+		}
+	}
+	if count, err = strconv.Atoi(countStr); err != nil || count < 1 {
+		return fail()
+	}
+	if ways, err = strconv.Atoi(waysStr); err != nil || ways < 1 {
+		return fail()
+	}
+	return count, ways, cores, nil
+}
+
+// MixNames summarizes a fleet's platforms compactly ("skylake-11w x2,
+// skylake-7w x2") for reports and logs: consecutive machines with the
+// same platform collapse into one group.
+func MixNames(sims []sim.Config) string {
+	var parts []string
+	for i := 0; i < len(sims); {
+		j := i
+		for j < len(sims) && sims[j].Plat == sims[i].Plat {
+			j++
+		}
+		parts = append(parts, fmt.Sprintf("%s x%d", sims[i].Plat.Name, j-i))
+		i = j
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/sim"
+)
+
+func mixBase() sim.Config {
+	return sim.Config{
+		Plat:         machine.Skylake(),
+		TargetInsns:  1_000_000_000,
+		PolicyPeriod: 100 * time.Millisecond,
+	}
+}
+
+func TestParseMachineMix(t *testing.T) {
+	base := mixBase()
+	fleet, err := ParseMachineMix("2x11way,2x7way", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 4 {
+		t.Fatalf("fleet size %d, want 4", len(fleet))
+	}
+	wantWays := []int{11, 11, 7, 7}
+	for i, cfg := range fleet {
+		if cfg.Plat.Ways != wantWays[i] {
+			t.Errorf("machine %d: %d ways, want %d", i, cfg.Plat.Ways, wantWays[i])
+		}
+		if cfg.Plat.Cores != base.Plat.Cores {
+			t.Errorf("machine %d: %d cores, want inherited %d", i, cfg.Plat.Cores, base.Plat.Cores)
+		}
+		if cfg.Plat.WayBytes != base.Plat.WayBytes || cfg.TargetInsns != base.TargetInsns {
+			t.Errorf("machine %d: way size / quota not inherited from base", i)
+		}
+	}
+	// The LLC shrinks with the way count — a 7-way machine really has a
+	// smaller cache, not a renamed one.
+	if fleet[2].Plat.LLCBytes() >= fleet[0].Plat.LLCBytes() {
+		t.Errorf("7-way LLC (%d B) not smaller than 11-way (%d B)",
+			fleet[2].Plat.LLCBytes(), fleet[0].Plat.LLCBytes())
+	}
+	// Machines of one group share a single Platform value (placement
+	// caches key on it), and groups get distinct ones.
+	if fleet[0].Plat != fleet[1].Plat || fleet[2].Plat != fleet[3].Plat {
+		t.Error("machines within a group do not share a Platform")
+	}
+	if fleet[1].Plat == fleet[2].Plat {
+		t.Error("distinct groups share a Platform")
+	}
+}
+
+func TestParseMachineMixCores(t *testing.T) {
+	fleet, err := ParseMachineMix(" 1x11way20c, 3x4way8c ", mixBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 4 {
+		t.Fatalf("fleet size %d, want 4", len(fleet))
+	}
+	if fleet[0].Plat.Cores != 20 || fleet[0].Plat.Ways != 11 {
+		t.Errorf("machine 0 = %d cores / %d ways, want 20c/11w", fleet[0].Plat.Cores, fleet[0].Plat.Ways)
+	}
+	if fleet[3].Plat.Cores != 8 || fleet[3].Plat.Ways != 4 {
+		t.Errorf("machine 3 = %d cores / %d ways, want 8c/4w", fleet[3].Plat.Cores, fleet[3].Plat.Ways)
+	}
+}
+
+func TestParseMachineMixRejectsBadSpecs(t *testing.T) {
+	base := mixBase()
+	for _, spec := range []string{
+		"", "nonsense", "x11way", "2x", "2xway", "0x11way", "2x0way",
+		"-1x11way", "2x11way8", "2x11way0c", "2x11ways", "2x11way,",
+	} {
+		if _, err := ParseMachineMix(spec, base); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if _, err := ParseMachineMix("1x11way", sim.Config{}); err == nil {
+		t.Error("invalid base config accepted")
+	}
+}
+
+func TestMixNames(t *testing.T) {
+	fleet, err := ParseMachineMix("2x11way,1x7way", mixBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "xeon-gold-6138-11w x2, xeon-gold-6138-7w x1"
+	if got := MixNames(fleet); got != want {
+		t.Errorf("MixNames = %q, want %q", got, want)
+	}
+}
+
+func TestMachineConfigsFleetValidation(t *testing.T) {
+	base := mixBase()
+	fleet, err := ParseMachineMix("2x11way", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Fleet: fleet, Machines: 3}
+	if _, err := cfg.MachineConfigs(); err == nil {
+		t.Error("Machines/Fleet size mismatch accepted")
+	}
+	cfg.Machines = 0
+	sims, err := cfg.MachineConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) != 2 {
+		t.Errorf("fleet of %d machines, want 2", len(sims))
+	}
+	cfg = Config{Fleet: []sim.Config{{}}}
+	if _, err := cfg.MachineConfigs(); err == nil {
+		t.Error("invalid fleet entry accepted")
+	}
+}

@@ -19,13 +19,21 @@ type MachineState struct {
 	Index int
 	// Cores is the machine's admission capacity (one app per core).
 	Cores int
+	// Plat is the machine's platform model. Heterogeneous fleets differ
+	// per machine (core counts, way counts, LLC sizes); contention-aware
+	// placements must evaluate a candidate on its own platform, not a
+	// fleet-wide one.
+	Plat *machine.Platform
 	// Active counts applications currently holding a core.
 	Active int
 	// Queued counts arrivals waiting for a core (plus injected arrivals
-	// not yet delivered) — the admission-queue length.
+	// not yet delivered) — the admission-queue length. At time zero this
+	// includes initial applications beyond the machine's core count:
+	// they will start queued, not resident.
 	Queued int
 	// Phases holds the current phase of every resident application, the
-	// contention-model view of what the machine is running.
+	// contention-model view of what the machine is running. Queued
+	// applications are not resident and do not appear here.
 	Phases []*appmodel.PhaseSpec
 }
 
@@ -40,7 +48,12 @@ type Policy interface {
 	// Name labels the policy in results and reports.
 	Name() string
 	// Place returns the MachineState.Index of the machine that admits
-	// the arrival. machines is non-empty and ordered by Index.
+	// the arrival — the Index field of the chosen state, NOT the
+	// state's position in the machines slice. cluster.Run passes
+	// machines ordered by Index with Index equal to position, so the
+	// two coincide there, but the contract is the Index field: a policy
+	// that reorders, filters or subsets the slice while scoring must
+	// still return the original Index. machines is non-empty.
 	Place(spec *appmodel.Spec, t float64, machines []MachineState) int
 }
 
@@ -63,9 +76,15 @@ func (r *RoundRobin) Place(_ *appmodel.Spec, _ float64, machines []MachineState)
 	return machines[idx].Index
 }
 
-// LeastLoaded admits on the machine with the fewest resident plus
-// queued applications, breaking ties toward the shorter admission queue
-// and then the lower index — deterministic joint-shortest-queue.
+// LeastLoaded admits on a machine with a free core when one exists,
+// preferring the fewest resident plus queued applications, breaking
+// ties toward the shorter admission queue and then the lower index —
+// deterministic joint-shortest-queue. The free-core rule exists for
+// heterogeneous fleets: a full 4-core machine carries less absolute
+// load than a 20-core machine with idle cores, but queueing behind it
+// is strictly worse. On homogeneous fleets the rule never changes a
+// pick (a machine with a free core always carries less load than a
+// full one), so existing placement goldens are unaffected.
 type LeastLoaded struct{}
 
 // NewLeastLoaded returns the least-loaded placement.
@@ -85,9 +104,13 @@ func (l *LeastLoaded) Place(_ *appmodel.Spec, _ float64, machines []MachineState
 	return machines[best].Index
 }
 
-// better orders machine states by load, then queue length (index order
-// breaks the final tie because the scan goes low to high).
+// better orders machine states: free core first, then by load, then
+// queue length (index order breaks the final tie because the scan goes
+// low to high).
 func better(a, b MachineState) bool {
+	if aFree, bFree := a.Load() < a.Cores, b.Load() < b.Cores; aFree != bFree {
+		return aFree
+	}
 	if a.Load() != b.Load() {
 		return a.Load() < b.Load()
 	}
@@ -99,35 +122,54 @@ func better(a, b MachineState) bool {
 // of the machine's residents plus the newcomer, all competing for the
 // full LLC (the pessimistic pre-partitioning view the per-machine LFOC
 // then improves on) — and admits where the prediction is best, with
-// queueing machines penalized by their queue depth.
+// queueing machines penalized by their queue depth. Every candidate is
+// evaluated on its own platform (MachineState.Plat), so a heterogeneous
+// fleet scores each machine against its actual LLC: the same residents
+// predict more unfairness on a 7-way machine than an 11-way one.
 //
 // LFOC's light/streaming classification keeps the policy cheap where
 // the model cannot change the answer: an arrival whose dominant phase
 // classifies as light-sharing neither suffers nor inflicts contention
 // (Table 1), so it is placed least-loaded without evaluating the model.
+// The triage is checked on every candidate platform — a phase that is
+// light against a big LLC can be an aggressor against a small one, so
+// only an everywhere-light arrival takes the fast path.
 // Streaming and sensitive arrivals take the model path, which is where
 // classification pays off twice — a sensitive newcomer is steered away
 // from streaming-heavy machines because the model predicts exactly the
 // slowdown those aggressors inflict.
 type FairnessAware struct {
-	plat   *machine.Platform
-	eval   *sharing.Evaluator
-	params core.Params
+	// ref is the fallback platform, standing in for machines whose
+	// state carries no platform of its own.
+	ref   *machine.Platform
+	evals map[*machine.Platform]*platformEval
 
+	sds []float64
+	ll  LeastLoaded
+}
+
+// platformEval is FairnessAware's per-platform machinery. The sharing
+// model, the classification thresholds, the class and alone-IPC caches
+// and the full-LLC mask are all platform-specific — a phase classifies
+// differently against a 7-way LLC than an 11-way one, and its alone IPC
+// depends on the LLC size — so a heterogeneous fleet needs one of these
+// per distinct platform. Machines sharing a *machine.Platform share one
+// (ParseMachineMix reuses a single Platform per mix group for exactly
+// this reason).
+type platformEval struct {
+	plat     *machine.Platform
+	eval     *sharing.Evaluator
+	params   core.Params
 	classes  map[*appmodel.PhaseSpec]core.Class
 	aloneIPC map[*appmodel.PhaseSpec]float64
 	fullMask cat.WayMask
 
 	scratch []sharing.App
 	res     []sharing.Result
-	sds     []float64
-	ll      LeastLoaded
 }
 
-// NewFairnessAware returns the contention-aware placement for a fleet
-// of machines of the given (identical) platform.
-func NewFairnessAware(plat *machine.Platform) *FairnessAware {
-	return &FairnessAware{
+func newPlatformEval(plat *machine.Platform) *platformEval {
+	return &platformEval{
 		plat:     plat,
 		eval:     sharing.NewEvaluator(sharing.NewModel(plat)),
 		params:   core.DefaultParams(plat.Ways),
@@ -137,36 +179,72 @@ func NewFairnessAware(plat *machine.Platform) *FairnessAware {
 	}
 }
 
+// NewFairnessAware returns the contention-aware placement. plat is the
+// fallback platform for machines whose MachineState carries none;
+// candidates are classified and scored on their per-state platforms.
+func NewFairnessAware(plat *machine.Platform) *FairnessAware {
+	f := &FairnessAware{ref: plat, evals: map[*machine.Platform]*platformEval{}}
+	f.evals[plat] = newPlatformEval(plat)
+	return f
+}
+
 // Name implements Policy.
 func (f *FairnessAware) Name() string { return "fair" }
 
+// evalFor returns (building on first use) the per-platform machinery
+// for a candidate machine, falling back to the reference platform for
+// states without one.
+func (f *FairnessAware) evalFor(plat *machine.Platform) *platformEval {
+	if plat == nil {
+		plat = f.ref
+	}
+	pe, ok := f.evals[plat]
+	if !ok {
+		pe = newPlatformEval(plat)
+		f.evals[plat] = pe
+	}
+	return pe
+}
+
 // classOf classifies a phase through LFOC's Table 1 criteria, cached
 // per phase spec (the offline profile build dominates the cost).
-func (f *FairnessAware) classOf(ph *appmodel.PhaseSpec) core.Class {
-	if c, ok := f.classes[ph]; ok {
+func (pe *platformEval) classOf(ph *appmodel.PhaseSpec) core.Class {
+	if c, ok := pe.classes[ph]; ok {
 		return c
 	}
-	prof := policy.ProfileFromTable(appmodel.BuildTable(ph, f.plat))
-	c := core.Classify(prof, &f.params)
-	f.classes[ph] = c
+	prof := policy.ProfileFromTable(appmodel.BuildTable(ph, pe.plat))
+	c := core.Classify(prof, &pe.params)
+	pe.classes[ph] = c
 	return c
 }
 
 // alone returns the phase's solo IPC (full LLC, unloaded memory),
 // cached per phase spec.
-func (f *FairnessAware) alone(ph *appmodel.PhaseSpec) float64 {
-	if ipc, ok := f.aloneIPC[ph]; ok {
+func (pe *platformEval) alone(ph *appmodel.PhaseSpec) float64 {
+	if ipc, ok := pe.aloneIPC[ph]; ok {
 		return ipc
 	}
-	ipc := appmodel.PhasePerf(ph, f.plat, f.plat.LLCBytes(), 1).IPC
-	f.aloneIPC[ph] = ipc
+	ipc := appmodel.PhasePerf(ph, pe.plat, pe.plat.LLCBytes(), 1).IPC
+	pe.aloneIPC[ph] = ipc
 	return ipc
 }
 
 // Place implements Policy.
 func (f *FairnessAware) Place(spec *appmodel.Spec, t float64, machines []MachineState) int {
 	ph := spec.DominantPhase()
-	if f.classOf(ph) == core.ClassLight {
+	// The light-sharing fast path must hold on every platform the
+	// arrival could land on: a phase whose working set fits an 11-way
+	// LLC can be a streaming aggressor against a 7-way one, so only an
+	// everywhere-light arrival skips the model. Classes are cached per
+	// (platform, phase); a homogeneous fleet does one lookup.
+	light := true
+	for i := range machines {
+		if f.evalFor(machines[i].Plat).classOf(ph) != core.ClassLight {
+			light = false
+			break
+		}
+	}
+	if light {
 		return f.ll.Place(spec, t, machines)
 	}
 	best, bestScore := 0, 0.0
@@ -180,20 +258,21 @@ func (f *FairnessAware) Place(spec *appmodel.Spec, t float64, machines []Machine
 }
 
 // score is the predicted unfairness of the machine's residents plus the
-// newcomer under full-LLC sharing, inflated by the queue depth when the
-// machine has no free core (the newcomer would wait, and everyone ahead
-// of it makes the wait longer).
+// newcomer under full-LLC sharing on the machine's own platform,
+// inflated by the queue depth when the machine has no free core (the
+// newcomer would wait, and everyone ahead of it makes the wait longer).
 func (f *FairnessAware) score(ph *appmodel.PhaseSpec, m MachineState) float64 {
-	f.scratch = f.scratch[:0]
+	pe := f.evalFor(m.Plat)
+	pe.scratch = pe.scratch[:0]
 	for i, resident := range m.Phases {
-		f.scratch = append(f.scratch, sharing.App{ID: i, Phase: resident, Mask: f.fullMask})
+		pe.scratch = append(pe.scratch, sharing.App{ID: i, Phase: resident, Mask: pe.fullMask})
 	}
-	f.scratch = append(f.scratch, sharing.App{ID: len(m.Phases), Phase: ph, Mask: f.fullMask})
+	pe.scratch = append(pe.scratch, sharing.App{ID: len(m.Phases), Phase: ph, Mask: pe.fullMask})
 
-	f.res = f.eval.EvaluateInto(f.res, f.scratch)
+	pe.res = pe.eval.EvaluateInto(pe.res, pe.scratch)
 	f.sds = f.sds[:0]
-	for i, a := range f.scratch {
-		f.sds = append(f.sds, f.alone(a.Phase)/f.res[i].Perf.IPC)
+	for i, a := range pe.scratch {
+		f.sds = append(f.sds, pe.alone(a.Phase)/pe.res[i].Perf.IPC)
 	}
 	lo, hi := f.sds[0], f.sds[0]
 	for _, s := range f.sds[1:] {
@@ -213,7 +292,8 @@ func (f *FairnessAware) score(ph *appmodel.PhaseSpec, m MachineState) float64 {
 
 // NewPlacement constructs a placement policy by name: "rr"/"roundrobin",
 // "least"/"leastloaded", or "fair"/"fairness". plat is needed only by
-// the fairness-aware policy (the machines' shared platform model).
+// the fairness-aware policy (the fleet's reference platform; candidate
+// machines are scored on their own MachineState.Plat).
 func NewPlacement(name string, plat *machine.Platform) (Policy, error) {
 	switch name {
 	case "rr", "roundrobin":

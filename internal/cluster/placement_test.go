@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/core"
 	"github.com/faircache/lfoc/internal/machine"
 	"github.com/faircache/lfoc/internal/profiles"
 )
@@ -41,12 +42,74 @@ func TestLeastLoadedTieBreaking(t *testing.T) {
 		{"equal load, shorter queue wins", states([3]int{4, 1, 2}, [3]int{4, 2, 1}, [3]int{4, 3, 0}), 2},
 		{"full tie, lowest index wins", states([3]int{4, 2, 1}, [3]int{4, 2, 1}), 0},
 		{"empty fleet, lowest index wins", states([3]int{4, 0, 0}, [3]int{4, 0, 0}, [3]int{4, 0, 0}), 0},
+		// Heterogeneous capacities: an idle core beats a smaller absolute
+		// load on a full machine — queueing behind a full 4-core machine
+		// is strictly worse than running on a busier 20-core one.
+		{"free core beats lower absolute load", states([3]int{4, 4, 0}, [3]int{20, 5, 0}), 1},
+		{"all full, load then ties as before", states([3]int{2, 2, 2}, [3]int{2, 2, 1}), 1},
 	}
 	for _, c := range cases {
 		if got := ll.Place(spec, 0, c.ms); got != c.want {
 			t.Errorf("%s: placed on %d, want %d", c.name, got, c.want)
 		}
 	}
+}
+
+// Time-zero placement beyond a machine's core count must count toward
+// Queued, not Active: the kernel will start those apps queued, and both
+// LeastLoaded's tie-break and FairnessAware's queue penalty read the
+// split. Before the fix, Active grew without bound and Queued stayed 0,
+// so placement scored a fleet state the kernel never produces.
+func TestPlaceInitialOverCapacity(t *testing.T) {
+	spec := profiles.MustGet("povray06")
+	initial := make([]*appmodel.Spec, 7)
+	for i := range initial {
+		initial[i] = spec
+	}
+	states := states([3]int{2, 0, 0}, [3]int{2, 0, 0})
+	per, err := placeInitial(NewLeastLoaded(), initial, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per[0])+len(per[1]) != 7 {
+		t.Fatalf("placed %d+%d initial apps, want 7", len(per[0]), len(per[1]))
+	}
+	for i, s := range states {
+		if s.Active > s.Cores {
+			t.Errorf("machine %d: Active %d exceeds %d cores", i, s.Active, s.Cores)
+		}
+		if s.Active+s.Queued != len(per[i]) {
+			t.Errorf("machine %d: Active %d + Queued %d != %d placed", i, s.Active, s.Queued, len(per[i]))
+		}
+		if len(s.Phases) != s.Active {
+			t.Errorf("machine %d: %d resident phases for %d active apps (queued apps are not resident)",
+				i, len(s.Phases), s.Active)
+		}
+	}
+	// 7 identical apps over 2 machines × 2 cores: least-loaded alternates,
+	// so the fleet ends 4/3 with each machine full and the rest queued.
+	if states[0].Queued+states[1].Queued != 3 {
+		t.Errorf("fleet queued %d+%d, want 3 over-capacity apps queued",
+			states[0].Queued, states[1].Queued)
+	}
+}
+
+// A placement that returns an out-of-range machine at time zero must
+// fail the run, mirroring the main-loop check.
+func TestPlaceInitialRejectsBadIndex(t *testing.T) {
+	bad := placeFunc(func(*appmodel.Spec, float64, []MachineState) int { return 99 })
+	if _, err := placeInitial(bad, []*appmodel.Spec{profiles.MustGet("povray06")},
+		states([3]int{2, 0, 0})); err == nil {
+		t.Error("out-of-range time-zero placement accepted")
+	}
+}
+
+// placeFunc adapts a function to Policy for tests.
+type placeFunc func(*appmodel.Spec, float64, []MachineState) int
+
+func (placeFunc) Name() string { return "test" }
+func (f placeFunc) Place(spec *appmodel.Spec, t float64, ms []MachineState) int {
+	return f(spec, t, ms)
 }
 
 // phasesOf returns the dominant phases of the named catalog benchmarks.
@@ -92,6 +155,61 @@ func TestFairnessAwareAvoidsQueues(t *testing.T) {
 	}
 	if got := fa.Place(profiles.MustGet("xalancbmk06"), 0, ms); got != 1 {
 		t.Errorf("sensitive arrival queued on a full machine (%d), want the machine with free cores", got)
+	}
+}
+
+// In a heterogeneous fleet every candidate is scored on its own
+// platform: with identical residents, the two machines must score
+// differently (a 4-way LLC predicts a different unfairness ratio than
+// an 11-way one) and the pick must follow the platform through a swap —
+// a single fleet-wide evaluator would score both machines the same and
+// always break the tie toward index 0.
+func TestFairnessAwareHeterogeneousPlatforms(t *testing.T) {
+	big := machine.Skylake()
+	small := machine.Small(4, 8)
+	fa := NewFairnessAware(big)
+	residents := phasesOf("lbm06", "soplex06")
+	ms := []MachineState{
+		{Index: 0, Cores: small.Cores, Plat: small, Active: 2, Phases: residents},
+		{Index: 1, Cores: big.Cores, Plat: big, Active: 2, Phases: residents},
+	}
+	sensitive := profiles.MustGet("xalancbmk06")
+	ph := sensitive.DominantPhase()
+	if s0, s1 := fa.score(ph, ms[0]), fa.score(ph, ms[1]); s0 == s1 {
+		t.Fatalf("identical residents score %v on both a 4-way and an 11-way platform", s0)
+	}
+	first := fa.Place(sensitive, 0, ms)
+	// Swap the platforms: everything else is identical, so the pick must
+	// follow the platform to the other machine.
+	ms[0].Plat, ms[1].Plat = ms[1].Plat, ms[0].Plat
+	ms[0].Cores, ms[1].Cores = ms[1].Cores, ms[0].Cores
+	if got := fa.Place(sensitive, 0, ms); got == first {
+		t.Errorf("pick stayed on machine %d after platform swap; scoring ignores MachineState.Plat", got)
+	}
+}
+
+// The light fast path must consult the candidates' platforms, not the
+// constructor's fallback: xalancbmk06 classifies light against a tiny
+// 2-way LLC (so small a cache offers nothing to be sensitive to) but
+// sensitive against the big one the fleet actually runs, so it must
+// take the model path and avoid the streaming-heavy machine — triaging
+// on the fallback alone would send it there least-loaded.
+func TestFairnessAwareTriagePerPlatform(t *testing.T) {
+	big := machine.Skylake()
+	tiny := machine.Small(2, 8)
+	fa := NewFairnessAware(tiny)
+	pe := newPlatformEval(tiny)
+	ph := profiles.MustGet("xalancbmk06").DominantPhase()
+	if got := pe.classOf(ph); got != core.ClassLight {
+		t.Fatalf("premise broken: xalancbmk06 classifies %v on the 2-way platform, want light", got)
+	}
+	ms := []MachineState{
+		{Index: 0, Cores: 8, Plat: big, Active: 2, Phases: phasesOf("lbm06", "libquantum06")},
+		{Index: 1, Cores: 8, Plat: big, Active: 3, Phases: phasesOf("povray06", "namd06", "povray06")},
+	}
+	if got := fa.Place(profiles.MustGet("xalancbmk06"), 0, ms); got != 1 {
+		t.Errorf("arrival placed on machine %d: the fallback-platform light class short-circuited "+
+			"the model and least-loaded sent it to the streaming aggressors; want 1", got)
 	}
 }
 

@@ -37,24 +37,39 @@ type ClusterRow struct {
 // ClusterSweepData is the placement × partitioning-policy grid: every
 // cell faces the identical seeded arrival trace over the same fleet.
 type ClusterSweepData struct {
-	Workload string       `json:"workload"`
-	Machines int          `json:"machines"`
-	Rate     float64      `json:"rate"`
-	Window   float64      `json:"window_seconds"`
-	Seed     int64        `json:"seed"`
-	Rows     []ClusterRow `json:"rows"`
+	Workload string `json:"workload"`
+	Machines int    `json:"machines"`
+	// Mix is the heterogeneous fleet specification (empty for a
+	// homogeneous fleet of Machines default-platform machines).
+	Mix    string       `json:"mix,omitempty"`
+	Rate   float64      `json:"rate"`
+	Window float64      `json:"window_seconds"`
+	Seed   int64        `json:"seed"`
+	Rows   []ClusterRow `json:"rows"`
 }
 
 // ClusterSweep runs the deployment-scale experiment the cluster layer
 // exists for: applications from the named Fig. 5 mix arrive by one
-// seeded Poisson process and are placed across a homogeneous fleet,
-// comparing every placement policy against every per-machine
-// partitioning policy on the identical trace. Empty placement/policy
-// lists default to ClusterPlacements and ChurnPolicies.
-func ClusterSweep(cfg Config, workloadName string, machines int, placements, policies []string, rate, window float64, seed int64) (ClusterSweepData, error) {
+// seeded Poisson process and are placed across a fleet, comparing every
+// placement policy against every per-machine partitioning policy on the
+// identical trace. mix, when non-empty, is a cluster.ParseMachineMix
+// heterogeneous fleet specification (e.g. "2x11way,2x7way") that
+// overrides the homogeneous fleet of machines default-platform
+// machines; machines must then be 0 or match the mix's total. Empty
+// placement/policy lists default to ClusterPlacements and ChurnPolicies.
+func ClusterSweep(cfg Config, workloadName string, machines int, mix string, placements, policies []string, rate, window float64, seed int64) (ClusterSweepData, error) {
 	cfg = cfg.normalized()
-	if machines < 1 {
-		return ClusterSweepData{}, fmt.Errorf("cluster sweep: need at least one machine, got %d", machines)
+	ccfg := cluster.Config{Sim: cfg.SimConfig(), Machines: machines}
+	if mix != "" {
+		fleet, err := cluster.ParseMachineMix(mix, ccfg.Sim)
+		if err != nil {
+			return ClusterSweepData{}, fmt.Errorf("cluster sweep: %w", err)
+		}
+		ccfg.Fleet = fleet
+	}
+	sims, err := ccfg.MachineConfigs()
+	if err != nil {
+		return ClusterSweepData{}, fmt.Errorf("cluster sweep: %w", err)
 	}
 	if len(placements) == 0 {
 		placements = ClusterPlacements
@@ -75,7 +90,7 @@ func ClusterSweep(cfg Config, workloadName string, machines int, placements, pol
 		}
 	}
 	rows, err := mapRows(cfg.workers(), cells, func(c cell) (ClusterRow, error) {
-		row, err := clusterCell(cfg, w, machines, c.placement, c.policy, rate, window, seed)
+		row, err := clusterCell(cfg, w, ccfg, sims, c.placement, c.policy, rate, window, seed)
 		if err != nil {
 			return ClusterRow{}, fmt.Errorf("cluster sweep: %s %s/%s: %w", w.Name, c.placement, c.policy, err)
 		}
@@ -84,10 +99,10 @@ func ClusterSweep(cfg Config, workloadName string, machines int, placements, pol
 	if err != nil {
 		return ClusterSweepData{}, err
 	}
-	return ClusterSweepData{Workload: w.Name, Machines: machines, Rate: rate, Window: window, Seed: seed, Rows: rows}, nil
+	return ClusterSweepData{Workload: w.Name, Machines: len(sims), Mix: mix, Rate: rate, Window: window, Seed: seed, Rows: rows}, nil
 }
 
-func clusterCell(cfg Config, w workloads.Workload, machines int, placement, polName string, rate, window float64, seed int64) (ClusterRow, error) {
+func clusterCell(cfg Config, w workloads.Workload, ccfg cluster.Config, sims []sim.Config, placement, polName string, rate, window float64, seed int64) (ClusterRow, error) {
 	// The same (rate, seed) trace for every cell: the comparison is
 	// between placement/partitioning combinations, never between traces.
 	scn, err := w.OpenScenario(rate, window, seed, cfg.Scale)
@@ -98,9 +113,18 @@ func clusterCell(cfg Config, w workloads.Workload, machines int, placement, polN
 	if err != nil {
 		return ClusterRow{}, err
 	}
-	res, err := cluster.Run(cluster.Config{Sim: cfg.SimConfig(), Machines: machines, Placement: pl},
-		scn, func(int) (sim.Dynamic, error) {
-			pol, _, err := cfg.NewDynamicPolicy(polName)
+	// Cells run concurrently: each needs its own placement instance
+	// (set above) — the shared ccfg template only carries the fleet.
+	// Cells are the unit of parallelism here (as in Fig. 6/7): a second
+	// level of fleet-advancement workers per cell would oversubscribe
+	// multiplicatively, so each cell's fleet advances serially.
+	ccfg.Placement = pl
+	ccfg.Workers = 1
+	res, err := cluster.Run(ccfg,
+		scn, func(i int) (sim.Dynamic, error) {
+			// The per-machine policy must match the machine's platform:
+			// in a heterogeneous fleet way counts differ per machine.
+			pol, _, err := cfg.NewDynamicPolicyFor(polName, sims[i].Plat)
 			return pol, err
 		})
 	if err != nil {
@@ -128,8 +152,12 @@ func clusterCell(cfg Config, w workloads.Workload, machines int, placement, polN
 
 // Render formats the grid as one table per placement policy.
 func (d ClusterSweepData) Render() string {
-	out := fmt.Sprintf("Cluster sweep: workload %s over %d machines, Poisson %g/s for %gs, seed %d\n",
-		d.Workload, d.Machines, d.Rate, d.Window, d.Seed)
+	fleet := fmt.Sprintf("%d machines", d.Machines)
+	if d.Mix != "" {
+		fleet = fmt.Sprintf("%d machines (%s)", d.Machines, d.Mix)
+	}
+	out := fmt.Sprintf("Cluster sweep: workload %s over %s, Poisson %g/s for %gs, seed %d\n",
+		d.Workload, fleet, d.Rate, d.Window, d.Seed)
 	header := []string{"policy", "arrivals", "per-machine", "departed", "slowdown", "wait(s)", "unfairness", "STP", "tput(runs/s)", "peak"}
 	placement := ""
 	var rows [][]string

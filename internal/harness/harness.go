@@ -115,6 +115,18 @@ func (c Config) NewDynamicPolicy(name string) (sim.Dynamic, *core.Controller, er
 	}
 }
 
+// NewDynamicPolicyFor is NewDynamicPolicy against an explicit platform
+// instead of Config.Plat — heterogeneous fleets need the per-machine
+// policy built for the machine's own way count and way size, or its
+// masks and thresholds would target the wrong LLC. A nil plat falls
+// back to Config.Plat.
+func (c Config) NewDynamicPolicyFor(name string, plat *machine.Platform) (sim.Dynamic, *core.Controller, error) {
+	if plat != nil {
+		c.Plat = plat
+	}
+	return c.NewDynamicPolicy(name)
+}
+
 // lfocParams derives scaled LFOC tunables.
 func (c Config) lfocParams() core.Params {
 	p := core.DefaultParams(c.Plat.Ways)

@@ -160,15 +160,26 @@ func (s *WindowedSeries) Fingerprint() string {
 // finished early simply stop contributing; a window's Start/End span
 // the contributing machines' bounds (final partial windows may make the
 // last span ragged).
-func MergeSeries(series []*WindowedSeries) WindowedSeries {
+//
+// Nil or empty series contribute nothing and are skipped (a machine
+// that never collected a window has no width to agree on). Every
+// contributing series must have the same positive Width: windows are
+// matched by index, so merging mismatched widths would silently
+// combine disjoint time spans.
+func MergeSeries(series []*WindowedSeries) (WindowedSeries, error) {
 	out := WindowedSeries{}
 	maxLen := 0
-	for _, s := range series {
-		if s == nil {
+	for i, s := range series {
+		if s == nil || len(s.Points) == 0 {
 			continue
+		}
+		if s.Width <= 0 {
+			return WindowedSeries{}, fmt.Errorf("metrics: merge: series %d has non-positive width %v", i, s.Width)
 		}
 		if out.Width == 0 {
 			out.Width = s.Width
+		} else if s.Width != out.Width {
+			return WindowedSeries{}, fmt.Errorf("metrics: merge: series %d has width %v, want %v", i, s.Width, out.Width)
 		}
 		if len(s.Points) > maxLen {
 			maxLen = len(s.Points)
@@ -221,5 +232,5 @@ func MergeSeries(series []*WindowedSeries) WindowedSeries {
 		}
 		out.Add(m)
 	}
-	return out
+	return out, nil
 }

@@ -48,6 +48,76 @@ func TestWindowedSeriesAggregates(t *testing.T) {
 	}
 }
 
+func TestMergeSeries(t *testing.T) {
+	a := &WindowedSeries{Width: 1, Points: []WindowPoint{
+		{Start: 0, End: 1, Active: 2, RunsCompleted: 2, STP: 1.5, MeanSlowdown: 2, Samples: 2, MinSlowdown: 1, MaxSlowdown: 3},
+		{Start: 1, End: 2, Active: 1, RunsCompleted: 1, STP: 0.5, MeanSlowdown: 2, Samples: 1, MinSlowdown: 2, MaxSlowdown: 2},
+	}}
+	b := &WindowedSeries{Width: 1, Points: []WindowPoint{
+		{Start: 0, End: 1, Active: 1, RunsCompleted: 3, STP: 0.25, MeanSlowdown: 4, Samples: 1, MinSlowdown: 4, MaxSlowdown: 4},
+	}}
+	got, err := MergeSeries([]*WindowedSeries{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 1 || len(got.Points) != 2 {
+		t.Fatalf("merged width/len = %v/%d", got.Width, len(got.Points))
+	}
+	w0 := got.Points[0]
+	if w0.Active != 3 || w0.RunsCompleted != 5 || w0.STP != 1.75 || w0.Samples != 3 {
+		t.Errorf("window 0 counts wrong: %+v", w0)
+	}
+	if w0.Unfairness != 4 || w0.MinSlowdown != 1 || w0.MaxSlowdown != 4 {
+		t.Errorf("window 0 unfairness = %v (min %v max %v), want max-of-maxes/min-of-mins = 4",
+			w0.Unfairness, w0.MinSlowdown, w0.MaxSlowdown)
+	}
+	if want := (2*2.0 + 4*1.0) / 3; w0.MeanSlowdown != want {
+		t.Errorf("window 0 mean slowdown = %v, want sample-weighted %v", w0.MeanSlowdown, want)
+	}
+	// Machine b finished early: window 1 is machine a's alone.
+	if got.Points[1].Samples != 1 || got.Points[1].Unfairness != 1 {
+		t.Errorf("window 1 = %+v, want a's singleton", got.Points[1])
+	}
+}
+
+// Merging series of different widths would pair windows covering
+// disjoint time spans; the documented "equal width" contract is now
+// enforced instead of silently violated.
+func TestMergeSeriesWidthMismatch(t *testing.T) {
+	a := &WindowedSeries{Width: 1, Points: []WindowPoint{{Start: 0, End: 1}}}
+	b := &WindowedSeries{Width: 2, Points: []WindowPoint{{Start: 0, End: 2}}}
+	if _, err := MergeSeries([]*WindowedSeries{a, b}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	// A contributing series must carry a positive width: adopting a zero
+	// width from the first series was the old silent failure mode.
+	z := &WindowedSeries{Width: 0, Points: []WindowPoint{{Start: 0, End: 1}}}
+	if _, err := MergeSeries([]*WindowedSeries{z, a}); err == nil {
+		t.Error("zero-width contributing series accepted")
+	}
+}
+
+// Nil and empty series contribute nothing: they are skipped, not
+// width-checked (a machine that never collected a window has width 0).
+func TestMergeSeriesSkipsEmpty(t *testing.T) {
+	a := &WindowedSeries{Width: 1, Points: []WindowPoint{{Start: 0, End: 1, Active: 1}}}
+	empty := &WindowedSeries{}
+	got, err := MergeSeries([]*WindowedSeries{nil, empty, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 1 || len(got.Points) != 1 || got.Points[0].Active != 1 {
+		t.Errorf("merge with nil/empty series = %+v", got)
+	}
+	got, err = MergeSeries([]*WindowedSeries{nil, empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 0 || len(got.Points) != 0 {
+		t.Errorf("all-empty merge = %+v, want zero series", got)
+	}
+}
+
 func TestFingerprintDistinguishes(t *testing.T) {
 	a := WindowedSeries{Width: 1, Points: []WindowPoint{{Start: 0, End: 1, STP: 2}}}
 	b := WindowedSeries{Width: 1, Points: []WindowPoint{{Start: 0, End: 1, STP: 2}}}

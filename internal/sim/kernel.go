@@ -148,11 +148,22 @@ func newKernel(cfg Config, scn scenario.Scenario, pol Dynamic) (*kernel, error) 
 		k.series.Width = cfg.MetricsWindow.Seconds()
 	}
 	if len(initial) > cfg.Plat.Cores {
-		return nil, fmt.Errorf("sim: %d apps exceed %d cores", len(initial), cfg.Plat.Cores)
+		// Open-system scenarios (their apps depart and free cores) queue
+		// the overflow FIFO, exactly like arrivals on a full machine;
+		// everything else — the closed methodology, whose apps never
+		// release a core — is rejected up-front as before.
+		q, ok := scn.(interface{ QueueInitialOverflow() bool })
+		if !ok || !q.QueueInitialOverflow() {
+			return nil, fmt.Errorf("sim: %d apps exceed %d cores", len(initial), cfg.Plat.Cores)
+		}
 	}
 	for _, s := range initial {
-		if err := k.admit(s, 0); err != nil {
-			return nil, err
+		if k.nActive < cfg.Plat.Cores {
+			if err := k.admit(s, 0); err != nil {
+				return nil, err
+			}
+		} else {
+			k.waitQ = append(k.waitQ, scenario.Arrival{Time: 0, Spec: s})
 		}
 	}
 	pol.Reconfigure()

@@ -58,9 +58,7 @@ func RunOpen(cfg Config, scn *scenario.Open, pol Dynamic) (*OpenResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.MetricsWindow == 0 {
-		cfg.MetricsWindow = cfg.PolicyPeriod
-	}
+	cfg.MetricsWindow = cfg.EffectiveMetricsWindow()
 	if len(scn.Initial()) == 0 && len(scn.Arrivals()) == 0 {
 		return nil, fmt.Errorf("sim: open scenario %q has no applications", scn.Name())
 	}

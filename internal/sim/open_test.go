@@ -38,6 +38,44 @@ func lfocPolicy(t *testing.T, plat *machine.Platform) (*core.Controller, sim.Dyn
 	return ctrl, ctrl
 }
 
+// An open trace may start over-subscribed: initial apps beyond the core
+// count start in the admission queue (like arrivals on a full machine)
+// and are admitted FIFO as residents depart — a closed run with the
+// same population still errors, because its apps never free a core.
+func TestOpenInitialOverflowQueues(t *testing.T) {
+	cfg := openConfig()
+	cfg.Plat = machine.Small(8, 2)
+	initial := openPool("povray06", "namd06", "povray06", "namd06")
+	scn, err := scenario.NewTrace("overflow", initial, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunOpen(cfg, scn, policy.NewStockDynamic(cfg.Plat.Ways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departed != len(initial) || res.Remaining != 0 {
+		t.Fatalf("departed %d remaining %d, want all %d initial apps to complete",
+			res.Departed, res.Remaining, len(initial))
+	}
+	if res.PeakActive > cfg.Plat.Cores {
+		t.Errorf("peak active %d exceeds %d cores", res.PeakActive, cfg.Plat.Cores)
+	}
+	queued := 0
+	for _, a := range res.Apps {
+		if a.WaitSeconds > 0 {
+			queued++
+		}
+	}
+	if queued != len(initial)-cfg.Plat.Cores {
+		t.Errorf("%d apps waited, want the %d over-capacity initial apps",
+			queued, len(initial)-cfg.Plat.Cores)
+	}
+	if _, err := sim.RunDynamic(cfg, initial, policy.NewStockDynamic(cfg.Plat.Ways)); err == nil {
+		t.Error("over-subscribed closed run accepted")
+	}
+}
+
 func TestOpenPoissonChurn(t *testing.T) {
 	cfg := openConfig()
 	pool := openPool("xalancbmk06", "lbm06", "povray06", "libquantum06", "soplex06")

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/machine"
 	"github.com/faircache/lfoc/internal/sim/scenario"
 )
 
@@ -25,6 +26,7 @@ func (f *feedScenario) Name() string                            { return f.name 
 func (f *feedScenario) Initial() []*appmodel.Spec               { return f.initial }
 func (f *feedScenario) Arrivals() []scenario.Arrival            { return nil }
 func (f *feedScenario) OnRunComplete(int, int) scenario.Outcome { return scenario.Depart }
+func (f *feedScenario) QueueInitialOverflow() bool              { return true }
 
 func (f *feedScenario) Done(p scenario.Progress) bool {
 	if f.horizon > 0 && p.Time >= f.horizon {
@@ -56,9 +58,7 @@ func NewOpenMachine(cfg Config, pol Dynamic, name string, initial []*appmodel.Sp
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.MetricsWindow == 0 {
-		cfg.MetricsWindow = cfg.PolicyPeriod
-	}
+	cfg.MetricsWindow = cfg.EffectiveMetricsWindow()
 	feed := &feedScenario{name: name, initial: initial, horizon: horizon}
 	k, err := newKernel(cfg, feed, pol)
 	if err != nil {
@@ -135,6 +135,11 @@ func (m *OpenMachine) Queued() int {
 
 // Cores returns the machine's core count (its admission capacity).
 func (m *OpenMachine) Cores() int { return m.k.cfg.Plat.Cores }
+
+// Platform returns the machine's modeled platform. In a heterogeneous
+// fleet each machine may run a different one; contention-aware placement
+// evaluates a candidate machine on its own platform.
+func (m *OpenMachine) Platform() *machine.Platform { return m.k.cfg.Plat }
 
 // ActivePhases appends the current phase of every resident application
 // to dst and returns it — the placement-policy view of what a candidate

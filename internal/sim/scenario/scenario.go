@@ -229,6 +229,15 @@ func (o *Open) Arrivals() []Arrival { return o.arrivals }
 // OnRunComplete implements Scenario: one quota, then out.
 func (o *Open) OnRunComplete(slot, runs int) Outcome { return Depart }
 
+// QueueInitialOverflow reports that initial applications beyond the
+// machine's core count start in the admission queue instead of failing
+// the run: open-system applications depart and free cores, so queued
+// initial apps are eventually admitted FIFO, exactly like arrivals on a
+// full machine. Closed scenarios deliberately lack this method — their
+// applications never depart, so an over-subscribed closed run could
+// never finish and is rejected up-front instead.
+func (o *Open) QueueInitialOverflow() bool { return true }
+
 // Done implements Scenario: trace drained and system empty, or horizon
 // reached.
 func (o *Open) Done(p Progress) bool {

@@ -121,6 +121,17 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// EffectiveMetricsWindow is the metric-window width an open-system run
+// collects at: MetricsWindow, defaulting to the policy period (RunOpen
+// and NewOpenMachine apply exactly this rule). The cluster layer
+// validates fleet-wide width agreement against it.
+func (c *Config) EffectiveMetricsWindow() time.Duration {
+	if c.MetricsWindow > 0 {
+		return c.MetricsWindow
+	}
+	return c.PolicyPeriod
+}
+
 // Result carries everything the closed-methodology experiments report.
 type Result struct {
 	// RunTimes[i] holds app i's completed run times in seconds.

@@ -317,7 +317,9 @@ func RunOpen(cfg SimConfig, scn *OpenScenario, pol DynamicPolicy) (*OpenSimResul
 // ---------------------------------------------------------------------
 
 // ClusterConfig parameterizes a multi-machine cluster run: per-machine
-// simulator configuration, fleet size and placement policy.
+// simulator configuration (the homogeneous Sim+Machines shorthand or a
+// heterogeneous Fleet list), placement policy and the advancement
+// worker-pool bound.
 type ClusterConfig = cluster.Config
 
 // ClusterResult carries a cluster run's fleet-wide aggregates, the
@@ -355,9 +357,19 @@ func NewPlacement(name string, plat *Platform) (PlacementPolicy, error) {
 
 // RunCluster executes an open scenario over a fleet of machines, each
 // running its own dynamic partitioning policy built by newPolicy. An
-// N=1 cluster reproduces RunOpen bit-identically.
+// N=1 cluster reproduces RunOpen bit-identically, fleet advancement
+// parallelizes over ClusterConfig.Workers without changing any result,
+// and ClusterConfig.Fleet makes the fleet heterogeneous.
 func RunCluster(cfg ClusterConfig, scn *OpenScenario, newPolicy func(machine int) (DynamicPolicy, error)) (*ClusterResult, error) {
 	return cluster.Run(cfg, scn, newPolicy)
+}
+
+// ParseMachineMix parses a heterogeneous fleet specification — comma-
+// separated "<count>x<ways>way[<cores>c]" groups, e.g. "2x11way,2x7way"
+// — into per-machine simulator configurations for ClusterConfig.Fleet,
+// deriving each machine from the base configuration.
+func ParseMachineMix(spec string, base SimConfig) ([]SimConfig, error) {
+	return cluster.ParseMachineMix(spec, base)
 }
 
 // SplitArrivals partitions an arrival trace across machines by an
