@@ -377,3 +377,47 @@ func BenchmarkLookahead(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------
+// Simulator-throughput benchmarks (the BENCH_sim.json rows; DESIGN.md §2).
+// ---------------------------------------------------------------------
+
+// benchSimCase times one harness.SimBenchCases workload — the same
+// definitions lfoc-bench -sim measures into the gated BENCH_sim.json,
+// so the bench smoke can never drift from the baseline — reporting the
+// exact simulated-tick throughput.
+func benchSimCase(b *testing.B, name string) {
+	cases, err := harness.SimBenchCases(harness.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range cases {
+		if c.Name != name {
+			continue
+		}
+		var ticks float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ticks, err = c.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(ticks*float64(b.N)/b.Elapsed().Seconds(), "ticks/sec")
+		return
+	}
+	b.Fatalf("no sim bench case %q", name)
+}
+
+// BenchmarkSimClosed measures the closed-batch methodology (S1, LFOC)
+// through the kernel's event-horizon advancement.
+func BenchmarkSimClosed(b *testing.B) { benchSimCase(b, "closed-batch") }
+
+// BenchmarkSimOpenChurn measures an open-system churn run (S1, seeded
+// Poisson arrivals, LFOC).
+func BenchmarkSimOpenChurn(b *testing.B) { benchSimCase(b, "open-churn") }
+
+// BenchmarkSimCluster4 measures a 4-machine cluster behind one arrival
+// stream (fairness-aware placement, serial advancement); ticks/sec
+// counts every machine's ticks.
+func BenchmarkSimCluster4(b *testing.B) { benchSimCase(b, "cluster-4") }

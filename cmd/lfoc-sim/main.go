@@ -40,6 +40,9 @@
 // partitioning grid at each rate; an explicit -placement or -policy
 // narrows the corresponding grid axis.
 //
+// -cpuprofile/-memprofile write pprof profiles of the run, so perf
+// investigations start from a profile instead of a guess.
+//
 // All usage and runtime errors exit non-zero, so CI steps built on this
 // command cannot silently pass.
 package main
@@ -56,6 +59,7 @@ import (
 	"github.com/faircache/lfoc/internal/cluster"
 	"github.com/faircache/lfoc/internal/harness"
 	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/profiling"
 	"github.com/faircache/lfoc/internal/sim"
 	"github.com/faircache/lfoc/internal/sim/scenario"
 	"github.com/faircache/lfoc/internal/workloads"
@@ -126,8 +130,14 @@ func main() {
 		mix       = flag.String("machine-mix", "", "heterogeneous fleet spec: <count>x<ways>way[<cores>c],... e.g. 2x11way,2x7way (implies cluster mode)")
 		placement = flag.String("placement", "", "cluster placement policy: rr | least | fair (implies cluster mode)")
 		jsonOut   = flag.String("json", "", "write the machine-readable result to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	exitOn(err)
+	profileCleanup = stopProfiles
+	defer stopProfiles()
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if flag.NArg() > 0 {
@@ -383,17 +393,27 @@ func writeJSON(path string, v any) {
 	fmt.Fprintln(os.Stderr, "lfoc-sim: wrote", path)
 }
 
+// profileCleanup finishes any in-flight profiles before a non-zero
+// exit (deferred functions do not run across os.Exit).
+var profileCleanup func()
+
 // fail reports a usage error and exits non-zero, printing the flag
 // summary for context.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "lfoc-sim:", err)
 	flag.Usage()
+	if profileCleanup != nil {
+		profileCleanup()
+	}
 	os.Exit(2)
 }
 
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfoc-sim:", err)
+		if profileCleanup != nil {
+			profileCleanup()
+		}
 		os.Exit(1)
 	}
 }

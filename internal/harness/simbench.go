@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/faircache/lfoc/internal/cluster"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// SimBenchRow is one simulator-throughput measurement: a fixed,
+// deterministic kernel workload timed over several runs. TicksPerRun is
+// exact (the simulated duration over the tick width, identical on every
+// machine), so TicksPerSec is comparable across revisions even if a
+// config change alters how long the scenario simulates — benchdiff
+// gates on it rather than on wall-clock per run.
+type SimBenchRow struct {
+	Name        string  `json:"name"`
+	TicksPerRun float64 `json:"ticks_per_run"`
+	MsPerRun    float64 `json:"ms_per_run"`
+	TicksPerSec float64 `json:"ticks_per_sec"`
+	// AllocsPerRun is the heap-allocation count per run
+	// (runtime.MemStats.Mallocs delta): deterministic for the
+	// deterministic simulator, so any growth is a real code change.
+	AllocsPerRun float64 `json:"allocs_per_run"`
+}
+
+// SimBenchData is the simulator-throughput baseline: the kernel's three
+// standing workloads (closed batch, open churn, 4-machine cluster).
+type SimBenchData struct {
+	Rows []SimBenchRow `json:"rows"`
+}
+
+// SimBenchCase is one simulator-throughput workload: Run executes it
+// once and returns the exact number of simulated ticks it advanced.
+// The cases are shared between SimBench (the BENCH_sim.json rows the
+// CI gate compares) and the root-level BenchmarkSim* benchmarks, so
+// the smoke benchmarks can never drift from the gated baseline.
+type SimBenchCase struct {
+	Name string
+	Run  func() (float64, error)
+}
+
+// SimBenchCases builds the kernel's three standing throughput
+// workloads under the LFOC policy at the configured scale: the paper's
+// closed batch on the S1 mix, an open-system churn run (seeded Poisson
+// arrivals), and a 4-machine cluster behind one arrival stream
+// (fairness-aware placement, serial advancement so allocation counts
+// stay machine-independent).
+func SimBenchCases(cfg Config) ([]SimBenchCase, error) {
+	cfg = cfg.normalized()
+	w, err := workloads.Get("S1")
+	if err != nil {
+		return nil, err
+	}
+	simCfg := cfg.SimConfig()
+	if err := simCfg.Validate(); err != nil { // applies the TicksPerPeriod default
+		return nil, err
+	}
+	ticksOf := func(simSeconds float64) float64 {
+		return simSeconds / simCfg.PolicyPeriod.Seconds() * float64(simCfg.TicksPerPeriod)
+	}
+
+	closed := func() (float64, error) {
+		pol, _, err := cfg.NewDynamicPolicy("lfoc")
+		if err != nil {
+			return 0, err
+		}
+		res, err := sim.RunDynamic(simCfg, w.ScaledSpecs(cfg.Scale), pol)
+		if err != nil {
+			return 0, err
+		}
+		return ticksOf(res.SimSeconds), nil
+	}
+	openChurn := func() (float64, error) {
+		scn, err := w.OpenScenario(2, 4, 7, cfg.Scale)
+		if err != nil {
+			return 0, err
+		}
+		pol, _, err := cfg.NewDynamicPolicy("lfoc")
+		if err != nil {
+			return 0, err
+		}
+		res, err := sim.RunOpen(simCfg, scn, pol)
+		if err != nil {
+			return 0, err
+		}
+		return ticksOf(res.SimSeconds), nil
+	}
+	cluster4 := func() (float64, error) {
+		scn, err := w.OpenScenario(4, 4, 7, cfg.Scale)
+		if err != nil {
+			return 0, err
+		}
+		pl, err := cluster.NewPlacement("fair", cfg.Plat)
+		if err != nil {
+			return 0, err
+		}
+		ccfg := cluster.Config{Sim: simCfg, Machines: 4, Placement: pl, Workers: 1}
+		res, err := cluster.Run(ccfg, scn, func(int) (sim.Dynamic, error) {
+			pol, _, err := cfg.NewDynamicPolicy("lfoc")
+			return pol, err
+		})
+		if err != nil {
+			return 0, err
+		}
+		// Cluster throughput counts every machine's ticks: advancement
+		// cost is the sum over the fleet, not the longest machine.
+		var ticks float64
+		for _, m := range res.PerMachine {
+			ticks += ticksOf(m.Open.SimSeconds)
+		}
+		return ticks, nil
+	}
+
+	return []SimBenchCase{
+		{"closed-batch", closed},
+		{"open-churn", openChurn},
+		{"cluster-4", cluster4},
+	}, nil
+}
+
+// SimBench times every SimBenchCases workload. cmd/lfoc-bench -sim
+// writes the result as BENCH_sim.json and cmd/benchdiff gates
+// regressions against the committed baseline.
+func SimBench(cfg Config, iters int) (SimBenchData, error) {
+	if iters <= 0 {
+		iters = 5
+	}
+	cases, err := SimBenchCases(cfg)
+	if err != nil {
+		return SimBenchData{}, err
+	}
+	var out SimBenchData
+	for _, c := range cases {
+		var ms0, ms1 runtime.MemStats
+		var ticks float64
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for it := 0; it < iters; it++ {
+			t, err := c.Run()
+			if err != nil {
+				return SimBenchData{}, fmt.Errorf("simbench: %s: %w", c.Name, err)
+			}
+			ticks = t
+		}
+		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		out.Rows = append(out.Rows, SimBenchRow{
+			Name:         c.Name,
+			TicksPerRun:  ticks,
+			MsPerRun:     elapsed * 1000 / float64(iters),
+			TicksPerSec:  ticks * float64(iters) / elapsed,
+			AllocsPerRun: float64(ms1.Mallocs-ms0.Mallocs) / float64(iters),
+		})
+	}
+	return out, nil
+}
+
+// Render formats the sim-throughput rows.
+func (d SimBenchData) Render() string {
+	rows := [][]string{{"scenario", "ticks/run", "ms/run", "ticks/sec", "allocs/run"}}
+	for _, r := range d.Rows {
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("%.0f", r.TicksPerRun),
+			fmt.Sprintf("%.2f", r.MsPerRun),
+			fmt.Sprintf("%.0f", r.TicksPerSec),
+			fmt.Sprintf("%.0f", r.AllocsPerRun),
+		})
+	}
+	return "Simulator throughput (kernel event-horizon advancement)\n" + renderTable(rows)
+}

@@ -48,6 +48,11 @@ func Cluster(values []float64, k int) (Result, error) {
 	}
 
 	assign := make([]int, n)
+	// Update scratch lives outside the iteration loop: the policy calls
+	// this every partitioner activation, so per-iteration allocations
+	// multiply into the simulator's hot loop.
+	sums := make([]float64, k)
+	counts := make([]int, k)
 	for iter := 0; iter < 100; iter++ {
 		changed := false
 		for i, v := range values {
@@ -63,8 +68,9 @@ func Cluster(values []float64, k int) (Result, error) {
 			}
 		}
 		// Recompute centroids; empty clusters keep their position.
-		sums := make([]float64, k)
-		counts := make([]int, k)
+		for c := 0; c < k; c++ {
+			sums[c], counts[c] = 0, 0
+		}
 		for i, v := range values {
 			sums[assign[i]] += v
 			counts[assign[i]]++
@@ -84,7 +90,9 @@ func Cluster(values []float64, k int) (Result, error) {
 		centroid float64
 		oldIdx   int
 	}
-	counts := make([]int, k)
+	for c := 0; c < k; c++ {
+		counts[c] = 0
+	}
 	for _, a := range assign {
 		counts[a]++
 	}
@@ -95,7 +103,7 @@ func Cluster(values []float64, k int) (Result, error) {
 		}
 	}
 	sort.Slice(kept, func(i, j int) bool { return kept[i].centroid < kept[j].centroid })
-	remap := make(map[int]int, len(kept))
+	remap := make([]int, k)
 	outCent := make([]float64, len(kept))
 	for newIdx, c := range kept {
 		remap[c.oldIdx] = newIdx
@@ -117,13 +125,19 @@ func Silhouette(values []float64, assign []int, k int) float64 {
 		return 0
 	}
 	total := 0.0
+	// Per-cluster scratch shared across points (zeroed per point):
+	// allocating inside the point loop multiplies into ChooseK's k sweep
+	// and the policy period.
+	bSums := make([]float64, k)
+	bCounts := make([]int, k)
 	for i := 0; i < n; i++ {
 		// a = mean distance within own cluster; b = min mean distance to
 		// another cluster.
 		var aSum float64
 		aCount := 0
-		bSums := make([]float64, k)
-		bCounts := make([]int, k)
+		for c := 0; c < k; c++ {
+			bSums[c], bCounts[c] = 0, 0
+		}
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue

@@ -98,6 +98,15 @@ type Counter struct {
 }
 
 // Add accumulates a delta into the counter.
+//
+// Batching is exact: every accumulating field is an integer sum
+// (associative, no rounding) and occupancy adopts the most recent
+// reading, so adding n per-interval samples is field-identical to
+// adding their field-wise sum carrying the last interval's occupancy —
+// window totals and ReadWindow boundaries cannot tell the difference.
+// The simulator's event-horizon fast path relies on this to issue one
+// add per app per horizon instead of one per tick
+// (TestCounterBatchedAddEquivalence pins it).
 func (c *Counter) Add(d Sample) { c.total.Add(d) }
 
 // Total returns the counts since creation.

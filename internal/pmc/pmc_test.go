@@ -171,3 +171,44 @@ func TestQuickHistoryMeanBounded(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: adding per-interval samples one by one is field-identical
+// to adding their batched sum with the last interval's occupancy — the
+// exactness the simulator's event-horizon batching relies on, across
+// window boundaries too.
+func TestCounterBatchedAddEquivalence(t *testing.T) {
+	f := func(raw [][6]uint16, readAt uint8) bool {
+		var tickwise, batched Counter
+		var sum Sample
+		ticks := 0 // intervals in the current batch
+		for i, r := range raw {
+			d := Sample{
+				Instructions:   uint64(r[0]),
+				Cycles:         uint64(r[1]),
+				LLCMisses:      uint64(r[2]),
+				LLCAccesses:    uint64(r[3]),
+				StallsL2Miss:   uint64(r[4]),
+				OccupancyBytes: uint64(r[5]),
+			}
+			tickwise.Add(d)
+			sum.Add(d)
+			ticks++
+			// Windows may only close on batch boundaries; close the same
+			// one on both counters mid-stream.
+			if i == int(readAt)%len(raw) {
+				batched.Add(sum)
+				sum, ticks = Sample{}, 0
+				if tickwise.ReadWindow() != batched.ReadWindow() {
+					return false
+				}
+			}
+		}
+		if ticks > 0 {
+			batched.Add(sum)
+		}
+		return tickwise.Total() == batched.Total() && tickwise.Window() == batched.Window()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

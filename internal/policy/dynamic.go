@@ -109,6 +109,12 @@ func (d *DunnDynamic) OnWindow(id int, w pmc.Sample) bool {
 	return false
 }
 
+// PassiveWindows implements the sim.PassiveWindows refinement: OnWindow
+// only pushes into the window's own per-app history (never requesting a
+// mask refresh), and the monitoring cadence is fixed, so the kernel may
+// deliver Dunn's windows inside an event-horizon batch.
+func (d *DunnDynamic) PassiveWindows() bool { return true }
+
 // Reconfigure re-runs the clustering over the smoothed stall fractions.
 func (d *DunnDynamic) Reconfigure() plan.Plan {
 	if len(d.order) == 0 {
@@ -190,6 +196,10 @@ func (s *StockDynamic) WindowInsns(int) uint64 { return 1_000_000_000 }
 
 // OnWindow ignores samples.
 func (s *StockDynamic) OnWindow(int, pmc.Sample) bool { return false }
+
+// PassiveWindows implements the sim.PassiveWindows refinement: stock
+// does no monitoring at all.
+func (s *StockDynamic) PassiveWindows() bool { return true }
 
 // Reconfigure returns the single full-LLC cluster.
 func (s *StockDynamic) Reconfigure() plan.Plan {

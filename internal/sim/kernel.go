@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"github.com/faircache/lfoc/internal/appmodel"
 	"github.com/faircache/lfoc/internal/cat"
@@ -48,6 +49,31 @@ type kernelApp struct {
 	aloneT     float64
 	alonePhase *appmodel.PhaseSpec
 	aloneIPS   float64
+
+	// Batch-invariant state of the event-horizon fast path, derived
+	// from perf (and the kernel's fixed freq/dt) by refreshSteps when
+	// stepsDirty: the per-tick rate products in the legacy expression
+	// shape, their integer carry grids, and the reciprocal rate the
+	// horizon bound divides by. Refreshed whenever perf is written —
+	// cheaper than recomputing per batch, since equilibria change on
+	// policy events but batches end on every counter window.
+	stepsDirty bool
+	insnStep   float64
+	cycleStep  float64
+	missStep   float64
+	stallStep  float64
+	insnGrid   carryParams
+	cycleGrid  carryParams
+	missGrid   carryParams
+	stallGrid  carryParams
+	horizonInv float64 // 1/(insnStep·(1+horizonSlack))
+
+	// Alone-clock increment memo: with the carry in [0,1) a tick
+	// retires base or base+1 instructions, so the two quotients are
+	// computed once per (base, aloneIPS) pair instead of per tick.
+	incBase    uint64
+	incIPS     float64
+	inc0, inc1 float64
 }
 
 // equilState is one memoized contention-model fixed point, positional
@@ -58,6 +84,20 @@ type equilState struct {
 }
 
 const equilCacheMax = 4096
+
+const (
+	// maxBatchTicks caps one event-horizon batch. Far beyond any real
+	// horizon (the policy period alone is TicksPerPeriod ticks), it only
+	// bounds the float error the horizonSlack margin must absorb.
+	maxBatchTicks = 1 << 20
+	// horizonSlack over-estimates per-tick instruction progress when
+	// bounding a batch: the per-tick carry accumulation rounds by at
+	// most ~2^-52 relatively per add (≤ ~2^-32 over maxBatchTicks),
+	// so inflating the rate by 1e-7 guarantees an instruction event
+	// can never fire strictly inside a batch — at worst the batch ends
+	// a few ticks early and the next one picks up the slack.
+	horizonSlack = 1e-7
+)
 
 // kernel is the scenario-agnostic execution engine: it integrates
 // application progress under the contention model, accumulates hardware
@@ -71,9 +111,17 @@ type kernel struct {
 
 	apps      []*kernelApp
 	runCounts []int // completed runs per slot (shared with scenario.Progress)
-	nActive   int
-	nextMonID int
-	peak      int
+	// actives is the active subset of apps in slot order — the hot
+	// scans (integration, equilibrium key build, horizon bound, metrics
+	// windows) iterate it instead of every slot ever admitted, which
+	// matters once a churn run has retired hundreds of slots. Departure
+	// only marks activesDirty; compaction happens between advances, so
+	// an in-flight iteration never sees elements shift underneath it.
+	actives      []*kernelApp
+	activesDirty bool
+	nActive      int
+	nextMonID    int
+	peak         int
 
 	arrivals []scenario.Arrival
 	arrIdx   int
@@ -82,8 +130,16 @@ type kernel struct {
 	eval   *sharing.Evaluator
 	shApps []sharing.App
 	shRes  []sharing.Result
-	equil  map[string]*equilState
-	keyBuf []byte
+	// Equilibrium memo, two generations: lookups hit equil (hot) then
+	// equilPrev (cold, promoted back on touch); a full hot map rotates
+	// into the cold slot instead of being cleared, so eviction never
+	// dumps the working set (see storeEquil).
+	equil     map[string]*equilState
+	equilPrev map[string]*equilState
+	equilMax  int
+	equilHits uint64
+	equilMiss uint64
+	keyBuf    []byte
 
 	masks     map[int]cat.WayMask
 	perfDirty bool
@@ -96,6 +152,16 @@ type kernel struct {
 	simTime      float64
 	nextPolicy   float64
 	repartitions int
+
+	// Event-horizon fast path (see advanceHorizon). fastPath is set when
+	// the scenario implements scenario.TimeHorizoned and the testing
+	// knob Config.noEventHorizon is off; doneAt is the scenario's only
+	// time-based Done trigger (0 = Done is time-invariant); passiveWin
+	// is set when the policy declares PassiveWindows, letting window
+	// deliveries happen inside a batch instead of bounding it.
+	fastPath   bool
+	doneAt     float64
+	passiveWin bool
 
 	// Windowed-metrics collection (enabled by Config.MetricsWindow).
 	collect   bool
@@ -136,6 +202,7 @@ func newKernel(cfg Config, scn scenario.Scenario, pol Dynamic) (*kernel, error) 
 		arrivals:      scn.Arrivals(),
 		eval:          sharing.NewEvaluator(sharing.NewModel(cfg.Plat)),
 		equil:         make(map[string]*equilState),
+		equilMax:      equilCacheMax,
 		masks:         map[int]cat.WayMask{},
 		aloneIPSCache: map[*appmodel.PhaseSpec]float64{},
 		freq:          float64(cfg.Plat.FreqHz),
@@ -143,6 +210,16 @@ func newKernel(cfg Config, scn scenario.Scenario, pol Dynamic) (*kernel, error) 
 		nextPolicy:    cfg.PolicyPeriod.Seconds(),
 		perfDirty:     true,
 		collect:       cfg.MetricsWindow > 0,
+	}
+	// The batched fast path must know the only time at which Done can
+	// flip as a function of time alone; scenarios that don't declare it
+	// (scenario.TimeHorizoned) run on the legacy per-tick path.
+	if h, ok := scn.(scenario.TimeHorizoned); ok && !cfg.noEventHorizon {
+		k.fastPath = true
+		k.doneAt = h.Horizon()
+		if p, ok := pol.(PassiveWindows); ok && p.PassiveWindows() {
+			k.passiveWin = true
+		}
 	}
 	if k.collect {
 		k.series.Width = cfg.MetricsWindow.Seconds()
@@ -193,6 +270,7 @@ func (k *kernel) admit(spec *appmodel.Spec, arrivedAt float64) error {
 	}
 	a.nextWin = k.pol.WindowInsns(a.monID)
 	k.apps = append(k.apps, a)
+	k.actives = append(k.actives, a)
 	k.runCounts = append(k.runCounts, 0)
 	k.nActive++
 	if k.nActive > k.peak {
@@ -209,6 +287,7 @@ func (k *kernel) depart(a *kernelApp) error {
 	a.active = false
 	a.departedAt = k.simTime
 	k.nActive--
+	k.activesDirty = true
 	k.winDep++
 	k.pol.RemoveApp(a.monID)
 	k.perfDirty = true
@@ -220,6 +299,24 @@ func (k *kernel) depart(a *kernelApp) error {
 		}
 	}
 	return nil
+}
+
+// compactActives drops departed apps from the active list, preserving
+// slot order. Called between advances, never during an iteration.
+func (k *kernel) compactActives() {
+	live := k.actives[:0]
+	for _, a := range k.actives {
+		if a.active {
+			live = append(live, a)
+		}
+	}
+	// Clear the tail so departed apps do not leak through the backing
+	// array.
+	for i := len(live); i < len(k.actives); i++ {
+		k.actives[i] = nil
+	}
+	k.actives = live
+	k.activesDirty = false
 }
 
 // refreshIdentity gives the slot a brand-new monitoring identity: the
@@ -256,7 +353,7 @@ func (k *kernel) refreshMasks() error {
 // never changes.
 func (k *kernel) refreshPerf() {
 	k.shApps = k.shApps[:0]
-	for _, a := range k.apps {
+	for _, a := range k.actives {
 		if !a.active {
 			continue
 		}
@@ -270,11 +367,10 @@ func (k *kernel) refreshPerf() {
 	if len(k.shApps) == 0 {
 		return
 	}
-	var key string
 	if !k.cfg.noEquilCache {
 		k.keyBuf = k.keyBuf[:0]
 		idx := 0
-		for _, a := range k.apps {
+		for _, a := range k.actives {
 			if !a.active {
 				continue
 			}
@@ -283,40 +379,49 @@ func (k *kernel) refreshPerf() {
 			k.keyBuf = binary.LittleEndian.AppendUint32(k.keyBuf, uint32(k.shApps[idx].Mask))
 			idx++
 		}
-		key = string(k.keyBuf)
-		if st, ok := k.equil[key]; ok {
+		// Inline []byte→string conversions in map lookups do not
+		// allocate; the key string is only materialized on a promote or
+		// an insert.
+		st, ok := k.equil[string(k.keyBuf)]
+		if !ok {
+			if st, ok = k.equilPrev[string(k.keyBuf)]; ok {
+				k.storeEquil(string(k.keyBuf), st) // touched: promote to the hot generation
+			}
+		}
+		if ok {
+			k.equilHits++
 			idx = 0
-			for _, a := range k.apps {
+			for _, a := range k.actives {
 				if !a.active {
 					continue
 				}
 				a.perf = st.perfs[idx]
 				a.share = st.shares[idx]
+				a.stepsDirty = true
 				idx++
 			}
 			return
 		}
+		k.equilMiss++
 	}
 	k.shRes = k.eval.EvaluateInto(k.shRes, k.shApps)
 	idx := 0
-	for _, a := range k.apps {
+	for _, a := range k.actives {
 		if !a.active {
 			continue
 		}
 		a.perf = k.shRes[idx].Perf
 		a.share = k.shRes[idx].ShareBytes
+		a.stepsDirty = true
 		idx++
 	}
 	if !k.cfg.noEquilCache {
-		if len(k.equil) >= equilCacheMax {
-			clear(k.equil)
-		}
 		st := &equilState{
 			perfs:  make([]appmodel.Perf, len(k.shApps)),
 			shares: make([]uint64, len(k.shApps)),
 		}
 		idx = 0
-		for _, a := range k.apps {
+		for _, a := range k.actives {
 			if !a.active {
 				continue
 			}
@@ -324,8 +429,22 @@ func (k *kernel) refreshPerf() {
 			st.shares[idx] = a.share
 			idx++
 		}
-		k.equil[key] = st
+		k.storeEquil(string(k.keyBuf), st)
 	}
+}
+
+// storeEquil inserts one fixed point into the hot generation, rotating
+// generations when it is full: the hot map becomes the cold one and only
+// entries untouched for a whole generation fall off the far end. Unlike
+// the wholesale clear this replaces, the rotation can never dump the
+// working set — live configurations are promoted back on first touch —
+// so a long churn run keeps its hit rate through evictions.
+func (k *kernel) storeEquil(key string, st *equilState) {
+	if len(k.equil) >= k.equilMax {
+		k.equilPrev = k.equil
+		k.equil = make(map[string]*equilState, k.equilMax)
+	}
+	k.equil[key] = st
 }
 
 // alonePhaseIPS returns the solo instruction rate (insns/second, full
@@ -354,7 +473,7 @@ func (k *kernel) closeWindow(end float64) {
 		p.Throughput = float64(k.winRuns) / w
 	}
 	k.sdScratch = k.sdScratch[:0]
-	for _, a := range k.apps {
+	for _, a := range k.actives {
 		if !a.active || a.aloneT <= 0 {
 			continue
 		}
@@ -399,6 +518,15 @@ func (k *kernel) run() error {
 // until` test and the repeated Done call are pure), which is what lets
 // a cluster interleave placement decisions between ticks of independent
 // machines without perturbing any single machine's trajectory.
+//
+// Between state-changing events the equilibrium and every rate are
+// constant, so when the scenario permits it (fastPath) the loop body
+// advances a whole event horizon per iteration (advanceHorizon) instead
+// of a single tick (advanceTick); both paths are bit-identical (pinned
+// by TestEventHorizonDifferential and the goldens) because the batched
+// path preserves the per-tick float carry op order exactly and every
+// event lands on an iteration boundary, where the shared delivery code
+// runs in the legacy order.
 func (k *kernel) runUntil(until float64) error {
 	maxTime := k.cfg.MaxSimTime.Seconds()
 	for k.simTime < until && !k.scn.Done(k.progress()) {
@@ -427,84 +555,18 @@ func (k *kernel) runUntil(until float64) error {
 		if k.perfDirty {
 			k.refreshPerf()
 		}
-		k.simTime += k.dt
-		anyChange := false
-		for _, a := range k.apps {
-			if !a.active {
-				continue
-			}
-			// Progress.
-			ips := a.perf.IPC * k.freq
-			a.fracInsns += ips * k.dt
-			insns := uint64(a.fracInsns)
-			a.fracInsns -= float64(insns)
-			if insns > 0 {
-				// Alone-clock: charge the retired instructions at the
-				// solo rate of the phase they retired under (phase
-				// boundaries inside one tick are charged to the phase
-				// the tick started in — a sub-tick approximation).
-				ph := a.inst.Phase()
-				if ph != a.alonePhase {
-					a.alonePhase = ph
-					a.aloneIPS = k.alonePhaseIPS(ph)
-				}
-				a.aloneT += float64(insns) / a.aloneIPS
-				if a.inst.Advance(insns) {
-					k.perfDirty = true
-				}
-			}
-			// Counters.
-			a.fracCycles += k.freq * k.dt
-			cycles := uint64(a.fracCycles)
-			a.fracCycles -= float64(cycles)
-			a.fracMiss += a.perf.MPKC / 1000 * k.freq * k.dt
-			miss := uint64(a.fracMiss)
-			a.fracMiss -= float64(miss)
-			a.fracStall += a.perf.StallFrac * k.freq * k.dt
-			stall := uint64(a.fracStall)
-			a.fracStall -= float64(stall)
-			a.counter.Add(pmc.Sample{
-				Instructions:   insns,
-				Cycles:         cycles,
-				LLCMisses:      miss,
-				LLCAccesses:    miss * 2,
-				StallsL2Miss:   stall,
-				OccupancyBytes: a.share,
-			})
-			// Window delivery.
-			for a.counter.Total().Instructions >= a.nextWin {
-				w := a.counter.ReadWindow()
-				if k.pol.OnWindow(a.monID, w) {
-					anyChange = true
-				}
-				a.nextWin = a.counter.Total().Instructions + k.pol.WindowInsns(a.monID)
-			}
-			// Run completion: the scenario decides the app's fate.
-			a.runInsns += insns
-			for a.active && a.runInsns >= k.cfg.TargetInsns {
-				a.runs = append(a.runs, k.simTime-a.runStart)
-				k.runCounts[a.slot]++
-				k.winRuns++
-				a.runStart = k.simTime
-				a.runInsns -= k.cfg.TargetInsns
-				switch k.scn.OnRunComplete(a.slot, len(a.runs)) {
-				case scenario.Depart:
-					if err := k.depart(a); err != nil {
-						return err
-					}
-					anyChange = true
-				case scenario.RestartFresh:
-					a.inst.Restart()
-					k.perfDirty = true
-					if err := k.refreshIdentity(a); err != nil {
-						return err
-					}
-					anyChange = true
-				default: // scenario.Restart
-					a.inst.Restart()
-					k.perfDirty = true
-				}
-			}
+		var anyChange bool
+		var err error
+		if k.fastPath {
+			anyChange, err = k.advanceHorizon(until, maxTime)
+		} else {
+			anyChange, err = k.advanceTick()
+		}
+		if err != nil {
+			return err
+		}
+		if k.activesDirty {
+			k.compactActives()
 		}
 		if anyChange {
 			if err := k.refreshMasks(); err != nil {
@@ -526,6 +588,490 @@ func (k *kernel) runUntil(until float64) error {
 		}
 	}
 	return nil
+}
+
+// advanceTick is the legacy reference path: one fixed tick with every
+// event check inline, exactly the historical per-tick operation order
+// (the closed golden pins it bit-for-bit).
+//
+// The explicit float64 conversions around the per-tick rate products
+// are bit-level no-ops that force the product to round before the
+// accumulating add, so a compiler may not contract the pair into an
+// FMA on platforms where it otherwise could (arm64): both advancement
+// paths — and the goldens — stay identical across architectures, and
+// the batched path may hoist the products out of its inner loop.
+func (k *kernel) advanceTick() (bool, error) {
+	k.simTime += k.dt
+	anyChange := false
+	for _, a := range k.actives {
+		if !a.active {
+			continue
+		}
+		// Progress.
+		ips := a.perf.IPC * k.freq
+		a.fracInsns += float64(ips * k.dt)
+		insns := uint64(a.fracInsns)
+		a.fracInsns -= float64(insns)
+		if insns > 0 {
+			// Alone-clock: charge the retired instructions at the
+			// solo rate of the phase they retired under (phase
+			// boundaries inside one tick are charged to the phase
+			// the tick started in — a sub-tick approximation).
+			ph := a.inst.Phase()
+			if ph != a.alonePhase {
+				a.alonePhase = ph
+				a.aloneIPS = k.alonePhaseIPS(ph)
+			}
+			a.aloneT += float64(insns) / a.aloneIPS
+			if a.inst.Advance(insns) {
+				k.perfDirty = true
+			}
+		}
+		// Counters.
+		a.fracCycles += float64(k.freq * k.dt)
+		cycles := uint64(a.fracCycles)
+		a.fracCycles -= float64(cycles)
+		a.fracMiss += float64(a.perf.MPKC / 1000 * k.freq * k.dt)
+		miss := uint64(a.fracMiss)
+		a.fracMiss -= float64(miss)
+		a.fracStall += float64(a.perf.StallFrac * k.freq * k.dt)
+		stall := uint64(a.fracStall)
+		a.fracStall -= float64(stall)
+		a.counter.Add(pmc.Sample{
+			Instructions:   insns,
+			Cycles:         cycles,
+			LLCMisses:      miss,
+			LLCAccesses:    miss * 2,
+			StallsL2Miss:   stall,
+			OccupancyBytes: a.share,
+		})
+		changed, err := k.appEvents(a, insns)
+		if err != nil {
+			return false, err
+		}
+		anyChange = anyChange || changed
+	}
+	return anyChange, nil
+}
+
+// appEvents runs one application's post-integration event checks —
+// counter-window delivery and run completion — shared verbatim by the
+// per-tick and batched paths (the horizon guarantees they can only
+// trigger on a batch's last tick, where the batched path calls this at
+// the same point of the operation order as the legacy tick).
+func (k *kernel) appEvents(a *kernelApp, insns uint64) (bool, error) {
+	anyChange := false
+	// Window delivery.
+	for a.counter.Total().Instructions >= a.nextWin {
+		w := a.counter.ReadWindow()
+		if k.pol.OnWindow(a.monID, w) {
+			anyChange = true
+		}
+		a.nextWin = a.counter.Total().Instructions + k.pol.WindowInsns(a.monID)
+	}
+	// Run completion: the scenario decides the app's fate.
+	a.runInsns += insns
+	for a.active && a.runInsns >= k.cfg.TargetInsns {
+		a.runs = append(a.runs, k.simTime-a.runStart)
+		k.runCounts[a.slot]++
+		k.winRuns++
+		a.runStart = k.simTime
+		a.runInsns -= k.cfg.TargetInsns
+		switch k.scn.OnRunComplete(a.slot, len(a.runs)) {
+		case scenario.Depart:
+			if err := k.depart(a); err != nil {
+				return false, err
+			}
+			anyChange = true
+		case scenario.RestartFresh:
+			a.inst.Restart()
+			k.perfDirty = true
+			if err := k.refreshIdentity(a); err != nil {
+				return false, err
+			}
+			anyChange = true
+		default: // scenario.Restart
+			a.inst.Restart()
+			k.perfDirty = true
+		}
+	}
+	return anyChange, nil
+}
+
+// carryParams is the integer decomposition of one per-tick carry step
+// (see carryGrid); ok is false when the step needs the float path.
+type carryParams struct {
+	base  uint64
+	sfrac uint64
+	mask  uint64
+	sh    uint
+	ok    bool
+}
+
+// carryGrid decomposes a per-tick carry step for the exact integer
+// advancement of a fractional accumulator.
+//
+// Exactness argument. Let g = ulp(step) = 2^(e−52) with e = ⌊log2
+// step⌋, and suppose (a) 1 ≤ step < 2^52, and (b) ⌊step⌋+2 ≤ 2^(e+1).
+// step is by definition a multiple of g, and so are ⌊step⌋ (an integer;
+// 1/g = 2^(52−e) is an integer) and sfrac = step−⌊step⌋. If the carry
+// f ∈ [0,1) is also a multiple of g, the true sum f+step is a multiple
+// of g inside [2^e, 2^(e+1)] by (b) — exactly representable, so the
+// float add `f += step` performs NO rounding, and the floor/subtract
+// pair is always exact (Sterbenz). The whole per-tick sequence
+// therefore equals integer arithmetic on multiples of g: F += S;
+// carry-out = F ≫ (52−e); F &= 2^(52−e)−1 — and the chain can even be
+// advanced m ticks in closed form (carryRun). The carry IS a multiple
+// of g after one float tick under the current step (the add rounds the
+// sum onto the grid, floor and subtract are exact), which is why batch
+// chains run tick 1 in the legacy float shape first.
+//
+// The decomposition itself is pure bit arithmetic: step = mant·g with
+// mant = 2^52 | mantissa-bits, so base = mant ≫ (52−e) and sfrac =
+// mant & (2^(52−e)−1), with no float operation that could round.
+//
+// ok is false for steps outside (a)/(b) — less than one unit per tick,
+// at a binade edge, or absurdly large — which fall back to legacy
+// float ticks.
+func carryGrid(step float64) carryParams {
+	if !(step >= 1) || step >= 1<<52 {
+		return carryParams{}
+	}
+	b := math.Float64bits(step)
+	e := int(b>>52) - 1023      // exponent, 0..51 given the range check
+	mant := b&(1<<52-1) | 1<<52 // step/ulp(step), exact
+	sh := uint(52 - e)
+	mask := uint64(1)<<sh - 1
+	base := mant >> sh
+	if base+2 > 2<<uint(e) { // binade margin: ⌊step⌋+2 ≤ 2^(e+1)
+		return carryParams{}
+	}
+	return carryParams{base: base, sfrac: mant & mask, mask: mask, sh: sh, ok: true}
+}
+
+// carryRun advances one carry chain m ticks in closed form: the chain's
+// total output is m·base plus the number of fractional wrap-arounds,
+// (F₀ + m·sfrac) div 2^sh, with the final carry the matching mod —
+// exact in 128-bit integer arithmetic (carryGrid's grid argument). ok
+// is false only when the wrap count would overflow the shift; the
+// caller then runs legacy float ticks.
+func carryRun(frac *float64, g *carryParams, m int) (sum uint64, ok bool) {
+	hi, lo := bits.Mul64(g.sfrac, uint64(m))
+	var c uint64
+	lo, c = bits.Add64(lo, uint64(*frac*float64(g.mask+1)), 0)
+	hi += c
+	if hi>>g.sh != 0 {
+		return 0, false
+	}
+	*frac = float64(lo&g.mask) / float64(g.mask+1)
+	return uint64(m)*g.base + (hi<<(64-g.sh) | lo>>g.sh), true
+}
+
+// carryBatch advances one side-effect-free carry chain a whole batch:
+// tick 1 in the legacy float shape (grid alignment, see carryGrid),
+// the remaining ticks in closed form when the step allows it and tick
+// by tick otherwise. A zero step is skipped outright: adding +0.0 to a
+// non-negative carry and flooring is a bitwise no-op.
+func carryBatch(frac *float64, step float64, g *carryParams, ticks int) uint64 {
+	if step == 0 {
+		return 0
+	}
+	f := *frac + step
+	sum := uint64(f)
+	f -= float64(sum)
+	*frac = f
+	if m := ticks - 1; m > 0 {
+		if g.ok {
+			if s, ok := carryRun(frac, g, m); ok {
+				return sum + s
+			}
+		}
+		for i := 0; i < m; i++ {
+			f += step
+			v := uint64(f)
+			f -= float64(v)
+			sum += v
+		}
+		*frac = f
+	}
+	return sum
+}
+
+// refreshSteps rederives an application's batch-invariant advancement
+// state after a perf change: the per-tick rate products (in the legacy
+// expression shape — see advanceTick — so re-adding the precomputed
+// value every tick is bit-identical to the legacy recomputation), their
+// integer carry grids, and the reciprocal rate horizonTicks multiplies
+// by (its 1-ulp rounding is absorbed by horizonSlack).
+func (k *kernel) refreshSteps(a *kernelApp) {
+	ips := a.perf.IPC * k.freq
+	a.insnStep = float64(ips * k.dt)
+	a.cycleStep = float64(k.freq * k.dt)
+	a.missStep = float64(a.perf.MPKC / 1000 * k.freq * k.dt)
+	a.stallStep = float64(a.perf.StallFrac * k.freq * k.dt)
+	a.insnGrid = carryGrid(a.insnStep)
+	a.cycleGrid = carryGrid(a.cycleStep)
+	a.missGrid = carryGrid(a.missStep)
+	a.stallGrid = carryGrid(a.stallStep)
+	a.horizonInv = 1 / (a.insnStep * (1 + horizonSlack))
+	a.stepsDirty = false
+}
+
+// horizonTicks bounds the next batch by the instruction-driven events:
+// per active app, the whole ticks guaranteed to pass before it can reach
+// its next counter-window delivery, run completion or phase boundary.
+// The bound is conservative (events may land on the batch's last tick,
+// never strictly inside it): after j ticks an app has retired at most
+// j·step·(1+horizonSlack)+1 instructions — the carry is < 1 and the
+// slack absorbs both the per-tick float rounding and the 1-ulp error of
+// the precomputed reciprocal — so ticks 1..safe cannot reach the
+// nearest event, and the event fires on tick safe+1 at the earliest,
+// where the post-batch appEvents delivery handles it exactly like the
+// legacy per-tick checks.
+//
+// It is also where stale per-app advancement state is rederived: it
+// runs once per batch, after the loop top has refreshed the equilibrium
+// and before any chain advances.
+func (k *kernel) horizonTicks() int {
+	n := maxBatchTicks
+	for _, a := range k.actives {
+		if !a.active {
+			continue
+		}
+		if a.stepsDirty {
+			k.refreshSteps(a)
+		}
+		if !(a.insnStep > 0) {
+			continue // no instruction progress: no instruction events
+		}
+		// A passive policy takes its window deliveries inside the batch
+		// (advanceHorizon's segment loop), so they do not bound it.
+		remain := float64(k.cfg.TargetInsns - a.runInsns)
+		if !k.passiveWin {
+			if r := float64(a.nextWin - a.counter.Total().Instructions); r < remain {
+				remain = r
+			}
+		}
+		if pe := a.inst.InstructionsToPhaseEnd(); pe > 0 {
+			if r := float64(pe); r < remain {
+				remain = r
+			}
+		}
+		if ticksF := (remain - 1) * a.horizonInv; ticksF < float64(n-1) {
+			safe := int(ticksF)
+			if safe < 0 {
+				safe = 0
+			}
+			n = safe + 1
+		}
+	}
+	return n
+}
+
+// advanceHorizon is the event-horizon fast path: it advances all whole
+// ticks until the earliest next event — due arrival, policy activation,
+// metrics-window close, the until pause point, MaxSimTime, the
+// scenario's time horizon, or any app's instruction-driven event
+// (horizonTicks) — in a tight per-app inner loop with no event checks,
+// then runs the event deliveries once at the boundary.
+//
+// Bit-exactness: the inner loop keeps the per-tick float carry ops in
+// the legacy op order and expression shape (per-app accumulators are
+// independent, so app-major iteration equals the legacy tick-major
+// order), the clock accumulates tick by tick (a closed-form n·dt would
+// round differently), and the integer counter deltas are summed locally
+// and issued as one batched pmc add per app per horizon — exact because
+// integer sums are associative and occupancy adopts the latest reading
+// (pinned in internal/pmc).
+func (k *kernel) advanceHorizon(until, maxTime float64) (bool, error) {
+	n := k.horizonTicks()
+	// Time-driven events: stop at the first tick that reaches one. The
+	// post-batch checks (and the next loop top) then handle it exactly
+	// like the legacy path, which also only acts on tick boundaries.
+	stop := until
+	if k.arrIdx < len(k.arrivals) && k.arrivals[k.arrIdx].Time < stop {
+		stop = k.arrivals[k.arrIdx].Time
+	}
+	if k.nextPolicy < stop {
+		stop = k.nextPolicy
+	}
+	if k.collect {
+		if w := k.winStart + k.series.Width; w < stop {
+			stop = w
+		}
+	}
+	if k.doneAt > 0 && k.doneAt < stop {
+		stop = k.doneAt
+	}
+	ticks := 0
+	for {
+		k.simTime += k.dt
+		ticks++
+		if ticks >= n || k.simTime >= stop || k.simTime > maxTime {
+			break
+		}
+	}
+
+	anyChange := false
+	for _, a := range k.actives {
+		if !a.active {
+			continue
+		}
+		ph := a.inst.Phase() // constant for the whole batch (Advance is deferred)
+
+		// The four carry chains touch disjoint state, so they commute
+		// across the batch: process them chain-major instead of
+		// tick-major (bit-identical to the legacy interleaving), in
+		// segments that end at the app's own counter-window deliveries.
+		// Under a non-passive policy the horizon already ends the batch
+		// at the first possible window, so there is exactly one segment;
+		// under a passive one (passiveWin) windows land mid-batch and
+		// are delivered here, per app instead of in global tick order —
+		// indistinguishable by the PassiveWindows contract.
+		var insnsSum uint64
+		remaining := ticks
+		for {
+			seg, segInsns := k.advanceInsnsChain(a, ph, remaining)
+			insnsSum += segInsns
+			// Cycle, miss and stall chains have no per-tick side
+			// effects: tick 1 in the legacy float shape, remainder in
+			// closed form (or legacy float ticks for degenerate steps).
+			missSum := carryBatch(&a.fracMiss, a.missStep, &a.missGrid, seg)
+			a.counter.Add(pmc.Sample{
+				Instructions:   segInsns,
+				Cycles:         carryBatch(&a.fracCycles, a.cycleStep, &a.cycleGrid, seg),
+				LLCMisses:      missSum,
+				LLCAccesses:    missSum * 2,
+				StallsL2Miss:   carryBatch(&a.fracStall, a.stallStep, &a.stallGrid, seg),
+				OccupancyBytes: a.share,
+			})
+			remaining -= seg
+			if remaining == 0 {
+				break
+			}
+			// Mid-batch window delivery, the legacy delivery loop
+			// verbatim. OnWindow must return false here (the policy
+			// declared its windows passive); anyChange is still
+			// honored as a best-effort defense, but a policy that
+			// violates the contract forfeits bit-identity with the
+			// per-tick path.
+			for a.counter.Total().Instructions >= a.nextWin {
+				w := a.counter.ReadWindow()
+				if k.pol.OnWindow(a.monID, w) {
+					anyChange = true
+				}
+				a.nextWin = a.counter.Total().Instructions + k.pol.WindowInsns(a.monID)
+			}
+		}
+
+		if insnsSum > 0 {
+			if a.inst.Advance(insnsSum) {
+				k.perfDirty = true
+			}
+		}
+		changed, err := k.appEvents(a, insnsSum)
+		if err != nil {
+			return false, err
+		}
+		anyChange = anyChange || changed
+	}
+	return anyChange, nil
+}
+
+// advanceInsnsChain advances one application's instruction and
+// alone-clock chain by up to maxTicks ticks, stopping at (and
+// including) the first tick whose cumulative retirement reaches the
+// app's next counter-window threshold. It returns the ticks consumed —
+// the segment length the sibling chains must then advance — and the
+// instructions retired.
+//
+// Tick 1 runs in the legacy float shape (grid alignment, lazy
+// alone-phase resolution); the remaining ticks advance the carry on
+// exact integer arithmetic when the step allows it (carryGrid), with
+// the alone-clock's two possible per-tick quotients memoized per
+// (base, rate) instead of divided per tick. The per-tick rate product
+// is loop-invariant (cached by refreshSteps in the legacy expression
+// shape): re-adding the identical value every tick is bit-identical to
+// the legacy recomputation.
+func (k *kernel) advanceInsnsChain(a *kernelApp, ph *appmodel.PhaseSpec, maxTicks int) (int, uint64) {
+	insnStep := a.insnStep
+	if !(insnStep > 0) {
+		// No retirement: every tick adds +0.0 to a non-negative carry
+		// and floors it — a bitwise no-op, so the whole segment is
+		// consumed at once.
+		return maxTicks, 0
+	}
+	winLeft := a.nextWin - a.counter.Total().Instructions // ≥ 1 between deliveries
+
+	// Tick 1, legacy shape.
+	a.fracInsns += insnStep
+	insns := uint64(a.fracInsns)
+	a.fracInsns -= float64(insns)
+	var cum uint64
+	if insns > 0 {
+		if ph != a.alonePhase {
+			a.alonePhase = ph
+			a.aloneIPS = k.alonePhaseIPS(ph)
+		}
+		a.aloneT += float64(insns) / a.aloneIPS
+		cum = insns
+	}
+	done := 1
+	if m := maxTicks - 1; m > 0 && cum < winLeft {
+		if g := &a.insnGrid; g.ok {
+			// base ≥ 1, so tick 1 retired instructions and resolved the
+			// alone-clock rate.
+			if a.incBase != g.base || a.incIPS != a.aloneIPS {
+				a.incBase, a.incIPS = g.base, a.aloneIPS
+				a.inc0 = float64(g.base) / a.aloneIPS
+				a.inc1 = float64(g.base+1) / a.aloneIPS
+			}
+			inc0, inc1 := a.inc0, a.inc1
+			base, sfrac, sh, mask := g.base, g.sfrac, g.sh, g.mask
+			f := uint64(a.fracInsns * float64(mask+1))
+			aloneT := a.aloneT
+			for i := 0; i < m; i++ {
+				f += sfrac
+				extra := f >> sh
+				f &= mask
+				inc := inc0
+				if extra != 0 {
+					inc = inc1
+				}
+				aloneT += inc
+				cum += base + extra
+				done++
+				if cum >= winLeft {
+					break
+				}
+			}
+			a.aloneT = aloneT
+			a.fracInsns = float64(f) / float64(mask+1)
+		} else {
+			// Degenerate steps (< 1 instruction per tick, or at a
+			// binade edge): legacy float ticks.
+			fracInsns, aloneT := a.fracInsns, a.aloneT
+			for i := 0; i < m; i++ {
+				fracInsns += insnStep
+				insns := uint64(fracInsns)
+				fracInsns -= float64(insns)
+				if insns > 0 {
+					if ph != a.alonePhase {
+						a.alonePhase = ph
+						a.aloneIPS = k.alonePhaseIPS(ph)
+					}
+					aloneT += float64(insns) / a.aloneIPS
+					cum += insns
+				}
+				done++
+				if cum >= winLeft {
+					break
+				}
+			}
+			a.fracInsns, a.aloneT = fracInsns, aloneT
+		}
+	}
+	return done, cum
 }
 
 // finish closes the trailing partial metrics window once the run is

@@ -81,6 +81,18 @@ type Progress struct {
 	Runs []int
 }
 
+// TimeHorizoned is an optional Scenario refinement the execution
+// kernel's event-horizon fast path consults: Horizon returns the one
+// simulated time at or beyond which Done may flip to true as a function
+// of Progress.Time alone (0 = Done never depends on time), and the
+// value must be fixed for the lifetime of a run. Declaring it lets the
+// kernel advance whole event horizons at once instead of polling Done
+// every tick; scenarios that do not implement it run on the legacy
+// per-tick path, which imposes no constraint on Done.
+type TimeHorizoned interface {
+	Horizon() float64
+}
+
 // Scenario shapes one experiment over the scenario-agnostic kernel.
 type Scenario interface {
 	// Name labels the scenario in results and reports.
@@ -127,6 +139,11 @@ func (c *Closed) Initial() []*appmodel.Spec { return c.Specs }
 
 // Arrivals implements Scenario: a closed system has none.
 func (c *Closed) Arrivals() []Arrival { return nil }
+
+// Horizon implements TimeHorizoned: a closed run's Done depends only on
+// completed runs, never on time, so the kernel's event-horizon fast
+// path is always safe.
+func (c *Closed) Horizon() float64 { return 0 }
 
 // OnRunComplete implements Scenario.
 func (c *Closed) OnRunComplete(slot, runs int) Outcome {
@@ -214,7 +231,10 @@ func (o *Open) WithHorizon(seconds float64) *Open {
 }
 
 // Horizon returns the cap set by WithHorizon (0 = none) — the cluster
-// layer propagates it to every machine it feeds from the trace.
+// layer propagates it to every machine it feeds from the trace, and it
+// implements TimeHorizoned: the cap is the only time at which Done can
+// flip as a function of time alone. Call WithHorizon before the run
+// starts; the kernel captures the value once.
 func (o *Open) Horizon() float64 { return o.horizon }
 
 // Name implements Scenario.

@@ -35,7 +35,11 @@
 // Time advances in fixed ticks (PolicyPeriod/TicksPerPeriod); progress
 // per tick comes from the contention model, re-evaluated (memoized)
 // only when the CAT configuration, the population or some application's
-// phase changes.
+// phase changes. Between state-changing events every rate is constant,
+// so the kernel batches all whole ticks up to the earliest next event
+// (arrival, counter window, run completion, phase boundary, policy
+// activation, metrics window, horizon) into one event-horizon advance
+// with bit-identical results — see DESIGN.md §2 "Time advancement".
 package sim
 
 import (
@@ -68,6 +72,27 @@ type Dynamic interface {
 	Assignment() (map[int]cat.WayMask, error)
 }
 
+// PassiveWindows is an optional Dynamic refinement the kernel's
+// event-horizon fast path consults. A policy reporting true promises
+// that its counter-window delivery is application-local:
+//
+//   - OnWindow always returns false (it never requests a mask refresh
+//     between partitioner activations),
+//   - WindowInsns is constant for an id over that id's lifetime, and
+//   - neither OnWindow nor WindowInsns for one id depends on deliveries
+//     made to other ids.
+//
+// Under that promise the kernel may deliver counter windows inside an
+// event-horizon batch, per app instead of in global tick order —
+// indistinguishable to a conforming policy — so a fleet of staggered
+// windows no longer fragments the batch. Stock and Dunn qualify (they
+// only record per-app samples between activations); LFOC and
+// KPartDynaway do not (their sampling episodes reconfigure masks from
+// OnWindow) and must not declare it.
+type PassiveWindows interface {
+	PassiveWindows() bool
+}
+
 // Config parameterizes a simulation.
 type Config struct {
 	Plat *machine.Platform
@@ -93,6 +118,12 @@ type Config struct {
 	// noEquilCache disables the equilibrium memoization (testing knob:
 	// the memoized and direct paths must agree exactly).
 	noEquilCache bool
+
+	// noEventHorizon forces the legacy per-tick reference path,
+	// disabling the kernel's event-horizon batched advancement (testing
+	// knob: the batched and per-tick paths must produce bit-identical
+	// results, pinned by the randomized differential test).
+	noEventHorizon bool
 }
 
 // Validate applies defaults and checks consistency.
@@ -295,6 +326,10 @@ func (f *FixedPlanPolicy) WindowInsns(int) uint64 { return math.MaxUint64 / 4 }
 
 // OnWindow implements Dynamic.
 func (f *FixedPlanPolicy) OnWindow(int, pmc.Sample) bool { return false }
+
+// PassiveWindows implements the PassiveWindows refinement: a fixed plan
+// ignores windows entirely.
+func (f *FixedPlanPolicy) PassiveWindows() bool { return true }
 
 // Reconfigure implements Dynamic.
 func (f *FixedPlanPolicy) Reconfigure() plan.Plan { return f.plan }
