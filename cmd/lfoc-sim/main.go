@@ -40,6 +40,20 @@
 // partitioning grid at each rate; an explicit -placement or -policy
 // narrows the corresponding grid axis.
 //
+// -events, -mtbf and -autoscale (each implies cluster mode) add the
+// machine lifecycle layer: -events schedules joins/drains/failures
+// (drain:t=5,m=1;fail:t=7,m=0;join:t=9), -mtbf injects seeded random
+// machine failures with the given mean time between failures, and
+// -autoscale (i=<interval>[,up=][,down=][,min=][,max=]) scales the
+// fleet with load. Drained machines migrate their residents when the
+// cost-aware policy finds it worth it (-migration-cost tunes the
+// tradeoff; negative disables migration); failed machines requeue them
+// with exponential backoff bounded by -max-retries. The identical
+// (seed, trace, schedule) inputs reproduce the identical run at any
+// -machines/worker configuration. With -sweep, the lifecycle flags turn
+// the placement × policy grid into a chaos sweep: every cell faces the
+// same trace and the same disruption schedule.
+//
 // -cpuprofile/-memprofile write pprof profiles of the run, so perf
 // investigations start from a profile instead of a guess.
 //
@@ -100,6 +114,11 @@ type clusterJSON struct {
 	// Mix is the -machine-mix fleet specification (empty when the fleet
 	// is homogeneous).
 	Mix string `json:"mix,omitempty"`
+	// Events and MTBF echo the -events schedule and -mtbf setting of a
+	// lifecycle run (omitted otherwise, keeping lifecycle-free JSON
+	// byte-identical to earlier releases).
+	Events []workloads.FleetEvent `json:"events,omitempty"`
+	MTBF   float64                `json:"mtbf,omitempty"`
 	*cluster.Result
 }
 
@@ -116,22 +135,87 @@ type clusterSweepJSON struct {
 	Grids []harness.ClusterSweepData `json:"grids"`
 }
 
+// chaosSweepJSON is the -json schema of a chaos -sweep grid (one entry
+// per rate).
+type chaosSweepJSON struct {
+	Scale uint64                   `json:"scale"`
+	Grids []harness.ChaosSweepData `json:"grids"`
+}
+
+// lifecycleConfig bundles the parsed lifecycle flags.
+type lifecycleConfig struct {
+	events        []workloads.FleetEvent
+	mtbf          float64
+	autoscale     *cluster.Autoscale
+	maxRetries    int
+	retryBackoff  float64
+	migrationCost float64
+}
+
+func (l lifecycleConfig) active() bool {
+	return len(l.events) > 0 || l.mtbf > 0 || l.autoscale != nil
+}
+
+// parseAutoscale parses -autoscale: comma-separated key=value with keys
+// i/interval (required), up, down, min, max.
+func parseAutoscale(s string) (*cluster.Autoscale, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	as := &cluster.Autoscale{Up: 1, Down: 0.1, Min: 1}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("-autoscale: malformed field %q (want key=value)", kv)
+		}
+		var err error
+		switch key {
+		case "i", "interval":
+			as.Interval, err = strconv.ParseFloat(val, 64)
+		case "up":
+			as.Up, err = strconv.ParseFloat(val, 64)
+		case "down":
+			as.Down, err = strconv.ParseFloat(val, 64)
+		case "min":
+			as.Min, err = strconv.Atoi(val)
+		case "max":
+			as.Max, err = strconv.Atoi(val)
+		default:
+			return nil, fmt.Errorf("-autoscale: unknown field %q (want i, up, down, min or max)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("-autoscale: bad %s value %q", key, val)
+		}
+	}
+	if as.Interval <= 0 {
+		return nil, fmt.Errorf("-autoscale: needs a positive check interval (i=<seconds>)")
+	}
+	return as, nil
+}
+
 func main() {
 	var (
-		workload  = flag.String("workload", "", "workload name (S1..S21, P1..P15)")
-		apps      = flag.String("apps", "", "comma-separated benchmark list (alternative to -workload)")
-		polName   = flag.String("policy", "lfoc", "policy: stock | dunn | lfoc")
-		scale     = flag.Uint64("scale", 50, "time-scale divisor (1 = paper scale)")
-		arrivals  = flag.String("arrivals", "", "open-system arrival process: poisson:<rate> | uniform:<interval>")
-		duration  = flag.Float64("duration", 10, "open-system arrival window in simulated seconds")
-		seed      = flag.Int64("seed", 1, "seed for the open-system arrival trace")
-		sweep     = flag.String("sweep", "", "comma-separated Poisson rates: compare stock/dunn/lfoc across the load sweep")
-		machines  = flag.Int("machines", 1, "cluster size: spread arrivals across this many machines")
-		mix       = flag.String("machine-mix", "", "heterogeneous fleet spec: <count>x<ways>way[<cores>c],... e.g. 2x11way,2x7way (implies cluster mode)")
-		placement = flag.String("placement", "", "cluster placement policy: rr | least | fair (implies cluster mode)")
-		jsonOut   = flag.String("json", "", "write the machine-readable result to this file")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		workload      = flag.String("workload", "", "workload name (S1..S21, P1..P15)")
+		apps          = flag.String("apps", "", "comma-separated benchmark list (alternative to -workload)")
+		polName       = flag.String("policy", "lfoc", "policy: stock | dunn | lfoc")
+		scale         = flag.Uint64("scale", 50, "time-scale divisor (1 = paper scale)")
+		arrivals      = flag.String("arrivals", "", "open-system arrival process: poisson:<rate> | uniform:<interval>")
+		duration      = flag.Float64("duration", 10, "open-system arrival window in simulated seconds")
+		seed          = flag.Int64("seed", 1, "seed for the open-system arrival trace")
+		sweep         = flag.String("sweep", "", "comma-separated Poisson rates: compare stock/dunn/lfoc across the load sweep")
+		machines      = flag.Int("machines", 1, "cluster size: spread arrivals across this many machines")
+		mix           = flag.String("machine-mix", "", "heterogeneous fleet spec: <count>x<ways>way[<cores>c],... e.g. 2x11way,2x7way (implies cluster mode)")
+		placement     = flag.String("placement", "", "cluster placement policy: rr | least | fair (implies cluster mode)")
+		events        = flag.String("events", "", "fleet lifecycle schedule: kind:t=<s>[,m=<idx>];... e.g. drain:t=5,m=1;fail:t=7,m=0;join:t=9 (implies cluster mode)")
+		mtbf          = flag.Float64("mtbf", 0, "mean time between random machine failures, simulated seconds (0 = none; implies cluster mode)")
+		autoscale     = flag.String("autoscale", "", "load-triggered autoscaling: i=<interval>[,up=<ratio>][,down=<ratio>][,min=<n>][,max=<n>] (implies cluster mode)")
+		maxRetries    = flag.Int("max-retries", 0, "failure retry budget per application (0 = default 3)")
+		retryBackoff  = flag.Float64("retry-backoff", 0, "base failure-retry backoff, simulated seconds (0 = default 0.25)")
+		migrationCost = flag.Float64("migration-cost", 0, "modeled live-migration cost, simulated seconds (negative disables drain migration)")
+		jsonOut       = flag.String("json", "", "write the machine-readable result to this file")
+		cpuProf       = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf       = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
@@ -149,12 +233,28 @@ func main() {
 	if *sweep != "" && *arrivals != "" {
 		fail(fmt.Errorf("-sweep and -arrivals are mutually exclusive (a sweep generates its own traces)"))
 	}
-	clustered := *machines > 1 || *placement != "" || *mix != ""
+	clustered := *machines > 1 || *placement != "" || *mix != "" ||
+		*events != "" || *mtbf > 0 || *autoscale != ""
 	if *placement == "" {
 		*placement = "rr"
 	}
 	if clustered && *sweep == "" && *arrivals == "" {
 		fail(fmt.Errorf("cluster mode needs an open system: set -arrivals or -sweep"))
+	}
+	if *mtbf < 0 {
+		fail(fmt.Errorf("-mtbf must be nonnegative, got %v", *mtbf))
+	}
+	fleetEvents, err := workloads.ParseFleetEvents(*events)
+	exitOn(err)
+	autoscaleCfg, err := parseAutoscale(*autoscale)
+	exitOn(err)
+	lifecycle := lifecycleConfig{
+		events:        fleetEvents,
+		mtbf:          *mtbf,
+		autoscale:     autoscaleCfg,
+		maxRetries:    *maxRetries,
+		retryBackoff:  *retryBackoff,
+		migrationCost: *migrationCost,
 	}
 
 	cfg := harness.DefaultConfig()
@@ -210,6 +310,20 @@ func main() {
 			if explicit["policy"] {
 				policies = []string{*polName}
 			}
+			if lifecycle.active() {
+				// Chaos sweep: the same grid, every cell facing the same
+				// trace plus the same disruption schedule.
+				out := chaosSweepJSON{Scale: cfg.Scale}
+				for _, rate := range rates {
+					d, err := harness.ChaosSweep(cfg, w.Name, fleetSize, *mix, placements, policies,
+						[]float64{lifecycle.mtbf}, lifecycle.events, lifecycle.migrationCost, rate, *duration, *seed)
+					exitOn(err)
+					fmt.Println(d.Render())
+					out.Grids = append(out.Grids, d)
+				}
+				writeJSON(*jsonOut, out)
+				break
+			}
 			out := clusterSweepJSON{Scale: cfg.Scale}
 			for _, rate := range rates {
 				d, err := harness.ClusterSweep(cfg, w.Name, fleetSize, *mix, placements, policies, rate, *duration, *seed)
@@ -225,7 +339,7 @@ func main() {
 			writeJSON(*jsonOut, sweepJSON{Scale: cfg.Scale, ChurnData: d})
 		}
 	case clustered:
-		runCluster(cfg, w, *polName, *placement, fleetSize, *mix, *arrivals, *duration, *seed, *jsonOut)
+		runCluster(cfg, w, *polName, *placement, fleetSize, *mix, *arrivals, *duration, *seed, *jsonOut, lifecycle)
 	case *arrivals != "":
 		runOpen(cfg, w, *polName, *arrivals, *duration, *seed, *jsonOut)
 	default:
@@ -339,7 +453,7 @@ func runOpen(cfg harness.Config, w workloads.Workload, polName, arrivals string,
 	writeJSON(jsonOut, openJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, OpenResult: res})
 }
 
-func runCluster(cfg harness.Config, w workloads.Workload, polName, placement string, machines int, mix, arrivals string, duration float64, seed int64, jsonOut string) {
+func runCluster(cfg harness.Config, w workloads.Workload, polName, placement string, machines int, mix, arrivals string, duration float64, seed int64, jsonOut string, lc lifecycleConfig) {
 	scn, seed := openScenario(cfg, w, arrivals, duration, seed)
 
 	pl, err := cluster.NewPlacement(placement, cfg.Plat)
@@ -351,6 +465,23 @@ func runCluster(cfg harness.Config, w workloads.Workload, polName, placement str
 	}
 	sims, err := ccfg.MachineConfigs()
 	exitOn(err)
+	if lc.active() {
+		cevents, err := harness.ClusterEvents(lc.events)
+		exitOn(err)
+		ccfg.Lifecycle = &cluster.Lifecycle{
+			Events:        cevents,
+			MTBF:          lc.mtbf,
+			FailureSeed:   seed,
+			MaxRetries:    lc.maxRetries,
+			RetryBackoff:  lc.retryBackoff,
+			MigrationCost: lc.migrationCost,
+			Autoscale:     lc.autoscale,
+			JoinPolicy: func(i int, mc sim.Config) (sim.Dynamic, error) {
+				pol, _, err := cfg.NewDynamicPolicyFor(polName, mc.Plat)
+				return pol, err
+			},
+		}
+	}
 	res, err := cluster.Run(ccfg,
 		scn, func(i int) (sim.Dynamic, error) {
 			// Per-machine platform: a heterogeneous fleet needs each
@@ -379,8 +510,27 @@ func runCluster(cfg harness.Config, w workloads.Workload, polName, placement str
 		res.Series.MeanUnfairness(), res.Series.MeanSTP(), res.Series.TotalThroughput())
 	fmt.Printf("repartitions: %d    simulated: %.1fs    windows: %d × %.3fs\n",
 		res.Repartitions, res.SimSeconds, len(res.Series.Points), res.Series.Width)
+	if l := res.Lifecycle; l != nil {
+		fmt.Printf("\nlifecycle: %d events (%d joins, %d drains, %d failures",
+			l.Events, l.Joins, l.Drains, l.Failures)
+		if l.AutoscaleActions > 0 {
+			fmt.Printf("; %d autoscale actions", l.AutoscaleActions)
+		}
+		fmt.Printf(")    availability: %.3f\n", l.Availability)
+		fmt.Printf("disrupted: %d    migrated: %d    requeued: %d (retries %d)    dead-lettered: %d    unplaced: %d\n",
+			l.Disruptions, l.Migrations, l.Requeues, l.Retries, l.DeadLettered, l.Unplaced)
+		fmt.Printf("fleet: %d/%d machines up at end    mean migration latency: %.3fs    mean requeue latency: %.3fs\n",
+			l.FinalMachines, l.FleetSize, l.MeanMigrationLatency, l.MeanRequeueLatency)
+		for _, m := range res.PerMachine {
+			if m.State == "up" {
+				continue
+			}
+			fmt.Printf("  machine %d: %s at %.3fs\n", m.Index, m.State, m.DownAt)
+		}
+	}
 
-	writeJSON(jsonOut, clusterJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, Mix: mix, Result: res})
+	writeJSON(jsonOut, clusterJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, Mix: mix,
+		Events: lc.events, MTBF: lc.mtbf, Result: res})
 }
 
 func writeJSON(path string, v any) {

@@ -249,6 +249,30 @@ func (in *Instance) Advance(insns uint64) bool {
 	return changed
 }
 
+// IntoPhase returns the instructions retired inside the current phase —
+// together with PhaseIndex and TotalInstructions it is the complete
+// progress coordinate of an instance, which is what lets a migrated
+// application resume on another machine exactly where it left off.
+func (in *Instance) IntoPhase() uint64 { return in.intoPhase }
+
+// SeekTo positions the instance at an explicit progress coordinate:
+// phase index, instructions retired inside that phase, and total
+// instructions retired since the last restart. It is the inverse of the
+// (PhaseIndex, IntoPhase, TotalInstructions) accessors, used to restore
+// a migrated application's progress on its destination machine.
+func (in *Instance) SeekTo(phase int, intoPhase, total uint64) error {
+	if phase < 0 || phase >= len(in.Spec.Phases) {
+		return fmt.Errorf("appmodel: seek to phase %d of %d", phase, len(in.Spec.Phases))
+	}
+	if d := in.Spec.Phases[phase].DurationInsns; d > 0 && intoPhase > d {
+		return fmt.Errorf("appmodel: seek %d instructions into a %d-instruction phase", intoPhase, d)
+	}
+	in.phase = phase
+	in.intoPhase = intoPhase
+	in.totalInsns = total
+	return nil
+}
+
 // InstructionsToPhaseEnd returns how many instructions remain in the
 // current phase (0 for an endless terminal phase).
 func (in *Instance) InstructionsToPhaseEnd() uint64 {

@@ -65,6 +65,12 @@ type Config struct {
 	// 1 = serial). Machines are independent between placement points, so
 	// the setting affects wall-clock time only, never results.
 	Workers int
+	// Lifecycle, when set and carrying events (scheduled, MTBF or
+	// autoscale), runs the machine lifecycle layer: a deterministic
+	// event timeline interleaved with the arrival stream. Nil or empty
+	// is guaranteed zero-cost — Run takes the historical path and
+	// produces byte-identical results.
+	Lifecycle *Lifecycle
 }
 
 // MachineConfigs resolves the per-machine simulator configurations: N
@@ -135,6 +141,14 @@ type MachineResult struct {
 	Arrivals int `json:"arrivals"`
 	// Wait is the admission-queue wait distribution over admitted apps.
 	Wait WaitStats `json:"wait"`
+	// State is the machine's lifecycle state when the run ended: "up",
+	// "drained" or "failed". Empty when the run had no lifecycle layer.
+	State string `json:"state,omitempty"`
+	// JoinedAt is when the machine joined the fleet (omitted for the
+	// initial fleet); DownAt when it was drained or failed (omitted
+	// while up). Lifecycle runs only.
+	JoinedAt float64 `json:"joined_at,omitempty"`
+	DownAt   float64 `json:"down_at,omitempty"`
 	// Open is the machine's full open-system result: per-app outcomes
 	// and its windowed metric series.
 	Open *sim.OpenResult `json:"result"`
@@ -174,6 +188,10 @@ type Result struct {
 	PeakActive   int     `json:"peak_active"`
 	Repartitions int     `json:"repartitions"`
 	SimSeconds   float64 `json:"sim_seconds"`
+	// Lifecycle reports the machine lifecycle layer's accounting; nil
+	// when the run had none (keeping lifecycle-free JSON byte-identical
+	// to earlier releases).
+	Lifecycle *LifecycleSummary `json:"lifecycle,omitempty"`
 }
 
 // Run executes an open scenario over a cluster. newPolicy constructs
@@ -225,19 +243,40 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 		placed[i] = len(perMachineInitial[i])
 	}
 
+	pool := newFleetPool(machines, states, cfg.Workers)
+	defer pool.close()
+
+	// Lifecycle path: the engine interleaves the event timeline with
+	// the arrival stream. Gated so a lifecycle-free run pays nothing
+	// and takes the exact historical loop below.
+	if cfg.Lifecycle.active() {
+		eng, err := newEngine(&cfg, cfg.Lifecycle, scn, sims, pool, placed, len(arrivals))
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.schedule(arrivals); err != nil {
+			return nil, err
+		}
+		if err := eng.run(arrivals); err != nil {
+			return nil, err
+		}
+		if err := pool.drain(); err != nil {
+			return nil, err
+		}
+		return buildResult(cfg, scn, pool.machines, eng.placed, eng.assignments, eng)
+	}
+
 	// Main loop: advance the fleet to each arrival instant (in parallel
 	// — machines share nothing between placement points), place against
 	// the synchronized states, inject serially.
-	pool := newFleetPool(machines, states, cfg.Workers)
-	defer pool.close()
 	assignments := make([]int, 0, len(arrivals))
 	for _, arr := range arrivals {
 		if err := pool.advanceTo(arr.Time); err != nil {
 			return nil, err
 		}
 		idx := cfg.Placement.Place(arr.Spec, arr.Time, states)
-		if idx < 0 || idx >= nMachines {
-			return nil, fmt.Errorf("cluster: placement %q chose machine %d of %d", cfg.Placement.Name(), idx, nMachines)
+		if err := checkPlaced(cfg.Placement.Name(), idx, nMachines, nil); err != nil {
+			return nil, err
 		}
 		if err := machines[idx].Inject(arr); err != nil {
 			return nil, fmt.Errorf("cluster: machine %d: %w", idx, err)
@@ -252,7 +291,7 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 		return nil, err
 	}
 
-	return buildResult(cfg, scn, machines, placed, assignments)
+	return buildResult(cfg, scn, machines, placed, assignments, nil)
 }
 
 // placeInitial routes the time-zero applications: each is placed against
@@ -267,8 +306,8 @@ func placeInitial(p Policy, initial []*appmodel.Spec, states []MachineState) ([]
 	perMachine := make([][]*appmodel.Spec, len(states))
 	for _, spec := range initial {
 		idx := p.Place(spec, 0, states)
-		if idx < 0 || idx >= len(states) {
-			return nil, fmt.Errorf("cluster: placement %q chose machine %d of %d", p.Name(), idx, len(states))
+		if err := checkPlaced(p.Name(), idx, len(states), nil); err != nil {
+			return nil, err
 		}
 		perMachine[idx] = append(perMachine[idx], spec)
 		if states[idx].Active < states[idx].Cores {
@@ -339,8 +378,15 @@ func newFleetPool(machines []*sim.OpenMachine, states []MachineState, workers in
 
 // run executes one job; the error (if any) lands in the job's slot so
 // dispatch can report the lowest-indexed failure deterministically.
+// Halted machines are skipped entirely — halts only happen serially
+// between batches (lifecycle events are placement-layer work), and the
+// pool's channel handoff orders them before any later job, so the check
+// is race-free at every worker count.
 func (p *fleetPool) run(j fleetJob) {
 	m := p.machines[j.idx]
+	if m.Halted() {
+		return
+	}
 	if j.drain {
 		p.errs[j.idx] = m.Drain()
 		return
@@ -349,10 +395,28 @@ func (p *fleetPool) run(j fleetJob) {
 		p.errs[j.idx] = err
 		return
 	}
-	s := &p.states[j.idx]
+	p.refreshState(j.idx)
+}
+
+// refreshState re-reads one machine's placement-visible state. The
+// lifecycle engine calls it after out-of-band injections (migrations,
+// requeues at the displacement instant) so the next placement decision
+// sees the move.
+func (p *fleetPool) refreshState(idx int) {
+	m := p.machines[idx]
+	s := &p.states[idx]
 	s.Active = m.Active()
 	s.Queued = m.Queued()
 	s.Phases = m.ActivePhases(s.Phases[:0])
+}
+
+// grow appends a joining machine to the pool. Serial-only, like halts:
+// the lifecycle engine grows the fleet between batches, and the next
+// dispatch picks the new machine up.
+func (p *fleetPool) grow(m *sim.OpenMachine, state MachineState) {
+	p.machines = append(p.machines, m)
+	p.states = append(p.states, state)
+	p.errs = append(p.errs, nil)
 }
 
 // dispatch runs one job per machine (inline when the pool is serial) and
@@ -397,7 +461,10 @@ func (p *fleetPool) close() {
 	}
 }
 
-func buildResult(cfg Config, scn *scenario.Open, machines []*sim.OpenMachine, placed, assignments []int) (*Result, error) {
+// buildResult assembles the cluster result. eng is the lifecycle
+// engine when the run had one (nil otherwise — every lifecycle field
+// stays empty and the JSON shape is unchanged).
+func buildResult(cfg Config, scn *scenario.Open, machines []*sim.OpenMachine, placed, assignments []int, eng *engine) (*Result, error) {
 	res := &Result{
 		Scenario:    scn.Name(),
 		Placement:   cfg.Placement.Name(),
@@ -419,6 +486,23 @@ func buildResult(cfg Config, scn *scenario.Open, machines []*sim.OpenMachine, pl
 			Arrivals: placed[i],
 			Wait:     waitStats(open),
 			Open:     open,
+		}
+		if eng != nil {
+			mr := &res.PerMachine[i]
+			switch {
+			case eng.up[i]:
+				mr.State = "up"
+			case eng.failedAt[i]:
+				mr.State = "failed"
+			default:
+				mr.State = "drained"
+			}
+			if eng.joinedAt[i] > 0 {
+				mr.JoinedAt = eng.joinedAt[i]
+			}
+			if eng.downAt[i] >= 0 {
+				mr.DownAt = eng.downAt[i]
+			}
 		}
 		series[i] = &open.Series
 		res.Departed += open.Departed
@@ -449,6 +533,10 @@ func buildResult(cfg Config, scn *scenario.Open, machines []*sim.OpenMachine, pl
 		res.Summary = metrics.Summary{Unfairness: unf, STP: stp}
 		res.MeanSlowdown = mean
 		res.MeanWait = waitSum / float64(res.Departed)
+	}
+	if eng != nil {
+		res.Remaining += len(eng.parked)
+		res.Lifecycle = eng.finish(res.SimSeconds)
 	}
 	return res, nil
 }

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"github.com/faircache/lfoc/internal/machine"
+	"github.com/faircache/lfoc/internal/sim"
+)
+
+// MigrationPolicy decides where an application displaced by a machine
+// drain goes: live-migrate it (progress preserved, modeled cost paid)
+// or requeue it through normal placement (progress forfeited). One
+// instance per cluster run, like Policy.
+type MigrationPolicy interface {
+	// Name labels the policy in results and errors.
+	Name() string
+	// Migrate returns the MachineState.Index of the destination machine,
+	// or a negative value to requeue the resident FIFO instead.
+	// candidates holds the up machines in index order (never the drained
+	// machine itself); the chosen destination must have a free core —
+	// live migration cannot park an app in an admission queue. Queued
+	// residents are requeued by the engine and never offered here.
+	Migrate(r sim.Resident, candidates []MachineState) int
+}
+
+// CostAwareMigration is the default drain-migration policy: it weighs
+// the modeled migration cost against the predicted win. The win of a
+// live migration is the resident's preserved progress — its accumulated
+// alone-clock, which a requeue forfeits entirely — so a resident
+// migrates only when AloneSeconds exceeds Cost; young applications are
+// cheaper to restart than to move. Among the candidate machines with a
+// free core, the destination is the one whose residents plus the
+// migrant predict the lowest unfairness under the sharing model (the
+// same full-LLC scoring the fairness-aware placement uses, evaluated on
+// each candidate's own platform), ties to the lower index.
+type CostAwareMigration struct {
+	// Cost is the modeled migration cost in simulated seconds (state
+	// transfer, cache re-warm). Zero migrates every resident with a
+	// destination available.
+	Cost float64
+
+	ref   *machine.Platform
+	evals map[*machine.Platform]*platformEval
+	sds   []float64
+}
+
+// NewCostAwareMigration returns the default migration policy. plat is
+// the fallback platform for candidates whose state carries none.
+func NewCostAwareMigration(cost float64, plat *machine.Platform) *CostAwareMigration {
+	c := &CostAwareMigration{Cost: cost, ref: plat, evals: map[*machine.Platform]*platformEval{}}
+	c.evals[plat] = newPlatformEval(plat)
+	return c
+}
+
+// Name implements MigrationPolicy.
+func (c *CostAwareMigration) Name() string { return "cost-aware" }
+
+func (c *CostAwareMigration) evalFor(plat *machine.Platform) *platformEval {
+	if plat == nil {
+		plat = c.ref
+	}
+	pe, ok := c.evals[plat]
+	if !ok {
+		pe = newPlatformEval(plat)
+		c.evals[plat] = pe
+	}
+	return pe
+}
+
+// Migrate implements MigrationPolicy.
+func (c *CostAwareMigration) Migrate(r sim.Resident, candidates []MachineState) int {
+	if r.Queued || r.AloneSeconds <= c.Cost {
+		return -1
+	}
+	ph := &r.Spec.Phases[r.PhaseIndex]
+	best, bestScore := -1, 0.0
+	for _, m := range candidates {
+		if m.Load() >= m.Cores {
+			continue // live migration needs a free core right now
+		}
+		pe := c.evalFor(m.Plat)
+		var score float64
+		score, c.sds = pe.predictedUnfairness(m.Phases, ph, c.sds)
+		if best < 0 || score < bestScore {
+			best, bestScore = m.Index, score
+		}
+	}
+	return best
+}

@@ -263,19 +263,34 @@ func (f *FairnessAware) Place(spec *appmodel.Spec, t float64, machines []Machine
 // newcomer would wait, and everyone ahead of it makes the wait longer).
 func (f *FairnessAware) score(ph *appmodel.PhaseSpec, m MachineState) float64 {
 	pe := f.evalFor(m.Plat)
+	var unfairness float64
+	unfairness, f.sds = pe.predictedUnfairness(m.Phases, ph, f.sds)
+	if m.Load() >= m.Cores {
+		unfairness *= float64(2 + m.Queued)
+	}
+	return unfairness
+}
+
+// predictedUnfairness evaluates the machine's residents plus one
+// newcomer under full-LLC sharing on this platform and returns the
+// predicted unfairness (max/min slowdown ratio) — the scoring core
+// shared by the fairness-aware placement and the cost-aware migration
+// policy. sds is the caller's scratch slice, returned so it can be
+// reused across calls.
+func (pe *platformEval) predictedUnfairness(residents []*appmodel.PhaseSpec, ph *appmodel.PhaseSpec, sds []float64) (float64, []float64) {
 	pe.scratch = pe.scratch[:0]
-	for i, resident := range m.Phases {
+	for i, resident := range residents {
 		pe.scratch = append(pe.scratch, sharing.App{ID: i, Phase: resident, Mask: pe.fullMask})
 	}
-	pe.scratch = append(pe.scratch, sharing.App{ID: len(m.Phases), Phase: ph, Mask: pe.fullMask})
+	pe.scratch = append(pe.scratch, sharing.App{ID: len(residents), Phase: ph, Mask: pe.fullMask})
 
 	pe.res = pe.eval.EvaluateInto(pe.res, pe.scratch)
-	f.sds = f.sds[:0]
+	sds = sds[:0]
 	for i, a := range pe.scratch {
-		f.sds = append(f.sds, pe.alone(a.Phase)/pe.res[i].Perf.IPC)
+		sds = append(sds, pe.alone(a.Phase)/pe.res[i].Perf.IPC)
 	}
-	lo, hi := f.sds[0], f.sds[0]
-	for _, s := range f.sds[1:] {
+	lo, hi := sds[0], sds[0]
+	for _, s := range sds[1:] {
 		if s < lo {
 			lo = s
 		}
@@ -283,11 +298,7 @@ func (f *FairnessAware) score(ph *appmodel.PhaseSpec, m MachineState) float64 {
 			hi = s
 		}
 	}
-	unfairness := hi / lo
-	if m.Load() >= m.Cores {
-		unfairness *= float64(2 + m.Queued)
-	}
-	return unfairness
+	return hi / lo, sds
 }
 
 // NewPlacement constructs a placement policy by name: "rr"/"roundrobin",

@@ -1,0 +1,51 @@
+package cluster
+
+import "testing"
+
+// quantile is the nearest-rank estimator behind WaitStats. The edge
+// cases matter operationally: machines that admitted nothing (empty)
+// and machines that admitted exactly one application (every quantile is
+// that observation) both appear in lifecycle runs, where a machine can
+// fail before its first admission.
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(nil, 0.5) = %v, want 0", got)
+	}
+	if got := quantile([]float64{}, 0.95); got != 0 {
+		t.Errorf("quantile(empty, 0.95) = %v, want 0", got)
+	}
+	single := []float64{3.25}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := quantile(single, q); got != 3.25 {
+			t.Errorf("quantile(single, %v) = %v, want 3.25", q, got)
+		}
+	}
+}
+
+// Pin the nearest-rank semantics on known data so any estimator change
+// shows up as an explicit golden failure, not a silent stat shift.
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 5},  // rank ceil-ish: int(0.5*10+0.5)-1 = 4 → element 5
+		{0.95, 10}, // int(0.95*10+0.5)-1 = 9 → element 10
+		{0.10, 1},
+		{1.00, 10},
+		{0.00, 1}, // clamped below
+	}
+	for _, c := range cases {
+		if got := quantile(sorted, c.q); got != c.want {
+			t.Errorf("quantile(1..10, %v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	odd := []float64{2, 4, 6}
+	if got := quantile(odd, 0.5); got != 4 {
+		t.Errorf("quantile({2,4,6}, 0.5) = %v, want the middle element 4", got)
+	}
+	if got := quantile(odd, 0.95); got != 6 {
+		t.Errorf("quantile({2,4,6}, 0.95) = %v, want the max 6", got)
+	}
+}

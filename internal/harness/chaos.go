@@ -1,0 +1,248 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/cluster"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// ClusterEvents converts a workload event schedule to the cluster
+// layer's lifecycle events. Joining machines inherit machine 0's
+// configuration (Event.Config nil).
+func ClusterEvents(events []workloads.FleetEvent) ([]cluster.Event, error) {
+	out := make([]cluster.Event, 0, len(events))
+	for _, e := range events {
+		var kind cluster.EventKind
+		switch e.Kind {
+		case "join":
+			kind = cluster.MachineJoin
+		case "drain":
+			kind = cluster.MachineDrain
+		case "fail":
+			kind = cluster.MachineFail
+		default:
+			return nil, fmt.Errorf("harness: fleet event at t=%g: unknown kind %q", e.Time, e.Kind)
+		}
+		out = append(out, cluster.Event{Time: e.Time, Kind: kind, Machine: e.Machine})
+	}
+	return out, nil
+}
+
+// ChaosRow is one (placement, partitioning policy, MTBF) cell of the
+// chaos grid: the cluster sweep's quality metrics plus the lifecycle
+// layer's disruption accounting.
+type ChaosRow struct {
+	Placement string  `json:"placement"`
+	Policy    string  `json:"policy"`
+	MTBF      float64 `json:"mtbf"`
+	Arrivals  int     `json:"arrivals"`
+	Departed  int     `json:"departed"`
+	Remaining int     `json:"remaining"`
+	// Failures/Drains/Joins count applied lifecycle events; Disruptions
+	// the applications they displaced (migrated, requeued or
+	// dead-lettered); Availability is the run-wide time-averaged
+	// fraction of the fleet that was up.
+	Failures     int     `json:"failures"`
+	Drains       int     `json:"drains"`
+	Joins        int     `json:"joins"`
+	Disruptions  int     `json:"disruptions"`
+	Migrations   int     `json:"migrations"`
+	Requeues     int     `json:"requeues"`
+	DeadLettered int     `json:"dead_lettered"`
+	Availability float64 `json:"availability"`
+	MeanSlowdown float64 `json:"mean_slowdown"`
+	MeanWait     float64 `json:"mean_wait"`
+	Unfairness   float64 `json:"unfairness"`
+	STP          float64 `json:"stp"`
+	SimSeconds   float64 `json:"sim_seconds"`
+}
+
+// ChaosSweepData is the placement × partitioning-policy × MTBF grid:
+// every cell faces the identical seeded trace AND the identical
+// lifecycle schedule (scheduled events plus the seeded failure process
+// of its MTBF column), so differences isolate how each combination
+// absorbs the same disruption.
+type ChaosSweepData struct {
+	Workload string                 `json:"workload"`
+	Machines int                    `json:"machines"`
+	Mix      string                 `json:"mix,omitempty"`
+	Rate     float64                `json:"rate"`
+	Window   float64                `json:"window_seconds"`
+	Seed     int64                  `json:"seed"`
+	Events   []workloads.FleetEvent `json:"events,omitempty"`
+	Rows     []ChaosRow             `json:"rows"`
+}
+
+// ChaosSweep runs the robustness experiment the lifecycle layer exists
+// for: the cluster sweep's grid with machine failures injected. mtbfs
+// lists the mean-time-between-failures columns (0 = no random failures
+// — the scheduled events alone); events is the scheduled lifecycle
+// timeline shared by every cell. The failure process is seeded from
+// seed, so the whole grid is reproducible. migrationCost parameterizes
+// drain recovery (negative disables live migration). Empty
+// placement/policy lists default to ClusterPlacements and ChurnPolicies.
+func ChaosSweep(cfg Config, workloadName string, machines int, mix string, placements, policies []string, mtbfs []float64, events []workloads.FleetEvent, migrationCost, rate, window float64, seed int64) (ChaosSweepData, error) {
+	cfg = cfg.normalized()
+	ccfg := cluster.Config{Sim: cfg.SimConfig(), Machines: machines}
+	if mix != "" {
+		fleet, err := cluster.ParseMachineMix(mix, ccfg.Sim)
+		if err != nil {
+			return ChaosSweepData{}, fmt.Errorf("chaos sweep: %w", err)
+		}
+		ccfg.Fleet = fleet
+	}
+	sims, err := ccfg.MachineConfigs()
+	if err != nil {
+		return ChaosSweepData{}, fmt.Errorf("chaos sweep: %w", err)
+	}
+	cevents, err := ClusterEvents(events)
+	if err != nil {
+		return ChaosSweepData{}, fmt.Errorf("chaos sweep: %w", err)
+	}
+	if len(placements) == 0 {
+		placements = ClusterPlacements
+	}
+	if len(policies) == 0 {
+		policies = ChurnPolicies
+	}
+	if len(mtbfs) == 0 {
+		mtbfs = []float64{0}
+	}
+	w, err := workloads.Get(workloadName)
+	if err != nil {
+		return ChaosSweepData{}, err
+	}
+
+	type cell struct {
+		placement, policy string
+		mtbf              float64
+	}
+	var cells []cell
+	for _, pl := range placements {
+		for _, po := range policies {
+			for _, mtbf := range mtbfs {
+				cells = append(cells, cell{placement: pl, policy: po, mtbf: mtbf})
+			}
+		}
+	}
+	rows, err := mapRows(cfg.workers(), cells, func(c cell) (ChaosRow, error) {
+		row, err := chaosCell(cfg, w, ccfg, sims, cevents, c.placement, c.policy, c.mtbf, migrationCost, rate, window, seed)
+		if err != nil {
+			return ChaosRow{}, fmt.Errorf("chaos sweep: %s %s/%s mtbf=%g: %w", w.Name, c.placement, c.policy, c.mtbf, err)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return ChaosSweepData{}, err
+	}
+	return ChaosSweepData{Workload: w.Name, Machines: len(sims), Mix: mix, Rate: rate, Window: window, Seed: seed, Events: events, Rows: rows}, nil
+}
+
+func chaosCell(cfg Config, w workloads.Workload, ccfg cluster.Config, sims []sim.Config, events []cluster.Event, placement, polName string, mtbf, migrationCost, rate, window float64, seed int64) (ChaosRow, error) {
+	// The same (rate, seed) trace and the same lifecycle schedule for
+	// every cell; only the responses differ.
+	scn, err := w.OpenScenario(rate, window, seed, cfg.Scale)
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	pl, err := cluster.NewPlacement(placement, cfg.Plat)
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	ccfg.Placement = pl
+	ccfg.Workers = 1 // cells are the unit of parallelism, as in ClusterSweep
+	ccfg.Lifecycle = &cluster.Lifecycle{
+		Events:        events,
+		MTBF:          mtbf,
+		FailureSeed:   seed,
+		MigrationCost: migrationCost,
+		JoinPolicy: func(i int, mc sim.Config) (sim.Dynamic, error) {
+			pol, _, err := cfg.NewDynamicPolicyFor(polName, mc.Plat)
+			return pol, err
+		},
+	}
+	res, err := cluster.Run(ccfg,
+		scn, func(i int) (sim.Dynamic, error) {
+			pol, _, err := cfg.NewDynamicPolicyFor(polName, sims[i].Plat)
+			return pol, err
+		})
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	row := ChaosRow{
+		Placement:    pl.Name(),
+		Policy:       polName,
+		MTBF:         mtbf,
+		Arrivals:     len(res.Assignments),
+		Departed:     res.Departed,
+		Remaining:    res.Remaining,
+		MeanSlowdown: res.MeanSlowdown,
+		MeanWait:     res.MeanWait,
+		Unfairness:   res.Series.MeanUnfairness(),
+		STP:          res.Series.MeanSTP(),
+		SimSeconds:   res.SimSeconds,
+		Availability: 1,
+	}
+	if lc := res.Lifecycle; lc != nil {
+		row.Failures = lc.Failures
+		row.Drains = lc.Drains
+		row.Joins = lc.Joins
+		row.Disruptions = lc.Disruptions
+		row.Migrations = lc.Migrations
+		row.Requeues = lc.Requeues
+		row.DeadLettered = lc.DeadLettered
+		row.Availability = lc.Availability
+	}
+	return row, nil
+}
+
+// Render formats the chaos grid as one table per placement policy.
+func (d ChaosSweepData) Render() string {
+	fleet := fmt.Sprintf("%d machines", d.Machines)
+	if d.Mix != "" {
+		fleet = fmt.Sprintf("%d machines (%s)", d.Machines, d.Mix)
+	}
+	out := fmt.Sprintf("Chaos sweep: workload %s over %s, Poisson %g/s for %gs, seed %d, %d scheduled events\n",
+		d.Workload, fleet, d.Rate, d.Window, d.Seed, len(d.Events))
+	header := []string{"policy", "mtbf(s)", "fails", "drains", "joins", "disrupted", "migrated", "requeued", "dead", "avail", "departed", "slowdown", "wait(s)", "unfairness", "STP"}
+	placement := ""
+	var rows [][]string
+	flush := func() {
+		if len(rows) > 0 {
+			out += fmt.Sprintf("\nplacement %s:\n%s", placement, renderTable(rows))
+			rows = nil
+		}
+	}
+	for _, r := range d.Rows {
+		if r.Placement != placement {
+			flush()
+			placement = r.Placement
+			rows = [][]string{header}
+		}
+		mtbf := "-"
+		if r.MTBF > 0 {
+			mtbf = f3(r.MTBF)
+		}
+		rows = append(rows, []string{
+			r.Policy,
+			mtbf,
+			fmt.Sprintf("%d", r.Failures),
+			fmt.Sprintf("%d", r.Drains),
+			fmt.Sprintf("%d", r.Joins),
+			fmt.Sprintf("%d", r.Disruptions),
+			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%d", r.Requeues),
+			fmt.Sprintf("%d", r.DeadLettered),
+			f3(r.Availability),
+			fmt.Sprintf("%d", r.Departed),
+			f3(r.MeanSlowdown),
+			f3(r.MeanWait),
+			f3(r.Unfairness),
+			f3(r.STP),
+		})
+	}
+	flush()
+	return out
+}

@@ -118,6 +118,61 @@ func TestMergeSeriesSkipsEmpty(t *testing.T) {
 	}
 }
 
+// Lifecycle runs produce partial-lifetime machines: a machine that
+// fails mid-run stops collecting windows (short series), and an
+// autoscaled join contributes idle leading windows before its first
+// admission. The merge must treat both as "absent", not as zeros that
+// drag cluster stats down.
+func TestMergeSeriesPartialLifetimes(t *testing.T) {
+	// Survivor: active the whole run, four windows.
+	full := &WindowedSeries{Width: 1, Points: []WindowPoint{
+		{Start: 0, End: 1, Active: 1, RunsCompleted: 2, Throughput: 2, STP: 0.5, MeanSlowdown: 2, Samples: 1, MinSlowdown: 2, MaxSlowdown: 2},
+		{Start: 1, End: 2, Active: 1, RunsCompleted: 2, Throughput: 2, STP: 0.5, MeanSlowdown: 2, Samples: 1, MinSlowdown: 2, MaxSlowdown: 2},
+		{Start: 2, End: 3, Active: 1, RunsCompleted: 2, Throughput: 2, STP: 0.5, MeanSlowdown: 2, Samples: 1, MinSlowdown: 2, MaxSlowdown: 2},
+		{Start: 3, End: 4, Active: 1, RunsCompleted: 2, Throughput: 2, STP: 0.5, MeanSlowdown: 2, Samples: 1, MinSlowdown: 2, MaxSlowdown: 2},
+	}}
+	// Failed at t=2: the trailing windows simply do not exist.
+	failed := &WindowedSeries{Width: 1, Points: []WindowPoint{
+		{Start: 0, End: 1, Active: 2, RunsCompleted: 4, Throughput: 4, STP: 1.5, MeanSlowdown: 3, Samples: 2, MinSlowdown: 1, MaxSlowdown: 5},
+		{Start: 1, End: 2, Active: 2, RunsCompleted: 4, Throughput: 4, STP: 1.5, MeanSlowdown: 3, Samples: 2, MinSlowdown: 1, MaxSlowdown: 5},
+	}}
+	// Autoscaled join: windows exist from t=0 (joined machines advance
+	// from zero so indices align) but stay idle until t=3.
+	joined := &WindowedSeries{Width: 1, Points: []WindowPoint{
+		{Start: 0, End: 1},
+		{Start: 1, End: 2},
+		{Start: 2, End: 3},
+		{Start: 3, End: 4, Active: 1, RunsCompleted: 6, Throughput: 6, STP: 0.25, MeanSlowdown: 4, Samples: 1, MinSlowdown: 4, MaxSlowdown: 4},
+	}}
+	got, err := MergeSeries([]*WindowedSeries{full, failed, joined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 4 {
+		t.Fatalf("merged to %d windows, want the longest lifetime (4)", len(got.Points))
+	}
+	// While all three contribute: samples and STP add across machines.
+	if w := got.Points[1]; w.Active != 3 || w.Samples != 3 || w.STP != 2 || w.Unfairness != 5 {
+		t.Errorf("window 1 = %+v, want all three machines merged", w)
+	}
+	// After the failure the dead machine must vanish from the stats, not
+	// contribute zeros: window 2 is the survivor alone (joined is idle).
+	if w := got.Points[2]; w.Active != 1 || w.Samples != 1 || w.Unfairness != 1 || w.MeanSlowdown != 2 {
+		t.Errorf("window 2 = %+v, want survivor-only stats", w)
+	}
+	// The late joiner shows up only once it admits work.
+	if w := got.Points[3]; w.Active != 2 || w.Samples != 2 || w.RunsCompleted != 8 {
+		t.Errorf("window 3 = %+v, want survivor + joiner", w)
+	}
+	if w := got.Points[3]; w.Unfairness != 2 || w.MeanSlowdown != 3 {
+		t.Errorf("window 3 unfairness/mean = %v/%v, want 2/3", w.Unfairness, w.MeanSlowdown)
+	}
+	// Merged throughput is recomputed from the merged span, not summed.
+	if w := got.Points[0]; w.Throughput != 6 {
+		t.Errorf("window 0 throughput = %v, want 6 runs over 1s", w.Throughput)
+	}
+}
+
 func TestFingerprintDistinguishes(t *testing.T) {
 	a := WindowedSeries{Width: 1, Points: []WindowPoint{{Start: 0, End: 1, STP: 2}}}
 	b := WindowedSeries{Width: 1, Points: []WindowPoint{{Start: 0, End: 1, STP: 2}}}

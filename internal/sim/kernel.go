@@ -38,6 +38,8 @@ type kernelApp struct {
 	share      uint64
 
 	active     bool
+	evicted    bool    // lifted out by a lifecycle extraction, not departed
+	tag        int     // scenario.Arrival.Tag, carried through untouched
 	arrivedAt  float64 // scheduled arrival time (trace time)
 	admittedAt float64 // when the app actually got a core
 	departedAt float64 // negative while in the system
@@ -236,7 +238,7 @@ func newKernel(cfg Config, scn scenario.Scenario, pol Dynamic) (*kernel, error) 
 	}
 	for _, s := range initial {
 		if k.nActive < cfg.Plat.Cores {
-			if err := k.admit(s, 0); err != nil {
+			if err := k.admit(s, 0, 0); err != nil {
 				return nil, err
 			}
 		} else {
@@ -252,13 +254,14 @@ func newKernel(cfg Config, scn scenario.Scenario, pol Dynamic) (*kernel, error) 
 
 // admit creates a slot for spec and registers it with the policy. The
 // caller has verified a core is free.
-func (k *kernel) admit(spec *appmodel.Spec, arrivedAt float64) error {
+func (k *kernel) admit(spec *appmodel.Spec, arrivedAt float64, tag int) error {
 	a := &kernelApp{
 		slot:       len(k.apps),
 		monID:      k.nextMonID,
 		spec:       spec,
 		inst:       appmodel.NewInstance(spec),
 		active:     true,
+		tag:        tag,
 		arrivedAt:  arrivedAt,
 		admittedAt: k.simTime,
 		runStart:   k.simTime,
@@ -294,7 +297,7 @@ func (k *kernel) depart(a *kernelApp) error {
 	for len(k.waitQ) > 0 && k.nActive < k.cfg.Plat.Cores {
 		arr := k.waitQ[0]
 		k.waitQ = k.waitQ[1:]
-		if err := k.admit(arr.Spec, arr.Time); err != nil {
+		if err := k.admit(arr.Spec, arr.Time, arr.Tag); err != nil {
 			return err
 		}
 	}
@@ -542,7 +545,7 @@ func (k *kernel) runUntil(until float64) error {
 				k.waitQ = append(k.waitQ, arr)
 				continue
 			}
-			if err := k.admit(arr.Spec, arr.Time); err != nil {
+			if err := k.admit(arr.Spec, arr.Time, arr.Tag); err != nil {
 				return err
 			}
 			admitted = true

@@ -27,6 +27,11 @@ type AppOutcome struct {
 	AloneSeconds float64 `json:"alone_seconds"`
 	Slowdown     float64 `json:"slowdown"`
 	Runs         int     `json:"runs"`
+	// Evicted marks an application lifted out by a lifecycle extraction
+	// (machine drain or failure): it neither departed nor remains here —
+	// its life continues on whatever machine the cluster moved it to.
+	// Absent outside lifecycle runs.
+	Evicted bool `json:"evicted,omitempty"`
 }
 
 // OpenResult is what an open-system run reports: per-application
@@ -45,6 +50,10 @@ type OpenResult struct {
 	MeanWait     float64 `json:"mean_wait"`
 	Departed     int     `json:"departed"`
 	Remaining    int     `json:"remaining"`
+	// Evicted counts applications extracted by machine lifecycle events
+	// (they continue elsewhere, so they are in neither Departed nor
+	// Remaining). Absent outside lifecycle runs.
+	Evicted      int     `json:"evicted,omitempty"`
 	PeakActive   int     `json:"peak_active"`
 	Repartitions int     `json:"repartitions"`
 	SimSeconds   float64 `json:"sim_seconds"`
@@ -94,7 +103,11 @@ func buildOpenResult(k *kernel, name string) *OpenResult {
 			AloneSeconds: a.aloneT,
 			Runs:         len(a.runs),
 		}
-		if a.departedAt >= 0 && a.aloneT > 0 {
+		switch {
+		case a.evicted:
+			o.Evicted = true
+			res.Evicted++
+		case a.departedAt >= 0 && a.aloneT > 0:
 			o.Slowdown = (a.departedAt - a.admittedAt) / a.aloneT
 			if o.Slowdown < 1 {
 				o.Slowdown = 1 // tick-quantization clamp, as in closed runs
@@ -102,7 +115,7 @@ func buildOpenResult(k *kernel, name string) *OpenResult {
 			departed = append(departed, o.Slowdown)
 			waitSum += o.WaitSeconds
 			res.Departed++
-		} else {
+		default:
 			res.Remaining++
 		}
 		res.Apps[i] = o

@@ -50,9 +50,10 @@ func (f *feedScenario) Done(p scenario.Progress) bool {
 // to RunOpen and per-machine results equal independent replays of the
 // split trace (both pinned by tests in internal/cluster).
 type OpenMachine struct {
-	k    *kernel
-	feed *feedScenario
-	err  error
+	k      *kernel
+	feed   *feedScenario
+	err    error
+	halted bool // taken out of service by Halt (drain/failure)
 }
 
 // NewOpenMachine builds a machine. name labels the machine's result
@@ -102,7 +103,7 @@ func (m *OpenMachine) Inject(arr scenario.Arrival) error {
 // reported as not admitted, exactly as RunOpen reports arrivals beyond
 // the horizon.
 func (m *OpenMachine) AdvanceTo(t float64) error {
-	if m.err != nil {
+	if m.err != nil || m.halted {
 		return m.err
 	}
 	m.err = m.k.runUntil(t)
@@ -112,7 +113,7 @@ func (m *OpenMachine) AdvanceTo(t float64) error {
 // Drain marks the arrival stream exhausted and runs the machine to
 // completion (system empty or horizon).
 func (m *OpenMachine) Drain() error {
-	if m.err != nil {
+	if m.err != nil || m.halted {
 		return m.err
 	}
 	m.feed.drained = true

@@ -64,6 +64,11 @@ type Arrival struct {
 	// kernel tick when delivered).
 	Time float64
 	Spec *appmodel.Spec
+	// Tag is an opaque caller label carried through the kernel untouched
+	// (zero for plain trace arrivals). The cluster lifecycle layer uses
+	// it to count placement attempts across failure-driven requeues, so
+	// retry accounting needs no identity map on top of the kernel.
+	Tag int
 }
 
 // Progress is the kernel state a scenario consults in Done. The Runs

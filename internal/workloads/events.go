@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FleetEvent is one machine lifecycle event of a workload's event
+// schedule — the declarative, tooling-friendly form (JSON-serializable,
+// CLI-parseable) that rides alongside an arrival trace. The cluster
+// layer consumes it converted to a cluster.Event (see
+// harness.ClusterEvents); keeping the schedule here lets workload
+// definitions bundle "what arrives" and "what breaks" as one artifact.
+type FleetEvent struct {
+	// Time is the event instant in simulated seconds.
+	Time float64 `json:"t"`
+	// Kind is "join", "drain" or "fail".
+	Kind string `json:"kind"`
+	// Machine is the drain/fail target index (ignored for joins).
+	Machine int `json:"machine,omitempty"`
+}
+
+// ParseFleetEvents parses a compact event-schedule string:
+//
+//	drain:t=5,m=1;fail:t=7,m=0;join:t=9
+//
+// Events are ';'-separated; each is kind:key=value,... with keys t
+// (time, seconds, required) and m (machine index, required for drain
+// and fail, rejected for join). The empty string is an empty schedule.
+func ParseFleetEvents(s string) ([]FleetEvent, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var events []FleetEvent
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, spec, _ := strings.Cut(part, ":")
+		kind = strings.TrimSpace(kind)
+		switch kind {
+		case "join", "drain", "fail":
+		default:
+			return nil, fmt.Errorf("workloads: event %q: unknown kind %q (want join, drain or fail)", part, kind)
+		}
+		ev := FleetEvent{Time: -1, Machine: -1}
+		if spec != "" {
+			for _, kv := range strings.Split(spec, ",") {
+				key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("workloads: event %q: malformed field %q (want key=value)", part, kv)
+				}
+				switch key {
+				case "t":
+					t, err := strconv.ParseFloat(val, 64)
+					if err != nil || t < 0 {
+						return nil, fmt.Errorf("workloads: event %q: bad time %q", part, val)
+					}
+					ev.Time = t
+				case "m":
+					m, err := strconv.Atoi(val)
+					if err != nil || m < 0 {
+						return nil, fmt.Errorf("workloads: event %q: bad machine %q", part, val)
+					}
+					ev.Machine = m
+				default:
+					return nil, fmt.Errorf("workloads: event %q: unknown field %q (want t or m)", part, key)
+				}
+			}
+		}
+		if ev.Time < 0 {
+			return nil, fmt.Errorf("workloads: event %q: missing time (t=...)", part)
+		}
+		if kind == "join" {
+			if ev.Machine >= 0 {
+				return nil, fmt.Errorf("workloads: event %q: join takes no machine (the fleet assigns the next index)", part)
+			}
+			ev.Machine = 0
+		} else if ev.Machine < 0 {
+			return nil, fmt.Errorf("workloads: event %q: missing machine (m=...)", part)
+		}
+		ev.Kind = kind
+		events = append(events, ev)
+	}
+	return events, nil
+}

@@ -372,6 +372,61 @@ func ParseMachineMix(spec string, base SimConfig) ([]SimConfig, error) {
 	return cluster.ParseMachineMix(spec, base)
 }
 
+// ---------------------------------------------------------------------
+// Machine lifecycle (elastic fleets, fault injection).
+// ---------------------------------------------------------------------
+
+// ClusterLifecycle configures ClusterConfig.Lifecycle: scheduled
+// join/drain/fail events, a seeded MTBF failure process, bounded retry
+// with exponential backoff, migration-aware drain recovery and
+// load-triggered autoscaling. Identical (trace, schedule, seeds) inputs
+// reproduce identical runs at any worker count; a nil or event-free
+// lifecycle leaves cluster runs byte-identical to a build without the
+// layer.
+type ClusterLifecycle = cluster.Lifecycle
+
+// ClusterEvent is one scheduled machine lifecycle event.
+type ClusterEvent = cluster.Event
+
+// ClusterAutoscale configures load-triggered fleet scaling.
+type ClusterAutoscale = cluster.Autoscale
+
+// ClusterLifecycleSummary is the lifecycle layer's share of a cluster
+// result (event counts, disruption accounting, availability series).
+type ClusterLifecycleSummary = cluster.LifecycleSummary
+
+// Lifecycle event kinds.
+const (
+	MachineJoin  = cluster.MachineJoin
+	MachineDrain = cluster.MachineDrain
+	MachineFail  = cluster.MachineFail
+)
+
+// MigrationPolicy decides whether an application displaced by a drain
+// is live-migrated (progress preserved) or requeued.
+type MigrationPolicy = cluster.MigrationPolicy
+
+// NewCostAwareMigration returns the default migration policy: migrate
+// when the resident's preserved progress exceeds the modeled cost,
+// choosing the destination by predicted unfairness.
+func NewCostAwareMigration(cost float64, plat *Platform) MigrationPolicy {
+	return cluster.NewCostAwareMigration(cost, plat)
+}
+
+// ClusterPlacementError is the typed error a cluster run returns when a
+// placement or migration policy chooses a machine outside its contract
+// (index out of range, or a machine that is down); test with errors.As.
+type ClusterPlacementError = cluster.PlacementError
+
+// FleetEvent is the declarative (JSON/CLI) form of a lifecycle event.
+type FleetEvent = workloads.FleetEvent
+
+// ParseFleetEvents parses a compact lifecycle schedule, e.g.
+// "drain:t=5,m=1;fail:t=7,m=0;join:t=9".
+func ParseFleetEvents(s string) ([]FleetEvent, error) {
+	return workloads.ParseFleetEvents(s)
+}
+
 // SplitArrivals partitions an arrival trace across machines by an
 // explicit per-arrival assignment (such as ClusterResult.Assignments).
 func SplitArrivals(arrivals []ScenarioArrival, assignment []int, machines int) ([][]ScenarioArrival, error) {
