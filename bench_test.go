@@ -421,3 +421,10 @@ func BenchmarkSimOpenChurn(b *testing.B) { benchSimCase(b, "open-churn") }
 // stream (fairness-aware placement, serial advancement); ticks/sec
 // counts every machine's ticks.
 func BenchmarkSimCluster4(b *testing.B) { benchSimCase(b, "cluster-4") }
+
+// BenchmarkSimCluster1k measures the 1024-machine heterogeneous fleet
+// under Poisson churn — the sparse-fleet regime the lazy fleet event
+// queue exists for. ticks/sec counts simulated ticks over the whole
+// fleet: idle machines' windows are simulated without being executed,
+// so a return to eager per-arrival barriers collapses this figure.
+func BenchmarkSimCluster1k(b *testing.B) { benchSimCase(b, "cluster-1k") }

@@ -40,6 +40,18 @@
 // partitioning grid at each rate; an explicit -placement or -policy
 // narrows the corresponding grid axis.
 //
+// Cluster runs advance the fleet through a lazy event queue: only
+// machines whose next-event horizon has passed are touched per
+// arrival, so 1000-machine fleets simulate in seconds while producing
+// results bit-identical to an eager every-machine loop.
+// -record-assignments adds the per-arrival machine assignment log to
+// the JSON result (off by default — it costs O(arrivals) memory).
+// -shards N splits the run into N striped sub-fleets fed by striped
+// sub-streams executing concurrently; only order-independent
+// placements (rr, least) qualify, the lifecycle flags are
+// incompatible, and results are deterministic but intentionally
+// distinct from the unsharded run (see DESIGN.md).
+//
 // -events, -mtbf and -autoscale (each implies cluster mode) add the
 // machine lifecycle layer: -events schedules joins/drains/failures
 // (drain:t=5,m=1;fail:t=7,m=0;join:t=9), -mtbf injects seeded random
@@ -207,6 +219,8 @@ func main() {
 		machines      = flag.Int("machines", 1, "cluster size: spread arrivals across this many machines")
 		mix           = flag.String("machine-mix", "", "heterogeneous fleet spec: <count>x<ways>way[<cores>c],... e.g. 2x11way,2x7way (implies cluster mode)")
 		placement     = flag.String("placement", "", "cluster placement policy: rr | least | fair (implies cluster mode)")
+		shards        = flag.Int("shards", 0, "split the cluster into N striped sub-fleets advanced concurrently (order-independent placements rr/least only; implies cluster mode)")
+		recordAssign  = flag.Bool("record-assignments", false, "include the per-arrival machine assignment log in the JSON result (costs O(arrivals) memory)")
 		events        = flag.String("events", "", "fleet lifecycle schedule: kind:t=<s>[,m=<idx>];... e.g. drain:t=5,m=1;fail:t=7,m=0;join:t=9 (implies cluster mode)")
 		mtbf          = flag.Float64("mtbf", 0, "mean time between random machine failures, simulated seconds (0 = none; implies cluster mode)")
 		autoscale     = flag.String("autoscale", "", "load-triggered autoscaling: i=<interval>[,up=<ratio>][,down=<ratio>][,min=<n>][,max=<n>] (implies cluster mode)")
@@ -234,7 +248,7 @@ func main() {
 		fail(fmt.Errorf("-sweep and -arrivals are mutually exclusive (a sweep generates its own traces)"))
 	}
 	clustered := *machines > 1 || *placement != "" || *mix != "" ||
-		*events != "" || *mtbf > 0 || *autoscale != ""
+		*events != "" || *mtbf > 0 || *autoscale != "" || *shards > 1
 	if *placement == "" {
 		*placement = "rr"
 	}
@@ -339,7 +353,7 @@ func main() {
 			writeJSON(*jsonOut, sweepJSON{Scale: cfg.Scale, ChurnData: d})
 		}
 	case clustered:
-		runCluster(cfg, w, *polName, *placement, fleetSize, *mix, *arrivals, *duration, *seed, *jsonOut, lifecycle)
+		runCluster(cfg, w, *polName, *placement, fleetSize, *mix, *arrivals, *duration, *seed, *jsonOut, lifecycle, *shards, *recordAssign)
 	case *arrivals != "":
 		runOpen(cfg, w, *polName, *arrivals, *duration, *seed, *jsonOut)
 	default:
@@ -453,12 +467,13 @@ func runOpen(cfg harness.Config, w workloads.Workload, polName, arrivals string,
 	writeJSON(jsonOut, openJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, OpenResult: res})
 }
 
-func runCluster(cfg harness.Config, w workloads.Workload, polName, placement string, machines int, mix, arrivals string, duration float64, seed int64, jsonOut string, lc lifecycleConfig) {
+func runCluster(cfg harness.Config, w workloads.Workload, polName, placement string, machines int, mix, arrivals string, duration float64, seed int64, jsonOut string, lc lifecycleConfig, shards int, recordAssignments bool) {
 	scn, seed := openScenario(cfg, w, arrivals, duration, seed)
 
 	pl, err := cluster.NewPlacement(placement, cfg.Plat)
 	exitOn(err)
-	ccfg := cluster.Config{Sim: cfg.SimConfig(), Machines: machines, Placement: pl}
+	ccfg := cluster.Config{Sim: cfg.SimConfig(), Machines: machines, Placement: pl,
+		Shards: shards, RecordAssignments: recordAssignments}
 	if mix != "" {
 		ccfg.Fleet, err = cluster.ParseMachineMix(mix, ccfg.Sim)
 		exitOn(err)
@@ -494,6 +509,9 @@ func runCluster(cfg harness.Config, w workloads.Workload, polName, placement str
 	fleet := fmt.Sprintf("%d", res.Machines)
 	if mix != "" {
 		fleet = fmt.Sprintf("%d (%s)", res.Machines, cluster.MixNames(sims))
+	}
+	if res.Shards > 1 {
+		fleet += fmt.Sprintf("   shards: %d", res.Shards)
 	}
 	fmt.Printf("scenario: %s   policy: %s   placement: %s   machines: %s   scale: 1/%d   seed: %d\n\n",
 		res.Scenario, polName, res.Placement, fleet, cfg.Scale, seed)

@@ -17,23 +17,38 @@
 // forms produce byte-identical results for identical fleets.
 //
 // Execution interleaves deterministically at arrival granularity: for
-// each trace arrival, every machine is advanced to the arrival instant
-// (machines tick independently between arrivals — an idle machine keeps
-// its policy period and metrics windows running, like real hardware),
-// the placement policy scores the synchronized fleet state, and the
-// arrival is injected into the chosen machine. Machines share nothing
-// between placement points, so the advancement fans out over a bounded
-// worker pool (Config.Workers); placement itself stays serial — it is
-// the only synchronization point — and results are bit-identical for
-// every worker count and GOMAXPROCS setting. When the trace is
-// exhausted the machines drain through the same pool.
+// each trace arrival the fleet event queue (fleetQueue) identifies the
+// machines whose next-event horizon has passed, only those are advanced
+// to the arrival instant, the placement policy scores the fleet state
+// (stale entries are provably content-identical below their horizon —
+// see DESIGN.md §3 "Fleet event queue"), and the arrival is injected
+// into the chosen machine. Skipped machines catch up lazily in one
+// batched call when next touched, so a mostly idle 1000-machine fleet
+// pays per-arrival work proportional to the machines with something to
+// do, not to the fleet size — while staying bit-identical to the eager
+// every-machine-every-arrival loop (the kernel's pause-point invariance
+// makes coarser pause points unobservable; pinned by a randomized
+// differential test). Machines share nothing between placement points,
+// so the advancement fans out over a bounded worker pool
+// (Config.Workers); placement itself stays serial — it is the only
+// synchronization point — and results are bit-identical for every
+// worker count and GOMAXPROCS setting. When the trace is exhausted the
+// machines drain through the same pool.
+//
+// For placement policies that declare order-independence
+// (ShardablePlacement: round-robin, least-loaded), Config.Shards
+// additionally splits the arrival stream and the fleet into disjoint
+// sub-fleets that run concurrently with no synchronization at all —
+// see shard.go.
 package cluster
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/faircache/lfoc/internal/appmodel"
 	"github.com/faircache/lfoc/internal/metrics"
@@ -71,6 +86,46 @@ type Config struct {
 	// is guaranteed zero-cost — Run takes the historical path and
 	// produces byte-identical results.
 	Lifecycle *Lifecycle
+	// RecordAssignments keeps the full per-arrival placement log in
+	// Result.Assignments. Off by default: the log is O(arrivals) memory
+	// — a million-arrival churn run should not hold it just to report a
+	// summary — and the per-machine placement counts
+	// (MachineResult.Arrivals) cover the common accounting. Turn it on
+	// to replay machines solo via workloads.SplitArrivals.
+	RecordAssignments bool
+	// Shards, when > 1, splits the arrival stream and the fleet into
+	// Shards disjoint striped sub-fleets (machine i and arrival j belong
+	// to shard i%Shards resp. j%Shards) that run concurrently with no
+	// cross-shard synchronization. Placement then happens per shard, so
+	// the Placement policy must declare order-independence by
+	// implementing ShardablePlacement (round-robin and least-loaded do;
+	// fairness-aware placement is order-sensitive and stays
+	// serial-exact). Sharded results are deterministic at any worker
+	// count but differ from the unsharded run by construction (each
+	// shard places against its own sub-fleet only). Incompatible with
+	// Lifecycle.
+	Shards int
+
+	// Testing knobs (internal tests only). eagerAdvance restores the
+	// legacy every-machine-every-arrival advancement loop — the
+	// reference the lazy fleet event queue is differentially tested
+	// against. statsSink, when set, receives the advancement counters
+	// after the run.
+	eagerAdvance bool
+	statsSink    *fleetStats
+}
+
+// fleetStats counts the fleet-advancement work a run performed — the
+// evidence behind the fleet event queue's headline claim (advancing
+// ~10× fewer machine-steps per arrival than the eager loop on sparse
+// fleets). Internal: reachable only through Config.statsSink.
+type fleetStats struct {
+	// Advances counts machine advancement calls (AdvanceTo jobs
+	// executed, whether or not the machine had anything to do).
+	Advances int64
+	// Syncs counts synchronization instants (arrivals plus lifecycle
+	// events) — Advances/Syncs is the machine-steps-per-arrival figure.
+	Syncs int64
 }
 
 // MachineConfigs resolves the per-machine simulator configurations: N
@@ -163,7 +218,11 @@ type Result struct {
 	// Assignments maps each trace arrival (in trace order) to the
 	// machine that received it — the placement decision record, and the
 	// input to workloads.SplitArrivals for replaying machines solo.
-	Assignments []int `json:"assignments"`
+	// Recorded only when Config.RecordAssignments is set (it is
+	// O(arrivals) memory); nil — and omitted from JSON — otherwise.
+	Assignments []int `json:"assignments,omitempty"`
+	// Shards echoes Config.Shards for sharded runs (0 otherwise).
+	Shards int `json:"shards,omitempty"`
 	// PerMachine holds each machine's result, in index order.
 	PerMachine []MachineResult `json:"per_machine"`
 	// Series is the cluster-wide windowed series: per-machine windows
@@ -218,6 +277,9 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 	if len(initial) == 0 && len(arrivals) == 0 {
 		return nil, fmt.Errorf("cluster: open scenario %q has no applications", scn.Name())
 	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg, scn, sims, newPolicy)
+	}
 
 	states := make([]MachineState, nMachines)
 	for i := range states {
@@ -245,6 +307,17 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 
 	pool := newFleetPool(machines, states, cfg.Workers)
 	defer pool.close()
+	defer pool.reportStats(cfg.statsSink)
+
+	// The fleet event queue drives lazy advancement (the default); with
+	// the eagerAdvance knob it stays nil and every synchronization
+	// instant advances the whole fleet — the bit-identical reference
+	// path the differential tests compare against.
+	var q *fleetQueue
+	if !cfg.eagerAdvance {
+		q = newFleetQueue(nMachines)
+		pool.horizons = q.horizon
+	}
 
 	// Lifecycle path: the engine interleaves the event timeline with
 	// the arrival stream. Gated so a lifecycle-free run pays nothing
@@ -254,11 +327,17 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 		if err != nil {
 			return nil, err
 		}
+		eng.q = q
 		if err := eng.schedule(arrivals); err != nil {
 			return nil, err
 		}
 		if err := eng.run(arrivals); err != nil {
 			return nil, err
+		}
+		if q != nil {
+			if err := pool.alignClocks(eng.lastSync); err != nil {
+				return nil, err
+			}
 		}
 		if err := pool.drain(); err != nil {
 			return nil, err
@@ -266,12 +345,23 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 		return buildResult(cfg, scn, pool.machines, eng.placed, eng.assignments, eng)
 	}
 
-	// Main loop: advance the fleet to each arrival instant (in parallel
-	// — machines share nothing between placement points), place against
-	// the synchronized states, inject serially.
-	assignments := make([]int, 0, len(arrivals))
+	// Main loop: catch up the machines whose event horizon has passed
+	// (in parallel — machines share nothing between placement points),
+	// place against the synchronized states, inject serially. Machines
+	// beyond their horizon keep stale state entries whose content is
+	// provably identical to what an advance would refresh, so placement
+	// sees exactly the eager fleet view.
+	var assignments []int
+	if cfg.RecordAssignments {
+		assignments = make([]int, 0, len(arrivals))
+	}
 	for _, arr := range arrivals {
-		if err := pool.advanceTo(arr.Time); err != nil {
+		if q != nil {
+			err = pool.advanceDue(q, arr.Time)
+		} else {
+			err = pool.advanceTo(arr.Time)
+		}
+		if err != nil {
 			return nil, err
 		}
 		idx := cfg.Placement.Place(arr.Spec, arr.Time, states)
@@ -281,12 +371,26 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 		if err := machines[idx].Inject(arr); err != nil {
 			return nil, fmt.Errorf("cluster: machine %d: %w", idx, err)
 		}
-		assignments = append(assignments, idx)
+		if q != nil {
+			// The injected arrival is the machine's next event: make it
+			// due no later than its delivery so the admission happens at
+			// the same pause point the eager loop would use.
+			q.touch(idx, arr.Time)
+		}
+		if assignments != nil {
+			assignments = append(assignments, idx)
+		}
 		placed[idx]++
 	}
 
 	// Drain through the same pool: machines are fully independent past
-	// placement.
+	// placement. The lazy path first aligns every clock to the last
+	// synchronization instant, where the eager barrier left them.
+	if q != nil && len(arrivals) > 0 {
+		if err := pool.alignClocks(arrivals[len(arrivals)-1].Time); err != nil {
+			return nil, err
+		}
+	}
 	if err := pool.drain(); err != nil {
 		return nil, err
 	}
@@ -321,11 +425,13 @@ func placeInitial(p Policy, initial []*appmodel.Spec, states []MachineState) ([]
 }
 
 // fleetJob is one unit of fleet-pool work: advance machine idx to time t,
-// or drain it.
+// or drain it. silent advances are excluded from the advancement
+// statistics (the end-of-run clock alignment, not per-arrival work).
 type fleetJob struct {
-	idx   int
-	t     float64
-	drain bool
+	idx    int
+	t      float64
+	drain  bool
+	silent bool
 }
 
 // fleetPool advances a fleet over a persistent bounded worker pool (the
@@ -342,6 +448,14 @@ type fleetPool struct {
 	jobs     chan fleetJob
 	batch    sync.WaitGroup // in-flight jobs of the current batch
 	workers  sync.WaitGroup // worker lifetimes, for close()
+	// horizons, when non-nil, is the fleet event queue's horizon slice:
+	// every advance job stores the machine's recomputed
+	// NextEventHorizon into its own slot (distinct indices per batch,
+	// so race-free); the serial caller then restores the heap invariant.
+	horizons []float64
+	dueBuf   []int        // collectDue scratch, reused across instants
+	advances atomic.Int64 // advance jobs executed (lazy-savings metric)
+	syncs    int64        // synchronization instants served (serial)
 }
 
 // newFleetPool sizes the pool: workers caps at the fleet size, 0 means
@@ -385,17 +499,29 @@ func newFleetPool(machines []*sim.OpenMachine, states []MachineState, workers in
 func (p *fleetPool) run(j fleetJob) {
 	m := p.machines[j.idx]
 	if m.Halted() {
+		if p.horizons != nil {
+			p.horizons[j.idx] = math.Inf(1)
+		}
 		return
 	}
 	if j.drain {
 		p.errs[j.idx] = m.Drain()
+		if p.horizons != nil {
+			p.horizons[j.idx] = math.Inf(1)
+		}
 		return
+	}
+	if !j.silent {
+		p.advances.Add(1)
 	}
 	if err := m.AdvanceTo(j.t); err != nil {
 		p.errs[j.idx] = err
 		return
 	}
 	p.refreshState(j.idx)
+	if p.horizons != nil {
+		p.horizons[j.idx] = m.NextEventHorizon()
+	}
 }
 
 // refreshState re-reads one machine's placement-visible state. The
@@ -442,9 +568,83 @@ func (p *fleetPool) dispatch(mk func(i int) fleetJob) error {
 }
 
 // advanceTo advances every machine to time t and refreshes its
-// placement-visible state.
+// placement-visible state — the eager reference path.
 func (p *fleetPool) advanceTo(t float64) error {
+	p.syncs++
 	return p.dispatch(func(i int) fleetJob { return fleetJob{idx: i, t: t} })
+}
+
+// advanceDue advances only the machines whose event horizon has passed
+// t (per the fleet event queue), recomputes their horizons on the
+// workers and restores the heap serially. Machines left alone are
+// provably unchanged below their horizon, so the fleet state placement
+// reads next is exactly what advanceTo would have produced.
+func (p *fleetPool) advanceDue(q *fleetQueue, t float64) error {
+	p.syncs++
+	p.dueBuf = q.collectDue(t, p.dueBuf[:0])
+	due := p.dueBuf
+	if len(due) == 0 {
+		return nil
+	}
+	if p.jobs == nil {
+		for _, i := range due {
+			p.run(fleetJob{idx: i, t: t})
+		}
+	} else {
+		p.batch.Add(len(due))
+		for _, i := range due {
+			p.jobs <- fleetJob{idx: i, t: t}
+		}
+		p.batch.Wait()
+	}
+	bad := -1
+	for _, i := range due {
+		q.fix(i)
+		if p.errs[i] != nil && (bad < 0 || i < bad) {
+			bad = i
+		}
+	}
+	if bad >= 0 {
+		return fmt.Errorf("cluster: machine %d: %w", bad, p.errs[bad])
+	}
+	return nil
+}
+
+// advanceOne forces one machine to time t regardless of its horizon — a
+// targeted catch-up for machines the lifecycle layer is about to mutate
+// at t (drain/fail victims before resident extraction, migration
+// destinations before resident injection). Extra pause points are free:
+// the kernel's pause-point invariance keeps the trajectory identical.
+func (p *fleetPool) advanceOne(q *fleetQueue, idx int, t float64) error {
+	p.run(fleetJob{idx: idx, t: t})
+	if q != nil {
+		q.fix(idx)
+	}
+	if err := p.errs[idx]; err != nil {
+		return fmt.Errorf("cluster: machine %d: %w", idx, err)
+	}
+	return nil
+}
+
+// reportStats copies the advancement counters into sink (nil-safe) —
+// deferred by Run so the testing knob sees drains too.
+func (p *fleetPool) reportStats(sink *fleetStats) {
+	if sink == nil {
+		return
+	}
+	sink.Advances = p.advances.Load()
+	sink.Syncs = p.syncs
+}
+
+// alignClocks advances every machine to the run's final
+// synchronization instant — the last pause point the eager loop's
+// per-arrival barrier would have left each idle machine at. The lazy
+// path calls it once before draining so final clocks (and the last
+// partial metrics window) are bit-identical to the eager reference.
+// One fleet-wide barrier amortized over the whole run, excluded from
+// the per-arrival advancement statistics.
+func (p *fleetPool) alignClocks(t float64) error {
+	return p.dispatch(func(i int) fleetJob { return fleetJob{idx: i, t: t, silent: true} })
 }
 
 // drain marks every machine's arrival stream exhausted and runs it to

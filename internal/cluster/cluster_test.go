@@ -236,7 +236,7 @@ func TestClusterHeterogeneousSplitTraceEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cluster.Run(cluster.Config{Fleet: fleet, Placement: cluster.NewLeastLoaded()},
+	res, err := cluster.Run(cluster.Config{Fleet: fleet, Placement: cluster.NewLeastLoaded(), RecordAssignments: true},
 		scn, func(i int) (sim.Dynamic, error) {
 			return policy.NewStockDynamic(fleet[i].Plat.Ways), nil
 		})
@@ -322,7 +322,7 @@ func TestClusterSplitTraceEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cluster.Run(cluster.Config{Sim: cfg, Machines: machines, Placement: cluster.NewLeastLoaded()},
+	res, err := cluster.Run(cluster.Config{Sim: cfg, Machines: machines, Placement: cluster.NewLeastLoaded(), RecordAssignments: true},
 		scn, stockFactory(plat))
 	if err != nil {
 		t.Fatal(err)
@@ -367,7 +367,7 @@ func TestClusterDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 4, Placement: p}, scn, lfocFactory(plat))
+			res, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 4, Placement: p, RecordAssignments: true}, scn, lfocFactory(plat))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -393,7 +393,7 @@ func TestClusterSeriesConservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 2, Placement: cluster.NewRoundRobin()},
+	res, err := cluster.Run(cluster.Config{Sim: cfg, Machines: 2, Placement: cluster.NewRoundRobin(), RecordAssignments: true},
 		scn, stockFactory(plat))
 	if err != nil {
 		t.Fatal(err)

@@ -23,6 +23,7 @@ package cluster
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/faircache/lfoc/internal/metrics"
@@ -243,8 +244,18 @@ type engine struct {
 	failedAt []bool // down by failure (vs drain), for MachineResult.State
 
 	placed      []int
-	assignments []int
+	assignments []int // nil unless Config.RecordAssignments
 	parked      []parkedArrival
+
+	// q is the fleet event queue (nil under the eagerAdvance knob):
+	// synchronization instants advance only due machines, and machines
+	// the engine mutates at t — drain/fail victims before resident
+	// extraction, migration destinations before resident injection —
+	// get a targeted catch-up instead of riding a fleet barrier.
+	q *fleetQueue
+	// lastSync is the latest fleet synchronization instant — where Run
+	// aligns every lazy clock before the final drain.
+	lastSync float64
 
 	evq     eventQueue
 	seq     int
@@ -264,27 +275,29 @@ type engine struct {
 func newEngine(cfg *Config, lc *Lifecycle, scn *scenario.Open, sims []sim.Config, pool *fleetPool, placed []int, nArrivals int) (*engine, error) {
 	n := len(pool.machines)
 	e := &engine{
-		cfg:         cfg,
-		lc:          lc,
-		scn:         scn,
-		sims:        sims,
-		pool:        pool,
-		up:          make([]bool, n),
-		nUp:         n,
-		joinedAt:    make([]float64, n),
-		downAt:      make([]float64, n),
-		failedAt:    make([]bool, n),
-		placed:      placed,
-		assignments: make([]int, nArrivals),
-		maxRetries:  lc.MaxRetries,
-		backoff:     lc.RetryBackoff,
+		cfg:        cfg,
+		lc:         lc,
+		scn:        scn,
+		sims:       sims,
+		pool:       pool,
+		up:         make([]bool, n),
+		nUp:        n,
+		joinedAt:   make([]float64, n),
+		downAt:     make([]float64, n),
+		failedAt:   make([]bool, n),
+		placed:     placed,
+		maxRetries: lc.MaxRetries,
+		backoff:    lc.RetryBackoff,
 	}
 	for i := range e.up {
 		e.up[i] = true
 		e.downAt[i] = -1
 	}
-	for i := range e.assignments {
-		e.assignments[i] = -1
+	if cfg.RecordAssignments {
+		e.assignments = make([]int, nArrivals)
+		for i := range e.assignments {
+			e.assignments[i] = -1
+		}
 	}
 	if e.maxRetries == 0 {
 		e.maxRetries = 3
@@ -365,7 +378,7 @@ func (e *engine) run(arrivals []scenario.Arrival) error {
 	for ai < len(arrivals) || e.evq.Len() > 0 {
 		if e.evq.Len() > 0 && (ai >= len(arrivals) || e.evq[0].time <= arrivals[ai].Time) {
 			ev := heap.Pop(&e.evq).(*timelineEvent)
-			if err := e.pool.advanceTo(ev.time); err != nil {
+			if err := e.advance(ev.time); err != nil {
 				return err
 			}
 			e.trk.advance(ev.time)
@@ -375,7 +388,7 @@ func (e *engine) run(arrivals []scenario.Arrival) error {
 			continue
 		}
 		arr := arrivals[ai]
-		if err := e.pool.advanceTo(arr.Time); err != nil {
+		if err := e.advance(arr.Time); err != nil {
 			return err
 		}
 		e.trk.advance(arr.Time)
@@ -385,6 +398,27 @@ func (e *engine) run(arrivals []scenario.Arrival) error {
 		ai++
 	}
 	return nil
+}
+
+// advance synchronizes the fleet to instant t: due machines only via
+// the fleet event queue, or the whole fleet on the eager reference
+// path. Either way, every up machine's placement-visible state then
+// matches an eager advance bit for bit.
+func (e *engine) advance(t float64) error {
+	e.lastSync = t
+	if e.q != nil {
+		return e.pool.advanceDue(e.q, t)
+	}
+	return e.pool.advanceTo(t)
+}
+
+// catchUp forces one machine to instant t before the engine mutates it
+// out of band; a no-op on the eager path (the fleet barrier already ran).
+func (e *engine) catchUp(idx int, t float64) error {
+	if e.q == nil {
+		return nil
+	}
+	return e.pool.advanceOne(e.q, idx, t)
 }
 
 func (e *engine) handle(ev *timelineEvent) error {
@@ -430,8 +464,11 @@ func (e *engine) place(arr scenario.Arrival, traceIdx int) error {
 		return fmt.Errorf("cluster: machine %d: %w", idx, err)
 	}
 	e.pool.refreshState(idx)
+	if e.q != nil {
+		e.q.touch(idx, arr.Time)
+	}
 	e.placed[idx]++
-	if traceIdx >= 0 {
+	if traceIdx >= 0 && e.assignments != nil {
 		e.assignments[traceIdx] = idx
 	}
 	return nil
@@ -495,6 +532,13 @@ func (e *engine) join(t float64, cfg *sim.Config, autoscaled bool) error {
 	e.sims = append(e.sims, mc)
 	e.pool.grow(m, MachineState{Index: idx, Cores: mc.Plat.Cores, Plat: mc.Plat})
 	e.pool.refreshState(idx)
+	if e.q != nil {
+		// The joiner was just advanced to t, so its horizon is current;
+		// growing may reallocate the shared horizon slice, so re-point
+		// the pool at it.
+		e.q.grow(m.NextEventHorizon())
+		e.pool.horizons = e.q.horizon
+	}
 	e.up = append(e.up, true)
 	e.nUp++
 	e.joinedAt = append(e.joinedAt, t)
@@ -532,6 +576,11 @@ func (e *engine) drainMachine(t float64, idx int, autoscaled bool) error {
 	if !e.up[idx] {
 		return nil
 	}
+	// The victim must be at t before extraction: residents carry run
+	// progress and phase coordinates as of the drain instant.
+	if err := e.catchUp(idx, t); err != nil {
+		return err
+	}
 	residents := e.takeResidents(idx)
 	e.takeDown(t, idx, false)
 	e.sum.Drains++
@@ -550,10 +599,18 @@ func (e *engine) drainMachine(t float64, idx int, autoscaled bool) error {
 			if err := checkPlaced(e.migration.Name(), dest, len(e.pool.machines), e.up); err != nil {
 				return err
 			}
+			// InjectResident requires the destination at the migration
+			// instant (the incoming app lands in the window open at t).
+			if err := e.catchUp(dest, t); err != nil {
+				return err
+			}
 			if err := e.pool.machines[dest].InjectResident(r); err != nil {
 				return fmt.Errorf("cluster: machine %d: %w", dest, err)
 			}
 			e.pool.refreshState(dest)
+			if e.q != nil {
+				e.q.touch(dest, t)
+			}
 			e.placed[dest]++
 			e.sum.Disruptions++
 			e.sum.Migrations++
@@ -580,6 +637,10 @@ func (e *engine) failMachine(t float64, idx int) error {
 	}
 	if !e.up[idx] {
 		return nil
+	}
+	// As for drains: extraction must see the machine's state at t.
+	if err := e.catchUp(idx, t); err != nil {
+		return err
 	}
 	residents := e.takeResidents(idx)
 	e.takeDown(t, idx, true)
@@ -617,6 +678,11 @@ func (e *engine) failMachine(t float64, idx int) error {
 // its simulated time freezes at t and its metric windows end there.
 func (e *engine) takeDown(t float64, idx int, failed bool) {
 	e.pool.machines[idx].Halt()
+	if e.q != nil {
+		// A halted machine's state is frozen: drop it out of every
+		// future due set.
+		e.q.update(idx, math.Inf(1))
+	}
 	e.up[idx] = false
 	e.nUp--
 	e.downAt[idx] = t

@@ -132,6 +132,7 @@ func TestLifecycleAllMachinesFailedDegradesGracefully(t *testing.T) {
 	res, err := cluster.Run(cluster.Config{
 		Sim: clusterSimConfig(plat), Machines: 2,
 		Placement: cluster.NewLeastLoaded(), Workers: 1,
+		RecordAssignments: true,
 		Lifecycle: &cluster.Lifecycle{
 			Events: []cluster.Event{
 				{Time: 0.2, Kind: cluster.MachineFail, Machine: 0},

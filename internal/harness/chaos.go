@@ -175,7 +175,7 @@ func chaosCell(cfg Config, w workloads.Workload, ccfg cluster.Config, sims []sim
 		Placement:    pl.Name(),
 		Policy:       polName,
 		MTBF:         mtbf,
-		Arrivals:     len(res.Assignments),
+		Arrivals:     len(scn.Arrivals()),
 		Departed:     res.Departed,
 		Remaining:    res.Remaining,
 		MeanSlowdown: res.MeanSlowdown,

@@ -133,7 +133,7 @@ func clusterCell(cfg Config, w workloads.Workload, ccfg cluster.Config, sims []s
 	row := ClusterRow{
 		Placement:    pl.Name(),
 		Policy:       polName,
-		Arrivals:     len(res.Assignments),
+		Arrivals:     len(scn.Arrivals()),
 		Departed:     res.Departed,
 		Remaining:    res.Remaining,
 		MeanSlowdown: res.MeanSlowdown,

@@ -27,8 +27,9 @@ type SimBenchRow struct {
 	AllocsPerRun float64 `json:"allocs_per_run"`
 }
 
-// SimBenchData is the simulator-throughput baseline: the kernel's three
-// standing workloads (closed batch, open churn, 4-machine cluster).
+// SimBenchData is the simulator-throughput baseline: the kernel's
+// standing workloads (closed batch, open churn, 4-machine cluster,
+// 1024-machine cluster).
 type SimBenchData struct {
 	Rows []SimBenchRow `json:"rows"`
 }
@@ -43,12 +44,15 @@ type SimBenchCase struct {
 	Run  func() (float64, error)
 }
 
-// SimBenchCases builds the kernel's three standing throughput
-// workloads under the LFOC policy at the configured scale: the paper's
-// closed batch on the S1 mix, an open-system churn run (seeded Poisson
-// arrivals), and a 4-machine cluster behind one arrival stream
+// SimBenchCases builds the kernel's standing throughput workloads
+// under the LFOC policy at the configured scale: the paper's closed
+// batch on the S1 mix, an open-system churn run (seeded Poisson
+// arrivals), a 4-machine cluster behind one arrival stream
 // (fairness-aware placement, serial advancement so allocation counts
-// stay machine-independent).
+// stay machine-independent), and a 1024-machine heterogeneous fleet
+// under Poisson churn — the sparse-fleet regime the lazy fleet event
+// queue exists for, gated so an accidental return to eager per-arrival
+// barriers shows up as a throughput collapse.
 func SimBenchCases(cfg Config) ([]SimBenchCase, error) {
 	cfg = cfg.normalized()
 	w, err := workloads.Get("S1")
@@ -115,10 +119,35 @@ func SimBenchCases(cfg Config) ([]SimBenchCase, error) {
 		return ticks, nil
 	}
 
+	cluster1k := func() (float64, error) {
+		scn, err := w.OpenScenario(128, 4, 7, cfg.Scale)
+		if err != nil {
+			return 0, err
+		}
+		fleet, err := cluster.ParseMachineMix("512x11way,512x7way", simCfg)
+		if err != nil {
+			return 0, err
+		}
+		ccfg := cluster.Config{Fleet: fleet, Placement: cluster.NewLeastLoaded(), Workers: 1}
+		res, err := cluster.Run(ccfg, scn, func(i int) (sim.Dynamic, error) {
+			pol, _, err := cfg.NewDynamicPolicyFor("lfoc", fleet[i].Plat)
+			return pol, err
+		})
+		if err != nil {
+			return 0, err
+		}
+		var ticks float64
+		for _, m := range res.PerMachine {
+			ticks += ticksOf(m.Open.SimSeconds)
+		}
+		return ticks, nil
+	}
+
 	return []SimBenchCase{
 		{"closed-batch", closed},
 		{"open-churn", openChurn},
 		{"cluster-4", cluster4},
+		{"cluster-1k", cluster1k},
 	}, nil
 }
 

@@ -168,6 +168,13 @@ func (s *WindowedSeries) Fingerprint() string {
 // combine disjoint time spans.
 func MergeSeries(series []*WindowedSeries) (WindowedSeries, error) {
 	out := WindowedSeries{}
+	// One validation pass builds the live set (non-nil, non-empty, in
+	// input order); the merge loop then compacts it in place as series
+	// exhaust, so each window only visits series that still contribute
+	// — O(total points), not O(windows × fleet). Compaction preserves
+	// relative order, which keeps the float accumulation order — and
+	// therefore the merged values — bit-identical to a full rescan.
+	live := make([]*WindowedSeries, 0, len(series))
 	maxLen := 0
 	for i, s := range series {
 		if s == nil || len(s.Points) == 0 {
@@ -184,15 +191,20 @@ func MergeSeries(series []*WindowedSeries) (WindowedSeries, error) {
 		if len(s.Points) > maxLen {
 			maxLen = len(s.Points)
 		}
+		live = append(live, s)
 	}
+	out.Points = make([]WindowPoint, 0, maxLen)
 	for i := 0; i < maxLen; i++ {
 		var m WindowPoint
 		first := true
 		sdSum := 0.0
-		for _, s := range series {
-			if s == nil || i >= len(s.Points) {
-				continue
+		n := 0
+		for _, s := range live {
+			if i >= len(s.Points) {
+				continue // exhausted: drop from the live set
 			}
+			live[n] = s
+			n++
 			p := s.Points[i]
 			if first {
 				m.Start, m.End = p.Start, p.End
@@ -221,6 +233,7 @@ func MergeSeries(series []*WindowedSeries) (WindowedSeries, error) {
 				}
 			}
 		}
+		live = live[:n]
 		if w := m.End - m.Start; w > 0 {
 			m.Throughput = float64(m.RunsCompleted) / w
 		}

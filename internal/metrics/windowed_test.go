@@ -184,3 +184,126 @@ func TestFingerprintDistinguishes(t *testing.T) {
 		t.Error("one-ulp STP difference not visible in fingerprint")
 	}
 }
+
+// naiveMergeSeries is the pre-compaction reference merge: rescan every
+// series at every window index. Kept here as the oracle for the
+// fleet-scale merge below.
+func naiveMergeSeries(series []*WindowedSeries) WindowedSeries {
+	out := WindowedSeries{}
+	maxLen := 0
+	for _, s := range series {
+		if s == nil || len(s.Points) == 0 {
+			continue
+		}
+		if out.Width == 0 {
+			out.Width = s.Width
+		}
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		var m WindowPoint
+		first := true
+		sdSum := 0.0
+		for _, s := range series {
+			if s == nil || i >= len(s.Points) {
+				continue
+			}
+			p := s.Points[i]
+			if first {
+				m.Start, m.End = p.Start, p.End
+				first = false
+			} else {
+				if p.Start < m.Start {
+					m.Start = p.Start
+				}
+				if p.End > m.End {
+					m.End = p.End
+				}
+			}
+			m.Active += p.Active
+			m.Arrivals += p.Arrivals
+			m.Departures += p.Departures
+			m.RunsCompleted += p.RunsCompleted
+			m.STP += p.STP
+			sdSum += p.MeanSlowdown * float64(p.Samples)
+			m.Samples += p.Samples
+			if p.Samples > 0 {
+				if m.MinSlowdown == 0 || p.MinSlowdown < m.MinSlowdown {
+					m.MinSlowdown = p.MinSlowdown
+				}
+				if p.MaxSlowdown > m.MaxSlowdown {
+					m.MaxSlowdown = p.MaxSlowdown
+				}
+			}
+		}
+		if w := m.End - m.Start; w > 0 {
+			m.Throughput = float64(m.RunsCompleted) / w
+		}
+		if m.Samples > 0 {
+			m.Unfairness = m.MaxSlowdown / m.MinSlowdown
+			m.MeanSlowdown = sdSum / float64(m.Samples)
+		} else {
+			m.Unfairness = 1
+		}
+		out.Add(m)
+	}
+	return out
+}
+
+// Fleet-scale merge contract at 1024 machines with ragged lifetimes:
+// the compacting single-pass merge must reproduce the naive rescan bit
+// for bit (same float accumulation order), keep every window at the
+// shared width, and cover as many windows as the longest series.
+func TestMergeSeriesFleetScale(t *testing.T) {
+	const n, width = 1024, 0.25
+	series := make([]*WindowedSeries, n)
+	maxLen := 0
+	for i := range series {
+		if i%97 == 0 {
+			continue // sprinkle nil machines (failed before any window)
+		}
+		// Ragged lifetimes: lengths cycle 1..32 windows.
+		length := 1 + (i*7)%32
+		if length > maxLen {
+			maxLen = length
+		}
+		s := &WindowedSeries{Width: width}
+		for w := 0; w < length; w++ {
+			samples := (i + w) % 3
+			p := WindowPoint{
+				Start:         float64(w) * width,
+				End:           float64(w+1) * width,
+				Active:        samples,
+				Arrivals:      i % 5,
+				RunsCompleted: w % 4,
+				STP:           float64(i%13) / 7,
+				Samples:       samples,
+			}
+			if samples > 0 {
+				p.MinSlowdown = 1 + float64(i%11)/3
+				p.MaxSlowdown = p.MinSlowdown + float64(w%5)
+				p.MeanSlowdown = (p.MinSlowdown + p.MaxSlowdown) / 2
+			}
+			s.Add(p)
+		}
+		series[i] = s
+	}
+	got, err := MergeSeries(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != maxLen {
+		t.Fatalf("merged %d windows, want the longest lifetime %d", len(got.Points), maxLen)
+	}
+	for i, p := range got.Points {
+		if w := p.End - p.Start; math.Abs(w-width) > 1e-12 {
+			t.Fatalf("window %d spans %v, want the shared width %v", i, w, width)
+		}
+	}
+	want := naiveMergeSeries(series)
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Error("compacting merge diverges from the naive reference rescan")
+	}
+}

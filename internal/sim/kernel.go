@@ -871,6 +871,65 @@ func (k *kernel) horizonTicks() int {
 	return n
 }
 
+// nextEventTime returns a conservative lower bound H on the next
+// simulated instant at which this kernel's externally visible state —
+// the placement view (active count, queue depth, resident phases) and
+// the migration coordinates a Resident carries — can differ from its
+// current content. The cluster layer uses it to skip advancement: for
+// any pause point t < H, runUntil(t) is guaranteed to deliver no
+// arrival, complete no run, cross no phase boundary and change no
+// policy input, so deferring the call is indistinguishable from making
+// it (runUntil's pause-point invariance covers the rest).
+//
+// The bound is the earliest of:
+//   - the next undelivered injected arrival (delivery changes the
+//     active set and admits from the wait queue);
+//   - the next policy activation, but only while applications are
+//     resident — a repartition changes masks and therefore every rate,
+//     invalidating the instruction-event bound below (an idle machine
+//     has no rates to invalidate, which is what lets a 1000-machine
+//     fleet skip its idle members entirely);
+//   - the last tick horizonTicks guarantees free of instruction events
+//     (window delivery, run completion, phase boundary), shrunk by a
+//     relative slack that dominates the accumulated per-tick rounding
+//     of the real clock (simTime sums dt tick by tick; the closed form
+//     here may land up to ~2^-32 relative above the true boundary, and
+//     an arrival in that gap must still count as due).
+//
+// Metrics-window closes deliberately do not bound H: they are pure
+// recording, replayed bit-identically inside the catch-up runUntil.
+// A done machine (horizon reached, or drained and empty) returns +Inf:
+// its state is frozen. Calling refreshPerf/refreshSteps here is safe
+// between runUntil calls — both are idempotent rederivations the next
+// loop top would perform with identical inputs.
+func (k *kernel) nextEventTime() float64 {
+	if k.scn.Done(k.progress()) {
+		return math.Inf(1)
+	}
+	if !k.fastPath {
+		return k.simTime // legacy per-tick path: treat every instant as an event
+	}
+	h := math.Inf(1)
+	if k.arrIdx < len(k.arrivals) {
+		h = k.arrivals[k.arrIdx].Time
+	}
+	if k.nActive > 0 {
+		if k.nextPolicy < h {
+			h = k.nextPolicy
+		}
+		if k.perfDirty {
+			k.refreshPerf()
+		}
+		n := k.horizonTicks()
+		hins := k.simTime + float64(n-1)*k.dt
+		hins -= hins * 1e-9
+		if hins < h {
+			h = hins
+		}
+	}
+	return h
+}
+
 // advanceHorizon is the event-horizon fast path: it advances all whole
 // ticks until the earliest next event — due arrival, policy activation,
 // metrics-window close, the until pause point, MaxSimTime, the

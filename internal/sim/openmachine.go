@@ -153,12 +153,34 @@ func (m *OpenMachine) Platform() *machine.Platform { return m.k.cfg.Plat }
 // machine is running, reused across calls to avoid per-arrival
 // allocation.
 func (m *OpenMachine) ActivePhases(dst []*appmodel.PhaseSpec) []*appmodel.PhaseSpec {
-	for _, a := range m.k.apps {
+	// Iterate the active subset, not every slot ever admitted: a churn
+	// run retires thousands of slots and this runs at every placement
+	// refresh. actives preserves slot order (compactActives), so the
+	// output order matches the historical full scan exactly.
+	for _, a := range m.k.actives {
 		if a.active {
 			dst = append(dst, a.inst.Phase())
 		}
 	}
 	return dst
+}
+
+// NextEventHorizon returns a conservative lower bound on the next
+// simulated instant at which this machine's placement-visible state
+// (Active, Queued, ActivePhases) or extractable resident coordinates
+// can change. For any t below the bound, skipping AdvanceTo(t) leaves
+// the machine bit-identical to having made the call: the cluster's
+// fleet event queue orders machines by it and advances only those whose
+// horizon has passed. A done or halted machine reports +Inf (its state
+// is frozen); a machine with a pending injected arrival reports at most
+// that arrival's time. The bound is recomputed from scratch on every
+// call — callers cache it and re-query after AdvanceTo, Inject,
+// InjectResident or Drain.
+func (m *OpenMachine) NextEventHorizon() float64 {
+	if m.err != nil || m.halted {
+		return math.Inf(1)
+	}
+	return m.k.nextEventTime()
 }
 
 // Result assembles the machine's open-system result. Call after Drain.

@@ -318,12 +318,15 @@ func RunOpen(cfg SimConfig, scn *OpenScenario, pol DynamicPolicy) (*OpenSimResul
 
 // ClusterConfig parameterizes a multi-machine cluster run: per-machine
 // simulator configuration (the homogeneous Sim+Machines shorthand or a
-// heterogeneous Fleet list), placement policy and the advancement
-// worker-pool bound.
+// heterogeneous Fleet list), placement policy, the advancement
+// worker-pool bound, the opt-in per-arrival assignment log
+// (RecordAssignments) and striped sub-fleet sharding (Shards, for
+// order-independent placements only).
 type ClusterConfig = cluster.Config
 
 // ClusterResult carries a cluster run's fleet-wide aggregates, the
-// per-arrival placement record and every machine's open-system result.
+// opt-in per-arrival placement record (ClusterConfig.RecordAssignments)
+// and every machine's open-system result.
 type ClusterResult = cluster.Result
 
 // ClusterMachineResult is one machine's share of a cluster run.
@@ -331,6 +334,12 @@ type ClusterMachineResult = cluster.MachineResult
 
 // PlacementPolicy decides which machine admits an arriving application.
 type PlacementPolicy = cluster.Policy
+
+// ShardablePlacement marks placements whose decisions are
+// order-independent across machine subsets, making them eligible for
+// ClusterConfig.Shards striping (round-robin and least-loaded qualify;
+// the fairness-aware placement does not).
+type ShardablePlacement = cluster.ShardablePlacement
 
 // PlacementMachineState is one machine's placement-visible load.
 type PlacementMachineState = cluster.MachineState
@@ -428,7 +437,8 @@ func ParseFleetEvents(s string) ([]FleetEvent, error) {
 }
 
 // SplitArrivals partitions an arrival trace across machines by an
-// explicit per-arrival assignment (such as ClusterResult.Assignments).
+// explicit per-arrival assignment (such as ClusterResult.Assignments,
+// recorded when ClusterConfig.RecordAssignments is set).
 func SplitArrivals(arrivals []ScenarioArrival, assignment []int, machines int) ([][]ScenarioArrival, error) {
 	return workloads.SplitArrivals(arrivals, assignment, machines)
 }
