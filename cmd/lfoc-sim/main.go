@@ -14,6 +14,10 @@
 //	lfoc-sim -workload S3 -sweep 0.5,1,2 -duration 10 -seed 7
 //	lfoc-sim -workload S3 -arrivals poisson:4 -machines 4 -placement fair -seed 7
 //	lfoc-sim -workload S3 -sweep 2,4 -machines 4 -duration 10
+//	lfoc-sim -workload-spec examples/specs/diurnal-bursty.yaml
+//	lfoc-sim -workload-spec spec.yaml -record-trace run.trace
+//	lfoc-sim -replay-trace run.trace -machines 4 -placement fair
+//	lfoc-sim -spec-sweep examples/specs/diurnal-web.yaml,examples/specs/bursty-batch.yaml
 //
 // Policies: stock (no partitioning), dunn, lfoc (all dynamic).
 //
@@ -65,6 +69,23 @@
 // -machines/worker configuration. With -sweep, the lifecycle flags turn
 // the placement × policy grid into a chaos sweep: every cell faces the
 // same trace and the same disruption schedule.
+//
+// -workload-spec replaces -arrivals with a declarative scenario file
+// (YAML or JSON, see docs/workload-spec.md): cohorts with diurnal rate
+// curves, MMPP calm/burst episodes, heavy-tailed job sizes and weighted
+// application mixes. The spec carries its own duration and seed (an
+// explicit -seed overrides the spec's; an explicit -duration is a usage
+// error — the spec defines it), and generation is a pure function of
+// (spec, -scale), so a spec file is a complete reproducible experiment.
+// -record-trace writes the open-system arrival trace (whatever its
+// source) to a versioned file; -replay-trace runs from such a file
+// instead of generating, reproducing the recorded arrivals bit for bit
+// — record once, then replay under different -placement/-policy/
+// -machines settings to compare them on the identical stream. A trace
+// bakes in its -scale (replay adopts it; a conflicting explicit -scale
+// is an error). -spec-sweep runs a list of spec files against every
+// partitioning policy (over a cluster with -machines) — the spec-file
+// counterpart of -sweep.
 //
 // -cpuprofile/-memprofile write pprof profiles of the run, so perf
 // investigations start from a profile instead of a guess.
@@ -147,6 +168,12 @@ type clusterSweepJSON struct {
 	Grids []harness.ClusterSweepData `json:"grids"`
 }
 
+// specSweepJSON is the -json schema of a -spec-sweep grid.
+type specSweepJSON struct {
+	Scale uint64 `json:"scale"`
+	harness.SpecSweepData
+}
+
 // chaosSweepJSON is the -json schema of a chaos -sweep grid (one entry
 // per rate).
 type chaosSweepJSON struct {
@@ -213,6 +240,10 @@ func main() {
 		polName       = flag.String("policy", "lfoc", "policy: stock | dunn | lfoc")
 		scale         = flag.Uint64("scale", 50, "time-scale divisor (1 = paper scale)")
 		arrivals      = flag.String("arrivals", "", "open-system arrival process: poisson:<rate> | uniform:<interval>")
+		workloadSpec  = flag.String("workload-spec", "", "declarative workload spec file (YAML/JSON): generates the open-system arrival trace (see docs/workload-spec.md)")
+		recordTrace   = flag.String("record-trace", "", "write the open-system arrival trace to this file (replay it with -replay-trace)")
+		replayTrace   = flag.String("replay-trace", "", "replay a recorded arrival trace bit-exactly instead of generating one")
+		specSweep     = flag.String("spec-sweep", "", "comma-separated workload spec files: run every spec against every policy (over a cluster with -machines)")
 		duration      = flag.Float64("duration", 10, "open-system arrival window in simulated seconds")
 		seed          = flag.Int64("seed", 1, "seed for the open-system arrival trace")
 		sweep         = flag.String("sweep", "", "comma-separated Poisson rates: compare stock/dunn/lfoc across the load sweep")
@@ -244,16 +275,37 @@ func main() {
 	if *machines < 1 {
 		fail(fmt.Errorf("-machines must be at least 1, got %d", *machines))
 	}
-	if *sweep != "" && *arrivals != "" {
-		fail(fmt.Errorf("-sweep and -arrivals are mutually exclusive (a sweep generates its own traces)"))
+	sources := 0
+	for _, set := range []bool{*arrivals != "", *workloadSpec != "", *replayTrace != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources > 1 {
+		fail(fmt.Errorf("-arrivals, -workload-spec and -replay-trace are mutually exclusive arrival sources"))
+	}
+	if *sweep != "" && sources > 0 {
+		fail(fmt.Errorf("-sweep and -arrivals/-workload-spec/-replay-trace are mutually exclusive (a sweep generates its own traces)"))
+	}
+	if *workloadSpec != "" && explicit["duration"] {
+		fail(fmt.Errorf("-duration conflicts with -workload-spec: the spec's duration_seconds defines the window"))
+	}
+	if *replayTrace != "" && (explicit["duration"] || explicit["seed"]) {
+		fail(fmt.Errorf("-duration and -seed conflict with -replay-trace: the trace is already fixed"))
+	}
+	if (*workloadSpec != "" || *replayTrace != "") && (*workload != "" || *apps != "") {
+		fail(fmt.Errorf("-workload/-apps conflict with -workload-spec/-replay-trace: the spec or trace defines the applications"))
+	}
+	if *recordTrace != "" && sources == 0 {
+		fail(fmt.Errorf("-record-trace needs an open-system arrival source (-arrivals or -workload-spec)"))
 	}
 	clustered := *machines > 1 || *placement != "" || *mix != "" ||
 		*events != "" || *mtbf > 0 || *autoscale != "" || *shards > 1
 	if *placement == "" {
 		*placement = "rr"
 	}
-	if clustered && *sweep == "" && *arrivals == "" {
-		fail(fmt.Errorf("cluster mode needs an open system: set -arrivals or -sweep"))
+	if clustered && *sweep == "" && *specSweep == "" && sources == 0 {
+		fail(fmt.Errorf("cluster mode needs an open system: set -arrivals, -workload-spec, -replay-trace or -sweep"))
 	}
 	if *mtbf < 0 {
 		fail(fmt.Errorf("-mtbf must be nonnegative, got %v", *mtbf))
@@ -273,6 +325,30 @@ func main() {
 
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
+
+	if *specSweep != "" {
+		if *workload != "" || *apps != "" || *sweep != "" || sources > 0 || *recordTrace != "" {
+			fail(fmt.Errorf("-spec-sweep runs standalone: it conflicts with -workload, -apps, -sweep, -arrivals, -workload-spec, -replay-trace and -record-trace"))
+		}
+		if lifecycle.active() {
+			fail(fmt.Errorf("-spec-sweep does not take the lifecycle flags"))
+		}
+		var paths []string
+		for _, p := range strings.Split(*specSweep, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				paths = append(paths, p)
+			}
+		}
+		var policies []string
+		if explicit["policy"] {
+			policies = []string{*polName}
+		}
+		d, err := harness.SpecSweep(cfg, paths, policies, *machines, *placement)
+		exitOn(err)
+		fmt.Println(d.Render())
+		writeJSON(*jsonOut, specSweepJSON{Scale: cfg.Scale, SpecSweepData: d})
+		return
+	}
 
 	// With -machine-mix the fleet size comes from the mix; an explicit
 	// -machines must agree with it (checked by the cluster layer), while
@@ -298,8 +374,49 @@ func main() {
 			names = append(names, name)
 		}
 		w = workloads.Workload{Name: *apps, Benchmarks: names}
+	case *workloadSpec != "" || *replayTrace != "":
+		// The spec or trace carries its own applications.
 	default:
-		fail(fmt.Errorf("need -workload or -apps"))
+		fail(fmt.Errorf("need -workload, -apps, -workload-spec or -replay-trace"))
+	}
+
+	// Open and cluster runs build their scenario here — one place for
+	// every arrival source (-arrivals generation, -workload-spec
+	// expansion, -replay-trace) — so -record-trace serializes whatever
+	// stream the run is about to face.
+	var scn *scenario.Open
+	scnSeed := *seed
+	if *sweep == "" && sources > 0 {
+		switch {
+		case *replayTrace != "":
+			tr, err := workloads.ReadTraceFile(*replayTrace)
+			exitOn(err)
+			if explicit["scale"] && *scale != tr.Scale {
+				fail(fmt.Errorf("-scale %d conflicts with the trace's recorded scale %d (traces bake their scale into the specs)", *scale, tr.Scale))
+			}
+			cfg.Scale = tr.Scale
+			scn, err = tr.Scenario()
+			exitOn(err)
+			scnSeed = 0 // a replayed trace is not reseedable
+			w.Name = scn.Name()
+		case *workloadSpec != "":
+			s, err := workloads.LoadSpec(*workloadSpec)
+			exitOn(err)
+			if explicit["seed"] {
+				s.Seed = *seed
+			}
+			scn, err = s.Scenario(cfg.Scale)
+			exitOn(err)
+			scnSeed = s.Seed
+			w.Name = scn.Name()
+		default:
+			scn, scnSeed = openScenario(cfg, w, *arrivals, *duration, *seed)
+		}
+		if *recordTrace != "" {
+			tr := &workloads.Trace{Name: scn.Name(), Scale: cfg.Scale, Arrivals: scn.Arrivals()}
+			exitOn(workloads.WriteTraceFile(*recordTrace, tr))
+			fmt.Fprintln(os.Stderr, "lfoc-sim: recorded", *recordTrace)
+		}
 	}
 
 	switch {
@@ -353,9 +470,9 @@ func main() {
 			writeJSON(*jsonOut, sweepJSON{Scale: cfg.Scale, ChurnData: d})
 		}
 	case clustered:
-		runCluster(cfg, w, *polName, *placement, fleetSize, *mix, *arrivals, *duration, *seed, *jsonOut, lifecycle, *shards, *recordAssign)
-	case *arrivals != "":
-		runOpen(cfg, w, *polName, *arrivals, *duration, *seed, *jsonOut)
+		runCluster(cfg, w, *polName, *placement, fleetSize, *mix, scn, scnSeed, *jsonOut, lifecycle, *shards, *recordAssign)
+	case scn != nil:
+		runOpen(cfg, w, *polName, scn, scnSeed, *jsonOut)
 	default:
 		runClosed(cfg, w, *polName, *jsonOut)
 	}
@@ -434,9 +551,7 @@ func openScenario(cfg harness.Config, w workloads.Workload, arrivals string, dur
 	return scn, seed
 }
 
-func runOpen(cfg harness.Config, w workloads.Workload, polName, arrivals string, duration float64, seed int64, jsonOut string) {
-	scn, seed := openScenario(cfg, w, arrivals, duration, seed)
-
+func runOpen(cfg harness.Config, w workloads.Workload, polName string, scn *scenario.Open, seed int64, jsonOut string) {
 	pol, _, err := cfg.NewDynamicPolicy(polName)
 	exitOn(err)
 	res, err := sim.RunOpen(cfg.SimConfig(), scn, pol)
@@ -467,9 +582,7 @@ func runOpen(cfg harness.Config, w workloads.Workload, polName, arrivals string,
 	writeJSON(jsonOut, openJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, OpenResult: res})
 }
 
-func runCluster(cfg harness.Config, w workloads.Workload, polName, placement string, machines int, mix, arrivals string, duration float64, seed int64, jsonOut string, lc lifecycleConfig, shards int, recordAssignments bool) {
-	scn, seed := openScenario(cfg, w, arrivals, duration, seed)
-
+func runCluster(cfg harness.Config, w workloads.Workload, polName, placement string, machines int, mix string, scn *scenario.Open, seed int64, jsonOut string, lc lifecycleConfig, shards int, recordAssignments bool) {
 	pl, err := cluster.NewPlacement(placement, cfg.Plat)
 	exitOn(err)
 	ccfg := cluster.Config{Sim: cfg.SimConfig(), Machines: machines, Placement: pl,

@@ -104,12 +104,25 @@ type Spec struct {
 	// cyclically, otherwise the last phase runs forever.
 	Phases     []PhaseSpec
 	LoopPhases bool
+	// SizeFactor scales this application's per-run instruction quota
+	// relative to the simulation-wide sim.Config.TargetInsns: the
+	// kernel runs the app for round(TargetInsns·SizeFactor)
+	// instructions per run (minimum 1). Zero and 1 both mean the
+	// unscaled quota and are bit-identical to a build without the
+	// field. Workload generators that draw heavy-tailed job sizes set
+	// it on a per-arrival spec clone (scaling the phase durations by
+	// the same factor, so a big job is the same program stretched, not
+	// a different program).
+	SizeFactor float64
 }
 
 // Validate checks the spec for consistency.
 func (s *Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("appmodel: spec with empty name")
+	}
+	if s.SizeFactor < 0 {
+		return fmt.Errorf("appmodel: spec %q: SizeFactor must be non-negative", s.Name)
 	}
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("appmodel: spec %q has no phases", s.Name)

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/faircache/lfoc/internal/cluster"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// SpecRow is one (spec file, partitioning policy) cell of the spec
+// sweep.
+type SpecRow struct {
+	// Spec is the scenario name of the loaded spec (its name field, or
+	// the file basename).
+	Spec   string `json:"spec"`
+	Policy string `json:"policy"`
+	// Arrivals counts the generated trace's arrivals; MachineArrivals
+	// breaks them down per machine on multi-machine sweeps.
+	Arrivals        int     `json:"arrivals"`
+	MachineArrivals []int   `json:"machine_arrivals,omitempty"`
+	Departed        int     `json:"departed"`
+	Remaining       int     `json:"remaining"`
+	MeanSlowdown    float64 `json:"mean_slowdown"`
+	MeanWait        float64 `json:"mean_wait"`
+	Unfairness      float64 `json:"unfairness"`
+	STP             float64 `json:"stp"`
+	Throughput      float64 `json:"throughput"`
+	PeakActive      int     `json:"peak_active"`
+	SimSeconds      float64 `json:"sim_seconds"`
+}
+
+// SpecSweepData is the spec-file × partitioning-policy grid.
+type SpecSweepData struct {
+	// Machines and Placement describe the fleet every cell ran on
+	// (machines 1 means single-machine open runs, no placement).
+	Machines  int       `json:"machines"`
+	Placement string    `json:"placement,omitempty"`
+	Rows      []SpecRow `json:"rows"`
+}
+
+// SpecSweep runs every workload-spec file against every partitioning
+// policy — the declarative counterpart of the workload-name sweeps:
+// each spec file is a complete experiment definition (cohorts, diurnal
+// rates, bursts, job sizes, seed), so comparing spec files compares
+// scenario designs with zero new code. Each cell regenerates the
+// spec's trace at cfg.Scale — generation is a pure function of
+// (spec, scale), so every policy faces the identical arrival stream.
+// machines > 1 runs each cell over a homogeneous fleet under the named
+// placement policy; machines ≤ 1 runs single-machine open simulations
+// and ignores placement. Empty policies default to ChurnPolicies.
+func SpecSweep(cfg Config, specPaths []string, policies []string, machines int, placement string) (SpecSweepData, error) {
+	cfg = cfg.normalized()
+	if len(specPaths) == 0 {
+		return SpecSweepData{}, fmt.Errorf("spec sweep: no spec files")
+	}
+	if len(policies) == 0 {
+		policies = ChurnPolicies
+	}
+	if machines < 1 {
+		machines = 1
+	}
+	specs := make([]*workloads.Spec, len(specPaths))
+	for i, p := range specPaths {
+		s, err := workloads.LoadSpec(p)
+		if err != nil {
+			return SpecSweepData{}, fmt.Errorf("spec sweep: %w", err)
+		}
+		specs[i] = s
+	}
+
+	type cell struct {
+		spec   *workloads.Spec
+		policy string
+	}
+	var cells []cell
+	for _, s := range specs {
+		for _, po := range policies {
+			cells = append(cells, cell{spec: s, policy: po})
+		}
+	}
+	rows, err := mapRows(cfg.workers(), cells, func(c cell) (SpecRow, error) {
+		row, err := specCell(cfg, c.spec, c.policy, machines, placement)
+		if err != nil {
+			return SpecRow{}, fmt.Errorf("spec sweep: %s/%s: %w", c.spec.Name, c.policy, err)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return SpecSweepData{}, err
+	}
+	d := SpecSweepData{Machines: machines, Rows: rows}
+	if machines > 1 {
+		d.Placement = placement
+	}
+	return d, nil
+}
+
+func specCell(cfg Config, spec *workloads.Spec, polName string, machines int, placement string) (SpecRow, error) {
+	scn, err := spec.Scenario(cfg.Scale)
+	if err != nil {
+		return SpecRow{}, err
+	}
+	row := SpecRow{Spec: scn.Name(), Policy: polName, Arrivals: len(scn.Arrivals())}
+	if machines <= 1 {
+		pol, _, err := cfg.NewDynamicPolicy(polName)
+		if err != nil {
+			return SpecRow{}, err
+		}
+		res, err := sim.RunOpen(cfg.SimConfig(), scn, pol)
+		if err != nil {
+			return SpecRow{}, err
+		}
+		row.Departed = res.Departed
+		row.Remaining = len(res.Apps) - res.Departed
+		row.MeanSlowdown = res.MeanSlowdown
+		row.MeanWait = res.MeanWait
+		row.Unfairness = res.Series.MeanUnfairness()
+		row.STP = res.Series.MeanSTP()
+		row.Throughput = res.Series.TotalThroughput()
+		row.PeakActive = res.PeakActive
+		row.SimSeconds = res.SimSeconds
+		return row, nil
+	}
+	pl, err := cluster.NewPlacement(placement, cfg.Plat)
+	if err != nil {
+		return SpecRow{}, err
+	}
+	// Cells are the unit of parallelism (as in the cluster sweep), so
+	// each cell's fleet advances serially.
+	ccfg := cluster.Config{Sim: cfg.SimConfig(), Machines: machines, Placement: pl, Workers: 1}
+	res, err := cluster.Run(ccfg, scn, func(int) (sim.Dynamic, error) {
+		pol, _, err := cfg.NewDynamicPolicy(polName)
+		return pol, err
+	})
+	if err != nil {
+		return SpecRow{}, err
+	}
+	row.Departed = res.Departed
+	row.Remaining = res.Remaining
+	row.MeanSlowdown = res.MeanSlowdown
+	row.MeanWait = res.MeanWait
+	row.Unfairness = res.Series.MeanUnfairness()
+	row.STP = res.Series.MeanSTP()
+	row.Throughput = res.Series.TotalThroughput()
+	row.PeakActive = res.PeakActive
+	row.SimSeconds = res.SimSeconds
+	for _, m := range res.PerMachine {
+		row.MachineArrivals = append(row.MachineArrivals, m.Arrivals)
+	}
+	return row, nil
+}
+
+// Render formats the sweep as one table per spec file.
+func (d SpecSweepData) Render() string {
+	fleet := "1 machine"
+	if d.Machines > 1 {
+		fleet = fmt.Sprintf("%d machines, placement %s", d.Machines, d.Placement)
+	}
+	out := fmt.Sprintf("Spec sweep over %s\n", fleet)
+	header := []string{"policy", "arrivals", "departed", "slowdown", "wait(s)", "unfairness", "STP", "tput(runs/s)", "peak"}
+	spec := ""
+	var rows [][]string
+	flush := func() {
+		if len(rows) > 0 {
+			out += fmt.Sprintf("\nspec %s:\n%s", spec, renderTable(rows))
+			rows = nil
+		}
+	}
+	for _, r := range d.Rows {
+		if r.Spec != spec {
+			flush()
+			spec = r.Spec
+			rows = [][]string{header}
+		}
+		rows = append(rows, []string{
+			r.Policy,
+			fmt.Sprintf("%d", r.Arrivals),
+			fmt.Sprintf("%d", r.Departed),
+			f3(r.MeanSlowdown),
+			f3(r.MeanWait),
+			f3(r.Unfairness),
+			f3(r.STP),
+			f3(r.Throughput),
+			fmt.Sprintf("%d", r.PeakActive),
+		})
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+const sweepSpec = `
+spec_version: 1
+seed: 9
+duration_seconds: 4
+cohorts:
+  - mix:
+      workload: S1
+    rate:
+      sinusoid:
+        base: 2
+        amplitude: 1
+`
+
+func writeSweepSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep.yaml")
+	if err := os.WriteFile(path, []byte(sweepSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSpecSweepSingleMachine(t *testing.T) {
+	cfg := DefaultConfig()
+	path := writeSweepSpec(t)
+	d, err := SpecSweep(cfg, []string{path}, []string{"lfoc", "stock"}, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(d.Rows))
+	}
+	for _, r := range d.Rows {
+		if r.Spec != "sweep" {
+			t.Errorf("row spec %q, want file basename %q", r.Spec, "sweep")
+		}
+		if r.Arrivals == 0 {
+			t.Errorf("%s: no arrivals", r.Policy)
+		}
+		if r.MachineArrivals != nil {
+			t.Errorf("%s: single-machine row carries per-machine arrivals", r.Policy)
+		}
+	}
+	// Both policies face the identical generated trace.
+	if d.Rows[0].Arrivals != d.Rows[1].Arrivals {
+		t.Errorf("policies saw different traces: %d vs %d arrivals", d.Rows[0].Arrivals, d.Rows[1].Arrivals)
+	}
+	if d.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSpecSweepClusterDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	path := writeSweepSpec(t)
+	run := func() SpecSweepData {
+		d, err := SpecSweep(cfg, []string{path}, []string{"lfoc"}, 2, "rr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("spec sweep is not deterministic")
+	}
+	r := a.Rows[0]
+	if len(r.MachineArrivals) != 2 {
+		t.Fatalf("want 2 machine-arrival counts, got %v", r.MachineArrivals)
+	}
+	if r.MachineArrivals[0]+r.MachineArrivals[1] != r.Arrivals {
+		t.Fatalf("placement lost arrivals: %v vs %d", r.MachineArrivals, r.Arrivals)
+	}
+}
+
+func TestSpecSweepErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := SpecSweep(cfg, nil, nil, 1, ""); err == nil {
+		t.Error("no spec files accepted")
+	}
+	if _, err := SpecSweep(cfg, []string{filepath.Join(t.TempDir(), "missing.yaml")}, nil, 1, ""); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}

@@ -27,6 +27,7 @@ type kernelApp struct {
 	counter  pmc.Counter
 	nextWin  uint64 // cumulative instruction threshold for next window
 	runInsns uint64
+	quota    uint64 // per-run instruction quota (TargetInsns·spec.SizeFactor)
 	runStart float64
 	runs     []float64
 	// fractional accumulators (counters are integers, progress is not)
@@ -260,6 +261,7 @@ func (k *kernel) admit(spec *appmodel.Spec, arrivedAt float64, tag int) error {
 		monID:      k.nextMonID,
 		spec:       spec,
 		inst:       appmodel.NewInstance(spec),
+		quota:      RunQuota(k.cfg.TargetInsns, spec),
 		active:     true,
 		tag:        tag,
 		arrivedAt:  arrivedAt,
@@ -674,12 +676,12 @@ func (k *kernel) appEvents(a *kernelApp, insns uint64) (bool, error) {
 	}
 	// Run completion: the scenario decides the app's fate.
 	a.runInsns += insns
-	for a.active && a.runInsns >= k.cfg.TargetInsns {
+	for a.active && a.runInsns >= a.quota {
 		a.runs = append(a.runs, k.simTime-a.runStart)
 		k.runCounts[a.slot]++
 		k.winRuns++
 		a.runStart = k.simTime
-		a.runInsns -= k.cfg.TargetInsns
+		a.runInsns -= a.quota
 		switch k.scn.OnRunComplete(a.slot, len(a.runs)) {
 		case scenario.Depart:
 			if err := k.depart(a); err != nil {
@@ -849,7 +851,7 @@ func (k *kernel) horizonTicks() int {
 		}
 		// A passive policy takes its window deliveries inside the batch
 		// (advanceHorizon's segment loop), so they do not bound it.
-		remain := float64(k.cfg.TargetInsns - a.runInsns)
+		remain := float64(a.quota - a.runInsns)
 		if !k.passiveWin {
 			if r := float64(a.nextWin - a.counter.Total().Instructions); r < remain {
 				remain = r

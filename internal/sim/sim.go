@@ -246,7 +246,7 @@ func buildResult(k *kernel) (*Result, error) {
 			return nil, fmt.Errorf("sim: app %d: %w", i, err)
 		}
 		res.CT[i] = g
-		res.AloneCT[i] = AloneCompletionTime(a.spec, k.cfg.Plat, k.cfg.TargetInsns)
+		res.AloneCT[i] = AloneCompletionTime(a.spec, k.cfg.Plat, a.quota)
 		sd, err := metrics.Slowdown(g, res.AloneCT[i])
 		if err != nil {
 			return nil, err
@@ -261,6 +261,23 @@ func buildResult(k *kernel) (*Result, error) {
 	}
 	res.Summary = summary
 	return res, nil
+}
+
+// RunQuota is the per-run instruction quota an application with the
+// given spec runs under: Config.TargetInsns scaled by the spec's
+// SizeFactor (rounded, minimum 1). A zero or unit factor returns
+// targetInsns exactly, so workloads without per-job sizing are
+// bit-identical to a build without the knob.
+func RunQuota(targetInsns uint64, spec *appmodel.Spec) uint64 {
+	f := spec.SizeFactor
+	if f == 0 || f == 1 {
+		return targetInsns
+	}
+	q := uint64(math.Round(float64(targetInsns) * f))
+	if q == 0 {
+		q = 1
+	}
+	return q
 }
 
 // AloneCompletionTime integrates an application's phases running alone

@@ -1,0 +1,365 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/faircache/lfoc/internal/appmodel"
+	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/sim/scenario"
+)
+
+// Generate expands the spec into its arrival trace: a pure function of
+// (spec, scale), byte-identical across runs, processes and GOMAXPROCS —
+// the same determinism bar the simulator itself meets. Each cohort
+// generates independently from seeded substreams (arrival thinning, mix
+// draws, size draws and the MMPP state path each have their own stream,
+// so adding burstiness to a cohort does not reshuffle its mix), and the
+// cohort streams merge into one time-sorted trace.
+//
+// Arrival times follow a non-homogeneous Poisson process via
+// Lewis–Shedler thinning: candidates at the cohort's peak rate, each
+// kept with probability rate(t)/peak, where rate(t) is the diurnal
+// curve times the current MMPP state factor. Job sizes, when a cohort
+// declares them, become per-arrival spec clones whose phase durations
+// and run quota are stretched by the drawn factor.
+func (s *Spec) Generate(scale uint64) ([]scenario.Arrival, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	day := s.Day
+	if day == 0 {
+		day = s.Duration
+	}
+	cache := newSpecCache(scale)
+	var all []scenario.Arrival
+	for ci := range s.Cohorts {
+		arrivals, err := s.Cohorts[ci].generate(s.Seed, ci, s.Duration, day, cache)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, arrivals...)
+	}
+	// Stable merge: cohort order breaks time ties deterministically
+	// (scenario.NewTrace re-sorts with the same stable comparison).
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+	return all, nil
+}
+
+// Scenario wraps Generate into an open-system scenario named after the
+// spec.
+func (s *Spec) Scenario(scale uint64) (*scenario.Open, error) {
+	arrivals, err := s.Generate(scale)
+	if err != nil {
+		return nil, err
+	}
+	name := s.Name
+	if name == "" {
+		name = "spec"
+	}
+	return scenario.NewTrace(name, nil, arrivals)
+}
+
+// generate builds one cohort's arrival stream.
+func (c *CohortSpec) generate(seed int64, index int, duration, day float64, cache *specCache) ([]scenario.Arrival, error) {
+	rngArr := rand.New(rand.NewSource(subSeed(seed, index, streamArrivals)))
+	rngMix := rand.New(rand.NewSource(subSeed(seed, index, streamMix)))
+	rngSize := rand.New(rand.NewSource(subSeed(seed, index, streamSize)))
+
+	base := c.Rate.curve(day)
+	states := c.burstPath(seed, index, duration)
+	peak := base.peak * states.peak
+	if peak <= 0 {
+		return nil, nil // a zero-peak cohort never arrives (e.g. calm_factor 0 with an all-burst-free path)
+	}
+
+	draw := c.Mix.drawer()
+	var arrivals []scenario.Arrival
+	t := 0.0
+	si := 0 // walking index into the MMPP state path (t is monotone)
+	for {
+		t += rngArr.ExpFloat64() / peak
+		if t >= duration {
+			break
+		}
+		r := base.at(t)
+		if states.segs != nil {
+			for si+1 < len(states.segs) && states.segs[si+1].start <= t {
+				si++
+			}
+			r *= states.segs[si].factor
+		}
+		if rngArr.Float64()*peak >= r {
+			continue // thinned
+		}
+		name := draw(rngMix)
+		factor := 1.0
+		if c.Size != nil {
+			factor = c.Size.draw(rngSize)
+		}
+		sp, err := cache.get(name, factor)
+		if err != nil {
+			return nil, err
+		}
+		arrivals = append(arrivals, scenario.Arrival{Time: t, Spec: sp})
+	}
+	return arrivals, nil
+}
+
+// Seed-derivation stream ids: every (cohort, stream) pair gets an
+// independent substream of the spec seed.
+const (
+	streamArrivals = iota
+	streamMix
+	streamSize
+	streamBurst
+)
+
+// subSeed derives a well-mixed child seed via splitmix64-style
+// finalization, so neighbouring (seed, cohort, stream) triples do not
+// produce correlated math/rand streams.
+func subSeed(seed int64, cohort, stream int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(cohort+1) + 0xbf58476d1ce4e5b9*uint64(stream+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// rateCurve is a resolved diurnal rate profile.
+type rateCurve struct {
+	at   func(t float64) float64
+	peak float64
+}
+
+// curve resolves the rate spec against the day length. The spec is
+// already validated.
+func (r *RateSpec) curve(day float64) rateCurve {
+	switch {
+	case r.Constant != 0:
+		c := r.Constant
+		return rateCurve{at: func(float64) float64 { return c }, peak: c}
+	case r.Periods != nil:
+		periods := r.Periods
+		peak := 0.0
+		for _, p := range periods {
+			if p.Rate > peak {
+				peak = p.Rate
+			}
+		}
+		return rateCurve{
+			at: func(t float64) float64 {
+				tm := math.Mod(t, day)
+				// Linear scan: period lists are short (a handful of
+				// pieces per day) and tm wraps, so a walking index
+				// would reset anyway.
+				rate := periods[len(periods)-1].Rate
+				for i := range periods {
+					if periods[i].Start > tm {
+						rate = periods[i-1].Rate
+						break
+					}
+				}
+				return rate
+			},
+			peak: peak,
+		}
+	default:
+		sn := r.Sinusoid
+		period := sn.Period
+		if period == 0 {
+			period = day
+		}
+		base, amp, phase := sn.Base, sn.Amplitude, sn.Phase
+		return rateCurve{
+			at: func(t float64) float64 {
+				v := base + amp*math.Sin(2*math.Pi*(t-phase)/period)
+				if v < 0 {
+					v = 0 // guard against float dust at amplitude == base
+				}
+				return v
+			},
+			peak: base + amp,
+		}
+	}
+}
+
+// burstSeg is one MMPP dwell episode.
+type burstSeg struct {
+	start  float64
+	factor float64
+}
+
+type burstPath struct {
+	segs []burstSeg
+	peak float64 // max factor over the path (1 when no burst spec)
+}
+
+// burstPath pregenerates the cohort's MMPP state path over
+// [0, duration] from its own seeded stream, so the arrival thinning
+// stream is independent of how many episodes the path has.
+func (c *CohortSpec) burstPath(seed int64, index int, duration float64) burstPath {
+	if c.Burst == nil {
+		return burstPath{peak: 1}
+	}
+	b := c.Burst
+	calm := 1.0
+	if b.CalmFactor != nil {
+		calm = *b.CalmFactor
+	}
+	rng := rand.New(rand.NewSource(subSeed(seed, index, streamBurst)))
+	var segs []burstSeg
+	t, inBurst := 0.0, false
+	for t < duration {
+		factor, mean := calm, b.MeanCalm
+		if inBurst {
+			factor, mean = b.Factor, b.MeanBurst
+		}
+		segs = append(segs, burstSeg{start: t, factor: factor})
+		t += rng.ExpFloat64() * mean
+		inBurst = !inBurst
+	}
+	peak := calm
+	if b.Factor > peak {
+		peak = b.Factor
+	}
+	return burstPath{segs: segs, peak: peak}
+}
+
+// drawer resolves the mix into a draw function over benchmark names.
+// The spec is already validated.
+func (m *MixSpec) drawer() func(*rand.Rand) string {
+	switch {
+	case m.Workload != "":
+		w, err := Get(m.Workload)
+		if err != nil {
+			panic(err) // validated
+		}
+		pool := w.Benchmarks
+		return func(rng *rand.Rand) string { return pool[rng.Intn(len(pool))] }
+	case m.Random != nil:
+		pool := RandomMix(m.Random.Seed, m.Random.Size).Benchmarks
+		return func(rng *rand.Rand) string { return pool[rng.Intn(len(pool))] }
+	default:
+		names := make([]string, len(m.Apps))
+		cum := make([]float64, len(m.Apps))
+		total := 0.0
+		for i, a := range m.Apps {
+			names[i] = a.Name
+			total += a.weight()
+			cum[i] = total
+		}
+		return func(rng *rand.Rand) string {
+			x := rng.Float64() * total
+			for i, c := range cum {
+				if x < c {
+					return names[i]
+				}
+			}
+			return names[len(names)-1]
+		}
+	}
+}
+
+// draw samples one size factor. The spec is already validated.
+func (z *SizeSpec) draw(rng *rand.Rand) float64 {
+	var f float64
+	switch z.Dist {
+	case "pareto":
+		// Inverse-CDF: min/(1−U)^(1/α); 1−U ∈ (0,1] keeps f finite.
+		f = z.minFactor() / math.Pow(1-rng.Float64(), 1/z.Alpha)
+	default: // lognormal
+		f = math.Exp(z.Mu + z.Sigma*rng.NormFloat64())
+	}
+	if z.Max > 0 && f > z.Max {
+		f = z.Max
+	}
+	return f
+}
+
+// specCache builds and dedups per-arrival application specs: all
+// arrivals sharing (benchmark, size factor) share one spec clone, so a
+// million-arrival trace holds as many Spec values as it has distinct
+// (app, size) pairs. The builder is the single code path trace replay
+// reuses, which is what makes replayed arrivals reflect.DeepEqual the
+// generated ones.
+type specCache struct {
+	scale uint64
+	specs map[sizedKey]*appmodel.Spec
+}
+
+type sizedKey struct {
+	name string
+	bits uint64 // math.Float64bits of the size factor
+}
+
+func newSpecCache(scale uint64) *specCache {
+	return &specCache{scale: scale, specs: map[sizedKey]*appmodel.Spec{}}
+}
+
+// get returns the (possibly cached) spec clone for a benchmark at a
+// size factor, time-scaled by the cache's scale.
+func (c *specCache) get(name string, factor float64) (*appmodel.Spec, error) {
+	if !(factor > 0) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("workloads: size factor %v for %q is not a positive finite number", factor, name)
+	}
+	key := sizedKey{name: name, bits: math.Float64bits(factor)}
+	if sp, ok := c.specs[key]; ok {
+		return sp, nil
+	}
+	if _, err := profiles.Get(name); err != nil {
+		return nil, err
+	}
+	sp := sizedSpec(scaledSpec(name, c.scale), factor)
+	c.specs[key] = sp
+	return sp, nil
+}
+
+// scaledSpec is the single-benchmark form of Workload.ScaledSpecs: the
+// catalog spec with every phase duration divided by scale (the catalog
+// pointer itself when scale ≤ 1).
+func scaledSpec(name string, scale uint64) *appmodel.Spec {
+	src := profiles.MustGet(name)
+	if scale <= 1 {
+		return src
+	}
+	cp := *src
+	cp.Phases = append([]appmodel.PhaseSpec(nil), src.Phases...)
+	for pi := range cp.Phases {
+		if d := cp.Phases[pi].DurationInsns; d > 0 {
+			nd := d / scale
+			if nd == 0 {
+				nd = 1
+			}
+			cp.Phases[pi].DurationInsns = nd
+		}
+	}
+	return &cp
+}
+
+// sizedSpec stretches a spec by a job-size factor: phase durations and
+// the run quota (via SizeFactor, applied by sim.RunQuota) scale
+// together, so the job is the same program running factor× longer. A
+// unit factor returns base unchanged.
+func sizedSpec(base *appmodel.Spec, factor float64) *appmodel.Spec {
+	if factor == 1 {
+		return base
+	}
+	cp := *base
+	cp.Phases = append([]appmodel.PhaseSpec(nil), base.Phases...)
+	for pi := range cp.Phases {
+		if d := cp.Phases[pi].DurationInsns; d > 0 {
+			nd := uint64(math.Round(float64(d) * factor))
+			if nd == 0 {
+				nd = 1
+			}
+			cp.Phases[pi].DurationInsns = nd
+		}
+	}
+	cp.SizeFactor = factor
+	return &cp
+}

@@ -1,0 +1,512 @@
+package workloads
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/faircache/lfoc/internal/profiles"
+	"github.com/faircache/lfoc/internal/yamlite"
+)
+
+// SpecVersion is the workload-spec schema version this build reads and
+// writes. Spec files carry it as "spec_version"; any other value is
+// rejected with a *VersionError so old binaries fail loudly on new
+// schemas instead of misreading them.
+const SpecVersion = 1
+
+// Spec is a declarative open-system workload scenario: who arrives
+// (per-cohort application mixes), when (diurnal rate curves, optionally
+// Markov-modulated into calm/burst episodes), and how big each job is
+// (heavy-tailed size factors). A spec file is the whole experiment
+// definition — Generate turns it into a concrete arrival trace as a
+// pure seeded function of the spec, so every new spec file is a new
+// experiment with zero new code, reproducible bit-for-bit.
+type Spec struct {
+	// SpecVersion must equal the package's SpecVersion (1).
+	SpecVersion int `json:"spec_version"`
+	// Name labels the generated scenario (default "spec").
+	Name string `json:"name,omitempty"`
+	// Seed is the base seed of every random stream the generator uses;
+	// each cohort derives independent arrival/mix/size/burst substreams
+	// from it. Identical (spec, scale) inputs yield identical traces.
+	Seed int64 `json:"seed,omitempty"`
+	// Duration bounds arrival generation: arrivals occur in
+	// [0, Duration) simulated seconds.
+	Duration float64 `json:"duration_seconds"`
+	// Day is the diurnal cycle length rate curves repeat over
+	// (piecewise periods wrap modulo Day; a sinusoid defaults its
+	// period to Day). Zero means Duration — one cycle spanning the
+	// whole experiment.
+	Day float64 `json:"day_seconds,omitempty"`
+	// Cohorts are independent arrival streams merged into one trace.
+	Cohorts []CohortSpec `json:"cohorts"`
+}
+
+// CohortSpec is one independent arrival stream: an application mix, a
+// rate profile, and optional burstiness and job-size modulation.
+type CohortSpec struct {
+	// Name labels the cohort in errors (default "cohort<i>").
+	Name string `json:"name,omitempty"`
+	// Mix chooses which application each arrival runs.
+	Mix MixSpec `json:"mix"`
+	// Rate shapes the arrival intensity over time.
+	Rate RateSpec `json:"rate"`
+	// Burst, when set, modulates Rate with a two-state Markov process
+	// (MMPP): calm and burst episodes with exponential dwell times.
+	Burst *BurstSpec `json:"burst,omitempty"`
+	// Size, when set, draws a heavy-tailed per-job size factor scaling
+	// the run's instruction quota (and the job's phase durations).
+	Size *SizeSpec `json:"size,omitempty"`
+}
+
+// MixSpec selects the cohort's application distribution. Exactly one of
+// Workload, Random or Apps must be set.
+type MixSpec struct {
+	// Workload draws uniformly from a Fig. 5 catalog mix by name
+	// ("S1".."S21", "P1".."P15"); duplicates in the mix weight the draw
+	// exactly as the closed methodology does.
+	Workload string `json:"workload,omitempty"`
+	// Random draws uniformly from a RandomMix(seed, size) mix.
+	Random *RandomMixSpec `json:"random,omitempty"`
+	// Apps draws from an explicit weighted benchmark list.
+	Apps []WeightedApp `json:"apps,omitempty"`
+}
+
+// RandomMixSpec parameterizes a RandomMix draw pool.
+type RandomMixSpec struct {
+	Seed int64 `json:"seed"`
+	Size int   `json:"size"`
+}
+
+// WeightedApp is one entry of an explicit application mix.
+type WeightedApp struct {
+	// Name is a catalog benchmark name (e.g. "lbm06").
+	Name string `json:"name"`
+	// Weight is the entry's relative draw weight (default 1; weights
+	// need not sum to 1 — they are normalized — but must not all be
+	// zero). Negative weights are rejected.
+	Weight *float64 `json:"weight,omitempty"`
+}
+
+// RateSpec is a time-varying arrival intensity in arrivals per
+// simulated second. Exactly one of Constant, Periods or Sinusoid must
+// be set.
+type RateSpec struct {
+	// Constant is a flat rate (> 0).
+	Constant float64 `json:"constant,omitempty"`
+	// Periods is a piecewise-constant diurnal profile: each period
+	// starts at its offset within the day and holds its rate until the
+	// next period (the last one wraps to the first at the day
+	// boundary). The first period must start at 0; starts are strictly
+	// increasing and below the day length; rates are non-negative with
+	// at least one positive.
+	Periods []RatePeriod `json:"periods,omitempty"`
+	// Sinusoid is a smooth diurnal profile:
+	// rate(t) = base + amplitude·sin(2π·(t−phase)/period).
+	Sinusoid *SinusoidSpec `json:"sinusoid,omitempty"`
+}
+
+// RatePeriod is one piece of a piecewise-constant rate profile.
+type RatePeriod struct {
+	// Start is the piece's offset within the day, in seconds.
+	Start float64 `json:"start_seconds"`
+	// Rate is the arrival intensity over the piece (≥ 0).
+	Rate float64 `json:"rate"`
+}
+
+// SinusoidSpec is a sinusoidal rate curve.
+type SinusoidSpec struct {
+	// Base is the mean rate (> 0).
+	Base float64 `json:"base"`
+	// Amplitude is the swing around Base (0 ≤ amplitude ≤ base, so the
+	// rate never goes negative).
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// Period is the oscillation period in seconds (default: the spec's
+	// day length).
+	Period float64 `json:"period_seconds,omitempty"`
+	// Phase shifts the curve right by this many seconds.
+	Phase float64 `json:"phase_seconds,omitempty"`
+}
+
+// BurstSpec is a two-state Markov-modulated Poisson process (MMPP)
+// overlay: the cohort alternates between a calm and a burst state with
+// exponentially distributed dwell times, and the instantaneous rate is
+// the diurnal rate times the current state's factor.
+type BurstSpec struct {
+	// Factor multiplies the rate during burst episodes (> 0, typically
+	// well above 1).
+	Factor float64 `json:"factor"`
+	// CalmFactor multiplies the rate during calm episodes (default 1;
+	// ≥ 0, so pure on/off bursting is expressible with 0).
+	CalmFactor *float64 `json:"calm_factor,omitempty"`
+	// MeanCalm is the mean calm-episode length in seconds (> 0).
+	MeanCalm float64 `json:"mean_calm_seconds"`
+	// MeanBurst is the mean burst-episode length in seconds (> 0).
+	MeanBurst float64 `json:"mean_burst_seconds"`
+}
+
+// SizeSpec draws a heavy-tailed per-job size factor. The factor scales
+// the job's per-run instruction quota and its phase durations together,
+// so a factor-f job is the same program stretched f× (sim.RunQuota
+// applies the quota side).
+type SizeSpec struct {
+	// Dist is "pareto" or "lognormal".
+	Dist string `json:"dist"`
+	// Alpha is the Pareto shape (> 0; smaller = heavier tail).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Min is the Pareto scale — the minimum factor (default 1).
+	Min float64 `json:"min_factor,omitempty"`
+	// Mu is the lognormal location: exp(Mu) is the median factor.
+	Mu float64 `json:"mu,omitempty"`
+	// Sigma is the lognormal shape (≥ 0).
+	Sigma float64 `json:"sigma,omitempty"`
+	// Max caps the drawn factor (0 = uncapped).
+	Max float64 `json:"max_factor,omitempty"`
+}
+
+// VersionError reports a spec or trace file written under a schema
+// version this build does not understand.
+type VersionError struct {
+	// What is the artifact kind ("workload spec" or "arrival trace").
+	What string
+	// Got is the version the file declared; Want the one supported.
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("workloads: %s version %d not supported (want %d)", e.What, e.Got, e.Want)
+}
+
+// ValidationError reports a semantically invalid spec field.
+type ValidationError struct {
+	// Field is the dotted path of the offending field, e.g.
+	// "cohorts[1].rate.constant".
+	Field string
+	// Msg says what is wrong with it.
+	Msg string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("workloads: spec field %s: %s", e.Field, e.Msg)
+}
+
+// ParseError wraps a syntax-level spec failure (malformed YAML/JSON,
+// unknown fields) with its source context.
+type ParseError struct {
+	// Path is the source file ("" when parsing bytes directly).
+	Path string
+	// Err is the underlying decoder error.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("workloads: parsing spec: %v", e.Err)
+	}
+	return fmt.Sprintf("workloads: parsing spec %s: %v", e.Path, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// LoadSpec reads, parses and validates a spec file. The format follows
+// the extension (".json" = JSON, ".yaml"/".yml" = the YAML subset of
+// internal/yamlite); any other extension is sniffed (a leading '{'
+// means JSON).
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %w", err)
+	}
+	s, err := ParseSpec(data, filepath.Ext(path))
+	if err != nil {
+		if pe, ok := err.(*ParseError); ok {
+			pe.Path = path
+		}
+		return nil, err
+	}
+	if s.Name == "" {
+		base := filepath.Base(path)
+		s.Name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	return s, nil
+}
+
+// ParseSpec parses and validates spec bytes. ext selects the format
+// (".json", ".yaml", ".yml", or "" to sniff); parsing is strict —
+// unknown fields are a *ParseError, semantic problems a
+// *ValidationError, and a schema-version mismatch a *VersionError.
+func ParseSpec(data []byte, ext string) (*Spec, error) {
+	var jsonBytes []byte
+	switch strings.ToLower(ext) {
+	case ".json":
+		jsonBytes = data
+	case ".yaml", ".yml":
+		var err error
+		jsonBytes, err = yamlToJSON(data)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '{' {
+			jsonBytes = data
+		} else {
+			var err error
+			jsonBytes, err = yamlToJSON(data)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(jsonBytes))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, &ParseError{Err: err}
+	}
+	if dec.More() {
+		return nil, &ParseError{Err: fmt.Errorf("trailing content after the spec document")}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func yamlToJSON(data []byte) ([]byte, error) {
+	tree, err := yamlite.Parse(data)
+	if err != nil {
+		return nil, &ParseError{Err: err}
+	}
+	if tree == nil {
+		return nil, &ParseError{Err: fmt.Errorf("empty spec document")}
+	}
+	buf, err := yamlite.ToJSON(tree)
+	if err != nil {
+		return nil, &ParseError{Err: err}
+	}
+	return buf, nil
+}
+
+// Validate checks the spec's semantic constraints, returning a
+// *VersionError or *ValidationError describing the first violation.
+func (s *Spec) Validate() error {
+	if s.SpecVersion != SpecVersion {
+		return &VersionError{What: "workload spec", Got: s.SpecVersion, Want: SpecVersion}
+	}
+	if s.Duration <= 0 {
+		return &ValidationError{"duration_seconds", fmt.Sprintf("must be positive, got %v", s.Duration)}
+	}
+	if s.Day < 0 {
+		return &ValidationError{"day_seconds", fmt.Sprintf("must be non-negative, got %v", s.Day)}
+	}
+	if len(s.Cohorts) == 0 {
+		return &ValidationError{"cohorts", "need at least one cohort"}
+	}
+	day := s.Day
+	if day == 0 {
+		day = s.Duration
+	}
+	for i := range s.Cohorts {
+		if err := s.Cohorts[i].validate(fmt.Sprintf("cohorts[%d]", i), day); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DisplayName returns the cohort label used in errors.
+func (c *CohortSpec) label(path string) string {
+	if c.Name != "" {
+		return path + " (" + c.Name + ")"
+	}
+	return path
+}
+
+func (c *CohortSpec) validate(path string, day float64) error {
+	if err := c.Mix.validate(c.label(path) + ".mix"); err != nil {
+		return err
+	}
+	if err := c.Rate.validate(c.label(path)+".rate", day); err != nil {
+		return err
+	}
+	if b := c.Burst; b != nil {
+		p := c.label(path) + ".burst"
+		if b.Factor <= 0 {
+			return &ValidationError{p + ".factor", fmt.Sprintf("must be positive, got %v", b.Factor)}
+		}
+		if b.CalmFactor != nil && *b.CalmFactor < 0 {
+			return &ValidationError{p + ".calm_factor", fmt.Sprintf("must be non-negative, got %v", *b.CalmFactor)}
+		}
+		if b.MeanCalm <= 0 {
+			return &ValidationError{p + ".mean_calm_seconds", fmt.Sprintf("must be positive, got %v", b.MeanCalm)}
+		}
+		if b.MeanBurst <= 0 {
+			return &ValidationError{p + ".mean_burst_seconds", fmt.Sprintf("must be positive, got %v", b.MeanBurst)}
+		}
+	}
+	if z := c.Size; z != nil {
+		p := c.label(path) + ".size"
+		switch z.Dist {
+		case "pareto":
+			if z.Alpha <= 0 {
+				return &ValidationError{p + ".alpha", fmt.Sprintf("pareto shape must be positive, got %v", z.Alpha)}
+			}
+			if z.Min < 0 {
+				return &ValidationError{p + ".min_factor", fmt.Sprintf("must be non-negative, got %v", z.Min)}
+			}
+			if z.Mu != 0 || z.Sigma != 0 {
+				return &ValidationError{p, "mu/sigma are lognormal fields (dist is pareto)"}
+			}
+		case "lognormal":
+			if z.Sigma < 0 {
+				return &ValidationError{p + ".sigma", fmt.Sprintf("must be non-negative, got %v", z.Sigma)}
+			}
+			if z.Alpha != 0 || z.Min != 0 {
+				return &ValidationError{p, "alpha/min_factor are pareto fields (dist is lognormal)"}
+			}
+		case "":
+			return &ValidationError{p + ".dist", "required (pareto or lognormal)"}
+		default:
+			return &ValidationError{p + ".dist", fmt.Sprintf("unknown distribution %q (want pareto or lognormal)", z.Dist)}
+		}
+		if z.Max < 0 {
+			return &ValidationError{p + ".max_factor", fmt.Sprintf("must be non-negative, got %v", z.Max)}
+		}
+		if z.Max > 0 && z.Dist == "pareto" && z.Max < z.minFactor() {
+			return &ValidationError{p + ".max_factor", fmt.Sprintf("cap %v below the minimum factor %v", z.Max, z.minFactor())}
+		}
+	}
+	return nil
+}
+
+// minFactor resolves the Pareto minimum (scale) with its default.
+func (z *SizeSpec) minFactor() float64 {
+	if z.Min == 0 {
+		return 1
+	}
+	return z.Min
+}
+
+func (m *MixSpec) validate(path string) error {
+	set := 0
+	if m.Workload != "" {
+		set++
+	}
+	if m.Random != nil {
+		set++
+	}
+	if m.Apps != nil {
+		set++
+	}
+	if set != 1 {
+		return &ValidationError{path, "exactly one of workload, random or apps must be set"}
+	}
+	switch {
+	case m.Workload != "":
+		if _, err := Get(m.Workload); err != nil {
+			return &ValidationError{path + ".workload", fmt.Sprintf("unknown workload %q", m.Workload)}
+		}
+	case m.Random != nil:
+		if m.Random.Size < 2 {
+			return &ValidationError{path + ".random.size", fmt.Sprintf("need at least 2 applications, got %d", m.Random.Size)}
+		}
+	default:
+		if len(m.Apps) == 0 {
+			return &ValidationError{path + ".apps", "must not be empty"}
+		}
+		total := 0.0
+		for i, a := range m.Apps {
+			ep := fmt.Sprintf("%s.apps[%d]", path, i)
+			if a.Name == "" {
+				return &ValidationError{ep + ".name", "required"}
+			}
+			if _, err := profiles.Get(a.Name); err != nil {
+				return &ValidationError{ep + ".name", fmt.Sprintf("unknown benchmark %q", a.Name)}
+			}
+			w := a.weight()
+			if w < 0 {
+				return &ValidationError{ep + ".weight", fmt.Sprintf("must be non-negative, got %v", w)}
+			}
+			total += w
+		}
+		if total <= 0 {
+			return &ValidationError{path + ".apps", "weights sum to zero (a zero-weight cohort can never draw an application)"}
+		}
+	}
+	return nil
+}
+
+// weight resolves the entry weight with its default of 1.
+func (a *WeightedApp) weight() float64 {
+	if a.Weight == nil {
+		return 1
+	}
+	return *a.Weight
+}
+
+func (r *RateSpec) validate(path string, day float64) error {
+	set := 0
+	if r.Constant != 0 {
+		set++
+	}
+	if r.Periods != nil {
+		set++
+	}
+	if r.Sinusoid != nil {
+		set++
+	}
+	if set != 1 {
+		return &ValidationError{path, "exactly one of constant, periods or sinusoid must be set"}
+	}
+	switch {
+	case r.Constant != 0:
+		if r.Constant < 0 {
+			return &ValidationError{path + ".constant", fmt.Sprintf("rate must be positive, got %v", r.Constant)}
+		}
+	case r.Periods != nil:
+		if len(r.Periods) == 0 {
+			return &ValidationError{path + ".periods", "must not be empty"}
+		}
+		anyPositive := false
+		for i, p := range r.Periods {
+			pp := fmt.Sprintf("%s.periods[%d]", path, i)
+			if p.Rate < 0 {
+				return &ValidationError{pp + ".rate", fmt.Sprintf("rate must be non-negative, got %v", p.Rate)}
+			}
+			if p.Rate > 0 {
+				anyPositive = true
+			}
+			switch {
+			case i == 0 && p.Start != 0:
+				return &ValidationError{pp + ".start_seconds", fmt.Sprintf("the first period must start at 0, got %v", p.Start)}
+			case i > 0 && p.Start <= r.Periods[i-1].Start:
+				return &ValidationError{pp + ".start_seconds", fmt.Sprintf("starts must be strictly increasing (%v after %v)", p.Start, r.Periods[i-1].Start)}
+			case p.Start >= day:
+				return &ValidationError{pp + ".start_seconds", fmt.Sprintf("start %v beyond the day length %v", p.Start, day)}
+			}
+		}
+		if !anyPositive {
+			return &ValidationError{path + ".periods", "every period has rate 0 — the cohort would never arrive"}
+		}
+	default:
+		sn := r.Sinusoid
+		sp := path + ".sinusoid"
+		if sn.Base <= 0 {
+			return &ValidationError{sp + ".base", fmt.Sprintf("must be positive, got %v", sn.Base)}
+		}
+		if sn.Amplitude < 0 {
+			return &ValidationError{sp + ".amplitude", fmt.Sprintf("must be non-negative, got %v", sn.Amplitude)}
+		}
+		if sn.Amplitude > sn.Base {
+			return &ValidationError{sp + ".amplitude", fmt.Sprintf("amplitude %v above base %v would make the rate negative", sn.Amplitude, sn.Base)}
+		}
+		if sn.Period < 0 {
+			return &ValidationError{sp + ".period_seconds", fmt.Sprintf("must be non-negative, got %v", sn.Period)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,415 @@
+package workloads
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// minimalYAML is a small but fully featured spec: two cohorts, diurnal
+// sinusoid + MMPP burst + Pareto sizes on one, piecewise periods on the
+// other.
+const minimalYAML = `
+spec_version: 1
+name: spec-test
+seed: 11
+duration_seconds: 4
+day_seconds: 2
+cohorts:
+  - name: web
+    mix:
+      workload: S1
+    rate:
+      sinusoid:
+        base: 3
+        amplitude: 2
+    burst:
+      factor: 4
+      mean_calm_seconds: 0.5
+      mean_burst_seconds: 0.2
+    size:
+      dist: pareto
+      alpha: 2.5
+      max_factor: 4
+  - name: batch
+    mix:
+      apps:
+        - name: lbm06
+          weight: 3
+        - name: povray06
+          weight: 1
+    rate:
+      periods:
+        - start_seconds: 0
+          rate: 1
+        - start_seconds: 1
+          rate: 0.25
+`
+
+const minimalJSON = `{
+  "spec_version": 1,
+  "name": "spec-test",
+  "seed": 11,
+  "duration_seconds": 4,
+  "day_seconds": 2,
+  "cohorts": [
+    {
+      "name": "web",
+      "mix": {"workload": "S1"},
+      "rate": {"sinusoid": {"base": 3, "amplitude": 2}},
+      "burst": {"factor": 4, "mean_calm_seconds": 0.5, "mean_burst_seconds": 0.2},
+      "size": {"dist": "pareto", "alpha": 2.5, "max_factor": 4}
+    },
+    {
+      "name": "batch",
+      "mix": {"apps": [{"name": "lbm06", "weight": 3}, {"name": "povray06", "weight": 1}]},
+      "rate": {"periods": [{"start_seconds": 0, "rate": 1}, {"start_seconds": 1, "rate": 0.25}]}
+    }
+  ]
+}`
+
+func TestParseSpecYAMLEqualsJSON(t *testing.T) {
+	y, err := ParseSpec([]byte(minimalYAML), ".yaml")
+	if err != nil {
+		t.Fatalf("yaml: %v", err)
+	}
+	j, err := ParseSpec([]byte(minimalJSON), ".json")
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	if !reflect.DeepEqual(y, j) {
+		t.Fatalf("YAML and JSON parses differ:\n yaml %+v\n json %+v", y, j)
+	}
+}
+
+func TestParseSpecSniffsFormat(t *testing.T) {
+	if _, err := ParseSpec([]byte(minimalJSON), ""); err != nil {
+		t.Errorf("JSON sniff: %v", err)
+	}
+	if _, err := ParseSpec([]byte(minimalYAML), ""); err != nil {
+		t.Errorf("YAML sniff: %v", err)
+	}
+}
+
+// edit applies a YAML-level rewrite to the minimal spec.
+func edit(t *testing.T, old, new string) []byte {
+	t.Helper()
+	if !strings.Contains(minimalYAML, old) {
+		t.Fatalf("fixture does not contain %q", old)
+	}
+	return []byte(strings.Replace(minimalYAML, old, new, 1))
+}
+
+func TestSpecVersionRejected(t *testing.T) {
+	for _, v := range []string{"spec_version: 2", "spec_version: 0"} {
+		_, err := ParseSpec(edit(t, "spec_version: 1", v), ".yaml")
+		var ve *VersionError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: want *VersionError, got %v", v, err)
+		} else if ve.Want != SpecVersion {
+			t.Errorf("%s: VersionError.Want = %d", v, ve.Want)
+		}
+	}
+}
+
+func TestSpecUnknownFieldRejected(t *testing.T) {
+	_, err := ParseSpec(edit(t, "name: spec-test", "name: spec-test\nsurprise: 1"), ".yaml")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "surprise") {
+		t.Fatalf("error does not name the unknown field: %v", err)
+	}
+}
+
+func TestSpecValidationErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		old, new  string
+		wantField string
+	}{
+		{"negative duration", "duration_seconds: 4", "duration_seconds: -1", "duration_seconds"},
+		{"all-zero period rates", "rate: 1\n        - start_seconds: 1\n          rate: 0.25", "rate: 0\n        - start_seconds: 1\n          rate: 0", ".rate.periods"},
+		{"first period not at zero", "start_seconds: 0\n          rate: 1", "start_seconds: 0.5\n          rate: 1", "periods[0].start_seconds"},
+		{"period beyond day", "start_seconds: 1\n          rate: 0.25", "start_seconds: 7\n          rate: 0.25", "periods[1].start_seconds"},
+		{"amplitude above base", "amplitude: 2", "amplitude: 5", ".sinusoid.amplitude"},
+		{"unknown workload", "workload: S1", "workload: S99", ".mix.workload"},
+		{"unknown benchmark", "name: lbm06", "name: nosuch06", ".name"},
+		{"zero-weight cohort", "weight: 3", "weight: 0", ".apps"},
+		{"negative weight", "weight: 3", "weight: -1", ".weight"},
+		{"burst factor", "factor: 4", "factor: 0", ".burst.factor"},
+		{"burst dwell", "mean_calm_seconds: 0.5", "mean_calm_seconds: 0", "mean_calm_seconds"},
+		{"pareto alpha", "alpha: 2.5", "alpha: 0", ".alpha"},
+		{"unknown dist", "dist: pareto", "dist: zipf", ".dist"},
+	}
+	for _, tc := range cases {
+		src := edit(t, tc.old, tc.new)
+		// The "zero-weight cohort" case needs BOTH weights zero.
+		if tc.name == "zero-weight cohort" {
+			src = []byte(strings.Replace(string(src), "weight: 1", "weight: 0", 1))
+		}
+		_, err := ParseSpec(src, ".yaml")
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: want *ValidationError, got %v", tc.name, err)
+			continue
+		}
+		if !strings.Contains(ve.Field, tc.wantField) {
+			t.Errorf("%s: error field %q does not mention %q", tc.name, ve.Field, tc.wantField)
+		}
+	}
+}
+
+func TestSpecEmptyCollectionsRejected(t *testing.T) {
+	// yamlite has no flow syntax, so present-but-empty lists are a
+	// JSON-side concern.
+	empty := strings.Replace(minimalJSON,
+		`[{"start_seconds": 0, "rate": 1}, {"start_seconds": 1, "rate": 0.25}]`, "[]", 1)
+	_, err := ParseSpec([]byte(empty), ".json")
+	var ve *ValidationError
+	if !errors.As(err, &ve) || !strings.Contains(ve.Field, ".rate.periods") {
+		t.Errorf("empty periods: want *ValidationError on .rate.periods, got %v", err)
+	}
+
+	noCohorts := `{"spec_version": 1, "duration_seconds": 1, "cohorts": []}`
+	_, err = ParseSpec([]byte(noCohorts), ".json")
+	if !errors.As(err, &ve) || ve.Field != "cohorts" {
+		t.Errorf("no cohorts: want *ValidationError on cohorts, got %v", err)
+	}
+}
+
+func TestSpecNegativeConstantRate(t *testing.T) {
+	src := `
+spec_version: 1
+duration_seconds: 1
+cohorts:
+  - mix:
+      workload: S1
+    rate:
+      constant: -2
+`
+	_, err := ParseSpec([]byte(src), ".yaml")
+	var ve *ValidationError
+	if !errors.As(err, &ve) || !strings.Contains(ve.Field, ".rate.constant") {
+		t.Fatalf("want *ValidationError on .rate.constant, got %v", err)
+	}
+}
+
+func TestSpecRateAlternativesExclusive(t *testing.T) {
+	src := edit(t, "rate:\n      sinusoid:", "rate:\n      constant: 2\n      sinusoid:")
+	_, err := ParseSpec(src, ".yaml")
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("two rate forms accepted: %v", err)
+	}
+}
+
+func mustParse(t *testing.T) *Spec {
+	t.Helper()
+	s, err := ParseSpec([]byte(minimalYAML), ".yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := mustParse(t)
+	a, err := s.Generate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Generate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("spec generated no arrivals")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two generations of the same spec differ")
+	}
+	s2 := mustParse(t)
+	s2.Seed = 12
+	c, err := s2.Generate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the identical trace")
+	}
+}
+
+func TestGenerateSizeFactors(t *testing.T) {
+	s := mustParse(t)
+	arrivals, err := s.Generate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sized := 0
+	for _, a := range arrivals {
+		f := a.Spec.SizeFactor
+		if f == 0 {
+			continue // batch cohort: no size spec
+		}
+		sized++
+		if f < 1 || f > 4 {
+			t.Fatalf("pareto(min 1, cap 4) drew factor %v", f)
+		}
+	}
+	if sized == 0 {
+		t.Fatal("no sized arrivals generated")
+	}
+}
+
+func TestSizeCapAppliesExactly(t *testing.T) {
+	// Lognormal with sigma 0 draws exp(mu) ≈ 2.72 every time; a cap of 2
+	// must clamp every factor to exactly 2.
+	src := `
+spec_version: 1
+duration_seconds: 5
+cohorts:
+  - mix:
+      workload: S1
+    rate:
+      constant: 2
+    size:
+      dist: lognormal
+      mu: 1
+      max_factor: 2
+`
+	s, err := ParseSpec([]byte(src), ".yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := s.Generate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) == 0 {
+		t.Fatal("no arrivals")
+	}
+	for _, a := range arrivals {
+		if a.Spec.SizeFactor != 2 {
+			t.Fatalf("cap 2 not applied: factor %v", a.Spec.SizeFactor)
+		}
+	}
+}
+
+func TestGenerateWeightedMixNeverDrawsZeroWeight(t *testing.T) {
+	src := edit(t, "weight: 1", "weight: 0")
+	s, err := ParseSpec(src, ".yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := s.Generate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arrivals {
+		if a.Spec.Name == "povray06" {
+			t.Fatal("zero-weight benchmark was drawn")
+		}
+	}
+}
+
+func TestGenerateDiurnalShape(t *testing.T) {
+	// A sinusoid peaking in the first half of each day must place more
+	// arrivals there than in the trough half.
+	src := `
+spec_version: 1
+seed: 3
+duration_seconds: 40
+day_seconds: 4
+cohorts:
+  - mix:
+      workload: S1
+    rate:
+      sinusoid:
+        base: 4
+        amplitude: 4
+        phase_seconds: 0
+`
+	s, err := ParseSpec([]byte(src), ".yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := s.Generate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakHalf, troughHalf := 0, 0
+	for _, a := range arrivals {
+		if m := a.Time - 4*float64(int(a.Time/4)); m < 2 {
+			peakHalf++
+		} else {
+			troughHalf++
+		}
+	}
+	if peakHalf <= 2*troughHalf {
+		t.Fatalf("diurnal shape missing: %d peak-half vs %d trough-half arrivals", peakHalf, troughHalf)
+	}
+}
+
+func TestGenerateBurstRaisesVolume(t *testing.T) {
+	base := `
+spec_version: 1
+seed: 5
+duration_seconds: 20
+cohorts:
+  - mix:
+      workload: S1
+    rate:
+      constant: 1
+`
+	bursty := base + `    burst:
+      factor: 8
+      mean_calm_seconds: 1
+      mean_burst_seconds: 1
+`
+	calm, err := ParseSpec([]byte(base), ".yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := ParseSpec([]byte(bursty), ".yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := calm.Generate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := burst.Generate(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst states multiply the rate 8x roughly half the time: the
+	// bursty trace must be decisively denser.
+	if len(ba) < 2*len(ca) {
+		t.Fatalf("MMPP bursts missing: %d bursty vs %d calm arrivals", len(ba), len(ca))
+	}
+}
+
+func TestScaledSpecsUnchangedByRefactor(t *testing.T) {
+	// scaledSpec is the extracted per-benchmark form of ScaledSpecs;
+	// the slices must match element-wise, and scale ≤ 1 must return
+	// the catalog pointers themselves.
+	w, err := Get("S3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := w.ScaledSpecs(50)
+	for i, n := range w.Benchmarks {
+		if !reflect.DeepEqual(specs[i], scaledSpec(n, 50)) {
+			t.Fatalf("ScaledSpecs[%d] diverges from scaledSpec(%q)", i, n)
+		}
+	}
+	plain := w.ScaledSpecs(1)
+	for i, sp := range w.Specs() {
+		if plain[i] != sp {
+			t.Fatalf("scale 1 no longer returns catalog pointers (index %d)", i)
+		}
+	}
+}

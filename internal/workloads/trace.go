@@ -1,0 +1,267 @@
+package workloads
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"github.com/faircache/lfoc/internal/sim/scenario"
+)
+
+// TraceVersion is the arrival-trace file-format version this build
+// reads and writes.
+const TraceVersion = 1
+
+// traceMagic heads every trace file; the version rides on it.
+const traceMagic = "lfoc-trace"
+
+// Trace is a materialized arrival stream: the versioned, on-disk
+// counterpart of a generated scenario. Recording a trace once and
+// replaying it under different placements, partitioning policies or
+// fleets guarantees every variant faces the identical arrival stream
+// bit for bit (reflect.DeepEqual over the arrivals), which is the
+// methodological backbone of any cross-policy comparison. Traces
+// compose with the cluster split-trace machinery: SplitArrivals over a
+// replayed trace reproduces per-machine sub-traces exactly as it does
+// over a generated one.
+//
+// The format is a line-oriented text file:
+//
+//	lfoc-trace v1
+//	name <scenario name>
+//	scale <time-scale divisor>
+//	arrivals <count>
+//	<time> <benchmark> <size-factor>
+//	...
+//
+// Floats are written with strconv.FormatFloat(v, 'g', -1, 64), the
+// shortest representation that round-trips float64 exactly — replayed
+// arrival times and size factors are bit-identical to the recorded
+// ones. Records reference applications by catalog benchmark name plus
+// size factor; the reader rebuilds each spec through the identical
+// scaling path generation uses, so the specs match DeepEqual too.
+// Lines starting with '#' are comments.
+type Trace struct {
+	// Name is the recorded scenario name.
+	Name string
+	// Scale is the time-scale divisor the arrival specs were built at;
+	// replay must run at the same scale (the specs bake it in).
+	Scale uint64
+	// Arrivals is the stream in nondecreasing time order.
+	Arrivals []scenario.Arrival
+}
+
+// TraceError reports a malformed or unrepresentable trace.
+type TraceError struct {
+	// Path is the file ("" for stream IO), Line the 1-based source
+	// line (0 when the error is not positional).
+	Path string
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+func (e *TraceError) Error() string {
+	switch {
+	case e.Path != "" && e.Line > 0:
+		return fmt.Sprintf("workloads: trace %s:%d: %s", e.Path, e.Line, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("workloads: trace line %d: %s", e.Line, e.Msg)
+	case e.Path != "":
+		return fmt.Sprintf("workloads: trace %s: %s", e.Path, e.Msg)
+	default:
+		return fmt.Sprintf("workloads: trace: %s", e.Msg)
+	}
+}
+
+// Scenario wraps the trace in an open-system scenario.
+func (t *Trace) Scenario() (*scenario.Open, error) {
+	return scenario.NewTrace(t.Name, nil, t.Arrivals)
+}
+
+// WriteTrace serializes an arrival stream. Every arrival must be
+// representable — a catalog benchmark scaled by the trace's scale and
+// the spec's own SizeFactor, with a zero Tag — which holds for all
+// arrivals produced by Spec.Generate, Workload.OpenScenario and
+// Workload.UniformScenario. The check is exact (the writer rebuilds
+// each distinct (benchmark, size) spec and compares DeepEqual), so a
+// trace that writes cleanly is guaranteed to replay bit-identically.
+func WriteTrace(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s v%d\n", traceMagic, TraceVersion)
+	fmt.Fprintf(bw, "name %s\n", t.Name)
+	fmt.Fprintf(bw, "scale %d\n", t.Scale)
+	fmt.Fprintf(bw, "arrivals %d\n", len(t.Arrivals))
+	cache := newSpecCache(t.Scale)
+	verified := map[sizedKey]bool{}
+	for i, a := range t.Arrivals {
+		if a.Spec == nil {
+			return &TraceError{Msg: fmt.Sprintf("arrival %d has no spec", i)}
+		}
+		if a.Tag != 0 {
+			return &TraceError{Msg: fmt.Sprintf("arrival %d carries runtime tag %d (tags are not trace data)", i, a.Tag)}
+		}
+		factor := a.Spec.SizeFactor
+		if factor == 0 {
+			factor = 1
+		}
+		key := sizedKey{name: a.Spec.Name, bits: math.Float64bits(factor)}
+		if !verified[key] {
+			rebuilt, err := cache.get(a.Spec.Name, factor)
+			if err != nil {
+				return &TraceError{Msg: fmt.Sprintf("arrival %d: %v", i, err)}
+			}
+			if !reflect.DeepEqual(rebuilt, a.Spec) {
+				return &TraceError{Msg: fmt.Sprintf(
+					"arrival %d: spec %q (size %v) does not match the catalog at scale %d — the trace cannot represent it",
+					i, a.Spec.Name, factor, t.Scale)}
+			}
+			verified[key] = true
+		}
+		fmt.Fprintf(bw, "%s %s %s\n",
+			strconv.FormatFloat(a.Time, 'g', -1, 64),
+			a.Spec.Name,
+			strconv.FormatFloat(factor, 'g', -1, 64))
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace stream, rebuilding every arrival spec
+// through the same scaling path generation uses.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	header, ok := next()
+	if !ok {
+		return nil, &TraceError{Line: lineNo, Msg: "empty trace"}
+	}
+	magic, ver, found := strings.Cut(header, " ")
+	if !found || magic != traceMagic || !strings.HasPrefix(ver, "v") {
+		return nil, &TraceError{Line: lineNo, Msg: fmt.Sprintf("not an arrival trace (header %q)", header)}
+	}
+	version, err := strconv.Atoi(strings.TrimPrefix(ver, "v"))
+	if err != nil {
+		return nil, &TraceError{Line: lineNo, Msg: fmt.Sprintf("malformed version in header %q", header)}
+	}
+	if version != TraceVersion {
+		return nil, &VersionError{What: "arrival trace", Got: version, Want: TraceVersion}
+	}
+
+	t := &Trace{}
+	count := -1
+	for _, want := range []string{"name", "scale", "arrivals"} {
+		line, ok := next()
+		if !ok {
+			return nil, &TraceError{Line: lineNo, Msg: fmt.Sprintf("truncated header: missing %q", want)}
+		}
+		key, val, _ := strings.Cut(line, " ")
+		if key != want {
+			return nil, &TraceError{Line: lineNo, Msg: fmt.Sprintf("expected header field %q, got %q", want, key)}
+		}
+		switch want {
+		case "name":
+			t.Name = val
+		case "scale":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, &TraceError{Line: lineNo, Msg: fmt.Sprintf("bad scale %q", val)}
+			}
+			t.Scale = s
+		case "arrivals":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, &TraceError{Line: lineNo, Msg: fmt.Sprintf("bad arrival count %q", val)}
+			}
+			count = n
+		}
+	}
+
+	cache := newSpecCache(t.Scale)
+	t.Arrivals = make([]scenario.Arrival, 0, count)
+	prev := 0.0
+	for {
+		line, ok := next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, &TraceError{Line: lineNo, Msg: fmt.Sprintf("want \"<time> <benchmark> <size>\", got %q", line)}
+		}
+		tm, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || tm < 0 {
+			return nil, &TraceError{Line: lineNo, Msg: fmt.Sprintf("bad arrival time %q", fields[0])}
+		}
+		if tm < prev {
+			return nil, &TraceError{Line: lineNo, Msg: fmt.Sprintf("arrival times must be nondecreasing (%v after %v)", tm, prev)}
+		}
+		prev = tm
+		factor, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, &TraceError{Line: lineNo, Msg: fmt.Sprintf("bad size factor %q", fields[2])}
+		}
+		sp, err := cache.get(fields[1], factor)
+		if err != nil {
+			return nil, &TraceError{Line: lineNo, Msg: err.Error()}
+		}
+		t.Arrivals = append(t.Arrivals, scenario.Arrival{Time: tm, Spec: sp})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, &TraceError{Line: lineNo, Msg: err.Error()}
+	}
+	if len(t.Arrivals) != count {
+		return nil, &TraceError{Line: lineNo, Msg: fmt.Sprintf("header declares %d arrivals, file has %d", count, len(t.Arrivals))}
+	}
+	return t, nil
+}
+
+// WriteTraceFile records a trace to path.
+func WriteTraceFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workloads: %w", err)
+	}
+	if err := WriteTrace(f, t); err != nil {
+		f.Close()
+		if te, ok := err.(*TraceError); ok {
+			te.Path = path
+		}
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTraceFile replays a trace from path.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %w", err)
+	}
+	defer f.Close()
+	t, err := ReadTrace(f)
+	if err != nil {
+		if te, ok := err.(*TraceError); ok {
+			te.Path = path
+		}
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,231 @@
+package workloads_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/faircache/lfoc/internal/cluster"
+	"github.com/faircache/lfoc/internal/harness"
+	"github.com/faircache/lfoc/internal/sim"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+// traceSpec is the diurnal+bursty+heavy-tailed acceptance shape: the
+// kind of spec the record/replay path exists for.
+const traceSpec = `
+spec_version: 1
+name: trace-test
+seed: 42
+duration_seconds: 6
+day_seconds: 3
+cohorts:
+  - name: web
+    mix:
+      workload: S1
+    rate:
+      sinusoid:
+        base: 2
+        amplitude: 1.5
+    burst:
+      factor: 3
+      mean_calm_seconds: 1
+      mean_burst_seconds: 0.3
+    size:
+      dist: pareto
+      alpha: 2
+      max_factor: 6
+  - name: batch
+    mix:
+      workload: P1
+    rate:
+      constant: 1
+`
+
+const traceScale = 200
+
+func genTrace(t *testing.T) *workloads.Trace {
+	t.Helper()
+	s, err := workloads.ParseSpec([]byte(traceSpec), ".yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := s.Generate(traceScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) == 0 {
+		t.Fatal("spec generated no arrivals")
+	}
+	return &workloads.Trace{Name: s.Name, Scale: traceScale, Arrivals: arrivals}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := genTrace(t)
+	var buf bytes.Buffer
+	if err := workloads.WriteTrace(&buf, orig); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := workloads.ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if back.Name != orig.Name || back.Scale != orig.Scale {
+		t.Fatalf("header mismatch: %q/%d vs %q/%d", back.Name, back.Scale, orig.Name, orig.Scale)
+	}
+	if !reflect.DeepEqual(back.Arrivals, orig.Arrivals) {
+		t.Fatal("replayed arrivals are not DeepEqual to the recorded ones")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	orig := genTrace(t)
+	path := t.TempDir() + "/trace.txt"
+	if err := workloads.WriteTraceFile(path, orig); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := workloads.ReadTraceFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(back.Arrivals, orig.Arrivals) {
+		t.Fatal("file round-trip lost bit-identity")
+	}
+}
+
+func TestTraceReplayEqualsGenerate(t *testing.T) {
+	// Generating twice and replaying a recording of the first must all
+	// yield the same arrivals — replay is a faithful stand-in for
+	// generation.
+	a := genTrace(t)
+	b := genTrace(t)
+	if !reflect.DeepEqual(a.Arrivals, b.Arrivals) {
+		t.Fatal("generation is not deterministic")
+	}
+	var buf bytes.Buffer
+	if err := workloads.WriteTrace(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := workloads.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed.Arrivals, b.Arrivals) {
+		t.Fatal("replayed trace differs from a fresh generation")
+	}
+}
+
+func TestTraceVersionRejected(t *testing.T) {
+	_, err := workloads.ReadTrace(strings.NewReader("lfoc-trace v9\nname x\nscale 1\narrivals 0\n"))
+	var ve *workloads.VersionError
+	if !errors.As(err, &ve) || ve.Got != 9 {
+		t.Fatalf("want *VersionError{Got: 9}, got %v", err)
+	}
+}
+
+func TestTraceMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"wrong magic":      "not-a-trace v1\n",
+		"missing header":   "lfoc-trace v1\nname x\n",
+		"bad scale":        "lfoc-trace v1\nname x\nscale pony\narrivals 0\n",
+		"bad record":       "lfoc-trace v1\nname x\nscale 1\narrivals 1\n0.5 lbm06\n",
+		"unknown app":      "lfoc-trace v1\nname x\nscale 1\narrivals 1\n0.5 nosuch06 1\n",
+		"negative factor":  "lfoc-trace v1\nname x\nscale 1\narrivals 1\n0.5 lbm06 -1\n",
+		"time regression":  "lfoc-trace v1\nname x\nscale 1\narrivals 2\n2 lbm06 1\n1 lbm06 1\n",
+		"count mismatch":   "lfoc-trace v1\nname x\nscale 1\narrivals 3\n0.5 lbm06 1\n",
+		"bad arrival time": "lfoc-trace v1\nname x\nscale 1\narrivals 1\nnoon lbm06 1\n",
+	}
+	for name, src := range cases {
+		_, err := workloads.ReadTrace(strings.NewReader(src))
+		var te *workloads.TraceError
+		if !errors.As(err, &te) {
+			t.Errorf("%s: want *TraceError, got %v", name, err)
+		}
+	}
+}
+
+func TestTraceCommentsAndBlanksIgnored(t *testing.T) {
+	src := "# recorded by a test\nlfoc-trace v1\n\nname x\nscale 1\narrivals 1\n# one record\n0.5 lbm06 1\n"
+	tr, err := workloads.ReadTrace(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Arrivals) != 1 || tr.Arrivals[0].Spec.Name != "lbm06" {
+		t.Fatalf("unexpected trace: %+v", tr)
+	}
+}
+
+func TestTraceRejectsUnrepresentableArrivals(t *testing.T) {
+	orig := genTrace(t)
+	// A tagged arrival carries runtime state no trace can hold.
+	bad := *orig
+	bad.Arrivals = append(bad.Arrivals[:0:0], bad.Arrivals...)
+	bad.Arrivals[0].Tag = 7
+	if err := workloads.WriteTrace(&bytes.Buffer{}, &bad); err == nil {
+		t.Fatal("tagged arrival written without error")
+	}
+	// A hand-mutated spec no longer matches the catalog rebuild.
+	mut := *orig
+	mut.Arrivals = append(mut.Arrivals[:0:0], mut.Arrivals...)
+	cp := *mut.Arrivals[0].Spec
+	cp.LoopPhases = !cp.LoopPhases
+	mut.Arrivals[0].Spec = &cp
+	if err := workloads.WriteTrace(&bytes.Buffer{}, &mut); err == nil {
+		t.Fatal("off-catalog spec written without error")
+	}
+}
+
+// TestTraceClusterReplayAcrossPlacements is the acceptance bar: a trace
+// recorded once replays bit-exactly (DeepEqual arrivals) for every
+// placement policy on a 4-machine fleet, and each placement run over
+// the replayed trace matches the same placement run over the freshly
+// generated arrivals exactly.
+func TestTraceClusterReplayAcrossPlacements(t *testing.T) {
+	orig := genTrace(t)
+	var buf bytes.Buffer
+	if err := workloads.WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	recorded := buf.Bytes()
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = traceScale
+	runOnce := func(arr *workloads.Trace, placement string) *cluster.Result {
+		t.Helper()
+		scn, err := arr.Scenario()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := cluster.NewPlacement(placement, cfg.Plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccfg := cluster.Config{Sim: cfg.SimConfig(), Machines: 4, Placement: pl}
+		res, err := cluster.Run(ccfg, scn, func(int) (sim.Dynamic, error) {
+			pol, _, err := cfg.NewDynamicPolicy("lfoc")
+			return pol, err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	for _, placement := range []string{"rr", "least", "fair"} {
+		replayed, err := workloads.ReadTrace(bytes.NewReader(recorded))
+		if err != nil {
+			t.Fatalf("%s: replay: %v", placement, err)
+		}
+		if !reflect.DeepEqual(replayed.Arrivals, orig.Arrivals) {
+			t.Fatalf("%s: replayed arrivals not DeepEqual to recorded", placement)
+		}
+		fresh := runOnce(orig, placement)
+		replay := runOnce(replayed, placement)
+		if !reflect.DeepEqual(fresh, replay) {
+			t.Fatalf("%s: cluster result over the replayed trace differs from the generated one", placement)
+		}
+	}
+}

@@ -1,17 +1,53 @@
-// Package workloads reproduces the paper's experimental workloads
-// (Fig. 5): 36 randomly generated multiprogram mixes of SPEC benchmarks —
-// 21 "S" workloads whose applications keep a stable behaviour class for
-// the whole execution (§5.1), and 15 "P" workloads that include programs
-// with distinct long-term phases such as xz, astar, mcf and xalancbmk
-// (§5.2). Workloads come in sizes 8, 12 and 16 to study the impact of the
-// ways-to-applications ratio.
+// Package workloads defines what runs in an experiment: the paper's
+// Fig. 5 mix catalog, random mixes, and a declarative workload spec
+// engine that expands scenario descriptions into deterministic
+// open-system arrival traces.
 //
-// Generation is deterministic (seeded per workload index) and follows the
-// visible constraints of Fig. 5: at most two instances of a benchmark per
-// mix, and every mix contains both streaming and cache-sensitive
-// programs (the paper selected applications from both suites explicitly
-// "to experiment with a wider range of streaming and cache-sensitive
-// programs").
+// # Fig. 5 mixes
+//
+// The catalog reproduces the paper's experimental workloads: 36
+// randomly generated multiprogram mixes of SPEC benchmarks — 21 "S"
+// workloads whose applications keep a stable behaviour class for the
+// whole execution (§5.1), and 15 "P" workloads that include programs
+// with distinct long-term phases such as xz, astar, mcf and xalancbmk
+// (§5.2), in sizes 8, 12 and 16 to study the ways-to-applications
+// ratio. Generation is deterministic (seeded per workload index) and
+// follows the visible constraints of Fig. 5: at most two instances of
+// a benchmark per mix, and every mix contains both streaming and
+// cache-sensitive programs. Get and RandomMix are the entry points;
+// Workload.ScaledSpecs resolves a mix to time-scaled application
+// models.
+//
+// # Workload specs
+//
+// A Spec is a versioned (SpecVersion) declarative scenario: one or
+// more cohorts, each with an application mix (a catalog workload, a
+// random pool, or an explicit weighted benchmark list), a diurnal
+// arrival-rate shape (constant, piecewise periods, or sinusoid),
+// optional MMPP calm/burst modulation, and optional heavy-tailed
+// (Pareto or lognormal) job-size factors. LoadSpec and ParseSpec read
+// YAML or JSON strictly (unknown fields are errors) and validate;
+// violations surface as *VersionError, *ParseError and
+// *ValidationError (match with errors.As).
+//
+// Spec.Generate expands a spec into a merged, time-sorted arrival
+// stream as a pure function of (spec, scale): every random stream is
+// derived from the spec seed with per-cohort substreams, arrival times
+// come from Lewis–Shedler thinning of the non-homogeneous rate, and
+// the result is byte-identical across runs, machines and GOMAXPROCS.
+// Spec.Scenario wraps the same arrivals as a *scenario.Open ready for
+// sim.RunOpen or cluster.Run.
+//
+// # Arrival traces
+//
+// Trace, WriteTraceFile and ReadTraceFile implement a versioned text
+// format ("lfoc-trace v1") for recording generated arrival streams and
+// replaying them bit-exactly: the writer verifies every arrival is
+// exactly representable before committing the file, so replayed
+// arrivals are reflect.DeepEqual to the recorded ones. Record once,
+// then compare placements or policies on the identical stream.
+//
+// docs/workload-spec.md holds the full field reference and cookbook.
 package workloads
 
 import (
@@ -62,24 +98,9 @@ func (w Workload) Specs() []*appmodel.Spec {
 // while preserving the ratio of phase lengths to run lengths. Endless
 // phases stay endless. scale must be ≥ 1.
 func (w Workload) ScaledSpecs(scale uint64) []*appmodel.Spec {
-	if scale <= 1 {
-		return w.Specs()
-	}
 	out := make([]*appmodel.Spec, len(w.Benchmarks))
 	for i, n := range w.Benchmarks {
-		src := profiles.MustGet(n)
-		cp := *src
-		cp.Phases = append([]appmodel.PhaseSpec(nil), src.Phases...)
-		for pi := range cp.Phases {
-			if d := cp.Phases[pi].DurationInsns; d > 0 {
-				nd := d / scale
-				if nd == 0 {
-					nd = 1
-				}
-				cp.Phases[pi].DurationInsns = nd
-			}
-		}
-		out[i] = &cp
+		out[i] = scaledSpec(n, scale)
 	}
 	return out
 }

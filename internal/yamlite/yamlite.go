@@ -1,0 +1,292 @@
+// Package yamlite parses the small, regular subset of YAML the
+// repository's declarative artifacts (workload specs under
+// examples/specs/) are written in, without pulling in an external YAML
+// dependency. The subset is:
+//
+//   - block mappings ("key: value" / "key:" + indented block),
+//   - block sequences ("- item", "- key: value" starting an inline
+//     mapping item),
+//   - scalars: double-quoted strings, booleans (true/false), null (null
+//     or ~), integers and floats (JSON number syntax), and bare strings,
+//   - full-line and trailing "# ..." comments, blank lines.
+//
+// Indentation is significant and must be spaces. Anchors, aliases, flow
+// collections ([a, b] / {k: v}), multi-line scalars, documents ("---")
+// and tags are deliberately out of scope — Parse rejects them with a
+// positioned error instead of guessing. The result tree uses the same
+// shapes encoding/json produces (map[string]any, []any, json.Number,
+// string, bool, nil), so callers can re-marshal it to JSON and decode
+// strictly into a typed struct; that is exactly how workloads.ParseSpec
+// gets unknown-field rejection for YAML and JSON through one code path.
+package yamlite
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Error is a positioned parse error.
+type Error struct {
+	Line int    // 1-based source line
+	Msg  string // what is wrong
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("yamlite: line %d: %s", e.Line, e.Msg) }
+
+// line is one significant source line.
+type line struct {
+	num    int    // 1-based line number
+	indent int    // leading spaces
+	text   string // content, comments and trailing space stripped
+}
+
+// Parse decodes src into a JSON-shaped tree (map[string]any, []any,
+// json.Number, string, bool, nil). Empty input yields nil.
+func Parse(src []byte) (any, error) {
+	lines, err := split(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	p := &parser{lines: lines}
+	v, err := p.block(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, &Error{l.num, fmt.Sprintf("unexpected content at indent %d", l.indent)}
+	}
+	return v, nil
+}
+
+// split scans src into significant lines, stripping comments.
+func split(src []byte) ([]line, error) {
+	var out []line
+	for num, raw := range strings.Split(string(src), "\n") {
+		if strings.ContainsRune(raw, '\t') {
+			return nil, &Error{num + 1, "tab in indentation or content (use spaces)"}
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		if trimmed == "---" || strings.HasPrefix(trimmed, "--- ") {
+			return nil, &Error{num + 1, "document markers (---) are not supported"}
+		}
+		out = append(out, line{num: num + 1, indent: len(text) - len(strings.TrimLeft(text, " ")), text: trimmed})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "# ..." comment outside double quotes.
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if !inStr {
+				inStr = true
+			} else if i == 0 || s[i-1] != '\\' {
+				inStr = false
+			}
+		case '#':
+			if !inStr && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+// block parses the run of lines at exactly the given indent as one
+// mapping or sequence (decided by the first line).
+func (p *parser) block(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, &Error{0, "empty block"}
+	}
+	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
+		return p.sequence(indent)
+	}
+	return p.mapping(indent)
+}
+
+// mapping parses "key: ..." entries at the given indent.
+func (p *parser) mapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, &Error{l.num, fmt.Sprintf("unexpected indent %d (mapping is at %d)", l.indent, indent)}
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, &Error{l.num, "sequence item inside a mapping"}
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, &Error{l.num, fmt.Sprintf("duplicate key %q", key)}
+		}
+		p.pos++
+		var v any
+		if rest == "" {
+			// Nested block (or an empty value when nothing is indented
+			// deeper — YAML's "key:" with no content means null).
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				v, err = p.block(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			v, err = scalar(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+// sequence parses "- ..." items at the given indent.
+func (p *parser) sequence(indent int) (any, error) {
+	s := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			if l.indent > indent {
+				return nil, &Error{l.num, fmt.Sprintf("unexpected indent %d (sequence is at %d)", l.indent, indent)}
+			}
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if rest == "" {
+			// "-" alone: the item is the deeper-indented block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				s = append(s, nil)
+				continue
+			}
+			v, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			s = append(s, v)
+			continue
+		}
+		if _, _, err := trySplitKey(rest, l.num); err == nil {
+			// "- key: value" starts a mapping item: rewrite the line as
+			// the mapping's first entry at the dash-adjusted indent and
+			// parse the whole item as a mapping block.
+			itemIndent := l.indent + (len(l.text) - len(rest))
+			p.lines[p.pos] = line{num: l.num, indent: itemIndent, text: rest}
+			v, err := p.mapping(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			s = append(s, v)
+			continue
+		}
+		v, err := scalar(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		s = append(s, v)
+		p.pos++
+	}
+	return s, nil
+}
+
+// splitKey splits a mapping line into key and inline value.
+func splitKey(l line) (key, rest string, err error) {
+	key, rest, e := trySplitKey(l.text, l.num)
+	if e != nil {
+		return "", "", e
+	}
+	return key, rest, nil
+}
+
+// trySplitKey splits "key: value" / "key:"; the key may be bare (no
+// colon, quote or space) or double-quoted.
+func trySplitKey(s string, num int) (key, rest string, err error) {
+	if strings.HasPrefix(s, `"`) {
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '"' && s[i-1] != '\\' {
+				end = i
+				break
+			}
+		}
+		if end < 0 || end+1 >= len(s) || s[end+1] != ':' {
+			return "", "", &Error{num, fmt.Sprintf("malformed quoted key in %q", s)}
+		}
+		k, uerr := strconv.Unquote(s[:end+1])
+		if uerr != nil {
+			return "", "", &Error{num, fmt.Sprintf("bad quoted key in %q: %v", s, uerr)}
+		}
+		return k, strings.TrimSpace(s[end+2:]), nil
+	}
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return "", "", &Error{num, fmt.Sprintf("expected \"key: value\", got %q", s)}
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", &Error{num, fmt.Sprintf("missing space after colon in %q", s)}
+	}
+	key = strings.TrimSpace(s[:i])
+	if strings.ContainsAny(key, " \"") {
+		return "", "", &Error{num, fmt.Sprintf("malformed key %q", key)}
+	}
+	return key, strings.TrimSpace(s[i+1:]), nil
+}
+
+// scalar types one inline value.
+func scalar(s string, num int) (any, error) {
+	switch {
+	case s == "null", s == "~":
+		return nil, nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	}
+	if strings.HasPrefix(s, `"`) {
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, &Error{num, fmt.Sprintf("bad quoted string %s: %v", s, err)}
+		}
+		return v, nil
+	}
+	if strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{") {
+		return nil, &Error{num, fmt.Sprintf("flow collections are not supported: %q", s)}
+	}
+	if strings.HasPrefix(s, "'") {
+		return nil, &Error{num, fmt.Sprintf("single-quoted strings are not supported: %q (use double quotes)", s)}
+	}
+	// A JSON-syntax number stays a number; anything else is a bare string.
+	if _, err := strconv.ParseFloat(s, 64); err == nil && json.Valid([]byte(s)) {
+		return json.Number(s), nil
+	}
+	return s, nil
+}
+
+// ToJSON re-marshals a Parse tree as JSON bytes, so strict typed
+// decoding (json.Decoder with DisallowUnknownFields) covers YAML input
+// through the ordinary JSON path.
+func ToJSON(v any) ([]byte, error) { return json.Marshal(v) }

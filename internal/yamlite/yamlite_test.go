@@ -1,0 +1,135 @@
+package yamlite
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func parseJSON(t *testing.T, src string) any {
+	t.Helper()
+	v, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	buf, err := ToJSON(v)
+	if err != nil {
+		t.Fatalf("ToJSON: %v", err)
+	}
+	var out any
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatalf("re-unmarshal: %v", err)
+	}
+	return out
+}
+
+func TestParseSpecShapedDocument(t *testing.T) {
+	src := `
+# workload spec
+spec_version: 1
+name: "diurnal web"
+seed: 42
+duration_seconds: 10.5
+cohorts:
+  - name: web
+    mix:
+      workload: S3
+    rate:
+      sinusoid:
+        base: 2
+        amplitude: 1.5
+  - name: batch
+    mix:
+      apps:
+        - name: lbm06
+          weight: 2
+        - name: povray06
+    rate:
+      constant: 0.5
+    enabled: true
+    note: ~
+`
+	got := parseJSON(t, src)
+	want := map[string]any{
+		"spec_version":     1.0,
+		"name":             "diurnal web",
+		"seed":             42.0,
+		"duration_seconds": 10.5,
+		"cohorts": []any{
+			map[string]any{
+				"name": "web",
+				"mix":  map[string]any{"workload": "S3"},
+				"rate": map[string]any{"sinusoid": map[string]any{"base": 2.0, "amplitude": 1.5}},
+			},
+			map[string]any{
+				"name": "batch",
+				"mix": map[string]any{"apps": []any{
+					map[string]any{"name": "lbm06", "weight": 2.0},
+					map[string]any{"name": "povray06"},
+				}},
+				"rate":    map[string]any{"constant": 0.5},
+				"enabled": true,
+				"note":    nil,
+			},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseScalarSequence(t *testing.T) {
+	got := parseJSON(t, "files:\n  - a.yaml\n  - b.yaml\n")
+	want := map[string]any{"files": []any{"a.yaml", "b.yaml"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v want %#v", got, want)
+	}
+}
+
+func TestParseNumbersStayExact(t *testing.T) {
+	v, err := Parse([]byte("x: 0.30000000000000004\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := v.(map[string]any)["x"].(json.Number)
+	if string(n) != "0.30000000000000004" {
+		t.Fatalf("number mangled: %q", n)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	v, err := Parse([]byte("\n# only comments\n\n"))
+	if err != nil || v != nil {
+		t.Fatalf("want nil, nil; got %#v, %v", v, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"tab":            "a:\n\tb: 1\n",
+		"document":       "---\na: 1\n",
+		"flow seq":       "a: [1, 2]\n",
+		"flow map":       "a: {b: 1}\n",
+		"single quote":   "a: 'x'\n",
+		"no colon":       "justaword\n",
+		"dup key":        "a: 1\na: 2\n",
+		"bad indent":     "a: 1\n   b: 2\n",
+		"seq in map":     "a: 1\n- b\n",
+		"colon no space": "a:1\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("%s: parse accepted %q", name, src)
+		} else if _, ok := err.(*Error); !ok {
+			t.Errorf("%s: error not a *yamlite.Error: %v", name, err)
+		}
+	}
+}
+
+func TestTrailingCommentAndQuotedHash(t *testing.T) {
+	got := parseJSON(t, "a: 1 # one\nb: \"# not a comment\"\n")
+	want := map[string]any{"a": 1.0, "b": "# not a comment"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v want %#v", got, want)
+	}
+}

@@ -467,6 +467,63 @@ type ExperimentConfig = harness.Config
 func DefaultExperimentConfig() ExperimentConfig { return harness.DefaultConfig() }
 
 // ---------------------------------------------------------------------
+// Declarative workload specs and arrival traces.
+// ---------------------------------------------------------------------
+
+// WorkloadSpec is a declarative open-system scenario: per-cohort
+// application mixes, diurnal rate curves (piecewise or sinusoidal),
+// optional MMPP calm/burst modulation and heavy-tailed job-size
+// distributions, all loaded from a versioned YAML/JSON file. Its
+// Generate/Scenario methods expand it into a concrete arrival trace as
+// a pure seeded function of (spec, scale) — bit-identical across runs,
+// processes and GOMAXPROCS. See docs/workload-spec.md for the file
+// format.
+type WorkloadSpec = workloads.Spec
+
+// LoadWorkloadSpec reads, parses and validates a spec file (format by
+// extension: .json, .yaml/.yml, anything else sniffed).
+func LoadWorkloadSpec(path string) (*WorkloadSpec, error) { return workloads.LoadSpec(path) }
+
+// ParseWorkloadSpec parses and validates spec bytes. Parsing is strict:
+// unknown fields are a *WorkloadSpecParseError, semantic problems a
+// *WorkloadSpecValidationError, and a schema-version mismatch a
+// *WorkloadSpecVersionError (all match with errors.As).
+func ParseWorkloadSpec(data []byte, ext string) (*WorkloadSpec, error) {
+	return workloads.ParseSpec(data, ext)
+}
+
+// Typed workload-spec and trace errors.
+type (
+	// WorkloadSpecVersionError reports a spec or trace file written
+	// under an unsupported schema version.
+	WorkloadSpecVersionError = workloads.VersionError
+	// WorkloadSpecValidationError reports a semantically invalid spec
+	// field by its dotted path (e.g. "cohorts[1].rate.constant").
+	WorkloadSpecValidationError = workloads.ValidationError
+	// WorkloadSpecParseError reports malformed spec syntax or unknown
+	// fields.
+	WorkloadSpecParseError = workloads.ParseError
+	// ArrivalTraceError reports a malformed or unrepresentable arrival
+	// trace.
+	ArrivalTraceError = workloads.TraceError
+)
+
+// ArrivalTrace is a recorded open-system arrival stream: the versioned
+// on-disk form of a generated scenario. Record once, replay under
+// different placements/policies/fleets — every variant faces the
+// identical arrivals bit for bit.
+type ArrivalTrace = workloads.Trace
+
+// WriteArrivalTrace records a trace to a file; it fails with an
+// *ArrivalTraceError if any arrival is not exactly representable (so a
+// trace that writes cleanly is guaranteed to replay bit-identically).
+func WriteArrivalTrace(path string, t *ArrivalTrace) error { return workloads.WriteTraceFile(path, t) }
+
+// ReadArrivalTrace replays a trace from a file, rebuilding every
+// arrival spec through the same scaling path generation uses.
+func ReadArrivalTrace(path string) (*ArrivalTrace, error) { return workloads.ReadTraceFile(path) }
+
+// ---------------------------------------------------------------------
 // resctrl-style deployment interface.
 // ---------------------------------------------------------------------
 
