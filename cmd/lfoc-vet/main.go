@@ -1,0 +1,117 @@
+// Command lfoc-vet runs the project's determinism and hot-path
+// analyzers (internal/analysis) over Go packages and reports findings
+// with file:line:col positions.
+//
+// Usage:
+//
+//	lfoc-vet [-run analyzers] [-json] [-list] [packages]
+//
+// Packages default to ./... . Exit status is 0 when the tree is clean,
+// 1 when there are findings, 2 on usage or load errors — so CI can
+// gate on it directly. Findings are waivable in source with
+// //lfoc:ok <analyzer>: <reason>; see docs/static-analysis.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/faircache/lfoc/internal/analysis"
+	_ "github.com/faircache/lfoc/internal/analysis/all"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is the -json wire shape, kept flat and stable for
+// future tooling (editor integrations, fix bots).
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("lfoc-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	runList := fs.String("run", "", "comma-separated analyzer subset to run (default: all)")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: lfoc-vet [-run analyzers] [-json] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	known := analysis.KnownAnalyzers(analyzers)
+	if *runList != "" {
+		var sel []*analysis.Analyzer
+		for _, name := range strings.Split(*runList, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.Lookup(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "lfoc-vet: unknown analyzer %q (see lfoc-vet -list)\n", name)
+				return 2
+			}
+			sel = append(sel, a)
+		}
+		analyzers = sel
+	}
+
+	patterns := fs.Args()
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "lfoc-vet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Vet(pkgs, analyzers, known)
+	if err != nil {
+		fmt.Fprintf(stderr, "lfoc-vet: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "lfoc-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "lfoc-vet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

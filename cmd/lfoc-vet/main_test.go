@@ -1,0 +1,227 @@
+package main_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildVet compiles the lfoc-vet binary once per test run.
+func buildVet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "lfoc-vet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building lfoc-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule materialises a synthetic module whose layout mirrors the
+// repo's (internal/cluster, internal/sim), so the scoped analyzers
+// engage exactly as they do on the real tree.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goMod = "module example.com/violating\n\ngo 1.23\n"
+
+// violatingCluster plants one instance of each invariant violation the
+// acceptance criteria name: an unsorted order-sensitive map range and a
+// global-rand draw in internal/cluster, plus a wall-clock read — and a
+// correctly waived site that must NOT be reported.
+const violatingCluster = `package cluster
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink float64
+
+func Bad(m map[string]float64) {
+	for _, v := range m {
+		sink += v
+	}
+	sink += rand.Float64()
+	sink += float64(time.Now().Unix())
+}
+
+func Waived(m map[string]float64) {
+	//lfoc:ok maprange: synthetic fixture; the sum feeds an assertion that ignores order
+	for _, v := range m {
+		_ = v
+	}
+}
+`
+
+const violatingKernel = `//lfoc:floatstrict
+package sim
+
+// Hot is annotated but allocates.
+//
+//lfoc:hotpath
+func Hot(n int) []int {
+	return make([]int, n)
+}
+
+func Carry(a, b, c float64) float64 {
+	return a*b + c
+}
+`
+
+func runVet(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running lfoc-vet: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestVetFlagsSyntheticViolations(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod":                      goMod,
+		"internal/cluster/cluster.go": violatingCluster,
+		"internal/sim/kernel.go":      violatingKernel,
+	})
+
+	out, code := runVet(t, bin, dir, "./...")
+	if code != 1 {
+		t.Fatalf("want exit 1 on findings, got %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"nondeterministically ordered",
+		"math/rand.Float64 draws from process-global state",
+		"time.Now in a simulation package",
+		"unpinned float multiply feeding +",
+		"make allocates in //lfoc:hotpath function Hot",
+		"[maprange]", "[seededrand]", "[floatpin]", "[hotpathalloc]",
+		"cluster.go:11:2:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Waived") || strings.Contains(out, "cluster.go:20") {
+		t.Errorf("waived site was reported:\n%s", out)
+	}
+}
+
+func TestVetJSONOutput(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod":                      goMod,
+		"internal/cluster/cluster.go": violatingCluster,
+	})
+
+	out, code := runVet(t, bin, dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("want exit 1, got %d\n%s", code, out)
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("want 3 findings (maprange, seededrand rand, seededrand time), got %d:\n%s", len(diags), out)
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+	}
+	if byAnalyzer["maprange"] != 1 || byAnalyzer["seededrand"] != 2 {
+		t.Errorf("unexpected analyzer mix: %v", byAnalyzer)
+	}
+}
+
+func TestVetCleanTreeExitsZero(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/cluster/clean.go": `package cluster
+
+func Sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`,
+	})
+	out, code := runVet(t, bin, dir, "./...")
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Fatalf("want silent exit 0 on clean tree, got %d:\n%s", code, out)
+	}
+}
+
+func TestVetRejectsRottenWaivers(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/cluster/waivers.go": `package cluster
+
+//lfoc:ok maprange
+func MissingReason() {}
+
+//lfoc:ok typoanalyzer: reasons galore
+func UnknownAnalyzer() {}
+
+//lfoc:ok seededrand: nothing here draws randomness at all
+func Unused() {}
+`,
+	})
+	out, code := runVet(t, bin, dir, "./...")
+	if code != 1 {
+		t.Fatalf("want exit 1 on waiver-hygiene findings, got %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"has no justification",
+		`unknown analyzer "typoanalyzer"`,
+		"unused //lfoc:ok waiver for seededrand",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVetUnknownAnalyzerIsUsageError(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{"go.mod": goMod, "p.go": "package p\n"})
+	out, code := runVet(t, bin, dir, "-run", "nosuch", "./...")
+	if code != 2 || !strings.Contains(out, "unknown analyzer") {
+		t.Fatalf("want exit 2 + message for unknown -run analyzer, got %d:\n%s", code, out)
+	}
+}

@@ -100,7 +100,9 @@ func TestMarkdownLinksResolve(t *testing.T) {
 	}
 }
 
-var flagDef = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint64|Float64|Duration)\("([^"]+)"`)
+// flagDef matches flag definitions on the global flag package and on
+// a `fs`-named FlagSet (cmd/lfoc-vet parses into one for testability).
+var flagDef = regexp.MustCompile(`\b(?:flag|fs)\.(?:String|Bool|Int|Int64|Uint64|Float64|Duration)\("([^"]+)"`)
 
 func definedFlags(t *testing.T, mainPath string) []string {
 	t.Helper()
@@ -150,6 +152,7 @@ func TestREADMEFlagTablesCurrent(t *testing.T) {
 	}{
 		{"### lfoc-sim flags", filepath.Join("cmd", "lfoc-sim", "main.go")},
 		{"### lfoc-bench flags", filepath.Join("cmd", "lfoc-bench", "main.go")},
+		{"### lfoc-vet flags", filepath.Join("cmd", "lfoc-vet", "main.go")},
 	}
 	for _, c := range cases {
 		section := readmeSection(t, readme, c.heading)

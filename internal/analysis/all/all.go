@@ -1,0 +1,13 @@
+// Package all registers the project's standard analyzer set.
+// cmd/lfoc-vet and the clean-tree test blank-import it, following the
+// same init-registration pattern the ROADMAP prescribes for pluggable
+// simulation backends: the framework never imports the
+// implementations.
+package all
+
+import (
+	_ "github.com/faircache/lfoc/internal/analysis/floatpin"
+	_ "github.com/faircache/lfoc/internal/analysis/hotpathalloc"
+	_ "github.com/faircache/lfoc/internal/analysis/maprange"
+	_ "github.com/faircache/lfoc/internal/analysis/seededrand"
+)

@@ -1,0 +1,152 @@
+// Package analysis is a stdlib-only static-analysis framework for the
+// project's determinism and hot-path invariants.
+//
+// Every PR since the seed has depended on source-level properties the
+// compiler cannot check: bit-identical output across GOMAXPROCS and
+// worker counts, explicit float64(...) rounding pins in the kernel
+// carry chains, seeded-stream-only randomness, and zero-allocation hot
+// paths. Those invariants are pinned after the fact by differential and
+// golden tests; this package catches violations at the AST level,
+// per diff, in seconds.
+//
+// The framework is deliberately a small subset of golang.org/x/tools'
+// go/analysis shape — Analyzer, Pass, Diagnostic — rebuilt on go/ast,
+// go/parser and go/types only, so the module keeps its no-dependency
+// (no go.sum) property. Analyzers live in subpackages and self-register
+// via Register from an init function; cmd/lfoc-vet and the test
+// harness blank-import internal/analysis/all to pull in the standard
+// set.
+//
+// Findings are waivable in source with a justification comment:
+//
+//	for k := range m { ... } //lfoc:ok maprange: reduction is commutative over ints
+//
+// See waive.go for the exact rules. Two source directives extend
+// analyzer scope: //lfoc:hotpath on a function's doc comment opts it
+// into the hotpathalloc allocation ban, and //lfoc:floatstrict
+// anywhere in a file opts the whole file into floatpin's
+// multiply-add rounding-pin check.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant check. Run is invoked once per
+// loaded package; it reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lfoc:ok waiver comments. Lower-case, no spaces.
+	Name string
+
+	// Doc is a short description of the invariant the analyzer
+	// enforces, shown by lfoc-vet -list.
+	Doc string
+
+	// Run analyzes one package. Diagnostics go through pass.Reportf;
+	// a non-nil error aborts the whole vet run (reserved for internal
+	// failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// PkgNameOf reports the imported package an identifier refers to, or
+// "" if the identifier is not a package name. Analyzers use it to
+// recognise selector calls like rand.Intn or time.Now regardless of
+// import renaming.
+func (p *Pass) PkgNameOf(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// A Diagnostic is one finding, positioned for file:line:col reporting.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer
+// name, so lfoc-vet output is stable across runs and GOMAXPROCS.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// RunAnalyzer applies a to pkg and returns its raw (unwaived) findings.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		diags:     &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	return diags, nil
+}

@@ -1,0 +1,145 @@
+// Package analysistest runs one analyzer over a directory of fixture
+// sources and diffs its diagnostics against // want comments — the
+// same contract as golang.org/x/tools' analysistest, rebuilt on the
+// standard library so the module stays dependency-free.
+//
+// A fixture file marks each expected finding with a trailing comment
+// on the offending line:
+//
+//	for k := range m { // want `nondeterministic map iteration`
+//
+// The quoted or backquoted string is a regexp matched against the
+// diagnostic message. Several want strings on one line expect several
+// findings. Lines without a want comment must produce no finding, so
+// every fixture doubles as a false-positive regression test, and
+// //lfoc:ok waivers go through the exact pipeline the driver uses —
+// a waived true positive simply carries no want.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"github.com/faircache/lfoc/internal/analysis"
+)
+
+// wantRE extracts the expectation strings from a want comment. Both
+// "..." and `...` forms are accepted; backquotes spare the writer
+// double-escaping regexp metacharacters.
+var wantRE = regexp.MustCompile("`((?:[^`])+)`|\"((?:\\\\.|[^\"])*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run analyzes the fixture package in dir under the given import path
+// (scoped analyzers key off the path, so fixtures impersonate e.g.
+// internal/cluster) and fails t on any mismatch between diagnostics
+// and want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixture sources in %s (%v)", dir, err)
+	}
+	sort.Strings(paths)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := analysis.CheckSource(fset, importPath, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Vet([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, analysis.KnownAnalyzers([]*analysis.Analyzer{a}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for i := range diags {
+		d := &diags[i]
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", position(d), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func position(d *analysis.Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column)
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := wantIndex(text)
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(text[idx:], -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, text)
+				}
+				for _, m := range matches {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// wantIndex locates a "// want" marker inside a comment's text,
+// returning the offset just past "want" or -1.
+var wantMarker = regexp.MustCompile(`(?:^//|\s)want\s`)
+
+func wantIndex(comment string) int {
+	loc := wantMarker.FindStringIndex(comment)
+	if loc == nil {
+		return -1
+	}
+	return loc[1]
+}

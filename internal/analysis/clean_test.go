@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/faircache/lfoc/internal/analysis"
+	_ "github.com/faircache/lfoc/internal/analysis/all"
+)
+
+// TestRepoTreeIsClean runs every registered analyzer over the whole
+// repository, in-process — the acceptance gate behind `lfoc-vet ./...`
+// in CI. A finding here means either the new code violates a pinned
+// invariant (sort the keys, thread the seeded rand, pin the product,
+// hoist the allocation) or it deserves a justified //lfoc:ok waiver;
+// fix the code or waive it at the site, never here.
+func TestRepoTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the full tree")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	analyzers := analysis.All()
+	diags, err := analysis.Vet(pkgs, analyzers, analysis.KnownAnalyzers(analyzers))
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

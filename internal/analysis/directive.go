@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Source directives recognised by the analyzer set. Directives use the
+// standard Go directive shape (no space after //) so gofmt leaves them
+// alone.
+const (
+	// HotPathDirective marks a function whose body must not allocate;
+	// it belongs in the function's doc comment. Enforced by the
+	// hotpathalloc analyzer.
+	HotPathDirective = "//lfoc:hotpath"
+
+	// FloatStrictDirective opts a whole file into the floatpin
+	// analyzer's multiply-add rounding-pin check. It belongs on the
+	// kernel carry-chain files whose float trajectories must be
+	// bit-identical across architectures.
+	FloatStrictDirective = "//lfoc:floatstrict"
+)
+
+// hasDirectiveLine reports whether cg contains a comment line that is
+// exactly the directive, optionally followed by explanatory text after
+// a space.
+func hasDirectiveLine(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncIsHotPath reports whether fn's doc comment carries
+// //lfoc:hotpath.
+func FuncIsHotPath(fn *ast.FuncDecl) bool {
+	return hasDirectiveLine(fn.Doc, HotPathDirective)
+}
+
+// FileIsFloatStrict reports whether any comment in f carries
+// //lfoc:floatstrict.
+func FileIsFloatStrict(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if hasDirectiveLine(cg, FloatStrictDirective) {
+			return true
+		}
+	}
+	return false
+}

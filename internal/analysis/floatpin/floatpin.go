@@ -1,0 +1,111 @@
+// Package floatpin enforces the kernel carry chains' defence against
+// fused multiply-add contraction.
+//
+// The Go spec permits a compiler to fuse x*y ± z into a single FMA
+// instruction, which skips the intermediate rounding of the product.
+// amd64 does not fuse today; arm64 and ppc64 do — so an unpinned
+// multiply-add in the event-horizon carry chains would produce floats
+// that differ in the last bit across architectures, and the
+// byte-identical goldens would pass on the CI arch and fail elsewhere.
+// PR 5 established the fix: wrap the product in an explicit
+// float64(...) conversion, which the spec defines as a rounding point
+// that may not be fused away.
+//
+// The check is opt-in per file: files carrying a //lfoc:floatstrict
+// comment (the carry-chain kernel files) are scanned for float
+// multiply-add shapes — a*b + c, c - a*b, x += a*b, and their
+// variants — whose product is not wrapped in an explicit conversion.
+// New kernel math added to a strict file therefore cannot silently
+// reintroduce cross-arch divergence.
+package floatpin
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/faircache/lfoc/internal/analysis"
+)
+
+// Analyzer is the floatpin analyzer; see the package documentation for
+// the invariant it enforces.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatpin",
+	Doc:  "requires float64(...) rounding pins on multiply-adds in //lfoc:floatstrict files",
+	Run:  run,
+}
+
+func init() { analysis.Register(Analyzer) }
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if !analysis.FileIsFloatStrict(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.ADD && n.Op != token.SUB {
+					return true
+				}
+				if !isFloat(pass, n) {
+					return true
+				}
+				checkOperand(pass, n.X, n.Op)
+				checkOperand(pass, n.Y, n.Op)
+			case *ast.AssignStmt:
+				if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				if len(n.Lhs) == 1 && isFloat(pass, n.Lhs[0]) {
+					op := token.ADD
+					if n.Tok == token.SUB_ASSIGN {
+						op = token.SUB
+					}
+					checkOperand(pass, n.Rhs[0], op)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkOperand flags e when it is an unpinned float product feeding an
+// add or subtract — the FMA-contractable shape.
+func checkOperand(pass *analysis.Pass, e ast.Expr, op token.Token) {
+	e = unparen(e)
+	// -(a*b) + c contracts the same way a*b + c does.
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.SUB {
+		e = unparen(u.X)
+	}
+	mul, ok := e.(*ast.BinaryExpr)
+	if !ok || mul.Op != token.MUL || !isFloat(pass, mul) {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[mul]; ok && tv.Value != nil {
+		return // constant-folded at compile time; no runtime FMA
+	}
+	pass.Reportf(mul.Pos(),
+		"unpinned float multiply feeding %s may contract to a fused multiply-add on arm64/ppc64; wrap the product in float64(...) to pin rounding (see kernel carry-chain docs)",
+		op)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,21 @@
+package floatpin_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/faircache/lfoc/internal/analysis/analysistest"
+	"github.com/faircache/lfoc/internal/analysis/floatpin"
+)
+
+func TestFloatPinStrictFile(t *testing.T) {
+	analysistest.Run(t, floatpin.Analyzer,
+		filepath.Join("testdata", "src", "strictfile"),
+		"example.com/x/internal/sim")
+}
+
+func TestFloatPinLenientFile(t *testing.T) {
+	analysistest.Run(t, floatpin.Analyzer,
+		filepath.Join("testdata", "src", "lenientfile"),
+		"example.com/x/internal/sim")
+}

@@ -1,0 +1,7 @@
+// Package lenientfile has no //lfoc:floatstrict directive: floatpin
+// must ignore it entirely.
+package lenientfile
+
+func unpinnedButNotStrict(a, b, c float64) float64 {
+	return a*b + c
+}

@@ -1,0 +1,51 @@
+// Package strictfile opts into floatpin via the directive above; the
+// analyzer scans it regardless of import path.
+//
+//lfoc:floatstrict
+package strictfile
+
+var sink float64
+
+func unpinned(a, b, c float64) float64 {
+	return a*b + c // want `unpinned float multiply feeding \+`
+}
+
+func unpinnedSub(a, b, c float64) float64 {
+	return c - a*b // want `unpinned float multiply feeding -`
+}
+
+func unpinnedNegated(a, b, c float64) float64 {
+	return -(a * b) + c // want `unpinned float multiply feeding \+`
+}
+
+func unpinnedCompound(a, b float64) {
+	sink += a * b // want `unpinned float multiply feeding \+`
+}
+
+func pinned(a, b, c float64) float64 {
+	return float64(a*b) + c
+}
+
+func pinnedCompound(a, b float64) {
+	sink += float64(a * b)
+}
+
+func mulAloneIsFine(a, b float64) float64 {
+	return a * b // no add/sub: nothing to contract
+}
+
+func divideIsFine(a, b, c float64) float64 {
+	return a/b + c // only multiply-add contracts
+}
+
+func intMulAddIsFine(a, b, c int) int {
+	return a*b + c // integer arithmetic is exact
+}
+
+func constantFoldIsFine(c float64) float64 {
+	return 2*3 + c // constant product folds at compile time
+}
+
+func waived(a, b, c float64) float64 {
+	return a*b + c //lfoc:ok floatpin: fixture demonstrates the waiver path
+}

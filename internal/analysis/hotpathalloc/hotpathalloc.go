@@ -1,0 +1,289 @@
+// Package hotpathalloc bans allocating constructs in functions whose
+// doc comment carries //lfoc:hotpath.
+//
+// The solver search, the contention-model evaluator, the pmc counters
+// and the kernel advancement loops are pinned at 0 allocs/op by the
+// benchdiff CI gates — but those gates fire after the fact, on the
+// whole benchmark, and say nothing about which line regressed. This
+// analyzer moves the check to the source: an annotated function must
+// not contain
+//
+//   - make / new calls or slice, map and function-type composite
+//     literals (always heap or growth candidates);
+//   - address-taken struct/array literals (&T{...} — escape bait);
+//   - append to a slice declared inside the function (fresh backing
+//     array; hot paths append into reusable scratch passed in or held
+//     on the receiver);
+//   - closures that capture variables (the capture forces a heap
+//     allocation when the closure or variable escapes);
+//   - go / defer statements (closure + scheduling allocations);
+//   - string <-> []byte/[]rune conversions and string concatenation;
+//   - interface boxing: passing or converting a concrete value to an
+//     interface-typed parameter (fmt helpers are the classic
+//     offender).
+//
+// The check is intraprocedural and conservative-by-construction: it
+// cannot see escape analysis, so a construct the compiler provably
+// keeps on the stack can be waived with //lfoc:ok hotpathalloc: <why>
+// — ideally citing the benchmark that pins the path at 0 allocs/op.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/faircache/lfoc/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc analyzer; see the package documentation
+// for the invariant it enforces.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "bans allocating constructs in //lfoc:hotpath functions",
+	Run:  run,
+}
+
+func init() { analysis.Register(Analyzer) }
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.FuncIsHotPath(fn) {
+				continue
+			}
+			c := &checker{pass: pass, fn: fn}
+			c.check()
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+	// addrOf marks composite literals that appear under &, visited
+	// before their children in the pre-order walk.
+	addrOf map[*ast.CompositeLit]bool
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	c.pass.Reportf(pos, format+" in //lfoc:hotpath function %s; use reusable scratch or waive with //lfoc:ok hotpathalloc: <why>", append(args, c.fn.Name.Name)...)
+}
+
+func (c *checker) check() {
+	c.addrOf = map[*ast.CompositeLit]bool{}
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					c.addrOf[lit] = true
+				}
+			}
+		case *ast.CompositeLit:
+			c.compositeLit(n)
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.FuncLit:
+			if capt := c.captured(n); capt != "" {
+				c.reportf(n.Pos(), "closure capturing %q may allocate", capt)
+			}
+		case *ast.GoStmt:
+			c.reportf(n.Pos(), "go statement allocates")
+		case *ast.DeferStmt:
+			c.reportf(n.Pos(), "defer allocates")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(c.typeOf(n)) {
+				c.reportf(n.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type { return c.pass.TypeOf(e) }
+
+func (c *checker) compositeLit(lit *ast.CompositeLit) {
+	t := c.typeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.reportf(lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		c.reportf(lit.Pos(), "map literal allocates")
+	case *types.Struct, *types.Array:
+		if c.addrOf[lit] {
+			c.reportf(lit.Pos(), "address-taken composite literal may escape")
+		}
+	}
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	// Type conversions: flag string<->byte/rune-slice and
+	// concrete-to-interface conversions.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		c.conversion(call, tv.Type)
+		return
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				c.reportf(call.Pos(), "make allocates")
+			case "new":
+				c.reportf(call.Pos(), "new allocates")
+			case "append":
+				c.append(call)
+			}
+			return
+		}
+	}
+	c.boxing(call)
+}
+
+func (c *checker) conversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := c.typeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	toU, fromU := to.Underlying(), from.Underlying()
+	if isString(fromU) && isByteOrRuneSlice(toU) || isString(toU) && isByteOrRuneSlice(fromU) {
+		c.reportf(call.Pos(), "string/slice conversion copies and allocates")
+		return
+	}
+	if isIface(toU) && !isIface(fromU) && !isUntypedNil(from) {
+		c.reportf(call.Pos(), "conversion of %s to interface %s boxes the value", from, to)
+	}
+}
+
+// append flags appends whose destination is a slice declared inside
+// this function: its backing array is fresh, so growth allocates every
+// call. Appends into parameters, receiver fields or package-level
+// scratch are the supported pattern and stay legal (their capacity is
+// the caller's concern, pinned by the alloc benchmarks).
+func (c *checker) append(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		// Receiver fields (e.scratch = append(e.scratch, ...)) and
+		// other non-local destinations are the supported preallocated
+		// scratch pattern.
+		return
+	}
+	obj := c.pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	body := c.fn.Body
+	if obj.Pos() >= body.Pos() && obj.Pos() < body.End() {
+		c.reportf(call.Pos(), "append to function-local slice %s allocates its backing array", id.Name)
+	}
+}
+
+// boxing flags concrete arguments passed to interface-typed
+// parameters.
+func (c *checker) boxing(call *ast.CallExpr) {
+	sigT := c.typeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i == params.Len()-1 && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && !call.Ellipsis.IsValid():
+			last := params.At(params.Len() - 1).Type()
+			sl, ok := last.(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		default:
+			continue // f(xs...): no per-element boxing
+		}
+		at := c.typeOf(arg)
+		if at == nil || isUntypedNil(at) {
+			continue
+		}
+		if isIface(pt.Underlying()) && !isIface(at.Underlying()) {
+			c.reportf(arg.Pos(), "argument %s boxed into interface parameter", at)
+		}
+	}
+}
+
+// captured returns the name of a variable the function literal
+// captures from its enclosing function, or "".
+func (c *checker) captured(lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured iff declared in the enclosing function but outside
+		// the literal. Parameters count: they are declared at the
+		// function, before the body, so compare against fn extent.
+		if obj.Pos() >= c.fn.Pos() && obj.Pos() < lit.Pos() {
+			name = obj.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isIface(t types.Type) bool {
+	_, ok := t.(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}

@@ -1,0 +1,15 @@
+package hotpathalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/faircache/lfoc/internal/analysis/analysistest"
+	"github.com/faircache/lfoc/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAllocFixtures(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer,
+		filepath.Join("testdata", "src", "hotpath"),
+		"example.com/x/internal/sharing")
+}

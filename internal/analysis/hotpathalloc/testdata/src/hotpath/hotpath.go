@@ -1,0 +1,71 @@
+// Package hotpath is a hotpathalloc fixture; the analyzer keys off the
+// //lfoc:hotpath doc directive, not the import path.
+package hotpath
+
+import "fmt"
+
+type evaluator struct {
+	scratch []float64
+	out     map[string]float64
+}
+
+// hot is the annotated function every allocating construct is planted
+// in.
+//
+//lfoc:hotpath
+func (e *evaluator) hot(dst []float64, n int, name string, bs []byte) []float64 {
+	buf := make([]float64, n) // want `make allocates`
+	p := new(evaluator)       // want `new allocates`
+	_ = p
+	lit := []int{1, 2, 3}         // want `slice literal allocates`
+	m := map[string]int{"a": 1}   // want `map literal allocates`
+	ptr := &evaluator{}           // want `address-taken composite literal may escape`
+	local := fmt.Sprint(name)     // want `argument string boxed into interface parameter`
+	buf = append(buf, 1)          // want `append to function-local slice buf allocates`
+	s := string(bs)               // want `string/slice conversion copies and allocates`
+	cl := func() int { return n } // want `closure capturing "n" may allocate`
+	defer e.reset()               // want `defer allocates`
+	go e.reset()                  // want `go statement allocates`
+	joined := name + s            // want `string concatenation allocates`
+	var boxed any = any(n)        // want `conversion of int to interface any boxes the value`
+	_, _, _, _, _, _, _ = lit, m, ptr, local, cl, joined, boxed
+	dst = append(dst, 1) // appending into caller-owned dst is the supported pattern
+	e.scratch = append(e.scratch, 1)
+	for i := range e.scratch {
+		e.scratch[i] = 0
+	}
+	return dst
+}
+
+func (e *evaluator) reset() {}
+
+// cold is unannotated: the same constructs are legal here.
+func (e *evaluator) cold(n int) []float64 {
+	buf := make([]float64, n)
+	_ = fmt.Sprint(n)
+	return buf
+}
+
+// waived demonstrates the waiver path: the closure provably does not
+// escape, and the benchmark pins the function at 0 allocs/op.
+//
+//lfoc:hotpath
+func (e *evaluator) waived(n int) int {
+	total := 0
+	add := func(v int) { total += v } //lfoc:ok hotpathalloc: non-escaping closure, 0 allocs/op pinned by BenchmarkFixture
+	add(n)
+	return total
+}
+
+// pureHot stays clean without waivers: index writes into receiver
+// scratch, arithmetic, and non-interface calls.
+//
+//lfoc:hotpath
+func (e *evaluator) pureHot(xs []float64) float64 {
+	total := 0.0
+	for i, x := range xs {
+		e.scratch[i] = x * 2
+		total += e.scratch[i]
+	}
+	return total
+}

@@ -1,0 +1,350 @@
+// Package maprange flags `range` statements over maps in the
+// deterministic-output packages (internal/sim, internal/cluster,
+// internal/metrics, internal/workloads).
+//
+// Go randomises map iteration order per run, so any map range whose
+// body's effect depends on visit order silently breaks the
+// byte-identical-output CI gates — historically the #1 way those gates
+// get broken. A range is accepted without a waiver only when the body
+// is provably order-insensitive:
+//
+//   - delete from a map;
+//   - integer/bool counter updates (++, +=, |=, &=, ^=, *=) — exact
+//     commutative-associative reductions (float accumulation is NOT
+//     order-free: rounding differs per order, so it is flagged);
+//   - stores into another map keyed by the range key (distinct keys,
+//     write-once per iteration);
+//   - idempotent boolean flag sets;
+//   - the collect-then-sort idiom: the body only appends the key (or
+//     value) to a slice that a later sort.* / slices.Sort* call in the
+//     same function orders.
+//
+// Everything else needs sorted keys first, or an explicit
+// //lfoc:ok maprange: <why> waiver stating why order cannot leak into
+// results.
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/faircache/lfoc/internal/analysis"
+	"github.com/faircache/lfoc/internal/analysis/scope"
+)
+
+// Analyzer is the maprange analyzer; see the package documentation for
+// the invariant it enforces.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "flags order-sensitive iteration over maps in deterministic-output packages",
+	Run:  run,
+}
+
+func init() { analysis.Register(Analyzer) }
+
+func run(pass *analysis.Pass) error {
+	if !scope.Matches(pass.Pkg.Path(), scope.DeterministicOutput) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		forEachFuncBody(file, func(body *ast.BlockStmt) {
+			for _, rs := range mapRangesIn(pass, body) {
+				c := &checker{pass: pass, encl: body, rs: rs}
+				if c.orderInsensitive() {
+					continue
+				}
+				pass.Reportf(rs.Pos(),
+					"iteration over %s is nondeterministically ordered and the body is not provably order-insensitive; sort the keys first or waive with //lfoc:ok maprange: <why>",
+					types.TypeString(pass.TypeOf(rs.X), nil))
+			}
+		})
+	}
+	return nil
+}
+
+// forEachFuncBody visits every function body in the file: declarations
+// and function literals alike.
+func forEachFuncBody(file *ast.File, fn func(*ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// mapRangesIn returns the range-over-map statements whose nearest
+// enclosing function body is body (nested function literals are
+// visited separately by forEachFuncBody).
+func mapRangesIn(pass *analysis.Pass, body *ast.BlockStmt) []*ast.RangeStmt {
+	var out []*ast.RangeStmt
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok && m != n {
+				return false
+			}
+			if rs, ok := m.(*ast.RangeStmt); ok {
+				if t := pass.TypeOf(rs.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						out = append(out, rs)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return out
+}
+
+// checker decides whether one map range's body is order-insensitive.
+type checker struct {
+	pass *analysis.Pass
+	encl *ast.BlockStmt // enclosing function body (for the sort-later idiom)
+	rs   *ast.RangeStmt
+}
+
+func (c *checker) orderInsensitive() bool {
+	return c.stmtsOK(c.rs.Body.List)
+}
+
+func (c *checker) stmtsOK(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		// Only delete(m, k): removal is commutative across distinct
+		// keys, and Go defines deletion during range.
+		call, ok := s.X.(*ast.CallExpr)
+		return ok && c.isBuiltin(call, "delete") && c.pureExprs(call.Args)
+	case *ast.IncDecStmt:
+		return c.isInteger(s.X)
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	case *ast.IfStmt:
+		if s.Init != nil && !c.stmtOK(s.Init) {
+			return false
+		}
+		if !c.pure(s.Cond) || !c.stmtsOK(s.Body.List) {
+			return false
+		}
+		if s.Else != nil {
+			return c.stmtOK(s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.stmtsOK(s.List)
+	case *ast.BranchStmt:
+		// continue skips an iteration independently of order; break
+		// makes the set of visited entries depend on order, so it is
+		// never order-insensitive.
+		return s.Tok == token.CONTINUE
+	default:
+		return false
+	}
+}
+
+func (c *checker) assignOK(s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return s.Tok == token.DEFINE && c.pureExprs(s.Rhs)
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	switch s.Tok {
+	case token.DEFINE:
+		// Per-iteration locals die before order can matter.
+		return c.pure(rhs)
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		// Exact commutative-associative reductions — integers only.
+		// Float += rounds differently per visit order.
+		return c.isInteger(lhs) && c.pure(rhs)
+	case token.ASSIGN:
+		// out[k] = ... : writes to distinct keys commute.
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			return c.usesRangeKey(ix.Index) && c.pure(ix.X) && c.pure(rhs)
+		}
+		// flag = true/false : idempotent.
+		if id, ok := lhs.(*ast.Ident); ok {
+			if c.isBoolConst(rhs) && c.isBool(id) {
+				return true
+			}
+			// s = append(s, k): fine iff s is sorted later in the
+			// enclosing function.
+			if call, ok := rhs.(*ast.CallExpr); ok && c.isBuiltin(call, "append") {
+				return c.appendSortedLater(id, call)
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// appendSortedLater accepts `dst = append(dst, ...pure...)` when a
+// sort.* or slices.Sort* call referencing dst appears after the range
+// statement in the same function — the canonical collect-then-sort
+// idiom.
+func (c *checker) appendSortedLater(dst *ast.Ident, call *ast.CallExpr) bool {
+	if len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || c.objOf(first) == nil || c.objOf(first) != c.objOf(dst) {
+		return false
+	}
+	if !c.pureExprs(call.Args[1:]) {
+		return false
+	}
+	dstObj := c.objOf(dst)
+	sorted := false
+	ast.Inspect(c.encl, func(n ast.Node) bool {
+		if sorted || n == nil || n.Pos() <= c.rs.End() {
+			return true
+		}
+		cl, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := cl.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := c.pass.PkgNameOf(sel.X)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range cl.Args {
+			if c.referencesObj(arg, dstObj) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// pure reports whether evaluating e cannot have side effects: no calls
+// other than len/cap/min/max and type conversions, no channel
+// receives, no function literals.
+func (c *checker) pure(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if c.isConversion(n) {
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "len", "cap", "min", "max", "abs", "real", "imag":
+					if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						return true
+					}
+				}
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW { // channel receive
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}
+
+func (c *checker) pureExprs(es []ast.Expr) bool {
+	for _, e := range es {
+		if !c.pure(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) isConversion(call *ast.CallExpr) bool {
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func (c *checker) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func (c *checker) basicInfo(e ast.Expr) types.BasicInfo {
+	t := c.pass.TypeOf(e)
+	if t == nil {
+		return 0
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0
+	}
+	return b.Info()
+}
+
+func (c *checker) isInteger(e ast.Expr) bool {
+	return c.basicInfo(e)&types.IsInteger != 0
+}
+
+func (c *checker) isBool(e ast.Expr) bool {
+	return c.basicInfo(e)&types.IsBoolean != 0
+}
+
+func (c *checker) isBoolConst(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && (id.Name == "true" || id.Name == "false") && c.objOf(id) == types.Universe.Lookup(id.Name)
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	return c.pass.TypesInfo.ObjectOf(id)
+}
+
+// usesRangeKey reports whether e references the range statement's key
+// variable.
+func (c *checker) usesRangeKey(e ast.Expr) bool {
+	key, ok := c.rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	return c.referencesObj(e, c.objOf(key))
+}
+
+func (c *checker) referencesObj(e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

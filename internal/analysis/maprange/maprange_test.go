@@ -1,0 +1,21 @@
+package maprange_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/faircache/lfoc/internal/analysis/analysistest"
+	"github.com/faircache/lfoc/internal/analysis/maprange"
+)
+
+func TestMapRangeFixtures(t *testing.T) {
+	analysistest.Run(t, maprange.Analyzer,
+		filepath.Join("testdata", "src", "mapranges"),
+		"example.com/x/internal/cluster")
+}
+
+func TestMapRangeOutOfScope(t *testing.T) {
+	analysistest.Run(t, maprange.Analyzer,
+		filepath.Join("testdata", "src", "outofscope"),
+		"example.com/x/internal/harness")
+}

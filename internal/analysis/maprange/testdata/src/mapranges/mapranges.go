@@ -1,0 +1,112 @@
+// Package mapranges is a maprange fixture; the harness loads it under
+// the import path example.com/x/internal/cluster so the analyzer's
+// deterministic-output scope applies.
+package mapranges
+
+import "sort"
+
+// sink defeats "unused" concerns without affecting the analysis.
+var sink float64
+
+func orderSensitive(m map[string]float64) {
+	total := 0.0
+	for _, v := range m { // want `iteration over map\[string\]float64 is nondeterministically ordered`
+		total += v // float accumulation rounds per visit order
+	}
+	sink = total
+}
+
+func callInBody(m map[string]int, f func(int)) {
+	for _, v := range m { // want `nondeterministically ordered`
+		f(v)
+	}
+}
+
+func breakIsOrderSensitive(m map[string]int) int {
+	for k, v := range m { // want `nondeterministically ordered`
+		if v > 0 {
+			_ = k
+			break
+		}
+	}
+	return 0
+}
+
+func argmaxKeyIsOrderSensitive(m map[string]int) string {
+	best, bestK := -1, ""
+	for k, v := range m { // want `nondeterministically ordered`
+		if v > best {
+			best, bestK = v, k
+		}
+	}
+	return bestK
+}
+
+func intCountersAreFine(m map[string]int) int {
+	n := 0
+	bits := 0
+	for _, v := range m {
+		n += v
+		bits |= v
+		n++
+	}
+	return n + bits
+}
+
+func deleteIsFine(m map[string]int, dead map[string]bool) {
+	for k := range m {
+		if dead[k] {
+			delete(m, k)
+		}
+	}
+}
+
+func keyedStoreIsFine(src map[string]int, dst map[string]float64) {
+	for k, v := range src {
+		dst[k] = float64(v) * 2
+	}
+}
+
+func flagSetIsFine(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+func collectThenSortIsFine(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectWithoutSortIsNot(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `nondeterministically ordered`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func waivedSite(m map[string]struct{}) {
+	n := 0.0
+	//lfoc:ok maprange: fixture demonstrates the waiver path; body is a test stub
+	for range m {
+		n += 0.5
+	}
+	sink = n
+}
+
+func rangeOverSliceIgnored(s []float64) {
+	total := 0.0
+	for _, v := range s {
+		total += v // slices iterate in index order: not maprange's business
+	}
+	sink = total
+}

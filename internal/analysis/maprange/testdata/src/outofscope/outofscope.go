@@ -1,0 +1,12 @@
+// Package outofscope is loaded under example.com/x/internal/harness,
+// which is outside the deterministic-output scope: nothing here may be
+// flagged, however order-sensitive it is.
+package outofscope
+
+var sink float64
+
+func orderSensitiveButOutOfScope(m map[string]float64) {
+	for _, v := range m {
+		sink += v
+	}
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Analyzer{}
+)
+
+// Register adds an analyzer to the global set run by lfoc-vet.
+// Analyzer subpackages call it from init; cmd/lfoc-vet and the clean-
+// tree test pull them in by blank-importing internal/analysis/all.
+// Registering two analyzers with the same name panics: names double as
+// waiver keys, so they must be unique.
+func Register(a *Analyzer) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if a.Name == "" || a.Run == nil {
+		panic("analysis: Register called with incomplete analyzer")
+	}
+	if _, dup := registry[a.Name]; dup {
+		panic(fmt.Sprintf("analysis: duplicate analyzer %q", a.Name))
+	}
+	registry[a.Name] = a
+}
+
+// All returns the registered analyzers sorted by name.
+func All() []*Analyzer {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]*Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the registered analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registry[name]
+}

@@ -1,0 +1,35 @@
+// Package scope decides which packages each analyzer applies to.
+// Matching is by import-path suffix segment, so the rules hold for the
+// real module path and for fixture or synthetic modules that mirror
+// the layout (e.g. example.com/x/internal/cluster).
+package scope
+
+import "strings"
+
+// DeterministicOutput lists the packages whose results are pinned by
+// byte-identical-output CI gates: the simulation kernel and scenarios,
+// the cluster layer, metric aggregation, and workload generation. The
+// maprange and seededrand analyzers apply here.
+var DeterministicOutput = []string{
+	"internal/sim",
+	"internal/cluster",
+	"internal/metrics",
+	"internal/workloads",
+}
+
+// Matches reports whether pkgPath is one of the listed packages or a
+// subpackage of one (internal/sim matches internal/sim/scenario).
+func Matches(pkgPath string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if pkgPath == p || strings.HasSuffix(pkgPath, "/"+p) {
+			return true
+		}
+		if i := strings.Index(pkgPath+"/", "/"+p+"/"); i >= 0 {
+			return true
+		}
+		if strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}

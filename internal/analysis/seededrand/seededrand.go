@@ -1,0 +1,120 @@
+// Package seededrand bans ambient randomness and wall-clock reads in
+// the deterministic-output packages.
+//
+// Every random draw in the simulator must flow from an explicitly
+// seeded *rand.Rand threaded through configuration (the PR 6/8
+// convention: splitmix sub-seeds per stream), because replayability —
+// same (trace, seed, config) in, byte-identical trajectory out — is a
+// CI-gated invariant. Three constructs break it:
+//
+//   - math/rand (and math/rand/v2) package-level draw functions, which
+//     share process-global state seeded per process;
+//   - rand.NewSource(time.Now()...) / rand.New seeded from the clock,
+//     which makes the seed itself nondeterministic;
+//   - any time.Now() in simulation code: simulated time comes from the
+//     kernel clock, and wall-clock reads leak host timing into
+//     results.
+//
+// Wall-clock timing for benchmarking lives in internal/harness, which
+// is deliberately outside this analyzer's scope.
+package seededrand
+
+import (
+	"go/ast"
+
+	"github.com/faircache/lfoc/internal/analysis"
+	"github.com/faircache/lfoc/internal/analysis/scope"
+)
+
+// Analyzer is the seededrand analyzer; see the package documentation
+// for the invariant it enforces.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "bans global math/rand and time.Now in deterministic-output packages",
+	Run:  run,
+}
+
+func init() { analysis.Register(Analyzer) }
+
+// bannedGlobals are the package-level draw functions of math/rand and
+// math/rand/v2 that consume process-global state. Constructors that
+// take an explicit source or seed (New, NewSource, NewZipf, NewPCG,
+// NewChaCha8) stay legal.
+var bannedGlobals = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+func isRandPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+func run(pass *analysis.Pass) error {
+	if !scope.Matches(pass.Pkg.Path(), scope.DeterministicOutput) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// First pass: rand sources seeded from the wall clock get one
+		// combined finding at the constructor call.
+		clockSeeded := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isRandPkg(pass.PkgNameOf(sel.X)) {
+				return true
+			}
+			if sel.Sel.Name != "NewSource" && sel.Sel.Name != "New" && sel.Sel.Name != "NewPCG" && sel.Sel.Name != "NewChaCha8" {
+				return true
+			}
+			seen := len(clockSeeded)
+			for _, arg := range call.Args {
+				for _, now := range timeNowUses(pass, arg) {
+					clockSeeded[now] = true
+				}
+			}
+			if len(clockSeeded) > seen {
+				pass.Reportf(call.Pos(),
+					"rand source seeded from the wall clock: the seed must come from config so runs replay byte-identically")
+			}
+			return true
+		})
+		// Second pass: banned globals and bare time.Now.
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch pkg := pass.PkgNameOf(sel.X); {
+			case isRandPkg(pkg) && bannedGlobals[sel.Sel.Name]:
+				pass.Reportf(sel.Pos(),
+					"%s.%s draws from process-global state; use the explicitly seeded *rand.Rand threaded through config",
+					pkg, sel.Sel.Name)
+			case pkg == "time" && sel.Sel.Name == "Now" && !clockSeeded[sel]:
+				pass.Reportf(sel.Pos(),
+					"time.Now in a simulation package leaks host wall-clock into results; derive times from the simulated clock or config")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// timeNowUses returns the time.Now selector expressions inside e.
+func timeNowUses(pass *analysis.Pass, e ast.Expr) []*ast.SelectorExpr {
+	var out []*ast.SelectorExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if pass.PkgNameOf(sel.X) == "time" && sel.Sel.Name == "Now" {
+				out = append(out, sel)
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,23 @@
+package seededrand_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/faircache/lfoc/internal/analysis/analysistest"
+	"github.com/faircache/lfoc/internal/analysis/seededrand"
+)
+
+func TestSeededRandFixtures(t *testing.T) {
+	analysistest.Run(t, seededrand.Analyzer,
+		filepath.Join("testdata", "src", "seeded"),
+		"example.com/x/internal/sim")
+}
+
+// The harness timing code measures wall-clock on purpose; the analyzer
+// must not reach outside the simulation packages.
+func TestSeededRandOutOfScope(t *testing.T) {
+	analysistest.Run(t, seededrand.Analyzer,
+		filepath.Join("testdata", "src", "outofscope"),
+		"example.com/x/internal/harness")
+}

@@ -1,0 +1,11 @@
+// Package outofscope is loaded under example.com/x/internal/harness:
+// wall-clock benchmark timing is legal outside the simulation
+// packages.
+package outofscope
+
+import "time"
+
+func wallClockTimingIsFine() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

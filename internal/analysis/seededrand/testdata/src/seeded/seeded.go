@@ -1,0 +1,40 @@
+// Package seeded is a seededrand fixture, loaded under
+// example.com/x/internal/sim so the simulation-package scope applies.
+package seeded
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink int
+
+func globalDraws() {
+	sink = rand.Intn(10)  // want `math/rand.Intn draws from process-global state`
+	_ = rand.Float64()    // want `math/rand.Float64 draws from process-global state`
+	rand.Shuffle(3, swap) // want `math/rand.Shuffle draws from process-global state`
+	rand.Seed(42)         // want `math/rand.Seed draws from process-global state`
+}
+
+func swap(i, j int) {}
+
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand source seeded from the wall clock`
+}
+
+func bareWallClock() int64 {
+	return time.Now().Unix() // want `time.Now in a simulation package leaks host wall-clock`
+}
+
+func seededIsFine(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func threadedDrawsAreFine(rng *rand.Rand) int {
+	return rng.Intn(10) // method on an explicit *rand.Rand, not the global
+}
+
+func waivedWallClock() int64 {
+	//lfoc:ok seededrand: fixture demonstrates the waiver path for an operator-facing timestamp
+	return time.Now().Unix()
+}

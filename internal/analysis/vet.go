@@ -1,0 +1,45 @@
+package analysis
+
+// Vet runs analyzers over pkgs with the full waiver pipeline — the
+// single entry point shared by cmd/lfoc-vet, the fixture harness and
+// the clean-tree test, so "what the driver reports" has exactly one
+// definition. known is the set of analyzer names valid in waivers
+// (normally every registered analyzer, even when only a subset runs).
+//
+// The returned diagnostics are the surviving findings: raw analyzer
+// reports minus waived ones, plus waiver-hygiene findings (malformed,
+// unknown-analyzer, reason-less, and unused waivers), sorted by
+// position.
+func Vet(pkgs []*Package, analyzers []*Analyzer, known map[string]bool) ([]Diagnostic, error) {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			ds, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+		}
+		waivers, bad := CollectWaivers(pkg.Fset, pkg.Files, known)
+		diags = ApplyWaivers(diags, waivers)
+		diags = append(diags, bad...)
+		diags = append(diags, UnusedWaivers(waivers, ran)...)
+		out = append(out, diags...)
+	}
+	SortDiagnostics(out)
+	return out, nil
+}
+
+// KnownAnalyzers returns the waiver-name set for the given analyzers.
+func KnownAnalyzers(analyzers []*Analyzer) map[string]bool {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	return known
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// waiverPrefix introduces an in-source waiver:
+//
+//	//lfoc:ok <analyzer>: <why the invariant holds here anyway>
+//
+// A waiver suppresses that analyzer's findings on the line the comment
+// sits on and on the line immediately after it, so both trailing and
+// preceding placement work:
+//
+//	for k := range m { n++ } //lfoc:ok maprange: int count, order-free
+//
+//	//lfoc:ok maprange: keys feed a set; insertion order is irrelevant
+//	for k := range m {
+//
+// The justification after the colon is mandatory: a waiver records why
+// the invariant holds, not just that someone silenced the tool. A
+// waiver that suppresses nothing is itself reported, so stale waivers
+// can't linger after the code they excused is gone.
+const waiverPrefix = "//lfoc:ok"
+
+// waiverAnalyzer attributes waiver-hygiene findings (malformed, unknown
+// name, missing reason, unused) in diagnostics output.
+const waiverAnalyzer = "lfoc-vet"
+
+// A Waiver is one parsed //lfoc:ok comment.
+type Waiver struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position // of the comment
+	used     bool
+}
+
+// covers reports whether the waiver applies to a finding on the given
+// line: its own line (trailing comment) or the next (preceding
+// comment).
+func (w *Waiver) covers(line int) bool {
+	return line == w.Pos.Line || line == w.Pos.Line+1
+}
+
+// CollectWaivers parses every //lfoc:ok comment in files. known is the
+// set of valid analyzer names; malformed waivers (bad syntax, unknown
+// analyzer, missing justification) are returned as diagnostics
+// immediately.
+func CollectWaivers(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]*Waiver, []Diagnostic) {
+	var waivers []*Waiver
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Analyzer: waiverAnalyzer, Pos: fset.Position(pos), Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, waiverPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, waiverPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lfoc:okay — not a waiver
+				}
+				name, reason, found := strings.Cut(strings.TrimSpace(rest), ":")
+				name = strings.TrimSpace(name)
+				reason = strings.TrimSpace(reason)
+				switch {
+				case name == "":
+					report(c.Pos(), "malformed waiver: want //lfoc:ok <analyzer>: <reason>")
+					continue
+				case !known[name]:
+					report(c.Pos(), "waiver names unknown analyzer \""+name+"\"")
+					continue
+				case !found || reason == "":
+					report(c.Pos(), "waiver for "+name+" has no justification: say why the invariant holds here")
+					continue
+				}
+				waivers = append(waivers, &Waiver{
+					Analyzer: name,
+					Reason:   reason,
+					Pos:      fset.Position(c.Pos()),
+				})
+			}
+		}
+	}
+	return waivers, bad
+}
+
+// ApplyWaivers filters diags through waivers: a finding whose analyzer,
+// file and line match a waiver is dropped (and the waiver marked used).
+// Waiver-hygiene diagnostics (analyzer "lfoc-vet") are never waivable.
+func ApplyWaivers(diags []Diagnostic, waivers []*Waiver) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		waived := false
+		if d.Analyzer != waiverAnalyzer {
+			for _, w := range waivers {
+				if w.Analyzer == d.Analyzer && w.Pos.Filename == d.Pos.Filename && w.covers(d.Pos.Line) {
+					w.used = true
+					waived = true
+					break
+				}
+			}
+		}
+		if !waived {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// UnusedWaivers reports waivers that suppressed nothing, restricted to
+// analyzers in ran (so `lfoc-vet -run maprange` does not condemn a
+// seededrand waiver it never exercised).
+func UnusedWaivers(waivers []*Waiver, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, w := range waivers {
+		if !w.used && ran[w.Analyzer] {
+			out = append(out, Diagnostic{
+				Analyzer: waiverAnalyzer,
+				Pos:      w.Pos,
+				Message:  "unused //lfoc:ok waiver for " + w.Analyzer + ": nothing is flagged here any more",
+			})
+		}
+	}
+	return out
+}

@@ -155,6 +155,8 @@ func (m *memo) newEvaluator() *sharing.Evaluator {
 
 // get returns the score table (indexed by way count) for a subset,
 // computing it with the worker's private scratch on a miss.
+//
+//lfoc:hotpath
 func (m *memo) get(subset uint32, w *worker) []clusterScore {
 	if p := m.slots[subset].Load(); p != nil {
 		return *p

@@ -108,6 +108,8 @@ func (s *searcher) newWorker() *worker {
 }
 
 // countNode counts one complete partition node, flushing periodically.
+//
+//lfoc:hotpath
 func (w *worker) countNode() {
 	w.nodes++
 	if w.nodes >= nodeFlushEvery {
@@ -128,6 +130,8 @@ func (w *worker) flush() {
 }
 
 // overBudget is the lock-free anytime check.
+//
+//lfoc:hotpath
 func (w *worker) overBudget() bool {
 	return w.s.nodes.Load()+w.nodes > w.s.budget
 }
@@ -218,6 +222,8 @@ func (s *searcher) run(workers int) {
 
 // identOK enforces the symmetry-breaking rule: an app identical to an
 // earlier app may not be placed in a lower-indexed cluster.
+//
+//lfoc:hotpath
 func (s *searcher) identOK(assign []int, app, cluster int) bool {
 	prev := s.ident[app]
 	if prev < 0 {
@@ -228,6 +234,8 @@ func (s *searcher) identOK(assign []int, app, cluster int) bool {
 
 // extend continues the restricted-growth enumeration from depth, scoring
 // complete partitions and applying the partial bound.
+//
+//lfoc:hotpath
 func (s *searcher) extend(assign []int, depth, m int, w *worker) {
 	if w.overBudget() {
 		return
@@ -285,6 +293,8 @@ func (s *searcher) extend(assign []int, depth, m int, w *worker) {
 // partition and compares it with the incumbent, read lock-free (a stale
 // incumbent only weakens pruning, never correctness). assignedApps is
 // the number of apps already placed (== n for complete partitions).
+//
+//lfoc:hotpath
 func (s *searcher) boundedOut(subsets []uint32, assignedApps int, w *worker) bool {
 	m := len(subsets)
 	wmax := s.ways - m + 1
@@ -325,6 +335,8 @@ func (s *searcher) boundedOut(subsets []uint32, assignedApps int, w *worker) boo
 // admissible suffix bounds over the clusters' score curves so partial
 // compositions that cannot beat (or tie) the incumbent are cut without
 // visiting their C(ways-1, m-1)-sized subtrees.
+//
+//lfoc:hotpath
 func (s *searcher) scorePartition(subsets []uint32, w *worker) {
 	m := len(subsets)
 	if m > s.ways {
@@ -386,6 +398,8 @@ func (s *searcher) scorePartition(subsets []uint32, w *worker) {
 // remaining ways, carrying the running max/min slowdown and STP sum.
 // Partial assignments whose admissible completion bound cannot reach the
 // incumbent are pruned.
+//
+//lfoc:hotpath
 func (s *searcher) composeWays(subsets []uint32, scores [][]clusterScore, w *worker, i, remaining int, maxSd, minSd, stp float64) {
 	m := len(subsets)
 	if i == m-1 {
@@ -521,6 +535,8 @@ func stpPruneTol(best float64) float64 {
 
 // relEq reports |a-b| <= 1e-12*max(1,|b|), branch-only (hot in the offer
 // pre-filter).
+//
+//lfoc:hotpath
 func relEq(a, b float64) bool {
 	d := a - b
 	if d < 0 {

@@ -30,6 +30,8 @@ type Sample struct {
 
 // Add accumulates the accumulating events of d into s and adopts d's
 // occupancy reading.
+//
+//lfoc:hotpath
 func (s *Sample) Add(d Sample) {
 	s.Instructions += d.Instructions
 	s.Cycles += d.Cycles
@@ -40,6 +42,8 @@ func (s *Sample) Add(d Sample) {
 }
 
 // Sub returns s - o for the accumulating events, keeping s's occupancy.
+//
+//lfoc:hotpath
 func (s Sample) Sub(o Sample) Sample {
 	return Sample{
 		Instructions:   s.Instructions - o.Instructions,
@@ -107,6 +111,8 @@ type Counter struct {
 // The simulator's event-horizon fast path relies on this to issue one
 // add per app per horizon instead of one per tick
 // (TestCounterBatchedAddEquivalence pins it).
+//
+//lfoc:hotpath
 func (c *Counter) Add(d Sample) { c.total.Add(d) }
 
 // Total returns the counts since creation.
@@ -114,10 +120,14 @@ func (c *Counter) Total() Sample { return c.total }
 
 // Window returns the counts accumulated since the last ReadWindow without
 // closing the window.
+//
+//lfoc:hotpath
 func (c *Counter) Window() Sample { return c.total.Sub(c.windowBase) }
 
 // ReadWindow returns the counts accumulated since the previous ReadWindow
 // and starts a new window.
+//
+//lfoc:hotpath
 func (c *Counter) ReadWindow() Sample {
 	w := c.total.Sub(c.windowBase)
 	c.windowBase = c.total

@@ -113,6 +113,8 @@ func (e *Evaluator) grow(n int) {
 // EvaluateInto computes the co-run equilibrium and stores the result for
 // apps[i] in dst[i] (positional, unlike the Model's ID-keyed maps). dst
 // is grown if needed and returned.
+//
+//lfoc:hotpath
 func (e *Evaluator) EvaluateInto(dst []Result, apps []App) []Result {
 	dst = growResults(dst, len(apps))
 	e.evaluate(dst, apps, nil)
@@ -121,6 +123,8 @@ func (e *Evaluator) EvaluateInto(dst []Result, apps []App) []Result {
 
 // EvaluateAtScaleInto is EvaluateInto under a frozen memory-latency
 // inflation factor (the solver's decomposable scoring mode).
+//
+//lfoc:hotpath
 func (e *Evaluator) EvaluateAtScaleInto(dst []Result, apps []App, memScale float64) []Result {
 	if memScale < 1 {
 		memScale = 1
@@ -146,6 +150,8 @@ func growResults(dst []Result, n int) []Result {
 // evaluate is the core fixed point; when fixedScale is non-nil the
 // bandwidth loop is skipped and *fixedScale is used throughout. It
 // returns the final inflation factor.
+//
+//lfoc:hotpath
 func (e *Evaluator) evaluate(dst []Result, apps []App, fixedScale *float64) float64 {
 	m := e.model
 	cacheIters := m.CacheIters
@@ -209,11 +215,14 @@ func (e *Evaluator) evaluate(dst []Result, apps []App, fixedScale *float64) floa
 // sharingGroups partitions app indices into connected components of mask
 // overlap, flattened into e.members with per-group offsets in e.groupOff.
 // Group and member order match cat.SharingGroups (ascending first-seen).
+//
+//lfoc:hotpath
 func (e *Evaluator) sharingGroups(n int) int {
 	parent := e.parent
 	for i := 0; i < n; i++ {
 		parent[i] = i
 	}
+	//lfoc:ok hotpathalloc: non-escaping closure over a reused scratch slice; TestEvaluatorSteadyStateAllocFree pins 0 allocs/op
 	find := func(x int) int {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
@@ -262,6 +271,8 @@ func (e *Evaluator) sharingGroups(n int) int {
 
 // groupShares computes the capacity split inside one sharing group,
 // writing into e.shares.
+//
+//lfoc:hotpath
 func (e *Evaluator) groupShares(group []int, memScale float64, iters int, damping float64) {
 	plat := e.model.Plat
 	var union cat.WayMask
@@ -308,6 +319,8 @@ func (e *Evaluator) groupShares(group []int, memScale float64, iters int, dampin
 // each recipient at caps[i] (but never below floor) and redistributing
 // capped excess among the rest. out and active are caller-provided
 // scratch of len(pressure).
+//
+//lfoc:hotpath
 func waterfillInto(out []float64, active []bool, capacity float64, pressure, caps []float64, floor float64) {
 	n := len(pressure)
 	for i := range out {

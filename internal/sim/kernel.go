@@ -1,3 +1,9 @@
+// This file holds the event-horizon carry chains whose float
+// trajectories must be bit-identical across architectures; floatpin
+// (cmd/lfoc-vet) checks every multiply-add here for an explicit
+// float64(...) rounding pin. See docs/static-analysis.md.
+//
+//lfoc:floatstrict
 package sim
 
 import (
@@ -605,6 +611,8 @@ func (k *kernel) runUntil(until float64) error {
 // FMA on platforms where it otherwise could (arm64): both advancement
 // paths — and the goldens — stay identical across architectures, and
 // the batched path may hoist the products out of its inner loop.
+//
+//lfoc:hotpath
 func (k *kernel) advanceTick() (bool, error) {
 	k.simTime += k.dt
 	anyChange := false
@@ -738,6 +746,8 @@ type carryParams struct {
 // ok is false for steps outside (a)/(b) — less than one unit per tick,
 // at a binade edge, or absurdly large — which fall back to legacy
 // float ticks.
+//
+//lfoc:hotpath
 func carryGrid(step float64) carryParams {
 	if !(step >= 1) || step >= 1<<52 {
 		return carryParams{}
@@ -760,6 +770,8 @@ func carryGrid(step float64) carryParams {
 // exact in 128-bit integer arithmetic (carryGrid's grid argument). ok
 // is false only when the wrap count would overflow the shift; the
 // caller then runs legacy float ticks.
+//
+//lfoc:hotpath
 func carryRun(frac *float64, g *carryParams, m int) (sum uint64, ok bool) {
 	hi, lo := bits.Mul64(g.sfrac, uint64(m))
 	var c uint64
@@ -777,6 +789,8 @@ func carryRun(frac *float64, g *carryParams, m int) (sum uint64, ok bool) {
 // the remaining ticks in closed form when the step allows it and tick
 // by tick otherwise. A zero step is skipped outright: adding +0.0 to a
 // non-negative carry and flooring is a bitwise no-op.
+//
+//lfoc:hotpath
 func carryBatch(frac *float64, step float64, g *carryParams, ticks int) uint64 {
 	if step == 0 {
 		return 0
@@ -808,6 +822,8 @@ func carryBatch(frac *float64, step float64, g *carryParams, ticks int) uint64 {
 // value every tick is bit-identical to the legacy recomputation), their
 // integer carry grids, and the reciprocal rate horizonTicks multiplies
 // by (its 1-ulp rounding is absorbed by horizonSlack).
+//
+//lfoc:hotpath
 func (k *kernel) refreshSteps(a *kernelApp) {
 	ips := a.perf.IPC * k.freq
 	a.insnStep = float64(ips * k.dt)
@@ -837,6 +853,8 @@ func (k *kernel) refreshSteps(a *kernelApp) {
 // It is also where stale per-app advancement state is rederived: it
 // runs once per batch, after the loop top has refreshed the equilibrium
 // and before any chain advances.
+//
+//lfoc:hotpath
 func (k *kernel) horizonTicks() int {
 	n := maxBatchTicks
 	for _, a := range k.actives {
@@ -904,6 +922,8 @@ func (k *kernel) horizonTicks() int {
 // its state is frozen. Calling refreshPerf/refreshSteps here is safe
 // between runUntil calls — both are idempotent rederivations the next
 // loop top would perform with identical inputs.
+//
+//lfoc:hotpath
 func (k *kernel) nextEventTime() float64 {
 	if k.scn.Done(k.progress()) {
 		return math.Inf(1)
@@ -923,8 +943,8 @@ func (k *kernel) nextEventTime() float64 {
 			k.refreshPerf()
 		}
 		n := k.horizonTicks()
-		hins := k.simTime + float64(n-1)*k.dt
-		hins -= hins * 1e-9
+		hins := k.simTime + float64(float64(n-1)*k.dt)
+		hins -= float64(hins * 1e-9)
 		if hins < h {
 			h = hins
 		}
@@ -947,6 +967,8 @@ func (k *kernel) nextEventTime() float64 {
 // and issued as one batched pmc add per app per horizon — exact because
 // integer sums are associative and occupancy adopts the latest reading
 // (pinned in internal/pmc).
+//
+//lfoc:hotpath
 func (k *kernel) advanceHorizon(until, maxTime float64) (bool, error) {
 	n := k.horizonTicks()
 	// Time-driven events: stop at the first tick that reaches one. The
@@ -1057,6 +1079,8 @@ func (k *kernel) advanceHorizon(until, maxTime float64) (bool, error) {
 // is loop-invariant (cached by refreshSteps in the legacy expression
 // shape): re-adding the identical value every tick is bit-identical to
 // the legacy recomputation.
+//
+//lfoc:hotpath
 func (k *kernel) advanceInsnsChain(a *kernelApp, ph *appmodel.PhaseSpec, maxTicks int) (int, uint64) {
 	insnStep := a.insnStep
 	if !(insnStep > 0) {
