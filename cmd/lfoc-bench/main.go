@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/faircache/lfoc/internal/atomicfile"
 	"github.com/faircache/lfoc/internal/harness"
 	"github.com/faircache/lfoc/internal/profiling"
 )
@@ -56,7 +57,9 @@ func writeTable2JSON(path string, d harness.Table2Data, scale uint64, iters int)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	// Atomic (temp+rename): an interrupted benchmark run can never leave
+	// a truncated baseline behind for benchdiff to choke on.
+	return atomicfile.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func main() {
@@ -204,7 +207,9 @@ func writeSimJSON(path string, d harness.SimBenchData, scale uint64, iters int) 
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	// Atomic (temp+rename): an interrupted benchmark run can never leave
+	// a truncated baseline behind for benchdiff to choke on.
+	return atomicfile.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // profileCleanup finishes any in-flight profiles before a non-zero

@@ -87,6 +87,22 @@
 // partitioning policy (over a cluster with -machines) — the spec-file
 // counterpart of -sweep.
 //
+// -checkpoint <path> makes a cluster run crash-safe: the run's full
+// coordinate (per-machine kernel state, placement state, lifecycle
+// timeline position) is written atomically to the file — every
+// -checkpoint-every simulated seconds, and once more when the run is
+// interrupted. -resume <path> restarts from such a file under the
+// identical flags and completes to the result the uninterrupted run
+// would have produced, bit for bit (see docs/checkpoint-resume.md).
+// -stop-after <s> stops a cluster run at a simulated time, emitting the
+// partial result with "interrupted": true — combined with -checkpoint
+// it splits a long run into resumable legs. SIGINT/SIGTERM interrupt a
+// cluster run the same way: the run pauses at the next arrival
+// boundary, writes the final checkpoint, emits the partial result, and
+// exits 130 (a second signal kills immediately). Each of these flags
+// implies cluster mode; none is compatible with -sweep/-spec-sweep or
+// -shards.
+//
 // -cpuprofile/-memprofile write pprof profiles of the run, so perf
 // investigations start from a profile instead of a guess.
 //
@@ -100,9 +116,13 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
+	"github.com/faircache/lfoc/internal/atomicfile"
 	"github.com/faircache/lfoc/internal/cluster"
 	"github.com/faircache/lfoc/internal/harness"
 	"github.com/faircache/lfoc/internal/profiles"
@@ -179,6 +199,18 @@ type specSweepJSON struct {
 type chaosSweepJSON struct {
 	Scale uint64                   `json:"scale"`
 	Grids []harness.ChaosSweepData `json:"grids"`
+}
+
+// checkpointFlags bundles the crash-safety flags of a cluster run.
+type checkpointFlags struct {
+	path      string  // -checkpoint
+	every     float64 // -checkpoint-every
+	resume    string  // -resume
+	stopAfter float64 // -stop-after
+}
+
+func (c checkpointFlags) active() bool {
+	return c.path != "" || c.resume != "" || c.stopAfter > 0
 }
 
 // lifecycleConfig bundles the parsed lifecycle flags.
@@ -258,6 +290,10 @@ func main() {
 		maxRetries    = flag.Int("max-retries", 0, "failure retry budget per application (0 = default 3)")
 		retryBackoff  = flag.Float64("retry-backoff", 0, "base failure-retry backoff, simulated seconds (0 = default 0.25)")
 		migrationCost = flag.Float64("migration-cost", 0, "modeled live-migration cost, simulated seconds (negative disables drain migration)")
+		checkpoint    = flag.String("checkpoint", "", "write the run's resumable checkpoint to this file, atomically (periodic with -checkpoint-every, always on interruption; implies cluster mode)")
+		ckptEvery     = flag.Float64("checkpoint-every", 0, "simulated seconds between periodic checkpoints (0 = only on interruption; needs -checkpoint)")
+		resume        = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint, under the identical flags (implies cluster mode)")
+		stopAfter     = flag.Float64("stop-after", 0, "stop the run at this simulated time and emit the partial result (0 = run to completion; implies cluster mode)")
 		jsonOut       = flag.String("json", "", "write the machine-readable result to this file")
 		cpuProf       = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf       = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -299,8 +335,24 @@ func main() {
 	if *recordTrace != "" && sources == 0 {
 		fail(fmt.Errorf("-record-trace needs an open-system arrival source (-arrivals or -workload-spec)"))
 	}
+	ckf := checkpointFlags{path: *checkpoint, every: *ckptEvery, resume: *resume, stopAfter: *stopAfter}
+	if ckf.every < 0 {
+		fail(fmt.Errorf("-checkpoint-every must be nonnegative, got %v", ckf.every))
+	}
+	if ckf.stopAfter < 0 {
+		fail(fmt.Errorf("-stop-after must be nonnegative, got %v", ckf.stopAfter))
+	}
+	if ckf.every > 0 && ckf.path == "" {
+		fail(fmt.Errorf("-checkpoint-every needs -checkpoint"))
+	}
+	if ckf.active() && (*sweep != "" || *specSweep != "") {
+		fail(fmt.Errorf("-checkpoint/-resume/-stop-after apply to a single cluster run, not a sweep"))
+	}
+	if ckf.active() && *shards > 1 {
+		fail(fmt.Errorf("-checkpoint/-resume/-stop-after are incompatible with -shards (a sharded run has no single pause point)"))
+	}
 	clustered := *machines > 1 || *placement != "" || *mix != "" ||
-		*events != "" || *mtbf > 0 || *autoscale != "" || *shards > 1
+		*events != "" || *mtbf > 0 || *autoscale != "" || *shards > 1 || ckf.active()
 	if *placement == "" {
 		*placement = "rr"
 	}
@@ -470,7 +522,7 @@ func main() {
 			writeJSON(*jsonOut, sweepJSON{Scale: cfg.Scale, ChurnData: d})
 		}
 	case clustered:
-		runCluster(cfg, w, *polName, *placement, fleetSize, *mix, scn, scnSeed, *jsonOut, lifecycle, *shards, *recordAssign)
+		runCluster(cfg, w, *polName, *placement, fleetSize, *mix, scn, scnSeed, *jsonOut, lifecycle, *shards, *recordAssign, ckf)
 	case scn != nil:
 		runOpen(cfg, w, *polName, scn, scnSeed, *jsonOut)
 	default:
@@ -582,11 +634,40 @@ func runOpen(cfg harness.Config, w workloads.Workload, polName string, scn *scen
 	writeJSON(jsonOut, openJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, OpenResult: res})
 }
 
-func runCluster(cfg harness.Config, w workloads.Workload, polName, placement string, machines int, mix string, scn *scenario.Open, seed int64, jsonOut string, lc lifecycleConfig, shards int, recordAssignments bool) {
+func runCluster(cfg harness.Config, w workloads.Workload, polName, placement string, machines int, mix string, scn *scenario.Open, seed int64, jsonOut string, lc lifecycleConfig, shards int, recordAssignments bool, ckf checkpointFlags) {
 	pl, err := cluster.NewPlacement(placement, cfg.Plat)
 	exitOn(err)
 	ccfg := cluster.Config{Sim: cfg.SimConfig(), Machines: machines, Placement: pl,
-		Shards: shards, RecordAssignments: recordAssignments}
+		Shards: shards, RecordAssignments: recordAssignments, StopAfter: ckf.stopAfter}
+	if ckf.path != "" {
+		ccfg.Checkpoint = &cluster.CheckpointConfig{Path: ckf.path, Every: ckf.every}
+	}
+	if ckf.resume != "" {
+		ck, err := cluster.ReadCheckpoint(ckf.resume)
+		exitOn(err)
+		ccfg.Resume = ck
+	}
+	// SIGINT/SIGTERM interrupt the run cooperatively: the fleet pauses at
+	// the next arrival boundary, the final checkpoint (if configured) is
+	// written, and the partial result is emitted. A second signal kills
+	// immediately. Sharded runs have no single pause point and keep the
+	// default signal disposition.
+	var signaled atomic.Bool
+	if shards <= 1 {
+		cancel := &sim.CancelFlag{}
+		ccfg.Cancel = cancel
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		go func() {
+			<-sigc
+			signaled.Store(true)
+			fmt.Fprintln(os.Stderr, "lfoc-sim: interrupt — pausing at the next arrival boundary (send again to kill)")
+			cancel.Cancel()
+			<-sigc
+			os.Exit(130)
+		}()
+	}
 	if mix != "" {
 		ccfg.Fleet, err = cluster.ParseMachineMix(mix, ccfg.Sim)
 		exitOn(err)
@@ -660,8 +741,26 @@ func runCluster(cfg harness.Config, w workloads.Workload, polName, placement str
 		}
 	}
 
+	if res.Interrupted {
+		fmt.Printf("\ninterrupted at %.1fs simulated", res.SimSeconds)
+		if ckf.path != "" {
+			fmt.Printf("; resume with -resume %s", ckf.path)
+		}
+		fmt.Println()
+	}
+
 	writeJSON(jsonOut, clusterJSON{Workload: w.Name, Policy: polName, Scale: cfg.Scale, Seed: seed, Mix: mix,
 		Events: lc.events, MTBF: lc.mtbf, Result: res})
+
+	// A signal-interrupted run exits like an interrupted shell command
+	// (130), after the partial result and checkpoint are safely out. An
+	// explicit -stop-after boundary is a normal, successful exit.
+	if res.Interrupted && signaled.Load() {
+		if profileCleanup != nil {
+			profileCleanup()
+		}
+		os.Exit(130)
+	}
 }
 
 func writeJSON(path string, v any) {
@@ -670,7 +769,9 @@ func writeJSON(path string, v any) {
 	}
 	buf, err := json.MarshalIndent(v, "", "  ")
 	exitOn(err)
-	exitOn(os.WriteFile(path, append(buf, '\n'), 0o644))
+	// Atomic (temp+rename): an interrupt or crash mid-write can never
+	// leave a truncated result file behind.
+	exitOn(atomicfile.WriteFile(path, append(buf, '\n'), 0o644))
 	fmt.Fprintln(os.Stderr, "lfoc-sim: wrote", path)
 }
 

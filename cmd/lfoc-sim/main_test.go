@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/faircache/lfoc/internal/cluster"
+)
+
+// The end-to-end crash-safety contract: SIGINT a running cluster run,
+// and the process exits 130 after emitting a partial JSON result marked
+// "interrupted": true and a valid, resumable checkpoint; resuming that
+// checkpoint completes cleanly.
+func TestInterruptWritesCheckpointAndPartialResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a child process")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "lfoc-sim")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	ckpt := filepath.Join(dir, "run.ckpt")
+	jsonOut := filepath.Join(dir, "run.json")
+	args := []string{
+		"-workload", "S3", "-arrivals", "poisson:2", "-duration", "20000", "-seed", "7",
+		"-machines", "3", "-placement", "least", "-policy", "stock",
+		"-checkpoint", ckpt, "-checkpoint-every", "5", "-json", jsonOut,
+	}
+	cmd := exec.Command(bin, args...)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Interrupt once the first periodic checkpoint proves the run is
+	// well underway.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared within 60s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("interrupted run exited %v, want exit code 130", err)
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("interrupted run exited %d, want 130", code)
+	}
+
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatalf("interrupted run wrote no JSON result: %v", err)
+	}
+	var res struct {
+		Interrupted bool `json:"interrupted"`
+		Departed    int  `json:"departed"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("partial result is not valid JSON: %v", err)
+	}
+	if !res.Interrupted {
+		t.Error(`partial result lacks "interrupted": true`)
+	}
+
+	ck, err := cluster.ReadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("interrupted run left no valid checkpoint: %v", err)
+	}
+	if ck.NextArrival() <= 0 {
+		t.Errorf("checkpoint at arrival %d, want progress before the interrupt", ck.NextArrival())
+	}
+
+	// The checkpoint must actually resume: same run flags plus -resume,
+	// with a near -stop-after boundary so the test stays fast.
+	resume := exec.Command(bin,
+		"-workload", "S3", "-arrivals", "poisson:2", "-duration", "20000", "-seed", "7",
+		"-machines", "3", "-placement", "least", "-policy", "stock",
+		"-resume", ckpt, "-stop-after", "1",
+		"-json", filepath.Join(dir, "resumed.json"))
+	if out, err := resume.CombinedOutput(); err != nil {
+		t.Fatalf("resume failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,112 @@
+// Native fuzz targets for every text format the CLIs parse from user
+// input: workload specs (YAML and JSON), arrival traces, fleet event
+// schedules and machine-mix strings. The contract under fuzzing is
+// uniform — a parser either succeeds or returns an error; it never
+// panics — and successful parses must satisfy the format's own
+// invariants (a reparse of a successful parse cannot fail). Seed
+// corpora come from the shipped example specs and the flag syntax the
+// documentation advertises.
+//
+// CI runs these with a short -fuzztime as a smoke test; run them longer
+// locally with e.g.:
+//
+//	go test -fuzz=FuzzParseWorkloadSpec -fuzztime=60s .
+package lfoc_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	lfoc "github.com/faircache/lfoc"
+	"github.com/faircache/lfoc/internal/harness"
+	"github.com/faircache/lfoc/internal/workloads"
+)
+
+func FuzzParseWorkloadSpec(f *testing.F) {
+	for _, name := range []string{
+		"bursty-batch.yaml", "diurnal-bursty.yaml", "diurnal-web.yaml", "failure-under-load.yaml",
+	} {
+		data, err := os.ReadFile(filepath.Join("examples", "specs", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data, true)
+	}
+	f.Add([]byte(`{"spec_version":1,"name":"j","seed":1,"duration_seconds":1,"cohorts":[]}`), false)
+	f.Fuzz(func(t *testing.T, data []byte, yaml bool) {
+		ext := ".json"
+		if yaml {
+			ext = ".yaml"
+		}
+		spec, err := lfoc.ParseWorkloadSpec(data, ext)
+		if err != nil {
+			return
+		}
+		if spec == nil {
+			t.Fatal("nil spec with nil error")
+		}
+	})
+}
+
+func FuzzReadArrivalTrace(f *testing.F) {
+	f.Add([]byte("lfoc-trace v1\nname seeded\nscale 50\narrivals 1\n0.5 lbm06 1\n"))
+	f.Add([]byte("lfoc-trace v1\n# comment\nname x\nscale 1\narrivals 0\n"))
+	f.Add([]byte("lfoc-trace v2\nname future\nscale 1\narrivals 0\n"))
+	f.Add([]byte("not a trace"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := workloads.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful parse must round-trip through the writer and
+		// reparse — the format's own invariant.
+		var buf bytes.Buffer
+		if err := workloads.WriteTrace(&buf, tr); err != nil {
+			t.Fatalf("reserialize accepted trace: %v", err)
+		}
+		if _, err := workloads.ReadTrace(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("reparse written trace: %v", err)
+		}
+	})
+}
+
+func FuzzParseFleetEvents(f *testing.F) {
+	f.Add("drain:t=5,m=1;fail:t=7,m=0;join:t=9")
+	f.Add("join:t=0.5")
+	f.Add("fail:t=1.5,m=2")
+	f.Add("")
+	f.Add("drain:t=;fail")
+	f.Fuzz(func(t *testing.T, s string) {
+		evs, err := lfoc.ParseFleetEvents(s)
+		if err != nil {
+			return
+		}
+		for _, ev := range evs {
+			if ev.Time < 0 {
+				t.Fatalf("accepted event with negative time: %+v", ev)
+			}
+		}
+	})
+}
+
+func FuzzParseMachineMix(f *testing.F) {
+	f.Add("2x11way,2x7way")
+	f.Add("1x4way2c")
+	f.Add("3x20way16c,1x11way")
+	f.Add("")
+	f.Add("0x0way")
+	f.Fuzz(func(t *testing.T, s string) {
+		base := harness.DefaultConfig().SimConfig()
+		fleet, err := lfoc.ParseMachineMix(s, base)
+		if err != nil {
+			return
+		}
+		for i, mc := range fleet {
+			if mc.Plat == nil || mc.Plat.Ways <= 0 || mc.Plat.Cores <= 0 {
+				t.Fatalf("accepted machine %d with invalid platform", i)
+			}
+		}
+	})
+}

@@ -43,9 +43,11 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -105,6 +107,32 @@ type Config struct {
 	// shard places against its own sub-fleet only). Incompatible with
 	// Lifecycle.
 	Shards int
+
+	// Checkpoint, when set, writes the run's coordinate to
+	// Checkpoint.Path — periodically (Checkpoint.Every simulated
+	// seconds) and once more when the run is interrupted. Requires a
+	// placement policy implementing PlacementSnapshotter and per-machine
+	// partitioning policies implementing sim.PolicySnapshotter; both are
+	// validated up-front with a typed *sim.SnapshotUnsupportedError.
+	// Incompatible with Shards and with lifecycle events carrying
+	// per-event join configs.
+	Checkpoint *CheckpointConfig
+	// Resume, when set, restores the run from a decoded checkpoint (see
+	// ReadCheckpoint) instead of starting fresh. The scenario, fleet
+	// configuration and policies must be the ones the checkpoint was
+	// taken under (names are cross-checked; platform parameters are code,
+	// not checkpoint data). A resumed run's Result is bit-identical —
+	// reflect.DeepEqual — to the never-interrupted run's.
+	Resume *Checkpoint
+	// StopAfter, when positive, pauses the run at the first
+	// synchronization instant at or past this simulated time: the run
+	// returns a partial Result with Interrupted set (writing a final
+	// checkpoint when Checkpoint is configured) instead of draining.
+	StopAfter float64
+	// Cancel, when set, is polled cooperatively: machines pause at their
+	// next tick boundary and the run returns a partial, resumable Result
+	// with Interrupted set, exactly as StopAfter does.
+	Cancel *sim.CancelFlag
 
 	// Testing knobs (internal tests only). eagerAdvance restores the
 	// legacy every-machine-every-arrival advancement loop — the
@@ -251,6 +279,10 @@ type Result struct {
 	// when the run had none (keeping lifecycle-free JSON byte-identical
 	// to earlier releases).
 	Lifecycle *LifecycleSummary `json:"lifecycle,omitempty"`
+	// Interrupted marks a partial result: the run paused (cancellation
+	// or StopAfter) before the trace drained. Machines report their
+	// state as of the pause; a checkpoint, if configured, resumes it.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // Run executes an open scenario over a cluster. newPolicy constructs
@@ -277,32 +309,133 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 	if len(initial) == 0 && len(arrivals) == 0 {
 		return nil, fmt.Errorf("cluster: open scenario %q has no applications", scn.Name())
 	}
+	ckptActive := cfg.Checkpoint != nil || cfg.Resume != nil
+	if cfg.Checkpoint != nil {
+		if cfg.Checkpoint.Path == "" {
+			return nil, fmt.Errorf("cluster: checkpoint configuration without a path")
+		}
+		if cfg.Checkpoint.Every < 0 {
+			return nil, fmt.Errorf("cluster: negative checkpoint interval %g", cfg.Checkpoint.Every)
+		}
+	}
 	if cfg.Shards > 1 {
+		if ckptActive || cfg.StopAfter > 0 || cfg.Cancel != nil {
+			return nil, fmt.Errorf("cluster: sharded runs support neither checkpointing nor cooperative interruption")
+		}
 		return runSharded(cfg, scn, sims, newPolicy)
 	}
-
-	states := make([]MachineState, nMachines)
-	for i := range states {
-		states[i] = MachineState{Index: i, Cores: sims[i].Plat.Cores, Plat: sims[i].Plat}
-	}
-	perMachineInitial, err := placeInitial(cfg.Placement, initial, states)
-	if err != nil {
-		return nil, err
-	}
-
-	machines := make([]*sim.OpenMachine, nMachines)
-	placed := make([]int, nMachines)
-	for i := range machines {
-		pol, err := newPolicy(i)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: machine %d policy: %w", i, err)
+	if ckptActive {
+		// Reject non-snapshottable configurations up-front, before any
+		// machine simulates: a run that cannot write its first checkpoint
+		// should fail at construction, not an hour in.
+		if _, ok := cfg.Placement.(PlacementSnapshotter); !ok {
+			return nil, &sim.SnapshotUnsupportedError{What: fmt.Sprintf("placement policy %T", cfg.Placement)}
 		}
-		m, err := sim.NewOpenMachine(sims[i], pol, scn.Name(), perMachineInitial[i], scn.Horizon())
-		if err != nil {
-			return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
+		if cfg.Lifecycle.active() {
+			for i, ev := range cfg.Lifecycle.Events {
+				if ev.Config != nil {
+					return nil, fmt.Errorf("cluster: checkpointing cannot serialize the per-event join config of lifecycle event %d", i)
+				}
+			}
 		}
-		machines[i] = m
-		placed[i] = len(perMachineInitial[i])
+	}
+	// Machines poll the shared flag at tick boundaries, so cancellation
+	// pauses mid-advance without losing the coordinate.
+	for i := range sims {
+		sims[i].Cancel = cfg.Cancel
+	}
+
+	var resume *checkpointPayload
+	if cfg.Resume != nil {
+		resume = &cfg.Resume.payload
+	}
+	startArrival := 0
+	var machines []*sim.OpenMachine
+	var placed []int
+	var states []MachineState
+	if resume != nil {
+		if resume.Scenario != scn.Name() {
+			return nil, fmt.Errorf("cluster: checkpoint is of scenario %q, resuming %q", resume.Scenario, scn.Name())
+		}
+		if resume.Placement != cfg.Placement.Name() {
+			return nil, fmt.Errorf("cluster: checkpoint used placement %q, resuming with %q", resume.Placement, cfg.Placement.Name())
+		}
+		if resume.NextArrival > len(arrivals) {
+			return nil, fmt.Errorf("cluster: checkpoint processed %d arrivals, trace has %d — resume must use the original trace",
+				resume.NextArrival, len(arrivals))
+		}
+		lcActive := cfg.Lifecycle.active()
+		if (resume.Lifecycle != nil) != lcActive {
+			return nil, fmt.Errorf("cluster: checkpoint and resume disagree on the lifecycle layer — resume must use the original config")
+		}
+		n := len(resume.Machines)
+		if n < nMachines || (!lcActive && n != nMachines) {
+			return nil, fmt.Errorf("cluster: checkpoint holds %d machines, config says %d", n, nMachines)
+		}
+		machines = make([]*sim.OpenMachine, n)
+		placed = append([]int(nil), resume.Placed...)
+		for i := range machines {
+			mc := sims[0]
+			var pol sim.Dynamic
+			if i < nMachines {
+				mc = sims[i]
+				pol, err = newPolicy(i)
+			} else {
+				// Machines beyond the initial fleet joined mid-run; they
+				// run machine 0's configuration (checkpointing rejects
+				// per-event join configs) under a JoinPolicy-built policy.
+				if cfg.Lifecycle.JoinPolicy == nil {
+					return nil, fmt.Errorf("cluster: checkpoint holds joined machine %d but Lifecycle.JoinPolicy is nil", i)
+				}
+				pol, err = cfg.Lifecycle.JoinPolicy(i, mc)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("cluster: machine %d policy: %w", i, err)
+			}
+			m, err := sim.RestoreMachine(mc, pol, resume.Machines[i])
+			if err != nil {
+				return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
+			}
+			machines[i] = m
+		}
+		if err := cfg.Placement.(PlacementSnapshotter).PlacementRestore(resume.PlacementState); err != nil {
+			return nil, err
+		}
+		startArrival = resume.NextArrival
+		// Placement-visible states refresh at the first synchronization
+		// (the restored fleet queue makes every machine due immediately).
+		states = make([]MachineState, n)
+		for i := range states {
+			states[i] = MachineState{Index: i, Cores: machines[i].Cores(), Plat: machines[i].Platform()}
+		}
+	} else {
+		states = make([]MachineState, nMachines)
+		for i := range states {
+			states[i] = MachineState{Index: i, Cores: sims[i].Plat.Cores, Plat: sims[i].Plat}
+		}
+		perMachineInitial, err := placeInitial(cfg.Placement, initial, states)
+		if err != nil {
+			return nil, err
+		}
+		machines = make([]*sim.OpenMachine, nMachines)
+		placed = make([]int, nMachines)
+		for i := range machines {
+			pol, err := newPolicy(i)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: machine %d policy: %w", i, err)
+			}
+			if ckptActive {
+				if _, ok := pol.(sim.PolicySnapshotter); !ok {
+					return nil, &sim.SnapshotUnsupportedError{What: fmt.Sprintf("partitioning policy %T", pol)}
+				}
+			}
+			m, err := sim.NewOpenMachine(sims[i], pol, scn.Name(), perMachineInitial[i], scn.Horizon())
+			if err != nil {
+				return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
+			}
+			machines[i] = m
+			placed[i] = len(perMachineInitial[i])
+		}
 	}
 
 	pool := newFleetPool(machines, states, cfg.Workers)
@@ -315,7 +448,7 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 	// path the differential tests compare against.
 	var q *fleetQueue
 	if !cfg.eagerAdvance {
-		q = newFleetQueue(nMachines)
+		q = newFleetQueue(len(machines))
 		pool.horizons = q.horizon
 	}
 
@@ -328,21 +461,63 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 			return nil, err
 		}
 		eng.q = q
+		eng.cancel = cfg.Cancel
+		eng.stopAfter = cfg.StopAfter
+		eng.ai = startArrival
+		if cfg.Checkpoint != nil {
+			eng.ckptEvery = cfg.Checkpoint.Every
+			eng.save = func() error {
+				p, err := captureCheckpoint(&cfg, scn.Name(), pool, eng.ai, eng.placed, eng.assignments, eng)
+				if err != nil {
+					return err
+				}
+				return writeCheckpointPayload(cfg.Checkpoint.Path, p)
+			}
+		}
 		if err := eng.schedule(arrivals); err != nil {
 			return nil, err
+		}
+		if resume != nil {
+			if err := eng.restore(resume.Lifecycle); err != nil {
+				return nil, err
+			}
+			if eng.assignments != nil && len(resume.Assignments) == len(eng.assignments) {
+				copy(eng.assignments, resume.Assignments)
+			}
 		}
 		if err := eng.run(arrivals); err != nil {
 			return nil, err
 		}
-		if q != nil {
-			if err := pool.alignClocks(eng.lastSync); err != nil {
+		interrupted := eng.interrupted
+		if !interrupted {
+			if q != nil {
+				if err := pool.alignClocks(eng.lastSync); err != nil {
+					if !errors.Is(err, sim.ErrCanceled) {
+						return nil, err
+					}
+					interrupted = true
+				}
+			}
+		}
+		if !interrupted {
+			if err := pool.drain(); err != nil {
+				if !errors.Is(err, sim.ErrCanceled) {
+					return nil, err
+				}
+				interrupted = true
+			}
+		}
+		if interrupted && eng.save != nil {
+			if err := eng.save(); err != nil {
 				return nil, err
 			}
 		}
-		if err := pool.drain(); err != nil {
+		res, err := buildResult(cfg, scn, pool.machines, eng.placed, eng.assignments, eng)
+		if err != nil {
 			return nil, err
 		}
-		return buildResult(cfg, scn, pool.machines, eng.placed, eng.assignments, eng)
+		res.Interrupted = interrupted
+		return res, nil
 	}
 
 	// Main loop: catch up the machines whose event horizon has passed
@@ -353,15 +528,53 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 	// sees exactly the eager fleet view.
 	var assignments []int
 	if cfg.RecordAssignments {
-		assignments = make([]int, 0, len(arrivals))
+		if resume != nil && len(resume.Assignments) > 0 {
+			assignments = append([]int(nil), resume.Assignments...)
+		} else {
+			assignments = make([]int, 0, len(arrivals))
+		}
 	}
-	for _, arr := range arrivals {
+	saveCkpt := func(nextArrival int) error {
+		p, err := captureCheckpoint(&cfg, scn.Name(), pool, nextArrival, placed, assignments, nil)
+		if err != nil {
+			return err
+		}
+		return writeCheckpointPayload(cfg.Checkpoint.Path, p)
+	}
+	lastCkpt := 0.0
+	if startArrival > 0 {
+		lastCkpt = arrivals[startArrival-1].Time
+	}
+	interrupted := false
+	ai := startArrival
+	for ; ai < len(arrivals); ai++ {
+		arr := arrivals[ai]
+		// The loop top — before anything at this instant is processed —
+		// is the checkpointable coordinate: pause checks and periodic
+		// checkpoints both live here.
+		if cfg.Cancel.Canceled() || (cfg.StopAfter > 0 && arr.Time >= cfg.StopAfter) {
+			interrupted = true
+			break
+		}
+		if cfg.Checkpoint != nil && cfg.Checkpoint.Every > 0 && arr.Time >= lastCkpt+cfg.Checkpoint.Every {
+			if err := saveCkpt(ai); err != nil {
+				return nil, err
+			}
+			lastCkpt = arr.Time
+		}
 		if q != nil {
 			err = pool.advanceDue(q, arr.Time)
 		} else {
 			err = pool.advanceTo(arr.Time)
 		}
 		if err != nil {
+			if errors.Is(err, sim.ErrCanceled) {
+				// Machines paused at tick boundaries mid-advance; the
+				// arrival-loop coordinate has not moved, so the resumed
+				// run re-issues this advance and catches them up.
+				interrupted = true
+				break
+			}
 			return nil, err
 		}
 		idx := cfg.Placement.Place(arr.Spec, arr.Time, states)
@@ -386,16 +599,33 @@ func Run(cfg Config, scn *scenario.Open, newPolicy func(machine int) (sim.Dynami
 	// Drain through the same pool: machines are fully independent past
 	// placement. The lazy path first aligns every clock to the last
 	// synchronization instant, where the eager barrier left them.
-	if q != nil && len(arrivals) > 0 {
+	if !interrupted && q != nil && len(arrivals) > 0 {
 		if err := pool.alignClocks(arrivals[len(arrivals)-1].Time); err != nil {
+			if !errors.Is(err, sim.ErrCanceled) {
+				return nil, err
+			}
+			interrupted = true
+		}
+	}
+	if !interrupted {
+		if err := pool.drain(); err != nil {
+			if !errors.Is(err, sim.ErrCanceled) {
+				return nil, err
+			}
+			interrupted = true
+		}
+	}
+	if interrupted && cfg.Checkpoint != nil {
+		if err := saveCkpt(ai); err != nil {
 			return nil, err
 		}
 	}
-	if err := pool.drain(); err != nil {
+	res, err := buildResult(cfg, scn, machines, placed, assignments, nil)
+	if err != nil {
 		return nil, err
 	}
-
-	return buildResult(cfg, scn, machines, placed, assignments, nil)
+	res.Interrupted = interrupted
+	return res, nil
 }
 
 // placeInitial routes the time-zero applications: each is placed against
@@ -496,7 +726,18 @@ func newFleetPool(machines []*sim.OpenMachine, states []MachineState, workers in
 // between batches (lifecycle events are placement-layer work), and the
 // pool's channel handoff orders them before any later job, so the check
 // is race-free at every worker count.
+//
+// A panic inside the job — a kernel or policy bug — is confined to the
+// job's machine: it is recovered into a typed *RunPanicError in the
+// job's error slot and run returns normally, so the worker loop still
+// reaches batch.Done() and the pool unwinds without deadlock. The run
+// then fails with that error through the ordinary dispatch path.
 func (p *fleetPool) run(j fleetJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.errs[j.idx] = &RunPanicError{Machine: j.idx, Value: r, Stack: debug.Stack()}
+		}
+	}()
 	m := p.machines[j.idx]
 	if m.Halted() {
 		if p.horizons != nil {
@@ -559,10 +800,53 @@ func (p *fleetPool) dispatch(mk func(i int) fleetJob) error {
 		}
 		p.batch.Wait()
 	}
-	for i, err := range p.errs {
-		if err != nil {
-			return fmt.Errorf("cluster: machine %d: %w", i, err)
+	return p.batchErr(nil)
+}
+
+// batchErr reports a batch's authoritative error: the lowest-indexed
+// machine failure, or the bare sim.ErrCanceled when the only errors are
+// cancellation pauses. Canceled slots are cleared — cancellation is a
+// pause, not a machine failure, and a stale sentinel must not poison a
+// later batch. due limits the scan to the batch's machine indices (nil
+// scans the whole fleet).
+func (p *fleetPool) batchErr(due []int) error {
+	canceled := false
+	scan := func(i int) error {
+		err := p.errs[i]
+		if err == nil {
+			return nil
 		}
+		if errors.Is(err, sim.ErrCanceled) {
+			p.errs[i] = nil
+			canceled = true
+			return nil
+		}
+		return fmt.Errorf("cluster: machine %d: %w", i, err)
+	}
+	if due == nil {
+		for i := range p.errs {
+			if err := scan(i); err != nil {
+				return err
+			}
+		}
+	} else {
+		bad := -1
+		for _, i := range due {
+			if p.errs[i] != nil && !errors.Is(p.errs[i], sim.ErrCanceled) && (bad < 0 || i < bad) {
+				bad = i
+			}
+		}
+		if bad >= 0 {
+			return fmt.Errorf("cluster: machine %d: %w", bad, p.errs[bad])
+		}
+		for _, i := range due {
+			if err := scan(i); err != nil {
+				return err
+			}
+		}
+	}
+	if canceled {
+		return sim.ErrCanceled
 	}
 	return nil
 }
@@ -597,17 +881,10 @@ func (p *fleetPool) advanceDue(q *fleetQueue, t float64) error {
 		}
 		p.batch.Wait()
 	}
-	bad := -1
 	for _, i := range due {
 		q.fix(i)
-		if p.errs[i] != nil && (bad < 0 || i < bad) {
-			bad = i
-		}
 	}
-	if bad >= 0 {
-		return fmt.Errorf("cluster: machine %d: %w", bad, p.errs[bad])
-	}
-	return nil
+	return p.batchErr(due)
 }
 
 // advanceOne forces one machine to time t regardless of its horizon — a
@@ -620,10 +897,7 @@ func (p *fleetPool) advanceOne(q *fleetQueue, idx int, t float64) error {
 	if q != nil {
 		q.fix(idx)
 	}
-	if err := p.errs[idx]; err != nil {
-		return fmt.Errorf("cluster: machine %d: %w", idx, err)
-	}
-	return nil
+	return p.batchErr([]int{idx})
 }
 
 // reportStats copies the advancement counters into sink (nil-safe) —

@@ -2,6 +2,25 @@ package cluster
 
 import "fmt"
 
+// RunPanicError reports a panic recovered inside a fleet-pool worker: a
+// machine kernel (or the policy it hosts) panicked while advancing. The
+// panic is confined to the offending machine's job — the worker pool
+// unwinds cleanly and the run fails with this error instead of crashing
+// the process — so callers can distinguish a modeling bug (errors.As)
+// from an ordinary simulation failure and still flush partial output.
+type RunPanicError struct {
+	// Machine is the index of the machine whose job panicked.
+	Machine int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *RunPanicError) Error() string {
+	return fmt.Sprintf("cluster: machine %d panicked: %v", e.Machine, e.Value)
+}
+
 // PlacementError reports an invalid machine choice by a placement or
 // migration policy: an index outside the fleet, or a machine that is
 // not eligible (down) at the decision instant. It is a typed error so

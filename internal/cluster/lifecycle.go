@@ -22,6 +22,7 @@ package cluster
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -260,6 +261,24 @@ type engine struct {
 	evq     eventQueue
 	seq     int
 	victims *rand.Rand
+	// ai is the next trace-arrival index — together with the heap, the
+	// engine's checkpoint coordinate. staticFired counts popped events
+	// that schedule() created (everything but retries); victimDraws is
+	// the victim RNG's Intn call history. See lifecyclesnap.go.
+	ai          int
+	staticFired int
+	victimDraws []int
+
+	// Cooperative interruption (all set by Run): cancel and stopAfter
+	// pause the run at the next loop top; save writes a periodic
+	// checkpoint (nil when the run has none configured) every ckptEvery
+	// simulated seconds; interrupted reports how run() ended.
+	cancel      *sim.CancelFlag
+	stopAfter   float64
+	ckptEvery   float64
+	lastCkpt    float64
+	save        func() error
+	interrupted bool
 
 	migration  MigrationPolicy
 	maxRetries int
@@ -373,29 +392,58 @@ func (e *engine) push(ev *timelineEvent) {
 // step the earlier of (next event, next arrival) is processed, events
 // first at equal times. With an empty timeline this degenerates to
 // exactly the historical per-arrival loop.
+//
+// The loop top is the engine's checkpoint pause point: the next event
+// is only peeked (not popped) before the fleet advances, so a
+// cancellation caught mid-advance leaves the heap — and the whole
+// engine coordinate — exactly as a checkpoint needs it. Event handling
+// itself runs with the cancel flag masked: a drain or join mutates
+// several machines out of band, and pausing halfway through would leave
+// a coordinate no snapshot describes.
 func (e *engine) run(arrivals []scenario.Arrival) error {
-	ai := 0
-	for ai < len(arrivals) || e.evq.Len() > 0 {
-		if e.evq.Len() > 0 && (ai >= len(arrivals) || e.evq[0].time <= arrivals[ai].Time) {
-			ev := heap.Pop(&e.evq).(*timelineEvent)
-			if err := e.advance(ev.time); err != nil {
+	for e.ai < len(arrivals) || e.evq.Len() > 0 {
+		evNext := e.evq.Len() > 0 && (e.ai >= len(arrivals) || e.evq[0].time <= arrivals[e.ai].Time)
+		var t float64
+		if evNext {
+			t = e.evq[0].time
+		} else {
+			t = arrivals[e.ai].Time
+		}
+		if e.cancel.Canceled() || (e.stopAfter > 0 && t >= e.stopAfter) {
+			e.interrupted = true
+			return nil
+		}
+		if e.save != nil && e.ckptEvery > 0 && t >= e.lastCkpt+e.ckptEvery {
+			if err := e.save(); err != nil {
 				return err
 			}
-			e.trk.advance(ev.time)
-			if err := e.handle(ev); err != nil {
+			e.lastCkpt = t
+		}
+		if err := e.advance(t); err != nil {
+			if errors.Is(err, sim.ErrCanceled) {
+				e.interrupted = true
+				return nil
+			}
+			return err
+		}
+		e.trk.advance(t)
+		if evNext {
+			ev := heap.Pop(&e.evq).(*timelineEvent)
+			if ev.kind != tlRetry {
+				e.staticFired++
+			}
+			e.cancel.Mask()
+			err := e.handle(ev)
+			e.cancel.Unmask()
+			if err != nil {
 				return err
 			}
 			continue
 		}
-		arr := arrivals[ai]
-		if err := e.advance(arr.Time); err != nil {
+		if err := e.place(arrivals[e.ai], e.ai); err != nil {
 			return err
 		}
-		e.trk.advance(arr.Time)
-		if err := e.place(arr, ai); err != nil {
-			return err
-		}
-		ai++
+		e.ai++
 	}
 	return nil
 }
@@ -434,7 +482,7 @@ func (e *engine) handle(ev *timelineEvent) error {
 			if len(ups) == 0 {
 				return nil // nothing left to fail
 			}
-			idx = ups[e.victims.Intn(len(ups))]
+			idx = ups[e.drawVictim(len(ups))]
 		}
 		return e.failMachine(ev.time, idx)
 	case tlRetry:
@@ -488,6 +536,13 @@ func (e *engine) candidates() []MachineState {
 		}
 	}
 	return e.candScratch
+}
+
+// drawVictim draws from the victim RNG, recording the call's argument —
+// the stream coordinate a checkpoint replays (see lifecyclesnap.go).
+func (e *engine) drawVictim(n int) int {
+	e.victimDraws = append(e.victimDraws, n)
+	return e.victims.Intn(n)
 }
 
 func (e *engine) upIndices() []int {

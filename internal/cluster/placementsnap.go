@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// PlacementSnapshotter is the optional Policy refinement checkpointing
+// requires: a placement policy that can serialize whatever state its
+// Place decisions depend on and rebuild it on a fresh same-construction
+// instance. Stateless policies return an empty payload; policies
+// without the interface are rejected up-front with a typed error when a
+// run is configured to checkpoint (see Config.Checkpoint).
+type PlacementSnapshotter interface {
+	// PlacementSnapshot serializes the policy's decision state.
+	PlacementSnapshot() ([]byte, error)
+	// PlacementRestore rebuilds the state on a fresh instance.
+	PlacementRestore(data []byte) error
+}
+
+type roundRobinSnapshot struct {
+	Next int `json:"next"`
+}
+
+// PlacementSnapshot implements PlacementSnapshotter: the cursor is the
+// policy's only decision state.
+func (r *RoundRobin) PlacementSnapshot() ([]byte, error) {
+	return json.Marshal(roundRobinSnapshot{Next: r.next})
+}
+
+// PlacementRestore implements PlacementSnapshotter.
+func (r *RoundRobin) PlacementRestore(data []byte) error {
+	var snap roundRobinSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("cluster: restore round-robin placement: %w", err)
+	}
+	if snap.Next < 0 {
+		return fmt.Errorf("cluster: restore round-robin placement: negative cursor %d", snap.Next)
+	}
+	r.next = snap.Next
+	return nil
+}
+
+// PlacementSnapshot implements PlacementSnapshotter: the policy is
+// stateless, every decision is a pure function of the machine states.
+func (l *LeastLoaded) PlacementSnapshot() ([]byte, error) { return nil, nil }
+
+// PlacementRestore implements PlacementSnapshotter.
+func (l *LeastLoaded) PlacementRestore([]byte) error { return nil }
+
+// PlacementSnapshot implements PlacementSnapshotter: the policy holds
+// only memoized pure-function caches (per-platform evaluators), which
+// rebuild identically on demand — no decision state to serialize.
+func (f *FairnessAware) PlacementSnapshot() ([]byte, error) { return nil, nil }
+
+// PlacementRestore implements PlacementSnapshotter.
+func (f *FairnessAware) PlacementRestore([]byte) error { return nil }

@@ -541,6 +541,13 @@ func (k *kernel) run() error {
 func (k *kernel) runUntil(until float64) error {
 	maxTime := k.cfg.MaxSimTime.Seconds()
 	for k.simTime < until && !k.scn.Done(k.progress()) {
+		// Cooperative cancellation: loop-top boundaries are exactly the
+		// states a checkpoint can capture, so stopping here keeps the
+		// pause-point invariance guarantee (resuming replays the same
+		// operation sequence the uninterrupted run would have executed).
+		if k.cfg.Cancel.Canceled() {
+			return ErrCanceled
+		}
 		if k.simTime > maxTime {
 			return fmt.Errorf("sim: exceeded MaxSimTime (%v) with runs %v", k.cfg.MaxSimTime, k.runCounts)
 		}

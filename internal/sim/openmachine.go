@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -106,8 +107,15 @@ func (m *OpenMachine) AdvanceTo(t float64) error {
 	if m.err != nil || m.halted {
 		return m.err
 	}
-	m.err = m.k.runUntil(t)
-	return m.err
+	// ErrCanceled is a pause, not a machine failure: it must not stick
+	// in m.err, or the machine could never resume after the checkpoint.
+	if err := m.k.runUntil(t); err != nil {
+		if !errors.Is(err, ErrCanceled) {
+			m.err = err
+		}
+		return err
+	}
+	return nil
 }
 
 // Drain marks the arrival stream exhausted and runs the machine to
@@ -117,8 +125,11 @@ func (m *OpenMachine) Drain() error {
 		return m.err
 	}
 	m.feed.drained = true
-	if m.err = m.k.runUntil(math.Inf(1)); m.err != nil {
-		return m.err
+	if err := m.k.runUntil(math.Inf(1)); err != nil {
+		if !errors.Is(err, ErrCanceled) {
+			m.err = err
+		}
+		return err
 	}
 	m.k.finish()
 	return nil

@@ -114,6 +114,10 @@ type Config struct {
 	// given simulated-time granularity (0 = off for closed runs; open
 	// runs default it to PolicyPeriod).
 	MetricsWindow time.Duration
+	// Cancel, when non-nil, is polled at tick-loop boundaries: when it
+	// fires, the advance stops at the current deterministic coordinate
+	// and returns ErrCanceled. The machine stays valid and resumable.
+	Cancel *CancelFlag
 
 	// noEquilCache disables the equilibrium memoization (testing knob:
 	// the memoized and direct paths must agree exactly).

@@ -1,0 +1,30 @@
+package stackdist
+
+import "encoding/json"
+
+// MarshalJSON serializes the profile as its knot list. Knot fields are a
+// uint64 and a float64, both of which encoding/json round-trips exactly
+// (shortest-representation floats), so a profile survives a checkpoint
+// cycle bit-identically.
+func (p Profile) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.points)
+}
+
+// UnmarshalJSON rebuilds the profile from a knot list via New, so a
+// hand-edited checkpoint cannot smuggle in a non-monotone curve.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var pts []Point
+	if err := json.Unmarshal(data, &pts); err != nil {
+		return err
+	}
+	if len(pts) == 0 {
+		*p = Profile{} // canonical zero value, same as before marshaling
+		return nil
+	}
+	np, err := New(pts)
+	if err != nil {
+		return err
+	}
+	*p = np
+	return nil
+}

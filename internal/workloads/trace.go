@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/faircache/lfoc/internal/atomicfile"
 	"github.com/faircache/lfoc/internal/sim/scenario"
 )
 
@@ -233,20 +235,20 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
-// WriteTraceFile records a trace to path.
+// WriteTraceFile records a trace to path, atomically (temp+rename): an
+// interrupted run can never leave a truncated trace behind.
 func WriteTraceFile(path string, t *Trace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("workloads: %w", err)
-	}
-	if err := WriteTrace(f, t); err != nil {
-		f.Close()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, t); err != nil {
 		if te, ok := err.(*TraceError); ok {
 			te.Path = path
 		}
 		return err
 	}
-	return f.Close()
+	if err := atomicfile.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("workloads: %w", err)
+	}
+	return nil
 }
 
 // ReadTraceFile replays a trace from path.

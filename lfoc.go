@@ -427,6 +427,54 @@ func NewCostAwareMigration(cost float64, plat *Platform) MigrationPolicy {
 // (index out of range, or a machine that is down); test with errors.As.
 type ClusterPlacementError = cluster.PlacementError
 
+// Crash safety: checkpoint/resume, cooperative cancellation and
+// panic-isolated workers (see docs/checkpoint-resume.md).
+
+// ClusterCheckpointConfig configures periodic checkpointing of a
+// cluster run (ClusterConfig.Checkpoint): atomic, checksummed writes of
+// the run's full coordinate.
+type ClusterCheckpointConfig = cluster.CheckpointConfig
+
+// ClusterCheckpoint is a decoded, checksum-verified checkpoint, ready
+// for ClusterConfig.Resume.
+type ClusterCheckpoint = cluster.Checkpoint
+
+// ReadClusterCheckpoint loads and verifies a checkpoint file. Failures
+// are typed: *ClusterCheckpointFormatError for a non-checkpoint file or
+// an unsupported version, *ClusterCheckpointChecksumError for a payload
+// that fails its checksum.
+func ReadClusterCheckpoint(path string) (*ClusterCheckpoint, error) {
+	return cluster.ReadCheckpoint(path)
+}
+
+// Typed checkpoint-file errors (match with errors.As).
+type (
+	ClusterCheckpointFormatError   = cluster.CheckpointFormatError
+	ClusterCheckpointChecksumError = cluster.CheckpointChecksumError
+)
+
+// CancelFlag requests a cooperative pause of a run (ClusterConfig.Cancel
+// or SimConfig.Cancel): safe to set from any goroutine; kernels check it
+// at tick boundaries, the cluster layer at arrival boundaries. A
+// canceled cluster run returns a partial result with Interrupted set
+// and a nil error.
+type CancelFlag = sim.CancelFlag
+
+// ErrCanceled is the sentinel a canceled kernel-level run returns
+// (errors.Is). Cluster runs absorb it into Result.Interrupted instead.
+var ErrCanceled = sim.ErrCanceled
+
+// ClusterRunPanicError is the typed error a cluster run returns when a
+// machine's kernel panics (a buggy policy, for instance): the worker
+// pool recovers the panic, winds down cleanly, and reports the machine
+// index, recovered value and stack; test with errors.As.
+type ClusterRunPanicError = cluster.RunPanicError
+
+// SnapshotUnsupportedError is the typed error reported up-front when
+// checkpointing is requested but a placement or partitioning policy
+// does not support snapshots; test with errors.As.
+type SnapshotUnsupportedError = sim.SnapshotUnsupportedError
+
 // FleetEvent is the declarative (JSON/CLI) form of a lifecycle event.
 type FleetEvent = workloads.FleetEvent
 
